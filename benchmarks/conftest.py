@@ -1,0 +1,30 @@
+"""Shared helpers for the figure-reproduction benchmarks.
+
+Every benchmark regenerates one figure (or headline claim) of the
+paper, prints a paper-vs-measured table, and asserts that the *shape*
+of the result holds (who wins, roughly by how much).  Timing is taken
+with a single round: the quantity of interest is the experimental
+output, not the runtime of the harness.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under the benchmark fixture."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def print_table(title, rows):
+    """Print an aligned paper-vs-measured table.
+
+    Args:
+        title: table heading.
+        rows: list of (label, paper_value, measured_value) strings.
+    """
+    print()
+    print(f"=== {title} ===")
+    width = max(len(r[0]) for r in rows)
+    print(f"{'quantity':<{width}}  {'paper':>18}  {'measured':>18}")
+    for label, paper, measured in rows:
+        print(f"{label:<{width}}  {paper:>18}  {measured:>18}")

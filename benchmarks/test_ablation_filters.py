@@ -1,0 +1,67 @@
+"""Ablation: the paper's history filter vs standard alternatives.
+
+DESIGN.md calls out the filter choice as a design decision; this bench
+compares raw passthrough, moving average, the paper's EWMA(0.65) and a
+1-D Kalman filter on the same static trace.
+"""
+
+import numpy as np
+from conftest import print_table, run_once
+
+from repro.building.geometry import Point
+from repro.building.presets import single_room
+from repro.filters.base import RawFilter
+from repro.filters.ewma import EwmaFilter
+from repro.filters.kalman import Kalman1DFilter
+from repro.filters.moving_average import MovingAverageFilter
+from repro.filters.tracker import BeaconTracker
+from repro.traces.synth import run_trace
+from repro.building.mobility import StaticPosition
+
+FILTERS = {
+    "raw": lambda: RawFilter(),
+    "moving_avg(5)": lambda: MovingAverageFilter(5),
+    "ewma(0.65) [paper]": lambda: EwmaFilter(0.65),
+    "kalman": lambda: Kalman1DFilter(process_variance=0.3, measurement_variance=9.0),
+}
+
+
+def _evaluate():
+    plan = single_room()
+    beacon = plan.beacons[0]
+    position = Point(beacon.position.x + 2.0, beacon.position.y)
+    results = {}
+    for name, factory in FILTERS.items():
+        stds, errors = [], []
+        for seed in (1, 2, 3):
+            trace = run_trace(
+                plan,
+                StaticPosition(position),
+                scenario="ablation-filter",
+                duration_s=120.0,
+                scan_period_s=2.0,
+                seed=seed,
+                tracker=BeaconTracker(prototype=factory()),
+            )
+            distances = [d for _, d in trace.distance_series(beacon.beacon_id)]
+            stds.append(np.std(distances))
+            errors.append(np.mean(np.abs(np.asarray(distances) - 2.0)))
+        results[name] = (float(np.mean(stds)), float(np.mean(errors)))
+    return results
+
+
+def test_ablation_filter_choice(benchmark):
+    results = run_once(benchmark, _evaluate)
+    rows = [
+        (name, "n/a (ablation)", f"std {std:.2f} m, |err| {err:.2f} m")
+        for name, (std, err) in results.items()
+    ]
+    print_table("Ablation: smoothing filter on the static 2 m link", rows)
+
+    # Every smoothing filter must beat raw on stability; the paper's
+    # EWMA must be competitive with the alternatives.
+    raw_std = results["raw"][0]
+    ewma_std = results["ewma(0.65) [paper]"][0]
+    assert ewma_std < raw_std
+    assert results["moving_avg(5)"][0] < raw_std
+    assert results["kalman"][0] < raw_std

@@ -1,0 +1,82 @@
+"""Ablation: SVM hyper-parameters and multiclass reduction.
+
+The paper reports using "SVM with the Radial Basis Function kernel, as
+suggested by [Redpin]" but no hyper-parameters.  This bench maps the
+(C, gamma) landscape on the Figure 9 task to show the result is a
+plateau (i.e. the headline number is not a tuned fluke), and compares
+one-vs-one against one-vs-rest multiclass reductions.
+"""
+
+from conftest import print_table, run_once
+
+from repro.building.presets import test_house as make_test_house
+from repro.core.calibration import dataset_from_trace
+from repro.ml.datasets import FingerprintVectorizer
+from repro.ml.kernels import RbfKernel
+from repro.ml.multiclass import OneVsRestClassifier
+from repro.ml.scaling import StandardScaler
+from repro.ml.svm import BinarySVM, SupportVectorClassifier
+from repro.radio.channel import ChannelModel
+from repro.sim.rng import derive_seed
+from repro.traces.synth import synthesize_survey_trace
+
+C_VALUES = (1.0, 10.0, 100.0)
+GAMMAS = (0.1, 0.5, 2.0)
+
+
+def _data():
+    plan = make_test_house()
+    channel = ChannelModel(seed=99)
+
+    def survey(seed, points):
+        return dataset_from_trace(
+            synthesize_survey_trace(
+                plan, points_per_room=points, dwell_s=24.0,
+                seed=seed, channel=channel,
+            )
+        )
+
+    train = survey(derive_seed(3, "train"), 6)
+    test = survey(derive_seed(3, "test"), 4)
+    vectorizer = FingerprintVectorizer(plan.beacon_ids)
+    X_train, y_train, _ = train.to_matrix(vectorizer)
+    X_test, y_test, _ = test.to_matrix(vectorizer)
+    scaler = StandardScaler()
+    return (
+        scaler.fit_transform(X_train), y_train,
+        scaler.transform(X_test), y_test,
+    )
+
+
+def _sweep():
+    X_train, y_train, X_test, y_test = _data()
+    grid = {}
+    for c in C_VALUES:
+        for gamma in GAMMAS:
+            model = SupportVectorClassifier(c=c, kernel=RbfKernel(gamma))
+            model.fit(X_train, y_train)
+            grid[(c, gamma)] = model.score(X_test, y_test)
+    ovr = OneVsRestClassifier(
+        lambda: BinarySVM(c=10.0, kernel=RbfKernel(0.5))
+    ).fit(X_train, y_train)
+    grid["ovr"] = ovr.score(X_test, y_test)
+    return grid
+
+
+def test_ablation_svm_hyperparams(benchmark):
+    grid = run_once(benchmark, _sweep)
+    rows = [
+        (f"C={c:g}, gamma={g:g}", "unreported", f"{grid[(c, g)]:.1%}")
+        for c in C_VALUES
+        for g in GAMMAS
+    ]
+    rows.append(("one-vs-rest (C=10, g=0.5)", "vs one-vs-one", f"{grid['ovr']:.1%}"))
+    print_table("Ablation: SVM (C, gamma) landscape + multiclass reduction", rows)
+
+    accuracies = [grid[(c, g)] for c in C_VALUES for g in GAMMAS]
+    # Plateau: the bulk of the grid performs well; the paper's number
+    # does not hinge on a single magic setting.
+    good = [a for a in accuracies if a > 0.88]
+    assert len(good) >= 6
+    # OvR and OvO agree to within a few points.
+    assert abs(grid["ovr"] - grid[(10.0, 0.5)]) < 0.05

@@ -1,0 +1,36 @@
+"""Figure 5 (labelled "Signal static evaluation, Coeff = 0.65").
+
+The paper's history filter applied to the static trace: same link as
+Figure 4, fluctuation visibly suppressed.
+"""
+
+from conftest import print_table, run_once
+
+from repro.core.experiments import static_signal_experiment
+
+
+def test_fig05_static_filtered(benchmark):
+    filtered = run_once(
+        benchmark,
+        static_signal_experiment,
+        scan_period_s=2.0,
+        coefficient=0.65,
+        distance_m=2.0,
+        duration_s=120.0,
+        seed=1,
+    )
+    raw = static_signal_experiment(
+        scan_period_s=2.0, distance_m=2.0, duration_s=120.0, seed=1
+    )
+    print_table(
+        "Figure 5: history filter (coeff 0.65) on the static trace",
+        [
+            ("raw std (m)", "large", f"{raw.std_m:.2f}"),
+            ("filtered std (m)", "stable", f"{filtered.std_m:.2f}"),
+            ("suppression", "clear (qualitative)", f"{1 - filtered.std_m / raw.std_m:.0%}"),
+            ("filtered mean (m)", "~2", f"{filtered.mean_m:.2f}"),
+        ],
+    )
+    assert filtered.std_m < raw.std_m
+    # The filter must not bias the level, only smooth it.
+    assert abs(filtered.mean_m - raw.mean_m) < 1.0

@@ -1,0 +1,48 @@
+"""Figure 10: phone energy, Wi-Fi vs Bluetooth uplink.
+
+Paper: "the Wi-Fi solution is more expensive in terms of energy
+consumption ... Using the Bluetooth based architecture we obtained an
+energy saving of the 15 %.  ... the battery lifetime of the mobile
+device is around 10 hours."  (Average of 10 measurements, S3 Mini.)
+"""
+
+from conftest import print_table, run_once
+
+from repro.core.experiments import energy_experiment
+
+
+def test_fig10_energy(benchmark):
+    result = run_once(
+        benchmark,
+        energy_experiment,
+        duration_s=900.0,
+        device="s3_mini",
+        runs=3,
+        seed=0,
+    )
+    wifi, bt = result.wifi, result.bluetooth
+    print_table(
+        "Figure 10: app energy on the S3 Mini (average of repeated runs)",
+        [
+            ("Wi-Fi avg power (mW)", "higher", f"{wifi.average_power_w * 1000:.0f}"),
+            ("BT avg power (mW)", "lower", f"{bt.average_power_w * 1000:.0f}"),
+            ("BT saving", "~15 %", f"{result.saving_fraction:.1%}"),
+            ("Wi-Fi battery life (h)", "~10", f"{wifi.battery_life_h:.1f}"),
+            ("BT battery life (h)", ">10", f"{bt.battery_life_h:.1f}"),
+            ("Wi-Fi delivery ratio", "more reliable", f"{wifi.delivery_ratio:.1%}"),
+            ("BT delivery ratio", "less stable", f"{bt.delivery_ratio:.1%}"),
+        ],
+    )
+    print()
+    print("Wi-Fi component breakdown (J):", {
+        k: round(v, 1) for k, v in sorted(wifi.breakdown_j.items())
+    })
+    print("BT component breakdown (J):  ", {
+        k: round(v, 1) for k, v in sorted(bt.breakdown_j.items())
+    })
+
+    # Shapes: BT saves roughly 15 %, Wi-Fi life around 10 h, Wi-Fi more
+    # reliable than BT.
+    assert 0.08 <= result.saving_fraction <= 0.25
+    assert 8.0 <= wifi.battery_life_h <= 13.0
+    assert wifi.delivery_ratio >= bt.delivery_ratio

@@ -1,0 +1,81 @@
+"""Device heterogeneity and platform scan semantics (Sections V + VIII).
+
+Demonstrates the two phone-side phenomena the paper analyses:
+
+1. Figure 11 - the same transmitter at the same distance reads several
+   dB differently on a Nexus 5 vs a Galaxy S3 Mini, and the paper's
+   proposed mitigation (per-device RSSI offset correction learned at
+   setup) recovers the gap.
+2. Section V - Android's one-sample-per-scan limitation vs iOS
+   surfacing every advertisement (the 5 vs 300 worked example).
+
+Run with:  python examples/device_heterogeneity.py
+"""
+
+import numpy as np
+
+from repro.building import Point, StaticPosition, single_room
+from repro.core.experiments import device_offset_experiment, scan_semantics_experiment
+from repro.radio.channel import ChannelModel
+from repro.radio.devices import DEVICE_PROFILES
+from repro.radio.pathloss import distance_from_rssi
+from repro.traces.synth import run_trace
+
+
+def main() -> None:
+    print("=== Figure 11: per-device RSSI at the same 2 m link ===")
+    result = device_offset_experiment(
+        devices=("nexus_5", "s3_mini", "iphone_5s"), distance_m=2.0, seed=3
+    )
+    for device, mean in sorted(result.mean_rssi.items()):
+        print(f"  {device:<12} {mean:6.1f} dBm  (std {result.std_rssi[device]:.1f})")
+    gap = result.gap_db("nexus_5", "s3_mini")
+    print(f"  Nexus 5 reads {gap:+.1f} dB stronger than the S3 Mini.")
+
+    print("\nEffect on ranging (uncorrected):")
+    for device, mean in sorted(result.mean_rssi.items()):
+        estimate = distance_from_rssi(mean, -59.0, 2.2)
+        print(f"  {device:<12} estimates {estimate:.2f} m for a true 2.00 m link")
+
+    print("\nMitigation (paper Section VIII): subtract the per-device "
+          "offset learned at setup:")
+    for device, mean in sorted(result.mean_rssi.items()):
+        offset = DEVICE_PROFILES[device].rx_gain_db
+        corrected = distance_from_rssi(mean - offset, -59.0, 2.2)
+        print(f"  {device:<12} corrected estimate {corrected:.2f} m")
+
+    print("\n=== Section V: Android vs iOS sampling semantics ===")
+    semantics = scan_semantics_experiment()
+    print(
+        f"  10 s window, 2 s scans, 30 Hz advertiser:\n"
+        f"  Android surfaces {semantics.android_samples} samples "
+        f"(paper: 5); iOS {semantics.ios_samples} (paper: 300)."
+    )
+
+    print("\nConsequence for ranging stability (static 2 m link, 60 cycles):")
+    plan = single_room()
+    beacon = plan.beacons[0]
+    position = Point(beacon.position.x + 2.0, beacon.position.y)
+    for platform in ("android", "ios"):
+        trace = run_trace(
+            plan,
+            StaticPosition(position),
+            scenario="platform-compare",
+            duration_s=120.0,
+            scan_period_s=2.0,
+            platform=platform,
+            seed=4,
+            channel=ChannelModel(seed=50),
+        )
+        distances = [d for _, d in trace.distance_series(beacon.beacon_id)]
+        print(
+            f"  {platform:<8} mean {np.mean(distances):.2f} m, "
+            f"std {np.std(distances):.2f} m"
+        )
+    print("\niOS averages ~20 advertisements per cycle, so its estimates "
+          "are visibly steadier - the gap the paper works around with "
+          "longer scans and the history filter.")
+
+
+if __name__ == "__main__":
+    main()

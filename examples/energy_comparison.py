@@ -1,0 +1,76 @@
+"""Reproduce the paper's Section VII energy study, plus the extension.
+
+Measures the phone's power draw under the two uplink architectures
+(Wi-Fi direct vs Bluetooth relay through the beacon board) and then
+adds the paper's future-work proposal - accelerometer-gated sensing -
+to show how much further it pushes battery life.
+
+Run with:  python examples/energy_comparison.py
+"""
+
+from repro import OccupancyDetectionSystem, SystemConfig
+from repro.building import Occupant, RandomWaypoint, test_house
+from repro.energy.profiles import PHONE_ENERGY_PROFILES
+
+
+def measure(uplink: str, accel_gating: bool, seed: int = 5) -> dict:
+    """One 20-minute run; returns power and delivery statistics."""
+    plan = test_house()
+    config = SystemConfig(uplink=uplink, accel_gating=accel_gating, seed=seed)
+    system = OccupancyDetectionSystem(plan, config)
+    system.calibrate(duration_s=600.0)
+    system.train()
+    system.add_occupant(
+        Occupant(
+            "phone",
+            RandomWaypoint(plan, seed=77, pause_range_s=(60.0, 240.0)),
+            device="s3_mini",
+        )
+    )
+    run = system.run(1200.0)
+    breakdown = run.energy["phone"]
+    return {
+        "power_mw": breakdown.average_power_w * 1000.0,
+        "life_h": PHONE_ENERGY_PROFILES["s3_mini"].battery_wh
+        / breakdown.average_power_w,
+        "delivery": run.delivery["phone"].delivery_ratio,
+        "accuracy": run.accuracy,
+        "breakdown": breakdown,
+    }
+
+
+def main() -> None:
+    print("Measuring uplink architectures on a Galaxy S3 Mini "
+          "(20 simulated minutes each) ...\n")
+    configs = [
+        ("Wi-Fi (paper's iOS arch.)", "wifi", False),
+        ("Bluetooth relay (paper)", "bluetooth", False),
+        ("Bluetooth + accel gating", "bluetooth", True),
+    ]
+    results = {}
+    for label, uplink, gating in configs:
+        results[label] = measure(uplink, gating)
+
+    wifi_power = results["Wi-Fi (paper's iOS arch.)"]["power_mw"]
+    print(f"{'architecture':<28}{'power mW':>10}{'life h':>8}"
+          f"{'saving':>9}{'delivery':>10}{'accuracy':>10}")
+    for label, res in results.items():
+        saving = 1.0 - res["power_mw"] / wifi_power
+        print(
+            f"{label:<28}{res['power_mw']:>10.0f}{res['life_h']:>8.1f}"
+            f"{saving:>9.1%}{res['delivery']:>10.1%}{res['accuracy']:>10.1%}"
+        )
+
+    print("\nPer-component energy of the Bluetooth architecture:")
+    print(results["Bluetooth relay (paper)"]["breakdown"].to_text())
+
+    print(
+        "\nPaper: Bluetooth saves ~15 % over Wi-Fi; battery life ~10 h.\n"
+        "The accelerometer gate (Section VIII future work) suppresses\n"
+        "scanning while the user is stationary, trading a little\n"
+        "detection latency for further savings."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,113 @@
+"""A working day in a smart office: occupancy-driven HVAC demand response.
+
+The application the paper's introduction motivates: an office floor
+instrumented with iBeacons, workers following daily schedules, and the
+HVAC system heating only the rooms the detection pipeline believes are
+occupied.  Compares three policies:
+
+- baseline: heat every office to comfort all day (no occupancy info),
+- oracle:   setback from ground-truth occupancy,
+- detected: setback from the iBeacon pipeline's estimates.
+
+Run with:  python examples/smart_building_day.py
+"""
+
+from repro import OccupancyDetectionSystem, SystemConfig
+from repro.building import Occupant, RoomSchedule, office_floor
+from repro.hvac import simulate_hvac_day
+
+WORK_DAY_S = 10 * 3600.0  # simulate 08:00-18:00
+
+
+def build_workforce(plan):
+    """Three workers with staggered office-hours schedules."""
+    schedules = {
+        "ana": [
+            (0.0, "outside"), (1800.0, "office_1"),
+            (4 * 3600.0, "office_3"), (5 * 3600.0, "office_1"),
+            (9 * 3600.0, "outside"),
+        ],
+        "bruno": [
+            (0.0, "outside"), (3600.0, "office_2"),
+            (6 * 3600.0, "corridor"), (6.2 * 3600.0, "office_2"),
+            (9.5 * 3600.0, "outside"),
+        ],
+        "carla": [
+            (0.0, "outside"), (2700.0, "office_3"),
+            (4 * 3600.0, "office_2"), (4.5 * 3600.0, "office_3"),
+            (8.5 * 3600.0, "outside"),
+        ],
+    }
+    return [
+        Occupant(name, RoomSchedule(plan, entries))
+        for name, entries in schedules.items()
+    ]
+
+
+def main() -> None:
+    plan = office_floor(n_offices=3)
+    system = OccupancyDetectionSystem(plan, SystemConfig(seed=21))
+
+    print("Calibrating the office floor ...")
+    system.calibrate(duration_s=800.0)
+    system.train()
+
+    workers = build_workforce(plan)
+    for worker in workers:
+        system.add_occupant(worker)
+
+    print(f"Simulating a {WORK_DAY_S / 3600.0:.0f} h working day "
+          f"({len(workers)} occupants) ...")
+    run = system.run(WORK_DAY_S)
+    print(f"Detection accuracy over the day: {run.accuracy:.1%}")
+
+    # Build occupancy functions for the HVAC simulation: ground truth
+    # from the schedules, belief from the recorded BMS estimates.
+    offices = [r for r in plan.room_names if r.startswith("office")]
+
+    def truth(t):
+        counts = {room: 0 for room in offices}
+        for worker in workers:
+            room = worker.room_at(t, plan)
+            if room in counts:
+                counts[room] += 1
+        return counts
+
+    estimates_by_time = {}
+    for name, predictions in run.predictions.items():
+        for t, _truth_room, estimate in predictions:
+            estimates_by_time.setdefault(round(t), {}).setdefault(estimate, 0)
+            estimates_by_time[round(t)][estimate] += 1
+
+    def belief(t):
+        return estimates_by_time.get(round(t), {})
+
+    print("\nHVAC demand-response comparison (outdoor 5 degC):")
+    results = {}
+    for policy, believed in (
+        ("baseline", None),
+        ("oracle", truth),
+        ("detected", belief),
+    ):
+        results[policy] = simulate_hvac_day(
+            offices,
+            truth,
+            believed_occupancy_fn=believed,
+            policy=policy,
+            duration_s=WORK_DAY_S,
+        )
+    base = results["baseline"].hvac_energy_kwh
+    print(f"{'policy':<10}{'energy kWh':>12}{'saving':>9}{'discomfort degC.h':>20}")
+    for policy, res in results.items():
+        saving = 1.0 - res.hvac_energy_kwh / base if base else 0.0
+        print(
+            f"{policy:<10}{res.hvac_energy_kwh:>12.1f}{saving:>9.1%}"
+            f"{res.comfort_violation_degree_hours:>20.2f}"
+        )
+    print("\nThe gap between 'oracle' and 'detected' is the cost of "
+          "detection errors; the gap to 'baseline' is the saving the "
+          "paper's introduction promises.")
+
+
+if __name__ == "__main__":
+    main()

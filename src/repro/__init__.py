@@ -1,0 +1,53 @@
+"""repro: reproduction of "Occupancy Detection via iBeacon on Android
+Devices for Smart Building Management" (Corna et al., DATE 2015).
+
+The package implements the paper's full system in simulation:
+
+- :mod:`repro.ibeacon` - byte-exact iBeacon/AltBeacon packets, regions;
+- :mod:`repro.radio` / :mod:`repro.ble` - the indoor RF channel and
+  BLE advertising/scanning air interface;
+- :mod:`repro.building` - floor plans, occupants and mobility;
+- :mod:`repro.phone` - Android/iOS scanner semantics and the client
+  app state machine;
+- :mod:`repro.filters` - the paper's history filter and ablation
+  baselines;
+- :mod:`repro.ml` - from-scratch SVM (SMO/RBF) plus the proximity,
+  kNN and naive-Bayes comparison classifiers;
+- :mod:`repro.server` - the BMS (database, REST router, classifier);
+- :mod:`repro.comms` / :mod:`repro.energy` - Wi-Fi vs Bluetooth
+  uplinks and the phone energy model;
+- :mod:`repro.hvac` - occupancy-driven demand response;
+- :mod:`repro.traces` - synthetic beacon-trace generation and IO;
+- :mod:`repro.core` - the end-to-end pipeline and the per-figure
+  experiment functions.
+
+Quickstart::
+
+    from repro import OccupancyDetectionSystem, SystemConfig
+    from repro.building import test_house, Occupant, RandomWaypoint
+
+    plan = test_house()
+    system = OccupancyDetectionSystem(plan, SystemConfig(seed=7))
+    system.calibrate(duration_s=900.0)
+    system.train()
+    system.add_occupant(Occupant("alice", RandomWaypoint(plan, seed=1)))
+    result = system.run(600.0)
+    print(f"accuracy: {result.accuracy:.1%}")
+"""
+
+from repro.core.config import SystemConfig
+from repro.core.system import DetectionRun, OccupancyDetectionSystem
+from repro.ibeacon.packet import IBeaconPacket, decode_packet
+from repro.ibeacon.region import BeaconRegion
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SystemConfig",
+    "DetectionRun",
+    "OccupancyDetectionSystem",
+    "IBeaconPacket",
+    "decode_packet",
+    "BeaconRegion",
+    "__version__",
+]

@@ -1,0 +1,21 @@
+"""Beacon transmitter node: the Raspberry Pi + bluez stack (paper IV.A).
+
+Models the transmitter side of the deployment: a board running a
+bluez-like Bluetooth stack programmed through HCI-style commands, the
+advertising data register holding the raw iBeacon payload, and the TX
+power calibration procedure ("putting the device one meter away from
+the transmitter and ... changing the TX power field until the detected
+distance by the device is about one meter").
+"""
+
+from repro.beacon_node.hci import HciError, HciStack
+from repro.beacon_node.node import BeaconNode
+from repro.beacon_node.calibration import CalibrationResult, calibrate_tx_power
+
+__all__ = [
+    "HciError",
+    "HciStack",
+    "BeaconNode",
+    "CalibrationResult",
+    "calibrate_tx_power",
+]

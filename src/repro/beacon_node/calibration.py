@@ -1,0 +1,159 @@
+"""TX power calibration (paper Section IV.A).
+
+"In order to make the transmitter work properly it is necessary to
+calibrate the TX power field.  This can be done by putting the device
+one meter away from the transmitter and, through Radius Networks'
+iBeacon Locate app, changing the TX power field until the detected
+distance by the device is about one meter."
+
+The procedure below is that loop: measure the mean detected distance
+at 1 m with a reference phone, nudge the TX power byte, reprogram the
+node, repeat until the estimate converges (or the byte range is
+exhausted).  Calibration absorbs both the reference device's RX gain
+and the local channel bias - which is exactly why the paper's
+cross-device problem (Figure 11) remains after calibration with a
+different handset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.beacon_node.node import BeaconNode
+from repro.building.floorplan import FloorPlan, Room
+from repro.building.geometry import Point
+from repro.building.mobility import StaticPosition
+from repro.radio.channel import ChannelModel
+from repro.sim.rng import derive_seed
+from repro.traces.synth import run_trace
+
+__all__ = ["CalibrationResult", "calibrate_tx_power"]
+
+#: Realistic range of the calibrated-power byte for BLE beacons.
+TX_POWER_MIN = -90
+TX_POWER_MAX = -40
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """Outcome of the TX power calibration loop.
+
+    Attributes:
+        tx_power: the converged TX power byte.
+        detected_distance_m: mean detected distance at 1 m after
+            convergence.
+        iterations: calibration loop steps taken.
+        history: ``(tx_power, detected_distance_m)`` per step.
+    """
+
+    tx_power: int
+    detected_distance_m: float
+    iterations: int
+    history: List[tuple]
+
+    @property
+    def error_m(self) -> float:
+        """Residual distance error at the 1 m reference point."""
+        return abs(self.detected_distance_m - 1.0)
+
+
+def _measure_distance(
+    node: BeaconNode,
+    device: str,
+    channel: ChannelModel,
+    seed: int,
+    n_cycles: int,
+    scan_period_s: float,
+) -> float:
+    """Mean detected distance of the node's beacon at 1 m."""
+    # The rig is a bare room around the node; it reuses the node's room
+    # name so the placement record stays valid.
+    room = Room(node.room, node.position.x - 3.0, node.position.y - 3.0,
+                node.position.x + 3.0, node.position.y + 3.0)
+    plan = FloorPlan(rooms=[room], beacons=[node.placement()])
+    reference = Point(node.position.x + 1.0, node.position.y)
+    trace = run_trace(
+        plan,
+        StaticPosition(reference),
+        scenario="tx-calibration",
+        duration_s=n_cycles * scan_period_s,
+        scan_period_s=scan_period_s,
+        device=device,
+        seed=seed,
+        channel=channel,
+    )
+    distances = [d for _, d in trace.distance_series(node.placement().beacon_id)]
+    if not distances:
+        raise RuntimeError(
+            f"calibration rig never received the beacon of {node.name}"
+        )
+    return float(np.mean(distances))
+
+
+def calibrate_tx_power(
+    node: BeaconNode,
+    *,
+    device: str = "s3_mini",
+    channel: ChannelModel = None,
+    tolerance_m: float = 0.1,
+    max_iterations: int = 25,
+    n_cycles: int = 15,
+    scan_period_s: float = 2.0,
+    seed: int = 0,
+) -> CalibrationResult:
+    """Run the iBeacon-Locate calibration loop on a programmed node.
+
+    Args:
+        node: a :class:`BeaconNode` that is already advertising.
+        device: the reference handset held at 1 m.
+        channel: the building channel; defaults to a fresh one seeded
+            from ``seed`` (a quiet rig).
+        tolerance_m: stop once the detected distance is within this of
+            1 m.
+        max_iterations: loop bound.
+        n_cycles: scan cycles averaged per measurement.
+        scan_period_s: reference phone's scan period.
+        seed: measurement noise seed.
+
+    Returns:
+        The converged :class:`CalibrationResult`; the node is left
+        reprogrammed with the final TX power.
+    """
+    if channel is None:
+        channel = ChannelModel(seed=derive_seed(seed, "calibration-rig"))
+    history: List[tuple] = []
+    iterations = 0
+    detected = _measure_distance(
+        node, device, channel, derive_seed(seed, "measure:0"), n_cycles,
+        scan_period_s,
+    )
+    history.append((node.packet.tx_power, detected))
+    while abs(detected - 1.0) > tolerance_m and iterations < max_iterations:
+        iterations += 1
+        current = node.packet.tx_power
+        # The inversion is d = 10^((txp - rssi) / (10 n)); the measured
+        # distance moves by the full log-scale step, so adjust the TX
+        # power byte by the exact dB correction, at least 1 dB.
+        exponent = 2.2
+        correction = 10.0 * exponent * np.log10(1.0 / max(detected, 1e-3))
+        step = int(np.clip(round(correction), -6, 6))
+        if step == 0:
+            step = 1 if detected > 1.0 else -1
+        new_power = int(np.clip(current + step, TX_POWER_MIN, TX_POWER_MAX))
+        if new_power == current:
+            break
+        node.reprogram_tx_power(new_power)
+        detected = _measure_distance(
+            node, device, channel,
+            derive_seed(seed, f"measure:{iterations}"), n_cycles, scan_period_s,
+        )
+        history.append((new_power, detected))
+    return CalibrationResult(
+        tx_power=node.packet.tx_power,
+        detected_distance_m=detected,
+        iterations=iterations,
+        history=history,
+    )

@@ -1,0 +1,120 @@
+"""A bluez/HCI-flavoured interface to the simulated BLE controller.
+
+The paper configures its transmitters with the bluez tools
+(``hciconfig``/``hcitool``): bring the adapter up, set the advertising
+parameters, load the raw advertising data, enable advertising.  This
+module models that control plane - including the order-of-operations
+errors real bluez happily lets you make - so the transmitter setup
+path of the system is executable and testable.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["HciError", "HciStack"]
+
+#: BLE advertising interval limits (units of 0.625 ms in real HCI; we
+#: keep seconds for readability). 20 ms .. 10.24 s per the spec.
+MIN_ADV_INTERVAL_S = 0.020
+MAX_ADV_INTERVAL_S = 10.24
+
+#: Maximum legacy advertising payload.
+MAX_ADV_DATA_LEN = 31
+
+
+class HciError(RuntimeError):
+    """A rejected HCI command (adapter down, bad parameters, ...)."""
+
+
+class HciStack:
+    """State machine of one BLE controller's advertising path.
+
+    Mirrors the ``hciconfig hci0 up`` / ``hcitool cmd 0x08 0x0006/8/a``
+    sequence used to turn a Raspberry Pi into an iBeacon:
+
+    1. :meth:`up` - power the adapter;
+    2. :meth:`set_advertising_parameters` - interval;
+    3. :meth:`set_advertising_data` - the 30-byte iBeacon payload;
+    4. :meth:`enable_advertising`.
+    """
+
+    def __init__(self) -> None:
+        self.powered = False
+        self.advertising = False
+        self.adv_interval_s = 0.1
+        self._adv_data: Optional[bytes] = None
+
+    # -- hciconfig ------------------------------------------------------
+    def up(self) -> None:
+        """Power the adapter (``hciconfig hci0 up``)."""
+        self.powered = True
+
+    def down(self) -> None:
+        """Power off; advertising stops (``hciconfig hci0 down``)."""
+        self.powered = False
+        self.advertising = False
+
+    # -- hcitool cmd ----------------------------------------------------
+    def set_advertising_parameters(self, interval_s: float) -> None:
+        """Set the advertising interval (LE Set Advertising Parameters).
+
+        Raises:
+            HciError: adapter down or interval outside the BLE range.
+        """
+        self._require_powered()
+        if not MIN_ADV_INTERVAL_S <= interval_s <= MAX_ADV_INTERVAL_S:
+            raise HciError(
+                f"advertising interval {interval_s}s outside "
+                f"[{MIN_ADV_INTERVAL_S}, {MAX_ADV_INTERVAL_S}]s"
+            )
+        if self.advertising:
+            raise HciError("cannot change parameters while advertising")
+        self.adv_interval_s = float(interval_s)
+
+    def set_advertising_data(self, data: bytes) -> None:
+        """Load the raw advertising payload (LE Set Advertising Data).
+
+        Raises:
+            HciError: adapter down or payload too long.
+        """
+        self._require_powered()
+        data = bytes(data)
+        if len(data) > MAX_ADV_DATA_LEN:
+            raise HciError(
+                f"advertising data is {len(data)} bytes; max {MAX_ADV_DATA_LEN}"
+            )
+        if not data:
+            raise HciError("advertising data must not be empty")
+        self._adv_data = data
+
+    def enable_advertising(self) -> None:
+        """Start broadcasting (LE Set Advertise Enable, 0x01).
+
+        Raises:
+            HciError: adapter down or no advertising data loaded.
+        """
+        self._require_powered()
+        if self._adv_data is None:
+            raise HciError("no advertising data loaded")
+        self.advertising = True
+
+    def disable_advertising(self) -> None:
+        """Stop broadcasting (LE Set Advertise Enable, 0x00)."""
+        self._require_powered()
+        self.advertising = False
+
+    @property
+    def adv_data(self) -> Optional[bytes]:
+        """The currently loaded advertising payload."""
+        return self._adv_data
+
+    def _require_powered(self) -> None:
+        if not self.powered:
+            raise HciError("adapter is down; run up() first")
+
+    def __repr__(self) -> str:
+        state = "advertising" if self.advertising else (
+            "up" if self.powered else "down"
+        )
+        return f"HciStack({state}, interval={self.adv_interval_s}s)"

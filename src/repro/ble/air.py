@@ -1,0 +1,127 @@
+"""The air interface: advertisements observed through the RF channel.
+
+Glues together the floor plan (beacon placement + wall oracle), the
+advertisers' schedules and the statistical channel model.  Scanners ask
+it: *given a receiver at these positions during this listening window,
+which advertisements were received and at what RSSI?*
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.ble.advertiser import Advertiser
+from repro.building.floorplan import FloorPlan
+from repro.building.geometry import Point
+from repro.ibeacon.packet import IBeaconPacket
+from repro.radio.channel import ChannelModel
+from repro.radio.devices import DeviceRadioProfile
+
+__all__ = ["Sighting", "AirInterface"]
+
+#: Callable giving the receiver position at a time (mobility binding).
+PositionFn = Callable[[float], Point]
+
+
+@dataclass(frozen=True)
+class Sighting:
+    """One received advertisement.
+
+    Attributes:
+        time: reception time, seconds.
+        beacon_id: ``"major-minor"`` id of the transmitter.
+        packet: the decoded iBeacon payload.
+        rssi: received signal strength, dBm (device-quantised).
+        true_distance_m: ground-truth transmitter-receiver distance at
+            reception time (kept for evaluation, never shown to the
+            classifier).
+        payload: the raw 30-byte advertisement as transmitted; the
+            phone stack decodes it via the protocol sniffer rather
+            than trusting simulator objects.
+    """
+
+    time: float
+    beacon_id: str
+    packet: IBeaconPacket
+    rssi: float
+    true_distance_m: float
+    payload: bytes = b""
+
+
+class AirInterface:
+    """Samples the channel for every advertisement in a window.
+
+    Args:
+        plan: floor plan with installed beacons (also provides the
+            wall oracle unless the channel already has one).
+        channel: the statistical channel; if its ``wall_oracle`` is
+            unset, the plan's :meth:`~repro.building.floorplan.FloorPlan.walls_crossed`
+            is installed.
+    """
+
+    def __init__(self, plan: FloorPlan, channel: Optional[ChannelModel] = None) -> None:
+        self.plan = plan
+        self.channel = channel if channel is not None else ChannelModel()
+        if self.channel.wall_oracle is None:
+            self.channel.wall_oracle = plan.walls_crossed
+        self.advertisers: List[Advertiser] = [
+            Advertiser(placement=b) for b in plan.beacons
+        ]
+        # Encode each beacon's payload once; every advertisement of a
+        # beacon carries identical bytes.
+        self._payloads = {
+            b.beacon_id: b.packet.encode() for b in plan.beacons
+        }
+
+    def observe(
+        self,
+        position_fn: PositionFn,
+        device: DeviceRadioProfile,
+        t_start: float,
+        t_end: float,
+        rng: np.random.Generator,
+    ) -> List[Sighting]:
+        """All advertisements received in ``[t_start, t_end)``.
+
+        Args:
+            position_fn: receiver position as a function of time (the
+                receiver may be moving during the window).
+            device: receiver radio profile.
+            t_start: window start, seconds.
+            t_end: window end, seconds.
+            rng: random stream for fading/noise/loss draws.
+
+        Returns:
+            Sightings sorted by reception time.
+        """
+        sightings: List[Sighting] = []
+        for adv in self.advertisers:
+            placement = adv.placement
+            tx_pos = placement.position.as_tuple()
+            for t in adv.times_in(t_start, t_end):
+                rx_point = position_fn(t)
+                budget = self.channel.link_budget(
+                    tx_id=placement.beacon_id,
+                    tx_pos=tx_pos,
+                    rx_pos=rx_point.as_tuple(),
+                    tx_power_dbm=placement.effective_radiated_power_dbm,
+                    device=device,
+                    rng=rng,
+                )
+                if not budget.received:
+                    continue
+                sightings.append(
+                    Sighting(
+                        time=t,
+                        beacon_id=placement.beacon_id,
+                        packet=placement.packet,
+                        rssi=budget.rssi,
+                        true_distance_m=budget.distance_m,
+                        payload=self._payloads[placement.beacon_id],
+                    )
+                )
+        sightings.sort(key=lambda s: s.time)
+        return sightings

@@ -1,0 +1,231 @@
+"""GATT: the Generic Attribute Profile (paper Section III).
+
+"iBeacon is a particular implementation of the GATT protocol, which
+allows both the advertisement of a particular service and the
+connection between two devices that can exchange data.  Differently
+from the complete GATT implementation, iBeacon only implements the
+first feature."
+
+This module supplies the *second* feature - the connection-oriented
+attribute exchange - which the Bluetooth relay architecture of
+Section VII uses: the phone connects to the beacon board's GATT server
+and writes the sighting report into a characteristic.
+
+The model covers the subset the system needs: services containing
+characteristics with read/write/notify properties, an attribute table
+with 16-bit handles, permission-checked reads/writes, notifications
+to subscribed clients, and MTU-limited values.
+"""
+
+from __future__ import annotations
+
+import enum
+import uuid as uuid_module
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+__all__ = [
+    "GattError",
+    "CharacteristicProperty",
+    "Characteristic",
+    "Service",
+    "GattServer",
+    "GattClient",
+]
+
+#: Default ATT maximum value length (ATT_MTU 512 is the spec ceiling
+#: for characteristic values).
+MAX_VALUE_LEN = 512
+
+
+class GattError(RuntimeError):
+    """An ATT-level error (bad handle, permission denied, too long)."""
+
+
+class CharacteristicProperty(enum.Flag):
+    """Subset of the GATT characteristic property bits."""
+
+    READ = enum.auto()
+    WRITE = enum.auto()
+    NOTIFY = enum.auto()
+
+
+@dataclass
+class Characteristic:
+    """A GATT characteristic: a typed, permissioned value slot.
+
+    Attributes:
+        uuid: characteristic UUID.
+        properties: allowed operations.
+        value: current value bytes.
+        on_write: optional server-side hook invoked after each write
+            (how the relay board reacts to incoming reports).
+    """
+
+    uuid: uuid_module.UUID
+    properties: CharacteristicProperty
+    value: bytes = b""
+    on_write: Optional[Callable[[bytes], None]] = None
+    handle: int = 0
+    _subscribers: List[Callable[[bytes], None]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.uuid, uuid_module.UUID):
+            self.uuid = uuid_module.UUID(str(self.uuid))
+
+
+@dataclass
+class Service:
+    """A GATT primary service grouping characteristics."""
+
+    uuid: uuid_module.UUID
+    characteristics: List[Characteristic] = field(default_factory=list)
+    handle: int = 0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.uuid, uuid_module.UUID):
+            self.uuid = uuid_module.UUID(str(self.uuid))
+
+
+class GattServer:
+    """An attribute server hosting services (the beacon board's role)."""
+
+    def __init__(self) -> None:
+        self._services: List[Service] = []
+        self._by_handle: Dict[int, Characteristic] = {}
+        self._next_handle = 1
+
+    def add_service(self, service: Service) -> Service:
+        """Register a service, assigning attribute handles."""
+        service.handle = self._next_handle
+        self._next_handle += 1
+        for characteristic in service.characteristics:
+            characteristic.handle = self._next_handle
+            self._by_handle[self._next_handle] = characteristic
+            self._next_handle += 1
+        self._services.append(service)
+        return service
+
+    @property
+    def services(self) -> List[Service]:
+        """Registered services in registration order."""
+        return list(self._services)
+
+    def find_service(self, uuid) -> Optional[Service]:
+        """The service with the given UUID, or ``None``."""
+        if not isinstance(uuid, uuid_module.UUID):
+            uuid = uuid_module.UUID(str(uuid))
+        for service in self._services:
+            if service.uuid == uuid:
+                return service
+        return None
+
+    def _characteristic(self, handle: int) -> Characteristic:
+        if handle not in self._by_handle:
+            raise GattError(f"invalid attribute handle 0x{handle:04x}")
+        return self._by_handle[handle]
+
+    def read(self, handle: int) -> bytes:
+        """ATT Read Request.
+
+        Raises:
+            GattError: bad handle or the characteristic is not readable.
+        """
+        characteristic = self._characteristic(handle)
+        if CharacteristicProperty.READ not in characteristic.properties:
+            raise GattError(f"handle 0x{handle:04x} is not readable")
+        return characteristic.value
+
+    def write(self, handle: int, value: bytes) -> None:
+        """ATT Write Request.
+
+        Raises:
+            GattError: bad handle, not writable, or value too long.
+        """
+        characteristic = self._characteristic(handle)
+        if CharacteristicProperty.WRITE not in characteristic.properties:
+            raise GattError(f"handle 0x{handle:04x} is not writable")
+        value = bytes(value)
+        if len(value) > MAX_VALUE_LEN:
+            raise GattError(
+                f"value of {len(value)} bytes exceeds ATT maximum {MAX_VALUE_LEN}"
+            )
+        characteristic.value = value
+        if characteristic.on_write is not None:
+            characteristic.on_write(value)
+        for callback in characteristic._subscribers:
+            callback(value)
+
+    def subscribe(self, handle: int, callback: Callable[[bytes], None]) -> None:
+        """Enable notifications on a characteristic (CCCD write).
+
+        Raises:
+            GattError: the characteristic does not support NOTIFY.
+        """
+        characteristic = self._characteristic(handle)
+        if CharacteristicProperty.NOTIFY not in characteristic.properties:
+            raise GattError(f"handle 0x{handle:04x} does not support notify")
+        characteristic._subscribers.append(callback)
+
+    def notify(self, handle: int, value: bytes) -> int:
+        """Server-initiated value push; returns subscribers reached."""
+        characteristic = self._characteristic(handle)
+        if CharacteristicProperty.NOTIFY not in characteristic.properties:
+            raise GattError(f"handle 0x{handle:04x} does not support notify")
+        characteristic.value = bytes(value)
+        for callback in characteristic._subscribers:
+            callback(characteristic.value)
+        return len(characteristic._subscribers)
+
+
+class GattClient:
+    """A connected ATT client (the phone's role in the relay path)."""
+
+    def __init__(self, server: GattServer) -> None:
+        self.server = server
+        self.connected = True
+
+    def disconnect(self) -> None:
+        """Drop the connection; further operations fail."""
+        self.connected = False
+
+    def _require_connection(self) -> None:
+        if not self.connected:
+            raise GattError("client is disconnected")
+
+    def discover_services(self) -> List[Service]:
+        """Primary service discovery."""
+        self._require_connection()
+        return self.server.services
+
+    def find_characteristic(self, service_uuid, characteristic_uuid) -> Characteristic:
+        """Locate a characteristic by service + characteristic UUID.
+
+        Raises:
+            GattError: unknown service or characteristic.
+        """
+        self._require_connection()
+        service = self.server.find_service(service_uuid)
+        if service is None:
+            raise GattError(f"no service {service_uuid}")
+        if not isinstance(characteristic_uuid, uuid_module.UUID):
+            characteristic_uuid = uuid_module.UUID(str(characteristic_uuid))
+        for characteristic in service.characteristics:
+            if characteristic.uuid == characteristic_uuid:
+                return characteristic
+        raise GattError(f"no characteristic {characteristic_uuid}")
+
+    def read(self, handle: int) -> bytes:
+        """Read a characteristic value by handle."""
+        self._require_connection()
+        return self.server.read(handle)
+
+    def write(self, handle: int, value: bytes) -> None:
+        """Write a characteristic value by handle."""
+        self._require_connection()
+        self.server.write(handle, value)
+
+    def subscribe(self, handle: int, callback: Callable[[bytes], None]) -> None:
+        """Subscribe to notifications on a characteristic."""
+        self._require_connection()
+        self.server.subscribe(handle, callback)

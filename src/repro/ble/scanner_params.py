@@ -1,0 +1,41 @@
+"""Scan settings shared by the Android and iOS scanner models.
+
+The *scan period* is the paper's footnote-1 definition: "the time used
+to collect samples for estimating the distance".  The paper contrasts a
+2 s scan period (Figure 4, noisy) with a 5 s one (Figure 6, smoother
+but laggier); the scan duty cycle models the radio listening window
+within each period.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ScanSettings"]
+
+
+@dataclass(frozen=True)
+class ScanSettings:
+    """Configuration of a BLE scan loop.
+
+    Attributes:
+        scan_period_s: length of one scan cycle; the app emits one
+            distance estimate per beacon per cycle.
+        duty_cycle: fraction of the period during which the radio is
+            actually listening (affects which advertisements can be
+            heard and the scan's energy cost).
+    """
+
+    scan_period_s: float = 2.0
+    duty_cycle: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.scan_period_s <= 0.0:
+            raise ValueError(f"scan period must be positive, got {self.scan_period_s}")
+        if not 0.0 < self.duty_cycle <= 1.0:
+            raise ValueError(f"duty cycle must be in (0, 1], got {self.duty_cycle}")
+
+    @property
+    def listen_window_s(self) -> float:
+        """Seconds per cycle during which the radio listens."""
+        return self.scan_period_s * self.duty_cycle

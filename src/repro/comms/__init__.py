@@ -1,0 +1,21 @@
+"""Uplink channels between the phone app and the BMS.
+
+The paper evaluates two ways to deliver sighting reports (Section VII):
+
+- **Wi-Fi**: the phone posts HTTP requests directly to the server.
+  Reliable and stable, but forces the Wi-Fi adapter on, which is the
+  dominant energy cost.
+- **Bluetooth relay**: the phone opens a BT connection to the
+  (mains-powered) beacon board, which relays the report to the server
+  over HTTP.  ~15 % more energy-efficient, but less stable because of
+  BLE stack bugs.
+
+Both uplinks deliver real :class:`~repro.server.rest.Request` objects
+to the BMS router and account their radio energy per message.
+"""
+
+from repro.comms.uplink import DeliveryStats, Uplink
+from repro.comms.wifi import WifiUplink
+from repro.comms.bt_relay import BluetoothRelayUplink
+
+__all__ = ["DeliveryStats", "Uplink", "WifiUplink", "BluetoothRelayUplink"]

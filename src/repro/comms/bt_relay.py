@@ -1,0 +1,102 @@
+"""Bluetooth relay uplink: phone -> beacon board -> HTTP -> BMS.
+
+Section VII's alternative architecture: "a Bluetooth connection is
+established between the smart device and the beacon transmitter when a
+beacon is received ... a Bluetooth server in the iBeacon transmitter
+(that is thought to be not-battery based) retransmits the information
+received to the central server using HTTP requests."
+
+More energy-efficient (no Wi-Fi adapter), "but it's less stable than
+the Wi-Fi solution due to bugs in the BLE Android API".
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.comms.uplink import Uplink
+from repro.phone.app import SightingReport
+from repro.server.rest import Response, Router
+
+__all__ = ["BluetoothRelayUplink"]
+
+
+class BluetoothRelayUplink(Uplink):
+    """BT connection to the beacon board, which relays over HTTP.
+
+    The relay hop adds its own (mains-powered) HTTP leg; only the BT
+    leg costs phone battery.  The BLE stack instability shows up as a
+    higher per-attempt loss probability.
+
+    Attributes (class constants, overridable per instance):
+        LOSS_PROBABILITY: per-attempt BT failure rate (stack bugs).
+        CONNECTION_ENERGY_J: BLE connection setup + teardown per burst.
+        ENERGY_PER_BYTE_J: marginal BT transmit energy.
+        IDLE_POWER_W: no standing cost - BT connects on demand.
+        RELAY_LOSS_PROBABILITY: board -> server HTTP leg failure rate
+            (wired/mains, nearly perfect).
+    """
+
+    LOSS_PROBABILITY = 0.04
+    CONNECTION_ENERGY_J = 0.09
+    ENERGY_PER_BYTE_J = 6.0e-5
+    IDLE_POWER_W = 0.0
+    RELAY_LOSS_PROBABILITY = 0.001
+
+    def __init__(
+        self,
+        router: Router,
+        rng: Optional[np.random.Generator] = None,
+        max_retries: int = 1,
+    ) -> None:
+        super().__init__(router, rng=rng, max_retries=max_retries)
+        self.relay_requests = 0
+
+    @property
+    def loss_probability(self) -> float:
+        return self.LOSS_PROBABILITY
+
+    def energy_per_message_j(self, size_bytes: int) -> float:
+        return self.CONNECTION_ENERGY_J + self.ENERGY_PER_BYTE_J * size_bytes
+
+    @property
+    def idle_power_w(self) -> float:
+        return self.IDLE_POWER_W
+
+    def send_report(self, report: SightingReport) -> Optional[Response]:
+        """Deliver via BT; the relay board's HTTP leg may also fail."""
+        from repro.server.rest import Request
+
+        request = Request(
+            method="POST",
+            path="/sightings",
+            body={
+                "device_id": report.device_id,
+                "time": report.time,
+                "beacons": report.distances(),
+            },
+            time=report.time,
+        )
+        self.stats.attempts += 1
+        for attempt in range(self.max_retries + 1):
+            # BT leg: the phone pays energy whether or not it succeeds.
+            self.stats.bytes_sent += request.size_bytes
+            self.stats.energy_j += self.energy_per_message_j(request.size_bytes)
+            if self.rng.random() < self.LOSS_PROBABILITY:
+                if attempt < self.max_retries:
+                    self.stats.retries += 1
+                    continue
+                self.stats.failed += 1
+                return None
+            # Relay leg: board -> server over HTTP (mains powered, so
+            # no phone energy; losses are rare but final).
+            self.relay_requests += 1
+            if self.rng.random() < self.RELAY_LOSS_PROBABILITY:
+                self.stats.failed += 1
+                return None
+            response = self.router.dispatch(request)
+            self.stats.delivered += 1
+            return response
+        return None  # pragma: no cover - loop always returns

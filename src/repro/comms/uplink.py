@@ -1,0 +1,116 @@
+"""Uplink base class: report delivery with energy and reliability accounting."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.phone.app import SightingReport
+from repro.server.rest import Request, Response, Router
+
+__all__ = ["DeliveryStats", "Uplink"]
+
+
+@dataclass
+class DeliveryStats:
+    """Counters accumulated by an uplink."""
+
+    attempts: int = 0
+    delivered: int = 0
+    failed: int = 0
+    retries: int = 0
+    bytes_sent: int = 0
+    energy_j: float = 0.0
+
+    @property
+    def delivery_ratio(self) -> float:
+        """Delivered / attempted reports (1.0 when nothing attempted)."""
+        if self.attempts == 0:
+            return 1.0
+        return self.delivered / self.attempts
+
+
+class Uplink(abc.ABC):
+    """Delivers sighting reports to the BMS over a radio channel.
+
+    Args:
+        router: the BMS REST router.
+        rng: random stream for delivery-failure draws.
+        max_retries: retransmissions attempted after a radio failure.
+    """
+
+    def __init__(
+        self,
+        router: Router,
+        rng: Optional[np.random.Generator] = None,
+        max_retries: int = 1,
+    ) -> None:
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        self.router = router
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.max_retries = int(max_retries)
+        self.stats = DeliveryStats()
+
+    # -- channel characteristics, provided by subclasses ---------------
+    @property
+    @abc.abstractmethod
+    def loss_probability(self) -> float:
+        """Probability one transmission attempt fails on the radio."""
+
+    @abc.abstractmethod
+    def energy_per_message_j(self, size_bytes: int) -> float:
+        """Radio energy to send one message of ``size_bytes``."""
+
+    @property
+    @abc.abstractmethod
+    def idle_power_w(self) -> float:
+        """Extra standing power the channel costs while the app runs
+        (e.g. keeping the Wi-Fi adapter associated)."""
+
+    # -- delivery -------------------------------------------------------
+    def send_report(self, report: SightingReport) -> Optional[Response]:
+        """Deliver one sighting report; ``None`` when all attempts fail.
+
+        Every attempt (including failed ones) costs transmission
+        energy - failed radio transmissions still burn the battery.
+        """
+        request = Request(
+            method="POST",
+            path="/sightings",
+            body={
+                "device_id": report.device_id,
+                "time": report.time,
+                "beacons": report.distances(),
+            },
+            time=report.time,
+        )
+        self.stats.attempts += 1
+        for attempt in range(self.max_retries + 1):
+            self.stats.bytes_sent += request.size_bytes
+            self.stats.energy_j += self.energy_per_message_j(request.size_bytes)
+            if self.rng.random() < self.loss_probability:
+                if attempt < self.max_retries:
+                    self.stats.retries += 1
+                    continue
+                self.stats.failed += 1
+                return None
+            response = self.router.dispatch(request)
+            self.stats.delivered += 1
+            return response
+        return None  # pragma: no cover - loop always returns
+
+    def charge_idle(self, duration_s: float) -> float:
+        """Account the channel's standing energy for ``duration_s``.
+
+        Returns:
+            The energy charged, joules.
+        """
+        if duration_s < 0.0:
+            raise ValueError(f"duration must be >= 0, got {duration_s}")
+        energy = self.idle_power_w * duration_s
+        self.stats.energy_j += energy
+        return energy

@@ -1,0 +1,44 @@
+"""Wi-Fi uplink: HTTP directly from the phone to the BMS.
+
+"The Wi-Fi is more reliable and stable but forces to keep on the
+wireless adapter that has a high power consumption" (Section VII).
+
+Energy constants are calibrated so that the full app draw on the
+reference handset (S3 Mini class battery, 5.7 Wh) yields the paper's
+~10 h battery life - see ``repro/energy/profiles.py`` for the budget.
+"""
+
+from __future__ import annotations
+
+from repro.comms.uplink import Uplink
+
+__all__ = ["WifiUplink"]
+
+
+class WifiUplink(Uplink):
+    """Direct HTTP over Wi-Fi.
+
+    Attributes (class constants, overridable per instance):
+        LOSS_PROBABILITY: per-attempt radio failure rate (Wi-Fi is the
+            stable channel).
+        WAKE_ENERGY_J: radio wake + association + tail energy per
+            transmission burst.
+        ENERGY_PER_BYTE_J: marginal transmit energy.
+        IDLE_POWER_W: keeping the adapter associated while the app runs.
+    """
+
+    LOSS_PROBABILITY = 0.005
+    WAKE_ENERGY_J = 0.06
+    ENERGY_PER_BYTE_J = 1.6e-4
+    IDLE_POWER_W = 0.080
+
+    @property
+    def loss_probability(self) -> float:
+        return self.LOSS_PROBABILITY
+
+    def energy_per_message_j(self, size_bytes: int) -> float:
+        return self.WAKE_ENERGY_J + self.ENERGY_PER_BYTE_J * size_bytes
+
+    @property
+    def idle_power_w(self) -> float:
+        return self.IDLE_POWER_W

@@ -1,0 +1,23 @@
+"""Core occupancy-detection pipeline - the paper's contribution.
+
+:class:`OccupancyDetectionSystem` wires the substrates together:
+building + channel + beacon advertisers + phone apps + uplinks + BMS
+classifier, exposing the workflow of the paper: calibrate (operator
+walk), train (server-side SVM), then detect occupancy online.
+
+:mod:`repro.core.experiments` contains one function per figure of the
+paper's evaluation; the benchmark suite and EXPERIMENTS.md are built
+on them.
+"""
+
+from repro.core.config import SystemConfig
+from repro.core.calibration import dataset_from_trace, run_calibration
+from repro.core.system import DetectionRun, OccupancyDetectionSystem
+
+__all__ = [
+    "SystemConfig",
+    "dataset_from_trace",
+    "run_calibration",
+    "DetectionRun",
+    "OccupancyDetectionSystem",
+]

@@ -1,0 +1,351 @@
+"""The complete occupancy-detection system.
+
+One object owning the whole deployment of Section IV: the instrumented
+building (beacon transmitters), the occupants' phones running the
+client app, the uplink channel, and the BMS with its Scene Analysis
+classifier.  The lifecycle mirrors the paper:
+
+1. :meth:`calibrate` - the operator walk populates the fingerprint DB;
+2. :meth:`train` - the server fits the classifier;
+3. :meth:`add_occupant` / :meth:`run` - online detection with energy
+   accounting, returning a :class:`DetectionRun` with accuracy against
+   ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.ble.air import AirInterface
+from repro.ble.scanner_params import ScanSettings
+from repro.building.floorplan import OUTSIDE, FloorPlan
+from repro.building.occupant import Occupant
+from repro.comms.bt_relay import BluetoothRelayUplink
+from repro.comms.uplink import Uplink
+from repro.comms.wifi import WifiUplink
+from repro.core.calibration import run_calibration
+from repro.core.config import SystemConfig
+from repro.energy.battery import Battery
+from repro.energy.gating import AccelerometerGate
+from repro.energy.meter import EnergyBreakdown, EnergyMeter
+from repro.energy.profiles import PHONE_ENERGY_PROFILES
+from repro.filters.ewma import EwmaFilter
+from repro.filters.tracker import BeaconTracker
+from repro.ibeacon.region import BeaconRegion
+from repro.ml.datasets import MISSING_DISTANCE_M, MISSING_RSSI_DBM
+from repro.ml.kernels import RbfKernel
+from repro.ml.knn import KNeighborsClassifier
+from repro.ml.metrics import ConfusionMatrix
+from repro.ml.naive_bayes import GaussianNaiveBayes
+from repro.ml.proximity import ProximityClassifier
+from repro.ml.svm import SupportVectorClassifier
+from repro.phone.device import Smartphone
+from repro.radio.channel import ChannelModel
+from repro.server.bms import BuildingManagementServer
+from repro.sim.rng import RngStreams, derive_seed
+
+__all__ = ["DetectionRun", "OccupancyDetectionSystem"]
+
+
+@dataclass
+class PhoneRuntime:
+    """Per-phone runtime state inside a detection run."""
+
+    phone: Smartphone
+    uplink: Uplink
+    meter: EnergyMeter
+    gate: Optional[AccelerometerGate] = None
+    predictions: List[Tuple[float, str, str]] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class DetectionRun:
+    """Outcome of an online detection run.
+
+    Attributes:
+        duration_s: simulated span.
+        accuracy: fraction of evaluation points where the BMS estimate
+            matched the ground-truth room.
+        confusion: confusion matrix over the evaluation points.
+        energy: device_id -> energy breakdown of the run.
+        delivery: device_id -> uplink delivery statistics.
+        predictions: device_id -> list of ``(time, truth, estimate)``.
+    """
+
+    duration_s: float
+    accuracy: float
+    confusion: ConfusionMatrix
+    energy: Dict[str, EnergyBreakdown]
+    delivery: Dict[str, object]
+    predictions: Dict[str, List[Tuple[float, str, str]]]
+
+    def average_power_w(self, device_id: str) -> float:
+        """Mean power of one device over the run."""
+        return self.energy[device_id].average_power_w
+
+    def battery_life_hours(self, device_id: str, battery_wh: float) -> float:
+        """Projected battery life at this run's average power."""
+        power = self.average_power_w(device_id)
+        if power <= 0.0:
+            raise ValueError("run consumed no energy; cannot project life")
+        return battery_wh * 3600.0 / power / 3600.0
+
+
+class OccupancyDetectionSystem:
+    """Facade over the full deployment.
+
+    Args:
+        plan: instrumented building.
+        config: system configuration (defaults to the paper's).
+        region_uuid: monitored proximity UUID; defaults to the UUID of
+            the plan's first beacon (all beacons of one building share
+            it, Section III).
+    """
+
+    def __init__(
+        self,
+        plan: FloorPlan,
+        config: SystemConfig = SystemConfig(),
+        region_uuid=None,
+    ) -> None:
+        if not plan.beacons:
+            raise ValueError("the floor plan has no beacons installed")
+        self.plan = plan
+        self.config = config
+        self.streams = RngStreams(config.seed)
+        self.channel = ChannelModel(seed=derive_seed(config.seed, "channel"))
+        self.air = AirInterface(plan, self.channel)
+        uuid = region_uuid if region_uuid is not None else plan.beacons[0].packet.uuid
+        self.region = BeaconRegion("building", uuid)
+        missing = (
+            MISSING_DISTANCE_M if config.feature == "distance" else MISSING_RSSI_DBM
+        )
+        # With accelerometer gating, silence from a phone means "the
+        # user has not moved" (Section VIII), so devices must not be
+        # expired for not reporting; without gating, silence means the
+        # device left coverage.
+        timeout = (
+            3600.0 if config.accel_gating else max(3.0 * config.scan_period_s, 10.0)
+        )
+        self.bms = BuildingManagementServer(
+            beacon_ids=plan.beacon_ids,
+            classifier=self._make_classifier(),
+            missing_value=missing,
+            device_timeout_s=timeout,
+        )
+        self._runtimes: Dict[str, PhoneRuntime] = {}
+        self.calibration_size = 0
+
+    def _make_classifier(self):
+        cfg = self.config
+        if cfg.classifier == "svm":
+            return SupportVectorClassifier(
+                c=cfg.svm_c, kernel=RbfKernel(gamma=cfg.svm_gamma), seed=cfg.seed
+            )
+        if cfg.classifier == "knn":
+            return KNeighborsClassifier(k=cfg.knn_k)
+        if cfg.classifier == "naive_bayes":
+            return GaussianNaiveBayes()
+        beacon_rooms = {b.beacon_id: b.room for b in self.plan.beacons}
+        missing = (
+            MISSING_DISTANCE_M
+            if cfg.feature == "distance"
+            else MISSING_RSSI_DBM
+        )
+        threshold = cfg.proximity_outside_threshold
+        if cfg.feature == "rssi" and threshold > 0:
+            # A positive metre threshold makes no sense for RSSI mode;
+            # fall back to a weak-signal bound.
+            threshold = -90.0
+        return ProximityClassifier(
+            beacon_rooms,
+            self.plan.beacon_ids,
+            mode=cfg.feature,
+            missing_value=missing,
+            outside_label=OUTSIDE,
+            outside_threshold=threshold,
+        )
+
+    # ------------------------------------------------------------------
+    # Calibration and training
+    # ------------------------------------------------------------------
+    def calibrate(self, duration_s: float = 1800.0) -> int:
+        """Run the operator's calibration walk; returns sample count."""
+        dataset = run_calibration(
+            self.plan,
+            duration_s=duration_s,
+            scan_period_s=self.config.scan_period_s,
+            device=self.config.device,
+            platform=self.config.platform,
+            feature=self.config.feature,
+            seed=derive_seed(self.config.seed, "calibration"),
+            channel=self.channel,
+        )
+        for fingerprint, label, time in zip(
+            dataset.fingerprints, dataset.labels, dataset.times
+        ):
+            self.bms.add_fingerprint(label, fingerprint, time)
+        self.calibration_size = len(dataset)
+        return len(dataset)
+
+    def train(self) -> float:
+        """Fit the BMS classifier; returns training accuracy."""
+        # The proximity baseline needs no training but the BMS must be
+        # marked ready; its scaler still needs fitting for API parity.
+        return self.bms.train()
+
+    # ------------------------------------------------------------------
+    # Online detection
+    # ------------------------------------------------------------------
+    def add_occupant(self, occupant: Occupant) -> None:
+        """Register an occupant carrying a phone.
+
+        Raises:
+            ValueError: duplicate occupant name.
+        """
+        if occupant.name in self._runtimes:
+            raise ValueError(f"duplicate occupant {occupant.name!r}")
+        phone = Smartphone(
+            occupant,
+            self.air,
+            self.region,
+            settings=ScanSettings(scan_period_s=self.config.scan_period_s),
+            platform=self.config.platform,
+            streams=self.streams,
+            path_loss_exponent=self.config.path_loss_exponent,
+        )
+        phone.app.tracker = BeaconTracker(
+            prototype=EwmaFilter(self.config.filter_coefficient),
+            max_consecutive_losses=self.config.max_consecutive_losses,
+        )
+        uplink_rng = self.streams.spawn(f"uplink:{occupant.name}").get("loss")
+        uplink_cls = WifiUplink if self.config.uplink == "wifi" else BluetoothRelayUplink
+        uplink = uplink_cls(self.bms.router, rng=uplink_rng)
+        profile = PHONE_ENERGY_PROFILES.get(
+            occupant.device, PHONE_ENERGY_PROFILES["s3_mini"]
+        )
+        meter = EnergyMeter(Battery(profile.battery_wh))
+        gate = None
+        if self.config.accel_gating:
+            gate = AccelerometerGate(
+                lambda t, occ=occupant: occ.is_moving_at(t),
+                grace_period_s=self.config.gating_grace_s,
+            )
+        phone.boot()
+        self._runtimes[occupant.name] = PhoneRuntime(
+            phone=phone, uplink=uplink, meter=meter, gate=gate
+        )
+
+    @property
+    def occupants(self) -> List[str]:
+        """Registered occupant names."""
+        return sorted(self._runtimes)
+
+    def run(self, duration_s: float, *, evaluate: bool = True) -> DetectionRun:
+        """Run online detection for ``duration_s`` seconds.
+
+        Every scan period each phone scans, filters, reports over its
+        uplink, and the BMS updates its occupancy state; ground truth
+        is recorded next to each BMS estimate for evaluation.  Energy
+        is charged per cycle (baseline + scan + uplink idle + radio
+        bursts accounted inside the uplink).
+
+        Raises:
+            RuntimeError: no occupants registered, or classifier
+                untrained.
+        """
+        if not self._runtimes:
+            raise RuntimeError("no occupants registered; call add_occupant()")
+        if not self.bms.trained:
+            raise RuntimeError("BMS classifier untrained; call calibrate() + train()")
+        period = self.config.scan_period_s
+        n_cycles = int(duration_s / period)
+        from repro.comms.uplink import DeliveryStats
+        from repro.sim.engine import Simulator
+
+        for rt in self._runtimes.values():
+            rt.predictions.clear()
+            rt.uplink.stats = DeliveryStats()
+            rt.meter.reset()
+        # The run is driven by the discrete-event engine: one periodic
+        # process per phone (scan -> filter -> uplink) plus the BMS
+        # history recorder, which fires at each period boundary before
+        # that boundary's scan cycles (priority -1).
+        if n_cycles > 0:
+            sim = Simulator()
+            last_cycle_start = (n_cycles - 1) * period
+            for rt in self._runtimes.values():
+                sim.every(
+                    period,
+                    lambda s, rt=rt: self._run_phone_cycle(rt, s.now),
+                    start=0.0,
+                    until=last_cycle_start,
+                    label=f"scan:{rt.phone.device_id}",
+                )
+            sim.every(
+                period,
+                lambda s: self.bms.record_history(s.now),
+                start=period,
+                until=n_cycles * period,
+                priority=-1,
+                label="bms-history",
+            )
+            sim.run()
+        for rt in self._runtimes.values():
+            # Fold the uplink's accumulated radio energy into the meter.
+            rt.meter.charge_energy("uplink_radio", rt.uplink.stats.energy_j)
+
+        y_true: List[str] = []
+        y_pred: List[str] = []
+        predictions: Dict[str, List[Tuple[float, str, str]]] = {}
+        for name, rt in self._runtimes.items():
+            predictions[name] = list(rt.predictions)
+            for _, truth, estimate in rt.predictions:
+                y_true.append(truth)
+                y_pred.append(estimate)
+        if evaluate and y_true:
+            confusion = ConfusionMatrix(y_true, y_pred, labels=self.plan.labels)
+            accuracy = confusion.accuracy
+        else:
+            confusion = None
+            accuracy = float("nan")
+        return DetectionRun(
+            duration_s=duration_s,
+            accuracy=accuracy,
+            confusion=confusion,
+            energy={
+                name: rt.meter.breakdown() for name, rt in self._runtimes.items()
+            },
+            delivery={name: rt.uplink.stats for name, rt in self._runtimes.items()},
+            predictions=predictions,
+        )
+
+    def _run_phone_cycle(self, rt: PhoneRuntime, t0: float) -> None:
+        period = self.config.scan_period_s
+        profile = PHONE_ENERGY_PROFILES.get(
+            rt.phone.occupant.device, PHONE_ENERGY_PROFILES["s3_mini"]
+        )
+        rt.meter.advance(period)
+        rt.meter.charge_power("baseline", profile.baseline_w, period)
+        if rt.gate is not None:
+            rt.meter.charge_power("accelerometer", profile.accelerometer_w, period)
+            if not rt.gate.should_sense(t0):
+                # Sensing and uplink suppressed: no scan, no report.
+                self._record_prediction(rt, t0 + period)
+                return
+        listen = rt.phone.scanner.settings.listen_window_s
+        rt.meter.charge_power("ble_scan", profile.ble_scan_w, listen)
+        rt.meter.charge_power("uplink_idle", rt.uplink.idle_power_w, period)
+        report = rt.phone.run_cycle(t0)
+        if report is not None:
+            rt.uplink.send_report(report)
+        self._record_prediction(rt, t0 + period)
+
+    def _record_prediction(self, rt: PhoneRuntime, now: float) -> None:
+        truth = rt.phone.occupant.room_at(now, self.plan)
+        snapshot = self.bms.snapshot(now)
+        estimate = snapshot.devices.get(rt.phone.device_id, OUTSIDE)
+        rt.predictions.append((now, truth, estimate))

@@ -1,0 +1,61 @@
+"""Battery model: finite energy store with state-of-charge tracking."""
+
+from __future__ import annotations
+
+__all__ = ["Battery"]
+
+
+class Battery:
+    """A battery holding ``capacity_wh`` watt-hours.
+
+    Args:
+        capacity_wh: full capacity.
+        initial_soc: initial state of charge in [0, 1].
+    """
+
+    def __init__(self, capacity_wh: float, initial_soc: float = 1.0) -> None:
+        if capacity_wh <= 0.0:
+            raise ValueError(f"capacity must be positive, got {capacity_wh}")
+        if not 0.0 <= initial_soc <= 1.0:
+            raise ValueError(f"initial_soc must be in [0, 1], got {initial_soc}")
+        self.capacity_j = capacity_wh * 3600.0
+        self._remaining_j = self.capacity_j * initial_soc
+
+    @property
+    def remaining_j(self) -> float:
+        """Energy left, joules."""
+        return self._remaining_j
+
+    @property
+    def soc(self) -> float:
+        """State of charge in [0, 1]."""
+        return self._remaining_j / self.capacity_j
+
+    @property
+    def is_empty(self) -> bool:
+        """True once fully drained."""
+        return self._remaining_j <= 0.0
+
+    def drain(self, energy_j: float) -> float:
+        """Remove energy; returns the amount actually drained.
+
+        Draining more than remains empties the battery (no negative
+        charge).
+
+        Raises:
+            ValueError: negative drain.
+        """
+        if energy_j < 0.0:
+            raise ValueError(f"cannot drain negative energy: {energy_j}")
+        drained = min(energy_j, self._remaining_j)
+        self._remaining_j -= drained
+        return drained
+
+    def lifetime_hours(self, average_power_w: float) -> float:
+        """Projected life from full charge at constant average power."""
+        if average_power_w <= 0.0:
+            raise ValueError(f"power must be positive, got {average_power_w}")
+        return self.capacity_j / average_power_w / 3600.0
+
+    def __repr__(self) -> str:
+        return f"Battery(soc={self.soc:.3f}, remaining={self._remaining_j:.0f} J)"

@@ -1,0 +1,104 @@
+"""Battery discharge projection: the Figure 10 curve.
+
+The paper's Figure 10 is a battery-level-over-time plot produced by
+their logging app.  This module projects the measured average powers
+into full discharge curves (piecewise-constant power profiles are
+supported, e.g. "screen-on burst then background scanning") and
+computes time-to-empty - the "battery lifetime ... is around 10 hours"
+number.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.energy.battery import Battery
+
+__all__ = ["project_discharge", "time_to_empty_h"]
+
+#: A piecewise-constant power profile: (duration_s, power_w) segments.
+PowerProfile = Sequence[Tuple[float, float]]
+
+
+def project_discharge(
+    battery: Battery,
+    profile: PowerProfile,
+    *,
+    sample_period_s: float = 60.0,
+    repeat: bool = True,
+    max_duration_s: float = 7 * 24 * 3600.0,
+) -> List[Tuple[float, float]]:
+    """Project the state-of-charge curve under a power profile.
+
+    Args:
+        battery: starting battery (mutated to empty, or to the state
+            at ``max_duration_s``).
+        profile: (duration_s, power_w) segments, played in order.
+        sample_period_s: spacing of curve samples.
+        repeat: loop the profile until the battery empties.
+        max_duration_s: hard stop for non-draining profiles.
+
+    Returns:
+        ``(time_s, soc)`` samples from start until empty (inclusive).
+
+    Raises:
+        ValueError: empty profile, non-positive durations or negative
+            powers.
+    """
+    if not profile:
+        raise ValueError("power profile must not be empty")
+    for duration, power in profile:
+        if duration <= 0.0:
+            raise ValueError(f"segment duration must be positive, got {duration}")
+        if power < 0.0:
+            raise ValueError(f"segment power must be >= 0, got {power}")
+    if sample_period_s <= 0.0:
+        raise ValueError(f"sample period must be positive, got {sample_period_s}")
+
+    curve: List[Tuple[float, float]] = [(0.0, battery.soc)]
+    now = 0.0
+    next_sample = sample_period_s
+    while not battery.is_empty and now < max_duration_s:
+        for duration, power in profile:
+            remaining = duration
+            while remaining > 0.0 and not battery.is_empty and now < max_duration_s:
+                step = min(remaining, next_sample - now)
+                if step <= 0.0:
+                    step = remaining
+                battery.drain(power * step)
+                now += step
+                remaining -= step
+                if now >= next_sample - 1e-9:
+                    curve.append((now, battery.soc))
+                    next_sample += sample_period_s
+            if battery.is_empty or now >= max_duration_s:
+                break
+        if not repeat:
+            break
+    if curve[-1][0] != now:
+        curve.append((now, battery.soc))
+    return curve
+
+
+def time_to_empty_h(
+    battery_wh: float, profile: PowerProfile, *, repeat: bool = True
+) -> float:
+    """Hours until a fresh battery of ``battery_wh`` empties.
+
+    Returns ``float('inf')`` for an all-zero-power profile.
+    """
+    total_energy = sum(d * p for d, p in profile)
+    if total_energy <= 0.0:
+        return float("inf")
+    if repeat:
+        # Mean power over one profile period rules the asymptote.
+        period = sum(d for d, _ in profile)
+        mean_power = total_energy / period
+        return battery_wh * 3600.0 / mean_power / 3600.0
+    battery = Battery(battery_wh)
+    curve = project_discharge(
+        battery, profile, repeat=False, sample_period_s=3600.0
+    )
+    if battery.is_empty:
+        return curve[-1][0] / 3600.0
+    return float("inf")

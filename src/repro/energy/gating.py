@@ -1,0 +1,60 @@
+"""Accelerometer-gated sensing - the paper's future-work extension.
+
+Section VIII: "a possible solution ... is to use the accelerometer to
+detect if the user is moving to enable the iBeacon sensing and
+transmitting (if the user has not changed position, it means that
+there is no useful information about the occupancy)."
+
+The gate keeps scanning for a grace period after motion stops (so the
+final position is still reported), then suppresses scan + uplink until
+motion resumes.  The accelerometer itself costs a small standing power.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+__all__ = ["AccelerometerGate"]
+
+#: Callable reporting whether the carrier is moving at a time.
+MotionFn = Callable[[float], bool]
+
+
+class AccelerometerGate:
+    """Motion-triggered duty cycling of the sensing pipeline.
+
+    Args:
+        motion_fn: oracle for "is the user moving at time t" (wired to
+            :meth:`repro.building.occupant.Occupant.is_moving_at`).
+        grace_period_s: keep sensing this long after motion stops, so
+            the arrival room is reported before going quiet.
+    """
+
+    def __init__(self, motion_fn: MotionFn, grace_period_s: float = 10.0) -> None:
+        if grace_period_s < 0.0:
+            raise ValueError(f"grace period must be >= 0, got {grace_period_s}")
+        self.motion_fn = motion_fn
+        self.grace_period_s = float(grace_period_s)
+        self._last_motion_time: float = float("-inf")
+        self.cycles_allowed = 0
+        self.cycles_suppressed = 0
+
+    def should_sense(self, t: float) -> bool:
+        """True when the scan/report cycle at time ``t`` should run."""
+        if self.motion_fn(t):
+            self._last_motion_time = t
+            self.cycles_allowed += 1
+            return True
+        if t - self._last_motion_time <= self.grace_period_s:
+            self.cycles_allowed += 1
+            return True
+        self.cycles_suppressed += 1
+        return False
+
+    @property
+    def suppression_ratio(self) -> float:
+        """Fraction of cycles suppressed so far."""
+        total = self.cycles_allowed + self.cycles_suppressed
+        if total == 0:
+            return 0.0
+        return self.cycles_suppressed / total

@@ -1,0 +1,73 @@
+"""Battery logging - the software stand-in for the paper's logger app.
+
+The authors measured consumption with a background service "that logs
+the battery status in a very energy efficient way".  This module is the
+simulation equivalent: it samples the battery's state of charge at a
+fixed period and produces the discharge curve behind Figure 10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.energy.battery import Battery
+
+__all__ = ["BatteryLogEntry", "BatteryLogger"]
+
+
+@dataclass(frozen=True)
+class BatteryLogEntry:
+    """One battery status sample."""
+
+    time: float
+    soc: float
+    remaining_j: float
+
+
+class BatteryLogger:
+    """Samples a battery's state of charge over a run.
+
+    Args:
+        battery: the battery to observe.
+        period_s: sampling period (the real app sampled coarsely to
+            stay cheap; the default mirrors that).
+    """
+
+    def __init__(self, battery: Battery, period_s: float = 60.0) -> None:
+        if period_s <= 0.0:
+            raise ValueError(f"period must be positive, got {period_s}")
+        self.battery = battery
+        self.period_s = float(period_s)
+        self.entries: List[BatteryLogEntry] = []
+        self._next_sample = 0.0
+
+    def maybe_sample(self, now: float) -> None:
+        """Record samples for every period boundary passed by ``now``."""
+        while now >= self._next_sample:
+            self.entries.append(
+                BatteryLogEntry(
+                    time=self._next_sample,
+                    soc=self.battery.soc,
+                    remaining_j=self.battery.remaining_j,
+                )
+            )
+            self._next_sample += self.period_s
+
+    def discharge_series(self) -> List[tuple]:
+        """``(time_s, soc)`` pairs of the logged discharge curve."""
+        return [(e.time, e.soc) for e in self.entries]
+
+    def average_power_w(self) -> float:
+        """Mean discharge power over the logged interval.
+
+        Raises:
+            ValueError: fewer than two samples logged.
+        """
+        if len(self.entries) < 2:
+            raise ValueError("need at least two samples to estimate power")
+        first, last = self.entries[0], self.entries[-1]
+        dt = last.time - first.time
+        if dt <= 0.0:
+            raise ValueError("logged interval has zero duration")
+        return (first.remaining_j - last.remaining_j) / dt

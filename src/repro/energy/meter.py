@@ -1,0 +1,108 @@
+"""Energy metering: per-component accounting over a simulated run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.energy.battery import Battery
+
+__all__ = ["EnergyBreakdown", "EnergyMeter"]
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Energy per component over a metered interval.
+
+    Attributes:
+        duration_s: metered wall-clock (simulation) time.
+        components_j: component name -> joules consumed.
+    """
+
+    duration_s: float
+    components_j: Dict[str, float]
+
+    @property
+    def total_j(self) -> float:
+        """Total energy across components."""
+        return sum(self.components_j.values())
+
+    @property
+    def average_power_w(self) -> float:
+        """Mean power over the interval."""
+        if self.duration_s <= 0.0:
+            return 0.0
+        return self.total_j / self.duration_s
+
+    def fraction(self, component: str) -> float:
+        """Share of total energy attributable to ``component``."""
+        total = self.total_j
+        if total <= 0.0:
+            return 0.0
+        return self.components_j.get(component, 0.0) / total
+
+    def to_text(self) -> str:
+        """ASCII table of the breakdown."""
+        lines = [f"{'component':<16}{'J':>10}{'share':>8}"]
+        for name in sorted(self.components_j, key=self.components_j.get, reverse=True):
+            lines.append(
+                f"{name:<16}{self.components_j[name]:>10.1f}{self.fraction(name):>8.1%}"
+            )
+        lines.append(f"{'TOTAL':<16}{self.total_j:>10.1f}{'':>8}")
+        return "\n".join(lines)
+
+
+class EnergyMeter:
+    """Accumulates component energy, optionally draining a battery.
+
+    Args:
+        battery: drained in step with the metered energy when given.
+    """
+
+    def __init__(self, battery: Optional[Battery] = None) -> None:
+        self.battery = battery
+        self._components: Dict[str, float] = {}
+        self._duration_s = 0.0
+
+    def charge_power(self, component: str, power_w: float, duration_s: float) -> None:
+        """Account ``power_w`` drawn for ``duration_s`` seconds."""
+        if power_w < 0.0:
+            raise ValueError(f"power must be >= 0, got {power_w}")
+        if duration_s < 0.0:
+            raise ValueError(f"duration must be >= 0, got {duration_s}")
+        self.charge_energy(component, power_w * duration_s)
+
+    def charge_energy(self, component: str, energy_j: float) -> None:
+        """Account a discrete energy cost (e.g. one radio burst)."""
+        if energy_j < 0.0:
+            raise ValueError(f"energy must be >= 0, got {energy_j}")
+        self._components[component] = self._components.get(component, 0.0) + energy_j
+        if self.battery is not None:
+            self.battery.drain(energy_j)
+
+    def advance(self, duration_s: float) -> None:
+        """Extend the metered interval (time passes, no direct cost)."""
+        if duration_s < 0.0:
+            raise ValueError(f"duration must be >= 0, got {duration_s}")
+        self._duration_s += duration_s
+
+    @property
+    def duration_s(self) -> float:
+        """Metered interval length so far."""
+        return self._duration_s
+
+    @property
+    def total_j(self) -> float:
+        """Total energy accounted so far."""
+        return sum(self._components.values())
+
+    def breakdown(self) -> EnergyBreakdown:
+        """Snapshot of the per-component accounting."""
+        return EnergyBreakdown(
+            duration_s=self._duration_s, components_j=dict(self._components)
+        )
+
+    def reset(self) -> None:
+        """Zero all counters (battery state is left as is)."""
+        self._components.clear()
+        self._duration_s = 0.0

@@ -1,0 +1,82 @@
+"""Per-handset energy profiles.
+
+The power budget is calibrated so the reference device (Galaxy S3
+Mini, 1500 mAh at 3.8 V = 5.7 Wh) reaches the paper's headline
+numbers: ~10 h battery life with the app on the Wi-Fi architecture,
+and ~15 % savings when switching to the Bluetooth relay (Figure 10).
+
+Budget on the Wi-Fi architecture at a 2 s scan period (~0.57 W total,
+5.7 Wh / 0.57 W = 10 h):
+
+====================  ========  ====================================
+component             power     notes
+====================  ========  ====================================
+baseline              0.30 W    Android background service, sensors
+BLE scanning          0.12 W    radio listening (scaled by duty)
+Wi-Fi idle            0.08 W    adapter associated
+Wi-Fi tx bursts       ~0.07 W   ~0.25 J per report every 2 s
+====================  ========  ====================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+__all__ = ["PhoneEnergyProfile", "PHONE_ENERGY_PROFILES"]
+
+
+@dataclass(frozen=True)
+class PhoneEnergyProfile:
+    """Component power draws of a handset, in watts.
+
+    Attributes:
+        name: device key, matching
+            :data:`repro.radio.devices.DEVICE_PROFILES`.
+        battery_wh: battery capacity in watt-hours.
+        baseline_w: screen-off OS + background service draw.
+        ble_scan_w: BLE radio while actively listening (multiplied by
+            the scan duty cycle).
+        accelerometer_w: keeping the accelerometer sampled (cost of
+            the gating extension; tiny but not free).
+    """
+
+    name: str
+    battery_wh: float
+    baseline_w: float
+    ble_scan_w: float
+    accelerometer_w: float = 0.004
+
+    def __post_init__(self) -> None:
+        for field_name in ("battery_wh", "baseline_w", "ble_scan_w", "accelerometer_w"):
+            value = getattr(self, field_name)
+            if value < 0.0:
+                raise ValueError(f"{field_name} must be >= 0, got {value}")
+
+    @property
+    def battery_j(self) -> float:
+        """Battery capacity in joules."""
+        return self.battery_wh * 3600.0
+
+
+#: Calibrated profiles for the paper's handsets.
+PHONE_ENERGY_PROFILES: Mapping[str, PhoneEnergyProfile] = {
+    "s3_mini": PhoneEnergyProfile(
+        name="s3_mini",
+        battery_wh=5.7,       # 1500 mAh @ 3.8 V
+        baseline_w=0.30,
+        ble_scan_w=0.12,
+    ),
+    "nexus_5": PhoneEnergyProfile(
+        name="nexus_5",
+        battery_wh=8.74,      # 2300 mAh @ 3.8 V
+        baseline_w=0.33,
+        ble_scan_w=0.10,
+    ),
+    "iphone_5s": PhoneEnergyProfile(
+        name="iphone_5s",
+        battery_wh=5.92,
+        baseline_w=0.28,
+        ble_scan_w=0.09,
+    ),
+}

@@ -1,0 +1,29 @@
+"""Signal smoothing filters (paper Section V).
+
+The paper's custom distance-estimation algorithm is an exponential
+history filter, ``p_i = c * p_{i-1} + (1 - c) * v_i`` with c = 0.65,
+combined with loss tolerance: a beacon's value is held through a single
+missed scan and evicted only after the *second consecutive* loss.
+
+This package provides that filter plus the comparison points used in
+the ablation benchmarks (raw passthrough, moving average, 1-D Kalman),
+and :class:`BeaconTracker`, which applies any scalar filter per beacon
+with the paper's loss-handling policy.
+"""
+
+from repro.filters.base import ScalarFilter, RawFilter
+from repro.filters.ewma import EwmaFilter
+from repro.filters.moving_average import MovingAverageFilter
+from repro.filters.kalman import Kalman1DFilter
+from repro.filters.tracker import BeaconTracker, TrackedEstimate, paper_filter_bank
+
+__all__ = [
+    "ScalarFilter",
+    "RawFilter",
+    "EwmaFilter",
+    "MovingAverageFilter",
+    "Kalman1DFilter",
+    "BeaconTracker",
+    "TrackedEstimate",
+    "paper_filter_bank",
+]

@@ -1,0 +1,60 @@
+"""Scalar filter interface and the raw (identity) filter."""
+
+from __future__ import annotations
+
+import abc
+
+__all__ = ["ScalarFilter", "RawFilter"]
+
+
+class ScalarFilter(abc.ABC):
+    """A causal filter over a scalar measurement stream.
+
+    Implementations are stateful; one instance tracks one beacon.
+    """
+
+    @abc.abstractmethod
+    def update(self, value: float) -> float:
+        """Fold in a new measurement and return the filtered value."""
+
+    @abc.abstractmethod
+    def reset(self) -> None:
+        """Forget all history."""
+
+    @abc.abstractmethod
+    def clone(self) -> "ScalarFilter":
+        """A fresh filter with the same configuration and no history."""
+
+    @property
+    def value(self) -> float:
+        """Most recent filtered value.
+
+        Raises:
+            ValueError: before the first update.
+        """
+        if getattr(self, "_value", None) is None:
+            raise ValueError("filter has no value before the first update")
+        return self._value
+
+
+class RawFilter(ScalarFilter):
+    """Identity filter: output equals the latest measurement.
+
+    The no-smoothing baseline of the ablation study.
+    """
+
+    def __init__(self) -> None:
+        self._value = None
+
+    def update(self, value: float) -> float:
+        self._value = float(value)
+        return self._value
+
+    def reset(self) -> None:
+        self._value = None
+
+    def clone(self) -> "RawFilter":
+        return RawFilter()
+
+    def __repr__(self) -> str:
+        return "RawFilter()"

@@ -1,0 +1,56 @@
+"""The paper's exponential history filter.
+
+Section V: ``p_i = c * p_{i-1} + (1 - c) * v_i`` where ``p_{i-1}`` is
+the signal history, ``v_i`` the new measurement and ``c`` the history
+coefficient.  "Increasing the coefficient makes the signal more stable
+and less affected by peaks but ... less responsive to movements"; the
+authors' tuning found **0.65** to be the best stability/responsiveness
+trade-off (Figures 7-8).
+"""
+
+from __future__ import annotations
+
+from repro.filters.base import ScalarFilter
+
+__all__ = ["PAPER_COEFFICIENT", "EwmaFilter"]
+
+#: The coefficient the paper settles on after dynamic tuning.
+PAPER_COEFFICIENT = 0.65
+
+
+class EwmaFilter(ScalarFilter):
+    """Exponentially weighted moving average with history coefficient c.
+
+    The first measurement initialises the state directly (no bias
+    toward zero).
+
+    Args:
+        coefficient: weight of the history term, in [0, 1).  0 degrades
+            to the raw filter; values near 1 are very stable but laggy.
+    """
+
+    def __init__(self, coefficient: float = PAPER_COEFFICIENT) -> None:
+        if not 0.0 <= coefficient < 1.0:
+            raise ValueError(
+                f"history coefficient must be in [0, 1), got {coefficient}"
+            )
+        self.coefficient = float(coefficient)
+        self._value = None
+
+    def update(self, value: float) -> float:
+        value = float(value)
+        if self._value is None:
+            self._value = value
+        else:
+            c = self.coefficient
+            self._value = c * self._value + (1.0 - c) * value
+        return self._value
+
+    def reset(self) -> None:
+        self._value = None
+
+    def clone(self) -> "EwmaFilter":
+        return EwmaFilter(self.coefficient)
+
+    def __repr__(self) -> str:
+        return f"EwmaFilter(coefficient={self.coefficient})"

@@ -1,0 +1,78 @@
+"""One-dimensional Kalman filter (ablation comparison point).
+
+A constant-level Kalman filter over the RSSI/distance stream: state is
+the scalar level, process noise allows slow drift (the user walking),
+measurement noise models fading + quantisation.  Included because it is
+the standard alternative to the paper's fixed-coefficient history
+filter; the ablation benchmark compares the two.
+"""
+
+from __future__ import annotations
+
+from repro.filters.base import ScalarFilter
+
+__all__ = ["Kalman1DFilter"]
+
+
+class Kalman1DFilter(ScalarFilter):
+    """Scalar Kalman filter with random-walk dynamics.
+
+    Args:
+        process_variance: variance added to the state per update (how
+            fast the true level may move between scans).
+        measurement_variance: variance of each measurement.
+        initial_variance: prior variance before the first measurement.
+    """
+
+    def __init__(
+        self,
+        process_variance: float = 0.5,
+        measurement_variance: float = 4.0,
+        initial_variance: float = 100.0,
+    ) -> None:
+        for name, v in (
+            ("process_variance", process_variance),
+            ("measurement_variance", measurement_variance),
+            ("initial_variance", initial_variance),
+        ):
+            if v <= 0.0:
+                raise ValueError(f"{name} must be positive, got {v}")
+        self.process_variance = float(process_variance)
+        self.measurement_variance = float(measurement_variance)
+        self.initial_variance = float(initial_variance)
+        self._value = None
+        self._p = self.initial_variance
+
+    @property
+    def variance(self) -> float:
+        """Current posterior variance of the estimate."""
+        return self._p
+
+    def update(self, value: float) -> float:
+        value = float(value)
+        if self._value is None:
+            self._value = value
+            self._p = self.measurement_variance
+            return self._value
+        # Predict: random walk inflates uncertainty.
+        p_pred = self._p + self.process_variance
+        # Update with the new measurement.
+        gain = p_pred / (p_pred + self.measurement_variance)
+        self._value = self._value + gain * (value - self._value)
+        self._p = (1.0 - gain) * p_pred
+        return self._value
+
+    def reset(self) -> None:
+        self._value = None
+        self._p = self.initial_variance
+
+    def clone(self) -> "Kalman1DFilter":
+        return Kalman1DFilter(
+            self.process_variance, self.measurement_variance, self.initial_variance
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Kalman1DFilter(process_variance={self.process_variance}, "
+            f"measurement_variance={self.measurement_variance})"
+        )

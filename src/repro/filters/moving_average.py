@@ -1,0 +1,39 @@
+"""Sliding-window moving average (ablation baseline)."""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.filters.base import ScalarFilter
+
+__all__ = ["MovingAverageFilter"]
+
+
+class MovingAverageFilter(ScalarFilter):
+    """Mean of the last ``window`` measurements.
+
+    Args:
+        window: number of samples averaged; must be >= 1.
+    """
+
+    def __init__(self, window: int = 5) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.window = int(window)
+        self._buffer: deque = deque(maxlen=self.window)
+        self._value = None
+
+    def update(self, value: float) -> float:
+        self._buffer.append(float(value))
+        self._value = sum(self._buffer) / len(self._buffer)
+        return self._value
+
+    def reset(self) -> None:
+        self._buffer.clear()
+        self._value = None
+
+    def clone(self) -> "MovingAverageFilter":
+        return MovingAverageFilter(self.window)
+
+    def __repr__(self) -> str:
+        return f"MovingAverageFilter(window={self.window})"

@@ -1,0 +1,137 @@
+"""Per-beacon tracking with the paper's loss-handling policy.
+
+Section V: "we remove the beacon information only after the second
+consecutive loss, otherwise its value is maintained."  The tracker
+applies a scalar filter to each beacon's measurement stream and holds
+the last value through isolated losses, evicting a beacon after
+``max_consecutive_losses`` consecutive missed scans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from repro.filters.base import ScalarFilter
+from repro.filters.ewma import EwmaFilter, PAPER_COEFFICIENT
+
+__all__ = ["TrackedEstimate", "BeaconTracker", "paper_filter_bank"]
+
+#: The paper's eviction threshold ("second consecutive loss").
+PAPER_MAX_CONSECUTIVE_LOSSES = 2
+
+
+@dataclass(frozen=True)
+class TrackedEstimate:
+    """A beacon's current tracked value.
+
+    Attributes:
+        beacon_id: beacon identity.
+        value: current filtered estimate.
+        consecutive_losses: missed scans since the last measurement
+            (0 means the beacon was seen this scan).
+        held: True when this value is carried over from a previous
+            scan because of a loss.
+    """
+
+    beacon_id: str
+    value: float
+    consecutive_losses: int
+    held: bool
+
+
+class BeaconTracker:
+    """Applies a prototype scalar filter per beacon with loss handling.
+
+    Args:
+        prototype: filter cloned for each new beacon; defaults to the
+            paper's :class:`EwmaFilter` with coefficient 0.65.
+        max_consecutive_losses: evict a beacon once it has missed this
+            many consecutive scans (paper: 2).
+
+    Example:
+        >>> tracker = BeaconTracker()
+        >>> tracker.update({"1-1": -60.0})["1-1"].value
+        -60.0
+        >>> tracker.update({})["1-1"].held   # one loss: value held
+        True
+        >>> tracker.update({})               # second loss: evicted
+        {}
+    """
+
+    def __init__(
+        self,
+        prototype: Optional[ScalarFilter] = None,
+        max_consecutive_losses: int = PAPER_MAX_CONSECUTIVE_LOSSES,
+    ) -> None:
+        if max_consecutive_losses < 1:
+            raise ValueError(
+                f"max_consecutive_losses must be >= 1, got {max_consecutive_losses}"
+            )
+        self.prototype = (
+            prototype if prototype is not None else EwmaFilter(PAPER_COEFFICIENT)
+        )
+        self.max_consecutive_losses = int(max_consecutive_losses)
+        self._filters: Dict[str, ScalarFilter] = {}
+        self._losses: Dict[str, int] = {}
+
+    def update(self, measurements: Mapping[str, float]) -> Dict[str, TrackedEstimate]:
+        """Fold in one scan cycle's measurements.
+
+        Args:
+            measurements: beacon_id -> measured value for every beacon
+                seen this cycle; beacons absent from the mapping count
+                as a loss for that cycle.
+
+        Returns:
+            beacon_id -> current estimate for every live beacon.
+        """
+        # Measured beacons: filter update, loss counter reset.
+        for beacon_id, value in measurements.items():
+            if beacon_id not in self._filters:
+                self._filters[beacon_id] = self.prototype.clone()
+            self._filters[beacon_id].update(float(value))
+            self._losses[beacon_id] = 0
+        # Missing beacons: bump loss counters, evict at the threshold.
+        for beacon_id in list(self._filters):
+            if beacon_id in measurements:
+                continue
+            self._losses[beacon_id] += 1
+            if self._losses[beacon_id] >= self.max_consecutive_losses:
+                del self._filters[beacon_id]
+                del self._losses[beacon_id]
+        return self.estimates()
+
+    def estimates(self) -> Dict[str, TrackedEstimate]:
+        """Current estimates for all live beacons."""
+        return {
+            beacon_id: TrackedEstimate(
+                beacon_id=beacon_id,
+                value=f.value,
+                consecutive_losses=self._losses[beacon_id],
+                held=self._losses[beacon_id] > 0,
+            )
+            for beacon_id, f in self._filters.items()
+        }
+
+    @property
+    def live_beacons(self) -> list:
+        """Ids of beacons currently tracked."""
+        return sorted(self._filters)
+
+    def reset(self) -> None:
+        """Forget all beacons."""
+        self._filters.clear()
+        self._losses.clear()
+
+
+def paper_filter_bank() -> BeaconTracker:
+    """The exact configuration the paper converged on.
+
+    EWMA with history coefficient 0.65, eviction after the second
+    consecutive loss.
+    """
+    return BeaconTracker(
+        prototype=EwmaFilter(PAPER_COEFFICIENT),
+        max_consecutive_losses=PAPER_MAX_CONSECUTIVE_LOSSES,
+    )

@@ -1,0 +1,21 @@
+"""HVAC demand response - the application motivating the paper.
+
+The introduction argues occupancy knowledge enables demand-response
+HVAC ("it is possible to avoid energy wastes using the HVAC system
+only when needed").  This package closes that loop: a first-order
+thermal model per room, a thermostat with occupancy-driven setback,
+and a day-scale simulation comparing always-on comfort heating against
+occupancy-driven control fed by the detection pipeline.
+"""
+
+from repro.hvac.thermal import RoomThermalModel
+from repro.hvac.controller import OccupancySetbackController, ThermostatConfig
+from repro.hvac.simulation import HvacDayResult, simulate_hvac_day
+
+__all__ = [
+    "RoomThermalModel",
+    "OccupancySetbackController",
+    "ThermostatConfig",
+    "HvacDayResult",
+    "simulate_hvac_day",
+]

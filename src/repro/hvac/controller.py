@@ -1,0 +1,70 @@
+"""Occupancy-driven thermostat control."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = ["ThermostatConfig", "OccupancySetbackController"]
+
+
+@dataclass(frozen=True)
+class ThermostatConfig:
+    """Setpoints of the occupancy-setback policy.
+
+    Attributes:
+        comfort_c: setpoint while the room is (believed) occupied.
+        setback_c: setpoint while unoccupied.
+        deadband_c: hysteresis half-width around the setpoint.
+    """
+
+    comfort_c: float = 21.0
+    setback_c: float = 16.0
+    deadband_c: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.setback_c > self.comfort_c:
+            raise ValueError(
+                f"setback ({self.setback_c}) must not exceed comfort "
+                f"({self.comfort_c})"
+            )
+        if self.deadband_c <= 0.0:
+            raise ValueError(f"deadband must be positive, got {self.deadband_c}")
+
+
+class OccupancySetbackController:
+    """Bang-bang thermostat per room with occupancy setback.
+
+    The controller holds the comfort setpoint in rooms the occupancy
+    system reports as occupied and lets the rest drift to the setback
+    setpoint - the demand-response behaviour the paper motivates.
+
+    Args:
+        config: setpoints and hysteresis.
+        always_comfort: ignore occupancy and heat everything to
+            comfort (the no-occupancy-information baseline).
+    """
+
+    def __init__(
+        self, config: ThermostatConfig = ThermostatConfig(), always_comfort: bool = False
+    ) -> None:
+        self.config = config
+        self.always_comfort = always_comfort
+        self._heating: Dict[str, bool] = {}
+
+    def setpoint_for(self, occupied: bool) -> float:
+        """The active setpoint for a room's occupancy state."""
+        if self.always_comfort or occupied:
+            return self.config.comfort_c
+        return self.config.setback_c
+
+    def heating_command(self, room: str, temperature_c: float, occupied: bool) -> bool:
+        """Hysteretic on/off decision for one room this step."""
+        setpoint = self.setpoint_for(occupied)
+        currently_on = self._heating.get(room, False)
+        if currently_on:
+            turn_on = temperature_c < setpoint + self.config.deadband_c
+        else:
+            turn_on = temperature_c < setpoint - self.config.deadband_c
+        self._heating[room] = turn_on
+        return turn_on

@@ -1,0 +1,84 @@
+"""First-order (RC) room thermal model.
+
+Each room is a single thermal mass C coupled to the outdoor
+temperature through a resistance R, with heat inputs from the HVAC
+system and from occupants (~100 W each):
+
+    C * dT/dt = (T_out - T) / R + P_hvac + P_occupants
+
+Euler-integrated at the controller's timestep.  First-order RC models
+are the standard abstraction for demand-response studies at this
+scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["OCCUPANT_HEAT_W", "RoomThermalModel"]
+
+#: Sensible heat emitted per occupant, watts.
+OCCUPANT_HEAT_W = 100.0
+
+
+@dataclass
+class RoomThermalModel:
+    """Thermal state of one room.
+
+    Attributes:
+        name: room label (matches the floor plan).
+        thermal_resistance_k_per_w: envelope resistance R.
+        thermal_capacity_j_per_k: thermal mass C.
+        temperature_c: current air temperature.
+        heater_power_w: HVAC heat output when on.
+    """
+
+    name: str
+    thermal_resistance_k_per_w: float = 0.01
+    thermal_capacity_j_per_k: float = 2.0e6
+    temperature_c: float = 16.0
+    heater_power_w: float = 2000.0
+
+    def __post_init__(self) -> None:
+        if self.thermal_resistance_k_per_w <= 0.0:
+            raise ValueError(
+                f"thermal resistance must be positive, got "
+                f"{self.thermal_resistance_k_per_w}"
+            )
+        if self.thermal_capacity_j_per_k <= 0.0:
+            raise ValueError(
+                f"thermal capacity must be positive, got "
+                f"{self.thermal_capacity_j_per_k}"
+            )
+        if self.heater_power_w < 0.0:
+            raise ValueError(f"heater power must be >= 0, got {self.heater_power_w}")
+
+    def step(
+        self,
+        dt_s: float,
+        outdoor_c: float,
+        heating_on: bool,
+        occupants: int = 0,
+    ) -> float:
+        """Advance the room temperature by ``dt_s`` seconds.
+
+        Args:
+            dt_s: timestep; must be small relative to R*C (minutes are
+                fine for typical parameters).
+            outdoor_c: outdoor temperature.
+            heating_on: whether the heater runs this step.
+            occupants: number of people in the room.
+
+        Returns:
+            HVAC energy consumed this step, joules.
+        """
+        if dt_s <= 0.0:
+            raise ValueError(f"dt must be positive, got {dt_s}")
+        if occupants < 0:
+            raise ValueError(f"occupants must be >= 0, got {occupants}")
+        hvac_w = self.heater_power_w if heating_on else 0.0
+        leak_w = (outdoor_c - self.temperature_c) / self.thermal_resistance_k_per_w
+        people_w = occupants * OCCUPANT_HEAT_W
+        dT = (leak_w + hvac_w + people_w) * dt_s / self.thermal_capacity_j_per_k
+        self.temperature_c += dT
+        return hvac_w * dt_s

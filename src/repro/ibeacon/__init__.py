@@ -1,0 +1,29 @@
+"""iBeacon protocol layer.
+
+Byte-exact encoding/decoding of iBeacon advertisement payloads
+(Figure 1 of the paper: 9-byte prefix, 16-byte proximity UUID, 2-byte
+major, 2-byte minor, calibrated TX power), iBeacon regions with the
+monitoring semantics used by the app, and the AltBeacon variant for
+comparison with the open-source ecosystem the paper builds on.
+"""
+
+from repro.ibeacon.packet import (
+    IBEACON_PREFIX,
+    IBeaconPacket,
+    PacketDecodeError,
+    decode_packet,
+)
+from repro.ibeacon.region import BeaconRegion, RegionEvent, RegionEventKind
+from repro.ibeacon.altbeacon import AltBeaconPacket, decode_altbeacon
+
+__all__ = [
+    "IBEACON_PREFIX",
+    "IBeaconPacket",
+    "PacketDecodeError",
+    "decode_packet",
+    "BeaconRegion",
+    "RegionEvent",
+    "RegionEventKind",
+    "AltBeaconPacket",
+    "decode_altbeacon",
+]

@@ -1,0 +1,134 @@
+"""AltBeacon advertisement variant.
+
+The paper's Android client is built on the Radius Networks open-source
+library, whose sibling project AltBeacon defines an open equivalent of
+the iBeacon layout.  We implement it as a second, interoperable packet
+format: same information content, different framing, which exercises a
+second code path through the scanner's protocol sniffing.
+
+AltBeacon payload (28-byte manufacturer AD structure inside a 31-byte
+advertisement; we model the manufacturer structure):
+
+==================  =====  =============================================
+field               bytes  meaning
+==================  =====  =============================================
+AD length + type        2  ``1B FF``
+manufacturer ID         2  little endian (0x0118 = Radius Networks)
+beacon code             2  ``BE AC``
+beacon ID              20  organisational unit; we map the first 16
+                           bytes to a UUID and the last 4 to major|minor
+reference RSSI          1  signed, calibrated power at 1 m
+manufacturer data       1  reserved
+==================  =====  =============================================
+"""
+
+from __future__ import annotations
+
+import uuid as uuid_module
+from dataclasses import dataclass
+
+from repro.ibeacon.packet import IBeaconPacket, PacketDecodeError
+
+__all__ = ["ALTBEACON_CODE", "AltBeaconPacket", "decode_altbeacon"]
+
+#: The AltBeacon "beacon code" magic bytes.
+ALTBEACON_CODE = bytes([0xBE, 0xAC])
+
+#: Radius Networks' Bluetooth SIG manufacturer identifier.
+RADIUS_NETWORKS_MFG_ID = 0x0118
+
+_HEADER = bytes([0x1B, 0xFF])
+PACKET_LENGTH = 28
+
+
+@dataclass(frozen=True)
+class AltBeaconPacket:
+    """A decoded AltBeacon advertisement.
+
+    Carries the same identity triple as :class:`IBeaconPacket` so that
+    upper layers can treat both protocols uniformly.
+    """
+
+    uuid: uuid_module.UUID
+    major: int
+    minor: int
+    tx_power: int
+    mfg_id: int = RADIUS_NETWORKS_MFG_ID
+    mfg_reserved: int = 0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.uuid, uuid_module.UUID):
+            object.__setattr__(self, "uuid", uuid_module.UUID(str(self.uuid)))
+        for name in ("major", "minor", "mfg_id"):
+            value = getattr(self, name)
+            if not 0 <= value <= 0xFFFF:
+                raise ValueError(f"{name} must be in 0..65535, got {value}")
+        if not -128 <= self.tx_power <= 127:
+            raise ValueError(f"tx_power must be in -128..127, got {self.tx_power}")
+        if not 0 <= self.mfg_reserved <= 0xFF:
+            raise ValueError(f"mfg_reserved must fit one byte, got {self.mfg_reserved}")
+
+    @property
+    def identity(self) -> tuple:
+        """The (uuid, major, minor) triple naming the beacon."""
+        return (self.uuid, self.major, self.minor)
+
+    def encode(self) -> bytes:
+        """Serialise to the 28-byte manufacturer AD structure."""
+        return (
+            _HEADER
+            + self.mfg_id.to_bytes(2, "little")
+            + ALTBEACON_CODE
+            + self.uuid.bytes
+            + self.major.to_bytes(2, "big")
+            + self.minor.to_bytes(2, "big")
+            + self.tx_power.to_bytes(1, "big", signed=True)
+            + self.mfg_reserved.to_bytes(1, "big")
+        )
+
+    def to_ibeacon(self) -> IBeaconPacket:
+        """Project onto the iBeacon identity (drops manufacturer fields)."""
+        return IBeaconPacket(
+            uuid=self.uuid, major=self.major, minor=self.minor, tx_power=self.tx_power
+        )
+
+    @classmethod
+    def from_ibeacon(cls, packet: IBeaconPacket) -> "AltBeaconPacket":
+        """Wrap an iBeacon identity in AltBeacon framing."""
+        return cls(
+            uuid=packet.uuid,
+            major=packet.major,
+            minor=packet.minor,
+            tx_power=packet.tx_power,
+        )
+
+
+def decode_altbeacon(payload: bytes) -> AltBeaconPacket:
+    """Parse a 28-byte AltBeacon manufacturer structure.
+
+    Raises:
+        PacketDecodeError: wrong length or framing.
+    """
+    payload = bytes(payload)
+    if len(payload) != PACKET_LENGTH:
+        raise PacketDecodeError(
+            f"AltBeacon payload must be {PACKET_LENGTH} bytes, got {len(payload)}"
+        )
+    if payload[:2] != _HEADER:
+        raise PacketDecodeError("payload does not start with the AltBeacon AD header")
+    if payload[4:6] != ALTBEACON_CODE:
+        raise PacketDecodeError("payload lacks the AltBeacon beacon code")
+    mfg_id = int.from_bytes(payload[2:4], "little")
+    beacon_uuid = uuid_module.UUID(bytes=payload[6:22])
+    major = int.from_bytes(payload[22:24], "big")
+    minor = int.from_bytes(payload[24:26], "big")
+    tx_power = int.from_bytes(payload[26:27], "big", signed=True)
+    reserved = payload[27]
+    return AltBeaconPacket(
+        uuid=beacon_uuid,
+        major=major,
+        minor=minor,
+        tx_power=tx_power,
+        mfg_id=mfg_id,
+        mfg_reserved=reserved,
+    )

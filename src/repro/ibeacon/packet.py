@@ -1,0 +1,128 @@
+"""iBeacon advertisement packet structure (paper Figure 1).
+
+An iBeacon advertisement payload is 30 bytes:
+
+====================  =====  ===========================================
+field                 bytes  meaning
+====================  =====  ===========================================
+iBeacon prefix            9  constant header identifying the protocol
+proximity UUID           16  identifies beacons of one organisation
+major                     2  group of related beacons (big endian)
+minor                     2  individual beacon within a group (big endian)
+TX power                  1  calibrated RSSI at 1 m, signed two's
+                             complement dBm
+====================  =====  ===========================================
+
+The paper's Figure 1 labels TX power as "2 bytes" because it counts the
+final RSSI byte appended by the receiving radio; on the air interface
+the calibrated power is a single signed byte (Apple's Proximity Beacon
+spec).  We encode the 30-byte payload exactly as transmitted.
+
+The 9-byte prefix breaks down as the BLE advertising structure:
+``02 01 06`` (flags AD structure), ``1A FF`` (26-byte manufacturer-
+specific AD structure), ``4C 00`` (Apple company ID, little endian),
+``02 15`` (iBeacon type and remaining length 21).
+"""
+
+from __future__ import annotations
+
+import uuid as uuid_module
+from dataclasses import dataclass
+from typing import Union
+
+__all__ = ["IBEACON_PREFIX", "IBeaconPacket", "PacketDecodeError", "decode_packet"]
+
+#: The constant 9-byte iBeacon prefix (flags + manufacturer AD header).
+IBEACON_PREFIX = bytes([0x02, 0x01, 0x06, 0x1A, 0xFF, 0x4C, 0x00, 0x02, 0x15])
+
+#: Total advertisement payload length in bytes.
+PACKET_LENGTH = 30
+
+_UUID_OFFSET = len(IBEACON_PREFIX)
+_MAJOR_OFFSET = _UUID_OFFSET + 16
+_MINOR_OFFSET = _MAJOR_OFFSET + 2
+_TXPOWER_OFFSET = _MINOR_OFFSET + 2
+
+
+class PacketDecodeError(ValueError):
+    """Raised when a byte string is not a valid iBeacon advertisement."""
+
+
+def _coerce_uuid(value: Union[str, uuid_module.UUID]) -> uuid_module.UUID:
+    if isinstance(value, uuid_module.UUID):
+        return value
+    return uuid_module.UUID(str(value))
+
+
+@dataclass(frozen=True)
+class IBeaconPacket:
+    """A decoded iBeacon advertisement.
+
+    Attributes:
+        uuid: 128-bit proximity UUID shared by an organisation's beacons.
+        major: group identifier, 0..65535.
+        minor: beacon identifier within the group, 0..65535.
+        tx_power: calibrated received power at 1 m, in dBm (-128..127;
+            realistic beacons use roughly -40..-80).
+    """
+
+    uuid: uuid_module.UUID
+    major: int
+    minor: int
+    tx_power: int
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "uuid", _coerce_uuid(self.uuid))
+        for name in ("major", "minor"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or not 0 <= value <= 0xFFFF:
+                raise ValueError(f"{name} must be an int in 0..65535, got {value!r}")
+        if not isinstance(self.tx_power, int) or not -128 <= self.tx_power <= 127:
+            raise ValueError(
+                f"tx_power must be an int in -128..127 dBm, got {self.tx_power!r}"
+            )
+
+    @property
+    def identity(self) -> tuple:
+        """The (uuid, major, minor) triple that uniquely names a beacon."""
+        return (self.uuid, self.major, self.minor)
+
+    def encode(self) -> bytes:
+        """Serialise to the 30-byte on-air advertisement payload."""
+        return (
+            IBEACON_PREFIX
+            + self.uuid.bytes
+            + self.major.to_bytes(2, "big")
+            + self.minor.to_bytes(2, "big")
+            + self.tx_power.to_bytes(1, "big", signed=True)
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"iBeacon({self.uuid}, major={self.major}, minor={self.minor}, "
+            f"tx_power={self.tx_power} dBm)"
+        )
+
+
+def decode_packet(payload: bytes) -> IBeaconPacket:
+    """Parse a 30-byte advertisement payload into an :class:`IBeaconPacket`.
+
+    Raises:
+        PacketDecodeError: wrong length, wrong prefix, or malformed body.
+    """
+    if not isinstance(payload, (bytes, bytearray)):
+        raise PacketDecodeError(f"payload must be bytes, got {type(payload).__name__}")
+    payload = bytes(payload)
+    if len(payload) != PACKET_LENGTH:
+        raise PacketDecodeError(
+            f"iBeacon payload must be {PACKET_LENGTH} bytes, got {len(payload)}"
+        )
+    if payload[:_UUID_OFFSET] != IBEACON_PREFIX:
+        raise PacketDecodeError("payload does not start with the iBeacon prefix")
+    proximity_uuid = uuid_module.UUID(bytes=payload[_UUID_OFFSET:_MAJOR_OFFSET])
+    major = int.from_bytes(payload[_MAJOR_OFFSET:_MINOR_OFFSET], "big")
+    minor = int.from_bytes(payload[_MINOR_OFFSET:_TXPOWER_OFFSET], "big")
+    tx_power = int.from_bytes(
+        payload[_TXPOWER_OFFSET : _TXPOWER_OFFSET + 1], "big", signed=True
+    )
+    return IBeaconPacket(uuid=proximity_uuid, major=major, minor=minor, tx_power=tx_power)

@@ -1,0 +1,56 @@
+"""Machine-learning substrate, implemented from scratch on numpy.
+
+The paper's Scene Analysis classifier is an SVM with the RBF kernel
+(Section VI, following Redpin's recommendation).  scikit-learn is not
+available offline, so this package provides:
+
+- :class:`SupportVectorClassifier` - soft-margin SVM trained with a
+  Platt-style SMO solver, RBF/linear/polynomial kernels, one-vs-one
+  multiclass;
+- the comparison classifiers: the *Proximity* technique of the
+  authors' previous work (strongest beacon wins), k-nearest
+  neighbours and Gaussian naive Bayes;
+- feature vectorisation of beacon fingerprints, scaling, train/test
+  splitting, k-fold cross-validation, grid search, and the confusion
+  matrix / accuracy metrics of Figure 9.
+"""
+
+from repro.ml.kernels import LinearKernel, PolynomialKernel, RbfKernel
+from repro.ml.svm import BinarySVM, SupportVectorClassifier
+from repro.ml.knn import KNeighborsClassifier
+from repro.ml.logistic import LogisticRegression
+from repro.ml.multiclass import OneVsRestClassifier
+from repro.ml.naive_bayes import GaussianNaiveBayes
+from repro.ml.proximity import ProximityClassifier
+from repro.ml.scaling import MinMaxScaler, StandardScaler
+from repro.ml.datasets import FingerprintDataset, FingerprintVectorizer
+from repro.ml.model_selection import (
+    GridSearch,
+    KFold,
+    cross_val_score,
+    train_test_split,
+)
+from repro.ml.metrics import ConfusionMatrix, accuracy_score
+
+__all__ = [
+    "LinearKernel",
+    "PolynomialKernel",
+    "RbfKernel",
+    "BinarySVM",
+    "SupportVectorClassifier",
+    "KNeighborsClassifier",
+    "GaussianNaiveBayes",
+    "LogisticRegression",
+    "OneVsRestClassifier",
+    "ProximityClassifier",
+    "MinMaxScaler",
+    "StandardScaler",
+    "FingerprintDataset",
+    "FingerprintVectorizer",
+    "GridSearch",
+    "KFold",
+    "cross_val_score",
+    "train_test_split",
+    "ConfusionMatrix",
+    "accuracy_score",
+]

@@ -1,0 +1,82 @@
+"""Kernel functions for the SVM.
+
+All kernels implement ``__call__(X, Y) -> K`` where ``X`` is (n, d),
+``Y`` is (m, d) and ``K`` is the (n, m) Gram matrix.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Kernel", "LinearKernel", "PolynomialKernel", "RbfKernel"]
+
+
+class Kernel(abc.ABC):
+    """A positive-semidefinite kernel function."""
+
+    @abc.abstractmethod
+    def __call__(self, X: np.ndarray, Y: np.ndarray) -> np.ndarray:
+        """Gram matrix between rows of ``X`` and rows of ``Y``."""
+
+    @staticmethod
+    def _as_2d(X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(1, -1)
+        if X.ndim != 2:
+            raise ValueError(f"kernel input must be 2-D, got shape {X.shape}")
+        return X
+
+
+@dataclass(frozen=True)
+class LinearKernel(Kernel):
+    """K(x, y) = x . y"""
+
+    def __call__(self, X: np.ndarray, Y: np.ndarray) -> np.ndarray:
+        X, Y = self._as_2d(X), self._as_2d(Y)
+        return X @ Y.T
+
+
+@dataclass(frozen=True)
+class PolynomialKernel(Kernel):
+    """K(x, y) = (gamma * x . y + coef0) ** degree"""
+
+    degree: int = 3
+    gamma: float = 1.0
+    coef0: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.degree < 1:
+            raise ValueError(f"degree must be >= 1, got {self.degree}")
+        if self.gamma <= 0.0:
+            raise ValueError(f"gamma must be positive, got {self.gamma}")
+
+    def __call__(self, X: np.ndarray, Y: np.ndarray) -> np.ndarray:
+        X, Y = self._as_2d(X), self._as_2d(Y)
+        return (self.gamma * (X @ Y.T) + self.coef0) ** self.degree
+
+
+@dataclass(frozen=True)
+class RbfKernel(Kernel):
+    """K(x, y) = exp(-gamma * ||x - y||^2)
+
+    The kernel the paper uses ("Support Vector Machines with the Radial
+    Basis Function kernel, as suggested by [Redpin]").
+    """
+
+    gamma: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.gamma <= 0.0:
+            raise ValueError(f"gamma must be positive, got {self.gamma}")
+
+    def __call__(self, X: np.ndarray, Y: np.ndarray) -> np.ndarray:
+        X, Y = self._as_2d(X), self._as_2d(Y)
+        # ||x - y||^2 = ||x||^2 + ||y||^2 - 2 x.y, computed blockwise.
+        x_sq = np.sum(X * X, axis=1)[:, None]
+        y_sq = np.sum(Y * Y, axis=1)[None, :]
+        sq_dist = np.maximum(x_sq + y_sq - 2.0 * (X @ Y.T), 0.0)
+        return np.exp(-self.gamma * sq_dist)

@@ -1,0 +1,91 @@
+"""k-nearest-neighbours classifier.
+
+The classic fingerprinting baseline in the indoor-positioning
+literature (the Scene Analysis survey the paper cites lists kNN next
+to SVM); included as a comparison point in the Figure 9 benchmark.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["KNeighborsClassifier"]
+
+
+class KNeighborsClassifier:
+    """Majority vote among the k nearest training fingerprints.
+
+    Args:
+        k: number of neighbours.
+        weights: ``"uniform"`` or ``"distance"`` (inverse-distance
+            weighted votes).
+    """
+
+    def __init__(self, k: int = 5, weights: str = "uniform") -> None:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if weights not in ("uniform", "distance"):
+            raise ValueError(f"weights must be 'uniform' or 'distance', got {weights!r}")
+        self.k = int(k)
+        self.weights = weights
+        self._X: Optional[np.ndarray] = None
+        self._y: Optional[np.ndarray] = None
+        self.classes_: List = []
+
+    def get_params(self) -> dict:
+        """Constructor parameters (for grid search cloning)."""
+        return {"k": self.k, "weights": self.weights}
+
+    def clone(self) -> "KNeighborsClassifier":
+        """An unfitted copy with the same parameters."""
+        return KNeighborsClassifier(**self.get_params())
+
+    def fit(self, X: np.ndarray, y: Sequence) -> "KNeighborsClassifier":
+        """Memorise the training set."""
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y)
+        if X.ndim != 2:
+            raise ValueError(f"X must be 2-D, got shape {X.shape}")
+        if X.shape[0] != y.shape[0]:
+            raise ValueError(f"X has {X.shape[0]} rows but y has {y.shape[0]} labels")
+        if X.shape[0] < 1:
+            raise ValueError("training set is empty")
+        self._X = X
+        self._y = y
+        self.classes_ = sorted(set(y.tolist()))
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predicted labels for each row of ``X``."""
+        if self._X is None:
+            raise RuntimeError("KNeighborsClassifier is not fitted")
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(1, -1)
+        k = min(self.k, self._X.shape[0])
+        out = []
+        # Squared distances, blockwise.
+        x_sq = np.sum(X * X, axis=1)[:, None]
+        t_sq = np.sum(self._X * self._X, axis=1)[None, :]
+        d2 = np.maximum(x_sq + t_sq - 2.0 * (X @ self._X.T), 0.0)
+        for row in d2:
+            idx = np.argpartition(row, k - 1)[:k]
+            if self.weights == "uniform":
+                counts = Counter(self._y[idx].tolist())
+            else:
+                counts: Counter = Counter()
+                for i in idx:
+                    counts[self._y[i].item() if hasattr(self._y[i], "item") else self._y[i]] += (
+                        1.0 / (np.sqrt(row[i]) + 1e-9)
+                    )
+            # Deterministic tie-break: highest count, then label order.
+            best = max(sorted(counts), key=lambda label: counts[label])
+            out.append(best)
+        return np.asarray(out)
+
+    def score(self, X: np.ndarray, y: Sequence) -> float:
+        """Mean accuracy on ``(X, y)``."""
+        return float(np.mean(self.predict(X) == np.asarray(y)))

@@ -1,0 +1,174 @@
+"""Classification metrics: accuracy and the Figure 9 confusion matrix.
+
+The paper reads its confusion matrix at room granularity: a *false
+positive* for a room is "detection of the user inside the room while he
+was outside [it]", a *false negative* "detection of the user outside
+the room while he was inside".  The paper argues false positives are
+the benign direction (comfort/safety), so the FP/FN balance is a
+first-class metric here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["accuracy_score", "ConfusionMatrix"]
+
+
+def accuracy_score(y_true: Sequence, y_pred: Sequence) -> float:
+    """Fraction of exactly matching labels.
+
+    Raises:
+        ValueError: length mismatch or empty input.
+    """
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(
+            f"shape mismatch: y_true {y_true.shape} vs y_pred {y_pred.shape}"
+        )
+    if y_true.size == 0:
+        raise ValueError("cannot score empty label arrays")
+    return float(np.mean(y_true == y_pred))
+
+
+class ConfusionMatrix:
+    """Multiclass confusion matrix with room-level FP/FN accounting.
+
+    Rows are true labels, columns predicted labels.
+
+    Args:
+        y_true: ground-truth labels.
+        y_pred: predicted labels.
+        labels: label order; defaults to the sorted union.
+    """
+
+    def __init__(
+        self,
+        y_true: Sequence,
+        y_pred: Sequence,
+        labels: Optional[Sequence[str]] = None,
+    ) -> None:
+        y_true = list(y_true)
+        y_pred = list(y_pred)
+        if len(y_true) != len(y_pred):
+            raise ValueError(
+                f"length mismatch: {len(y_true)} true vs {len(y_pred)} predicted"
+            )
+        if not y_true:
+            raise ValueError("cannot build a confusion matrix from no samples")
+        if labels is None:
+            labels = sorted(set(y_true) | set(y_pred))
+        self.labels: List[str] = list(labels)
+        index = {label: i for i, label in enumerate(self.labels)}
+        unknown = {v for v in y_true + y_pred if v not in index}
+        if unknown:
+            raise ValueError(f"labels not in the label list: {sorted(unknown)}")
+        self.matrix = np.zeros((len(self.labels), len(self.labels)), dtype=int)
+        for t, p in zip(y_true, y_pred):
+            self.matrix[index[t], index[p]] += 1
+
+    @property
+    def total(self) -> int:
+        """Total number of samples."""
+        return int(self.matrix.sum())
+
+    @property
+    def accuracy(self) -> float:
+        """Trace over total."""
+        return float(np.trace(self.matrix) / self.total)
+
+    def count(self, true_label: str, pred_label: str) -> int:
+        """Samples with the given (true, predicted) pair."""
+        i = self.labels.index(true_label)
+        j = self.labels.index(pred_label)
+        return int(self.matrix[i, j])
+
+    def false_positives(self, label: str) -> int:
+        """Samples predicted ``label`` whose truth is different.
+
+        Paper semantics: the user was detected inside the room while
+        actually elsewhere.
+        """
+        j = self.labels.index(label)
+        return int(self.matrix[:, j].sum() - self.matrix[j, j])
+
+    def false_negatives(self, label: str) -> int:
+        """Samples truly ``label`` predicted as something else.
+
+        Paper semantics: the user was inside the room but detected
+        outside it (the comfort/safety-critical direction).
+        """
+        i = self.labels.index(label)
+        return int(self.matrix[i, :].sum() - self.matrix[i, i])
+
+    def precision(self, label: str) -> float:
+        """TP / (TP + FP); 0 when the label is never predicted."""
+        j = self.labels.index(label)
+        predicted = self.matrix[:, j].sum()
+        if predicted == 0:
+            return 0.0
+        return float(self.matrix[j, j] / predicted)
+
+    def recall(self, label: str) -> float:
+        """TP / (TP + FN); 0 when the label never occurs."""
+        i = self.labels.index(label)
+        actual = self.matrix[i, :].sum()
+        if actual == 0:
+            return 0.0
+        return float(self.matrix[i, i] / actual)
+
+    def f1(self, label: str) -> float:
+        """Harmonic mean of precision and recall."""
+        p, r = self.precision(label), self.recall(label)
+        if p + r == 0.0:
+            return 0.0
+        return 2.0 * p * r / (p + r)
+
+    def room_fp_fn_totals(self, outside_label: str = "outside") -> Dict[str, int]:
+        """Aggregate room-level FP and FN counts (Figure 9.c reading).
+
+        Sums false positives and false negatives over the *room* labels
+        only (the ``outside`` class is not a room).
+        """
+        rooms = [label for label in self.labels if label != outside_label]
+        return {
+            "false_positives": sum(self.false_positives(r) for r in rooms),
+            "false_negatives": sum(self.false_negatives(r) for r in rooms),
+        }
+
+    def to_text(self, width: int = 9) -> str:
+        """ASCII rendering (rows true, columns predicted)."""
+        header = " " * width + "".join(f"{label[:width - 1]:>{width}}" for label in self.labels)
+        lines = [header]
+        for i, label in enumerate(self.labels):
+            row = f"{label[:width - 1]:<{width}}" + "".join(
+                f"{self.matrix[i, j]:>{width}d}" for j in range(len(self.labels))
+            )
+            lines.append(row)
+        return "\n".join(lines)
+
+    def classification_report(self) -> str:
+        """Per-class precision/recall/F1 table plus overall accuracy."""
+        width = max(len(label) for label in self.labels) + 2
+        lines = [
+            f"{'class':<{width}}{'precision':>10}{'recall':>10}{'f1':>10}{'support':>9}"
+        ]
+        for i, label in enumerate(self.labels):
+            support = int(self.matrix[i, :].sum())
+            lines.append(
+                f"{label:<{width}}{self.precision(label):>10.3f}"
+                f"{self.recall(label):>10.3f}{self.f1(label):>10.3f}"
+                f"{support:>9d}"
+            )
+        lines.append("")
+        lines.append(f"accuracy: {self.accuracy:.3f} on {self.total} samples")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"ConfusionMatrix(labels={self.labels}, total={self.total}, "
+            f"accuracy={self.accuracy:.3f})"
+        )

@@ -1,0 +1,191 @@
+"""Train/test splitting, cross-validation and grid search.
+
+The paper's protocol: "Part of the collected data was then used to
+build the aforementioned SVM model (training set), while another part
+was used to test its behaviors (testing set)."  We add stratified
+splitting and k-fold cross-validation for the more careful comparison
+in the benchmarks.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["train_test_split", "KFold", "cross_val_score", "GridSearch"]
+
+
+def train_test_split(
+    X: np.ndarray,
+    y: Sequence,
+    *,
+    test_fraction: float = 0.3,
+    seed: int = 0,
+    stratify: bool = True,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Shuffle and split into train and test sets.
+
+    Args:
+        X: (n, d) feature matrix.
+        y: n labels.
+        test_fraction: fraction of samples assigned to the test set.
+        seed: shuffling seed.
+        stratify: keep per-class proportions in both splits.
+
+    Returns:
+        ``(X_train, X_test, y_train, y_test)``.
+
+    Raises:
+        ValueError: bad fraction, mismatched lengths, or a class with
+            fewer than 2 samples when stratifying.
+    """
+    X = np.asarray(X)
+    y = np.asarray(y)
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    if X.shape[0] != y.shape[0]:
+        raise ValueError(f"X has {X.shape[0]} rows but y has {y.shape[0]} labels")
+    rng = np.random.default_rng(seed)
+    test_idx: List[int] = []
+    if stratify:
+        for cls in sorted(set(y.tolist())):
+            cls_idx = np.flatnonzero(y == cls)
+            if len(cls_idx) < 2:
+                raise ValueError(
+                    f"class {cls!r} has {len(cls_idx)} sample(s); "
+                    "need >= 2 to stratify"
+                )
+            cls_idx = rng.permutation(cls_idx)
+            n_test = max(1, int(round(len(cls_idx) * test_fraction)))
+            # Keep at least one training sample per class.
+            n_test = min(n_test, len(cls_idx) - 1)
+            test_idx.extend(cls_idx[:n_test].tolist())
+    else:
+        order = rng.permutation(X.shape[0])
+        n_test = max(1, int(round(X.shape[0] * test_fraction)))
+        n_test = min(n_test, X.shape[0] - 1)
+        test_idx = order[:n_test].tolist()
+    test_mask = np.zeros(X.shape[0], dtype=bool)
+    test_mask[test_idx] = True
+    return X[~test_mask], X[test_mask], y[~test_mask], y[test_mask]
+
+
+@dataclass(frozen=True)
+class KFold:
+    """K-fold cross-validation splitter.
+
+    Args:
+        n_splits: number of folds (>= 2).
+        seed: shuffling seed.
+    """
+
+    n_splits: int = 5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_splits < 2:
+            raise ValueError(f"n_splits must be >= 2, got {self.n_splits}")
+
+    def split(self, n_samples: int) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        """Yield ``(train_indices, test_indices)`` per fold."""
+        if n_samples < self.n_splits:
+            raise ValueError(
+                f"cannot split {n_samples} samples into {self.n_splits} folds"
+            )
+        rng = np.random.default_rng(self.seed)
+        order = rng.permutation(n_samples)
+        folds = np.array_split(order, self.n_splits)
+        for i in range(self.n_splits):
+            test = folds[i]
+            train = np.concatenate([folds[j] for j in range(self.n_splits) if j != i])
+            yield train, test
+
+
+def cross_val_score(
+    estimator,
+    X: np.ndarray,
+    y: Sequence,
+    *,
+    n_splits: int = 5,
+    seed: int = 0,
+) -> np.ndarray:
+    """Per-fold accuracy of a cloneable estimator.
+
+    The estimator must expose ``clone()``, ``fit(X, y)`` and
+    ``score(X, y)`` (all classifiers in this package do).
+    """
+    X = np.asarray(X)
+    y = np.asarray(y)
+    scores = []
+    for train_idx, test_idx in KFold(n_splits=n_splits, seed=seed).split(X.shape[0]):
+        model = estimator.clone()
+        model.fit(X[train_idx], y[train_idx])
+        scores.append(model.score(X[test_idx], y[test_idx]))
+    return np.asarray(scores)
+
+
+class GridSearch:
+    """Exhaustive hyper-parameter search by cross-validation.
+
+    Args:
+        factory: callable mapping a parameter dict to an unfitted
+            estimator (with ``clone``/``fit``/``score``).
+        param_grid: parameter name -> list of candidate values.
+        n_splits: CV folds per candidate.
+        seed: CV shuffling seed.
+
+    Example:
+        >>> from repro.ml.svm import SupportVectorClassifier
+        >>> from repro.ml.kernels import RbfKernel
+        >>> grid = GridSearch(
+        ...     lambda p: SupportVectorClassifier(
+        ...         c=p["c"], kernel=RbfKernel(gamma=p["gamma"])),
+        ...     {"c": [1.0, 10.0], "gamma": [0.1, 0.5]},
+        ... )
+    """
+
+    def __init__(
+        self,
+        factory,
+        param_grid: Dict[str, Sequence],
+        *,
+        n_splits: int = 3,
+        seed: int = 0,
+    ) -> None:
+        if not param_grid:
+            raise ValueError("param_grid must not be empty")
+        self.factory = factory
+        self.param_grid = {k: list(v) for k, v in param_grid.items()}
+        self.n_splits = n_splits
+        self.seed = seed
+        self.results_: List[Tuple[dict, float]] = []
+        self.best_params_: Optional[dict] = None
+        self.best_score_: float = -np.inf
+
+    def fit(self, X: np.ndarray, y: Sequence) -> "GridSearch":
+        """Evaluate every parameter combination; keep the best."""
+        keys = sorted(self.param_grid)
+        self.results_ = []
+        for values in itertools.product(*(self.param_grid[k] for k in keys)):
+            params = dict(zip(keys, values))
+            estimator = self.factory(params)
+            scores = cross_val_score(
+                estimator, X, y, n_splits=self.n_splits, seed=self.seed
+            )
+            mean_score = float(np.mean(scores))
+            self.results_.append((params, mean_score))
+            if mean_score > self.best_score_:
+                self.best_score_ = mean_score
+                self.best_params_ = params
+        return self
+
+    def best_estimator(self, X: np.ndarray, y: Sequence):
+        """A fresh estimator with the best parameters, fitted on all data."""
+        if self.best_params_ is None:
+            raise RuntimeError("GridSearch is not fitted")
+        estimator = self.factory(self.best_params_)
+        estimator.fit(np.asarray(X), np.asarray(y))
+        return estimator

@@ -1,0 +1,88 @@
+"""Generic multiclass reductions over binary classifiers.
+
+:class:`SupportVectorClassifier` bakes in one-vs-one (the libsvm
+scheme); this module provides the *one-vs-rest* alternative as a
+generic wrapper, so the two reduction strategies can be compared on
+the occupancy problem.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+
+from repro.ml.svm import BinarySVM
+
+__all__ = ["OneVsRestClassifier"]
+
+#: Factory producing a fresh binary classifier with a
+#: ``fit(X, y in {-1,+1})`` / ``decision_function(X)`` interface.
+BinaryFactory = Callable[[], BinarySVM]
+
+
+class OneVsRestClassifier:
+    """One-vs-rest reduction: one binary machine per class.
+
+    Each machine separates its class (+1) from everything else (-1);
+    prediction takes the class whose machine reports the largest
+    decision value.
+
+    Args:
+        factory: builds one fresh binary classifier per class;
+            defaults to a :class:`BinarySVM` with its default RBF
+            kernel.
+    """
+
+    def __init__(self, factory: BinaryFactory = None) -> None:
+        self.factory = factory if factory is not None else BinarySVM
+        self.classes_: List = []
+        self._machines: Dict = {}
+
+    def get_params(self) -> dict:
+        """Constructor parameters (for grid search cloning)."""
+        return {"factory": self.factory}
+
+    def clone(self) -> "OneVsRestClassifier":
+        """An unfitted copy with the same factory."""
+        return OneVsRestClassifier(self.factory)
+
+    def fit(self, X: np.ndarray, y: Sequence) -> "OneVsRestClassifier":
+        """Train one class-vs-rest machine per label."""
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y)
+        if X.shape[0] != y.shape[0]:
+            raise ValueError(
+                f"X has {X.shape[0]} rows but y has {y.shape[0]} labels"
+            )
+        self.classes_ = sorted(set(y.tolist()))
+        if len(self.classes_) < 2:
+            raise ValueError("need at least two classes")
+        self._machines = {}
+        for cls in self.classes_:
+            labels = np.where(y == cls, 1.0, -1.0)
+            machine = self.factory()
+            machine.fit(X, labels)
+            self._machines[cls] = machine
+        return self
+
+    def decision_matrix(self, X: np.ndarray) -> np.ndarray:
+        """Per-class decision values, shape ``(n, n_classes)``."""
+        if not self._machines:
+            raise RuntimeError("OneVsRestClassifier is not fitted")
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(1, -1)
+        scores = np.column_stack(
+            [self._machines[cls].decision_function(X) for cls in self.classes_]
+        )
+        return scores
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Class with the largest decision value per row."""
+        winners = np.argmax(self.decision_matrix(X), axis=1)
+        return np.asarray([self.classes_[w] for w in winners])
+
+    def score(self, X: np.ndarray, y: Sequence) -> float:
+        """Mean accuracy on ``(X, y)``."""
+        return float(np.mean(self.predict(X) == np.asarray(y)))

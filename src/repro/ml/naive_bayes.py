@@ -1,0 +1,81 @@
+"""Gaussian naive Bayes classifier (comparison baseline)."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+__all__ = ["GaussianNaiveBayes"]
+
+
+class GaussianNaiveBayes:
+    """Per-class independent Gaussians over each feature.
+
+    Args:
+        var_smoothing: fraction of the largest feature variance added
+            to all variances for numerical stability (matches the
+            sklearn parameter of the same name).
+    """
+
+    def __init__(self, var_smoothing: float = 1e-9) -> None:
+        if var_smoothing < 0.0:
+            raise ValueError(f"var_smoothing must be >= 0, got {var_smoothing}")
+        self.var_smoothing = float(var_smoothing)
+        self.classes_: List = []
+
+    def get_params(self) -> dict:
+        """Constructor parameters (for grid search cloning)."""
+        return {"var_smoothing": self.var_smoothing}
+
+    def clone(self) -> "GaussianNaiveBayes":
+        """An unfitted copy with the same parameters."""
+        return GaussianNaiveBayes(**self.get_params())
+
+    def fit(self, X: np.ndarray, y: Sequence) -> "GaussianNaiveBayes":
+        """Estimate class priors and per-feature Gaussians."""
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y)
+        if X.ndim != 2:
+            raise ValueError(f"X must be 2-D, got shape {X.shape}")
+        if X.shape[0] != y.shape[0]:
+            raise ValueError(f"X has {X.shape[0]} rows but y has {y.shape[0]} labels")
+        self.classes_ = sorted(set(y.tolist()))
+        n, d = X.shape
+        self._means = np.zeros((len(self.classes_), d))
+        self._vars = np.zeros((len(self.classes_), d))
+        self._log_priors = np.zeros(len(self.classes_))
+        epsilon = self.var_smoothing * max(float(np.var(X, axis=0).max()), 1e-12)
+        for i, cls in enumerate(self.classes_):
+            Xc = X[y == cls]
+            self._means[i] = Xc.mean(axis=0)
+            self._vars[i] = Xc.var(axis=0) + epsilon + 1e-12
+            self._log_priors[i] = np.log(Xc.shape[0] / n)
+        return self
+
+    def predict_log_proba(self, X: np.ndarray) -> np.ndarray:
+        """Unnormalised per-class log posteriors, shape (n, classes)."""
+        if not self.classes_:
+            raise RuntimeError("GaussianNaiveBayes is not fitted")
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(1, -1)
+        out = np.zeros((X.shape[0], len(self.classes_)))
+        for i in range(len(self.classes_)):
+            diff = X - self._means[i]
+            log_lik = -0.5 * np.sum(
+                np.log(2.0 * np.pi * self._vars[i]) + diff * diff / self._vars[i],
+                axis=1,
+            )
+            out[:, i] = self._log_priors[i] + log_lik
+        return out
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Most probable class per row."""
+        log_post = self.predict_log_proba(X)
+        winners = np.argmax(log_post, axis=1)
+        return np.asarray([self.classes_[w] for w in winners])
+
+    def score(self, X: np.ndarray, y: Sequence) -> float:
+        """Mean accuracy on ``(X, y)``."""
+        return float(np.mean(self.predict(X) == np.asarray(y)))

@@ -1,0 +1,129 @@
+"""The Proximity technique - the authors' previous-work baseline.
+
+Section VI: "this technique uses the strongest signal received from a
+grid of transmitters, each of which associated with a particular
+location, in order to determine the position of the user."  The iOS
+paper reached 84 % accuracy with it; the present paper's SVM-based
+Scene Analysis is evaluated against it (Figure 9).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["ProximityClassifier"]
+
+
+class ProximityClassifier:
+    """Nearest-beacon-wins room classifier.
+
+    Works on vectorised fingerprints: each feature column is one
+    beacon's estimated distance (or RSSI).  The predicted room is the
+    room associated with the closest (or strongest) visible beacon; a
+    sample where every beacon is missing is classified as
+    ``outside_label``.
+
+    Args:
+        beacon_rooms: beacon_id -> room name (the transmitter grid).
+        feature_names: beacon id per feature column.
+        mode: ``"distance"`` (argmin wins) or ``"rssi"`` (argmax wins).
+        missing_value: fill value marking an unseen beacon in the
+            feature matrix.
+        outside_label: label emitted when no beacon is visible.
+        outside_threshold: when set, also emit ``outside_label`` if the
+            best beacon is weaker than this bound - farther than the
+            threshold in ``"distance"`` mode, below it in ``"rssi"``
+            mode.  Without it, proximity can never say "outside" while
+            any beacon leaks through the walls.
+    """
+
+    #: Tells pipeline hosts (the BMS) not to standardise features:
+    #: proximity compares raw values against the missing sentinel.
+    wants_scaling = False
+
+    def __init__(
+        self,
+        beacon_rooms: Dict[str, str],
+        feature_names: Sequence[str],
+        *,
+        mode: str = "distance",
+        missing_value: float = 30.0,
+        outside_label: str = "outside",
+        outside_threshold: Optional[float] = None,
+    ) -> None:
+        if mode not in ("distance", "rssi"):
+            raise ValueError(f"mode must be 'distance' or 'rssi', got {mode!r}")
+        unknown = [b for b in feature_names if b not in beacon_rooms]
+        if unknown:
+            raise ValueError(f"feature beacons with no room mapping: {unknown}")
+        self.beacon_rooms = dict(beacon_rooms)
+        self.feature_names = list(feature_names)
+        self.mode = mode
+        self.missing_value = float(missing_value)
+        self.outside_label = outside_label
+        self.outside_threshold = (
+            float(outside_threshold) if outside_threshold is not None else None
+        )
+        self._rooms_per_feature = [beacon_rooms[b] for b in self.feature_names]
+
+    def get_params(self) -> dict:
+        """Constructor parameters (for grid search cloning)."""
+        return {
+            "beacon_rooms": self.beacon_rooms,
+            "feature_names": self.feature_names,
+            "mode": self.mode,
+            "missing_value": self.missing_value,
+            "outside_label": self.outside_label,
+            "outside_threshold": self.outside_threshold,
+        }
+
+    def clone(self) -> "ProximityClassifier":
+        """A copy with the same configuration (stateless anyway)."""
+        return ProximityClassifier(
+            self.beacon_rooms,
+            self.feature_names,
+            mode=self.mode,
+            missing_value=self.missing_value,
+            outside_label=self.outside_label,
+            outside_threshold=self.outside_threshold,
+        )
+
+    def fit(self, X: np.ndarray, y: Sequence) -> "ProximityClassifier":
+        """No-op: proximity needs no training (kept for API parity)."""
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Room of the nearest/strongest visible beacon per sample."""
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(1, -1)
+        if X.shape[1] != len(self.feature_names):
+            raise ValueError(
+                f"expected {len(self.feature_names)} features, got {X.shape[1]}"
+            )
+        out: List[str] = []
+        for row in X:
+            visible = row != self.missing_value
+            if not np.any(visible):
+                out.append(self.outside_label)
+                continue
+            masked = np.where(visible, row, np.inf if self.mode == "distance" else -np.inf)
+            idx = int(np.argmin(masked)) if self.mode == "distance" else int(np.argmax(masked))
+            best = masked[idx]
+            if self.outside_threshold is not None:
+                too_far = (
+                    best > self.outside_threshold
+                    if self.mode == "distance"
+                    else best < self.outside_threshold
+                )
+                if too_far:
+                    out.append(self.outside_label)
+                    continue
+            out.append(self._rooms_per_feature[idx])
+        return np.asarray(out)
+
+    def score(self, X: np.ndarray, y: Sequence) -> float:
+        """Mean accuracy on ``(X, y)``."""
+        return float(np.mean(self.predict(X) == np.asarray(y)))

@@ -1,0 +1,84 @@
+"""Feature scaling transforms.
+
+SVMs with RBF kernels are scale-sensitive, so the occupancy pipeline
+standardises fingerprints before training - same preprocessing the
+paper's scikit-learn implementation would apply.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["StandardScaler", "MinMaxScaler"]
+
+
+class StandardScaler:
+    """Zero-mean, unit-variance scaling per feature."""
+
+    def __init__(self) -> None:
+        self.mean_: Optional[np.ndarray] = None
+        self.scale_: Optional[np.ndarray] = None
+
+    def fit(self, X: np.ndarray) -> "StandardScaler":
+        """Learn per-feature mean and standard deviation."""
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2:
+            raise ValueError(f"X must be 2-D, got shape {X.shape}")
+        self.mean_ = X.mean(axis=0)
+        std = X.std(axis=0)
+        # Constant features scale to 1 so they pass through unchanged.
+        self.scale_ = np.where(std > 1e-12, std, 1.0)
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        """Apply the learned scaling."""
+        if self.mean_ is None:
+            raise RuntimeError("StandardScaler is not fitted")
+        X = np.asarray(X, dtype=float)
+        return (X - self.mean_) / self.scale_
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        """Fit then transform in one call."""
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X: np.ndarray) -> np.ndarray:
+        """Undo the scaling."""
+        if self.mean_ is None:
+            raise RuntimeError("StandardScaler is not fitted")
+        return np.asarray(X, dtype=float) * self.scale_ + self.mean_
+
+
+class MinMaxScaler:
+    """Scale each feature into [0, 1] over the training range."""
+
+    def __init__(self) -> None:
+        self.min_: Optional[np.ndarray] = None
+        self.range_: Optional[np.ndarray] = None
+
+    def fit(self, X: np.ndarray) -> "MinMaxScaler":
+        """Learn per-feature min and range."""
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2:
+            raise ValueError(f"X must be 2-D, got shape {X.shape}")
+        self.min_ = X.min(axis=0)
+        span = X.max(axis=0) - self.min_
+        self.range_ = np.where(span > 1e-12, span, 1.0)
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        """Apply the learned [0, 1] scaling."""
+        if self.min_ is None:
+            raise RuntimeError("MinMaxScaler is not fitted")
+        return (np.asarray(X, dtype=float) - self.min_) / self.range_
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        """Fit then transform in one call."""
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X: np.ndarray) -> np.ndarray:
+        """Undo the scaling."""
+        if self.min_ is None:
+            raise RuntimeError("MinMaxScaler is not fitted")
+        return np.asarray(X, dtype=float) * self.range_ + self.min_

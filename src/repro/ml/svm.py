@@ -1,0 +1,355 @@
+"""Support vector machine trained with sequential minimal optimisation.
+
+A from-scratch soft-margin SVM:
+
+- :class:`BinarySVM` solves the dual problem with Platt's SMO
+  algorithm (two-heuristic working-set selection, error cache);
+- :class:`SupportVectorClassifier` lifts it to multiclass with
+  one-vs-one voting, the same scheme libsvm (and hence the paper's
+  scikit-learn SVC) uses.
+
+The default kernel is RBF, the paper's choice for the Scene Analysis
+classifier.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.ml.kernels import Kernel, RbfKernel
+
+__all__ = ["BinarySVM", "SupportVectorClassifier"]
+
+
+class BinarySVM:
+    """Soft-margin binary SVM (labels -1/+1) trained by SMO.
+
+    Args:
+        c: regularisation parameter (box constraint); larger C fits
+            the training data harder.
+        kernel: kernel function; default RBF(gamma=0.5).
+        tol: KKT violation tolerance.
+        max_passes: stop after this many full passes without updates.
+        max_iter: hard cap on examine steps, a safety valve.
+        seed: RNG seed for the random tie-breaking in SMO.
+    """
+
+    def __init__(
+        self,
+        c: float = 1.0,
+        kernel: Optional[Kernel] = None,
+        *,
+        tol: float = 1e-3,
+        max_passes: int = 3,
+        max_iter: int = 200_000,
+        seed: int = 0,
+    ) -> None:
+        if c <= 0.0:
+            raise ValueError(f"C must be positive, got {c}")
+        if tol <= 0.0:
+            raise ValueError(f"tol must be positive, got {tol}")
+        self.c = float(c)
+        self.kernel = kernel if kernel is not None else RbfKernel()
+        self.tol = float(tol)
+        self.max_passes = int(max_passes)
+        self.max_iter = int(max_iter)
+        self.seed = seed
+        self._fitted = False
+
+    # ------------------------------------------------------------------
+    # Training (Platt SMO)
+    # ------------------------------------------------------------------
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "BinarySVM":
+        """Train on ``X`` (n, d) with labels ``y`` in {-1, +1}."""
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float).ravel()
+        if X.ndim != 2:
+            raise ValueError(f"X must be 2-D, got shape {X.shape}")
+        if X.shape[0] != y.shape[0]:
+            raise ValueError(
+                f"X has {X.shape[0]} rows but y has {y.shape[0]} labels"
+            )
+        labels = set(np.unique(y).tolist())
+        if not labels <= {-1.0, 1.0}:
+            raise ValueError(f"labels must be -1/+1, got {sorted(labels)}")
+        if len(labels) < 2:
+            raise ValueError("training data contains a single class")
+
+        n = X.shape[0]
+        self._X = X
+        self._y = y
+        self._K = self.kernel(X, X)
+        self._alpha = np.zeros(n)
+        self._b = 0.0
+        # Error cache: E_i = f(x_i) - y_i.  With alpha = 0, f = b = 0.
+        self._errors = -y.copy()
+        self._rng = np.random.default_rng(self.seed)
+
+        iterations = 0
+        examine_all = True
+        passes_without_change = 0
+        while passes_without_change < self.max_passes and iterations < self.max_iter:
+            changed = 0
+            if examine_all:
+                indices = range(n)
+            else:
+                indices = np.flatnonzero(
+                    (self._alpha > 0.0) & (self._alpha < self.c)
+                )
+            for i in indices:
+                changed += self._examine(i)
+                iterations += 1
+                if iterations >= self.max_iter:
+                    break
+            if examine_all:
+                examine_all = False
+                if changed == 0:
+                    passes_without_change += 1
+                else:
+                    passes_without_change = 0
+            elif changed == 0:
+                examine_all = True
+
+        sv_mask = self._alpha > 1e-8
+        self.support_vectors_ = X[sv_mask]
+        self.dual_coef_ = (self._alpha * y)[sv_mask]
+        self.intercept_ = self._b
+        self.n_support_ = int(np.count_nonzero(sv_mask))
+        self._fitted = True
+        # Free the training caches.
+        del self._K, self._errors
+        return self
+
+    def _examine(self, i2: int) -> int:
+        """Platt's examineExample: try to improve alpha[i2]."""
+        y2 = self._y[i2]
+        alpha2 = self._alpha[i2]
+        e2 = self._errors[i2]
+        r2 = e2 * y2
+        if not ((r2 < -self.tol and alpha2 < self.c) or (r2 > self.tol and alpha2 > 0)):
+            return 0
+        non_bound = np.flatnonzero((self._alpha > 0.0) & (self._alpha < self.c))
+        # Heuristic 1: maximise |E1 - E2| over non-bound examples.
+        if len(non_bound) > 1:
+            deltas = np.abs(self._errors[non_bound] - e2)
+            i1 = int(non_bound[np.argmax(deltas)])
+            if i1 != i2 and self._take_step(i1, i2):
+                return 1
+        # Heuristic 2: all non-bound examples in random order.
+        for i1 in self._rng.permutation(non_bound):
+            if i1 != i2 and self._take_step(int(i1), i2):
+                return 1
+        # Heuristic 3: everything else in random order.
+        for i1 in self._rng.permutation(len(self._alpha)):
+            if i1 != i2 and self._take_step(int(i1), i2):
+                return 1
+        return 0
+
+    def _take_step(self, i1: int, i2: int) -> bool:
+        """Jointly optimise alpha[i1], alpha[i2]; True on progress."""
+        alpha1, alpha2 = self._alpha[i1], self._alpha[i2]
+        y1, y2 = self._y[i1], self._y[i2]
+        e1, e2 = self._errors[i1], self._errors[i2]
+        s = y1 * y2
+        if s > 0:
+            low = max(0.0, alpha1 + alpha2 - self.c)
+            high = min(self.c, alpha1 + alpha2)
+        else:
+            low = max(0.0, alpha2 - alpha1)
+            high = min(self.c, self.c + alpha2 - alpha1)
+        if high - low < 1e-12:
+            return False
+        k11, k12, k22 = self._K[i1, i1], self._K[i1, i2], self._K[i2, i2]
+        eta = k11 + k22 - 2.0 * k12
+        if eta > 1e-12:
+            a2 = alpha2 + y2 * (e1 - e2) / eta
+            a2 = min(max(a2, low), high)
+        else:
+            # Degenerate kernel direction: evaluate the objective at
+            # both clip ends and keep the better one.
+            f1 = y1 * (e1 + self._b) - alpha1 * k11 - s * alpha2 * k12
+            f2 = y2 * (e2 + self._b) - s * alpha1 * k12 - alpha2 * k22
+            l1 = alpha1 + s * (alpha2 - low)
+            h1 = alpha1 + s * (alpha2 - high)
+            obj_low = (
+                l1 * f1 + low * f2 + 0.5 * l1 * l1 * k11
+                + 0.5 * low * low * k22 + s * low * l1 * k12
+            )
+            obj_high = (
+                h1 * f1 + high * f2 + 0.5 * h1 * h1 * k11
+                + 0.5 * high * high * k22 + s * high * h1 * k12
+            )
+            if obj_low < obj_high - 1e-12:
+                a2 = low
+            elif obj_low > obj_high + 1e-12:
+                a2 = high
+            else:
+                return False
+        if abs(a2 - alpha2) < 1e-12 * (a2 + alpha2 + 1e-12):
+            return False
+        a1 = alpha1 + s * (alpha2 - a2)
+
+        # Threshold update (Platt eq. 20-21).
+        b1 = (
+            self._b + e1 + y1 * (a1 - alpha1) * k11 + y2 * (a2 - alpha2) * k12
+        )
+        b2 = (
+            self._b + e2 + y1 * (a1 - alpha1) * k12 + y2 * (a2 - alpha2) * k22
+        )
+        if 0.0 < a1 < self.c:
+            new_b = b1
+        elif 0.0 < a2 < self.c:
+            new_b = b2
+        else:
+            new_b = (b1 + b2) / 2.0
+
+        # Error cache update for all points.
+        delta1 = y1 * (a1 - alpha1)
+        delta2 = y2 * (a2 - alpha2)
+        self._errors += (
+            delta1 * self._K[i1, :] + delta2 * self._K[i2, :] - (new_b - self._b)
+        )
+        self._alpha[i1], self._alpha[i2] = a1, a2
+        self._b = new_b
+        self._errors[i1] = self._decision_cached(i1) - y1
+        self._errors[i2] = self._decision_cached(i2) - y2
+        return True
+
+    def _decision_cached(self, i: int) -> float:
+        return float((self._alpha * self._y) @ self._K[:, i] - self._b)
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        """Signed distance-like score; positive means class +1."""
+        if not self._fitted:
+            raise RuntimeError("BinarySVM is not fitted")
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(1, -1)
+        if self.n_support_ == 0:
+            return np.full(X.shape[0], -self.intercept_)
+        K = self.kernel(self.support_vectors_, X)
+        return self.dual_coef_ @ K - self.intercept_
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predicted labels in {-1, +1}."""
+        scores = self.decision_function(X)
+        return np.where(scores >= 0.0, 1.0, -1.0)
+
+
+class SupportVectorClassifier:
+    """Multiclass SVM via one-vs-one voting (the libsvm scheme).
+
+    Labels may be any hashable values (room-name strings in the
+    occupancy pipeline).
+
+    Args:
+        c: box constraint shared by all pairwise machines.
+        kernel: shared kernel; default RBF.
+        tol, max_passes, max_iter, seed: passed to each
+            :class:`BinarySVM`.
+    """
+
+    def __init__(
+        self,
+        c: float = 1.0,
+        kernel: Optional[Kernel] = None,
+        *,
+        tol: float = 1e-3,
+        max_passes: int = 3,
+        max_iter: int = 200_000,
+        seed: int = 0,
+    ) -> None:
+        self.c = c
+        self.kernel = kernel if kernel is not None else RbfKernel()
+        self.tol = tol
+        self.max_passes = max_passes
+        self.max_iter = max_iter
+        self.seed = seed
+        self._machines: Dict[Tuple[int, int], BinarySVM] = {}
+        self.classes_: List = []
+
+    def get_params(self) -> dict:
+        """Constructor parameters (for grid search cloning)."""
+        return {
+            "c": self.c,
+            "kernel": self.kernel,
+            "tol": self.tol,
+            "max_passes": self.max_passes,
+            "max_iter": self.max_iter,
+            "seed": self.seed,
+        }
+
+    def clone(self) -> "SupportVectorClassifier":
+        """An unfitted copy with the same parameters."""
+        return SupportVectorClassifier(**self.get_params())
+
+    def fit(self, X: np.ndarray, y: Sequence) -> "SupportVectorClassifier":
+        """Train one binary machine per unordered class pair."""
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y)
+        if X.shape[0] != y.shape[0]:
+            raise ValueError(
+                f"X has {X.shape[0]} rows but y has {y.shape[0]} labels"
+            )
+        self.classes_ = sorted(set(y.tolist()))
+        if len(self.classes_) < 2:
+            raise ValueError("need at least two classes")
+        self._machines = {}
+        for a in range(len(self.classes_)):
+            for b in range(a + 1, len(self.classes_)):
+                mask = (y == self.classes_[a]) | (y == self.classes_[b])
+                X_pair = X[mask]
+                y_pair = np.where(y[mask] == self.classes_[a], 1.0, -1.0)
+                machine = BinarySVM(
+                    c=self.c,
+                    kernel=self.kernel,
+                    tol=self.tol,
+                    max_passes=self.max_passes,
+                    max_iter=self.max_iter,
+                    seed=self.seed,
+                )
+                machine.fit(X_pair, y_pair)
+                self._machines[(a, b)] = machine
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Majority vote across pairwise machines.
+
+        Ties are broken by the summed absolute decision values, then by
+        class order (deterministic).
+        """
+        if not self._machines:
+            raise RuntimeError("SupportVectorClassifier is not fitted")
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(1, -1)
+        n = X.shape[0]
+        n_classes = len(self.classes_)
+        votes = np.zeros((n, n_classes))
+        scores = np.zeros((n, n_classes))
+        for (a, b), machine in self._machines.items():
+            decision = machine.decision_function(X)
+            winner_a = decision >= 0.0
+            votes[winner_a, a] += 1
+            votes[~winner_a, b] += 1
+            scores[:, a] += decision
+            scores[:, b] -= decision
+        # Lexicographic: votes first, aggregate score as tiebreak.
+        ranking = votes + 1e-9 * np.tanh(scores)
+        winners = np.argmax(ranking, axis=1)
+        return np.asarray([self.classes_[w] for w in winners])
+
+    def score(self, X: np.ndarray, y: Sequence) -> float:
+        """Mean accuracy on ``(X, y)``."""
+        y = np.asarray(y)
+        return float(np.mean(self.predict(X) == y))
+
+    @property
+    def n_support_total(self) -> int:
+        """Total support vectors across all pairwise machines."""
+        return sum(m.n_support_ for m in self._machines.values())

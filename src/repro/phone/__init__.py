@@ -1,0 +1,38 @@
+"""Phone-side stack: scanners, device models and the client app.
+
+Reproduces the Android-specific behaviour the paper is about:
+
+- :class:`AndroidScanner` returns **one RSSI sample per beacon per scan
+  cycle** (the Android 4.x BLE API limitation of Section V) and is
+  subject to stack-bug sample losses;
+- :class:`IosScanner` returns every received advertisement, the iOS
+  behaviour the paper contrasts it with;
+- :class:`OccupancyApp` is the boot handler -> background service ->
+  monitoring service -> ranging service state machine of Figure 3.
+"""
+
+from repro.phone.scanner import (
+    AndroidScanner,
+    IosScanner,
+    ScanCycle,
+    Scanner,
+)
+from repro.phone.device import Smartphone
+from repro.phone.app import (
+    AppState,
+    OccupancyApp,
+    RangedBeacon,
+    SightingReport,
+)
+
+__all__ = [
+    "AndroidScanner",
+    "IosScanner",
+    "ScanCycle",
+    "Scanner",
+    "Smartphone",
+    "AppState",
+    "OccupancyApp",
+    "RangedBeacon",
+    "SightingReport",
+]

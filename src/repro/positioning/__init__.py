@@ -1,0 +1,26 @@
+"""Geometric positioning - the technique the paper *discarded*.
+
+Section VI: "Triangulation has been discarded because it requires very
+stable and accurate input data and due to the signal fluctuation we
+decided to not use this technique."
+
+We implement it anyway (multilateration from per-beacon distance
+estimates, linear least squares with Gauss-Newton refinement) so the
+design decision can be reproduced quantitatively: the ablation bench
+compares room inference via trilateration against the paper's Scene
+Analysis classifier on identical inputs.
+"""
+
+from repro.positioning.trilateration import (
+    TrilaterationError,
+    trilaterate,
+    trilaterate_fingerprint,
+)
+from repro.positioning.room_inference import GeometricRoomClassifier
+
+__all__ = [
+    "TrilaterationError",
+    "trilaterate",
+    "trilaterate_fingerprint",
+    "GeometricRoomClassifier",
+]

@@ -1,0 +1,109 @@
+"""Room inference by geometry: trilaterate, then look the room up.
+
+The comparison point for the paper's Scene Analysis decision: instead
+of learning fingerprints, solve the (x, y) position from the distance
+estimates and read the room off the floor plan.  Fragile under the
+signal fluctuation of Section V - which is the reason the paper gives
+for discarding the technique.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.building.floorplan import OUTSIDE, FloorPlan
+from repro.positioning.trilateration import (
+    TrilaterationError,
+    trilaterate_fingerprint,
+)
+
+__all__ = ["GeometricRoomClassifier"]
+
+
+class GeometricRoomClassifier:
+    """Classifier-shaped wrapper around trilateration + room lookup.
+
+    Operates on the same vectorised fingerprints as the ML classifiers
+    so the Figure 9 style comparison is apples-to-apples.
+
+    Args:
+        plan: floor plan providing beacon positions and room lookup.
+        feature_names: beacon id per feature column.
+        missing_value: fill value marking unseen beacons.
+        max_residual_m: positions whose RMS residual exceeds this are
+            treated as unreliable and classified ``outside``.
+    """
+
+    #: Like the proximity baseline, works on raw (unscaled) features.
+    wants_scaling = False
+
+    def __init__(
+        self,
+        plan: FloorPlan,
+        feature_names: Sequence[str],
+        *,
+        missing_value: float = 30.0,
+        max_residual_m: float = 25.0,
+    ) -> None:
+        self.plan = plan
+        self.feature_names = list(feature_names)
+        self.missing_value = float(missing_value)
+        self.max_residual_m = float(max_residual_m)
+        self._positions = {
+            b.beacon_id: b.position for b in plan.beacons
+        }
+
+    def get_params(self) -> dict:
+        """Constructor parameters (for grid search cloning)."""
+        return {
+            "plan": self.plan,
+            "feature_names": self.feature_names,
+            "missing_value": self.missing_value,
+            "max_residual_m": self.max_residual_m,
+        }
+
+    def clone(self) -> "GeometricRoomClassifier":
+        """A configuration copy (stateless)."""
+        return GeometricRoomClassifier(
+            self.plan,
+            self.feature_names,
+            missing_value=self.missing_value,
+            max_residual_m=self.max_residual_m,
+        )
+
+    def fit(self, X, y) -> "GeometricRoomClassifier":
+        """No-op: geometry needs no training (API parity)."""
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        """Room label per fingerprint row (``outside`` when unsolvable)."""
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(1, -1)
+        if X.shape[1] != len(self.feature_names):
+            raise ValueError(
+                f"expected {len(self.feature_names)} features, got {X.shape[1]}"
+            )
+        out: List[str] = []
+        for row in X:
+            fingerprint = {
+                beacon_id: float(value)
+                for beacon_id, value in zip(self.feature_names, row)
+                if value != self.missing_value
+            }
+            try:
+                result = trilaterate_fingerprint(fingerprint, self._positions)
+            except TrilaterationError:
+                out.append(OUTSIDE)
+                continue
+            if result.rms_residual_m > self.max_residual_m:
+                out.append(OUTSIDE)
+                continue
+            out.append(self.plan.room_at(result.position))
+        return np.asarray(out)
+
+    def score(self, X, y) -> float:
+        """Mean accuracy on ``(X, y)``."""
+        return float(np.mean(self.predict(X) == np.asarray(y)))

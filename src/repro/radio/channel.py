@@ -1,0 +1,189 @@
+"""End-to-end link budget: the complete RSSI sampling model.
+
+Combines the pieces of this package into the statistical channel the
+rest of the reproduction consumes:
+
+    RSSI = tx_power(1 m)                      (iBeacon calibration)
+         - path loss (log-distance)
+         - wall losses (materials crossed)
+         + shadowing (spatially correlated, deterministic per position)
+         + fast fading (Rician)
+         + device RX gain
+         + measurement noise
+         -> quantised to the device's reporting granularity
+
+A packet whose RSSI falls below the device's sensitivity, or that is
+lost to advertising-channel collisions or stack bugs, is reported as
+*not received* (``None``) - losses are first-class because the paper's
+filter design (Section V) exists to tolerate them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.radio.devices import DeviceRadioProfile
+from repro.radio.fading import RicianFading
+from repro.radio.materials import wall_loss_db
+from repro.radio.pathloss import LogDistancePathLoss
+from repro.radio.shadowing import ShadowingField
+from repro.sim.rng import derive_seed
+
+__all__ = ["LinkBudget", "ChannelModel"]
+
+Position = Tuple[float, float]
+
+#: Callable that reports the wall materials crossed by the straight
+#: segment between two positions.  Provided by the building geometry.
+WallOracle = Callable[[Position, Position], Sequence[str]]
+
+
+@dataclass(frozen=True)
+class LinkBudget:
+    """Decomposition of one RSSI sample, for diagnostics and tests.
+
+    All values are in dB / dBm.  ``rssi`` is the final quantised value,
+    ``received`` is False when the sample was lost (below sensitivity
+    or dropped); a lost sample still carries its budget for analysis.
+    """
+
+    distance_m: float
+    tx_power_dbm: float
+    path_loss_db: float
+    wall_loss_db: float
+    shadowing_db: float
+    fading_db: float
+    rx_gain_db: float
+    noise_db: float
+    rssi: float
+    received: bool
+
+
+class ChannelModel:
+    """Statistical BLE channel between fixed beacons and mobile phones.
+
+    One instance models the whole building; per-transmitter shadowing
+    fields are created lazily and keyed by transmitter id so the field
+    is stable across calls (a static phone sees a constant shadowing
+    offset, as in the paper's static traces).
+
+    Args:
+        path_loss: log-distance model (exponent etc.).
+        shadowing_sigma_db: std-dev of the per-transmitter shadowing
+            fields; 0 disables shadowing.
+        shadowing_correlation_m: Gudmundson correlation distance.
+        fading: fast-fading model; ``None`` disables fading.
+        wall_oracle: callable returning materials crossed between two
+            positions; ``None`` means free space (no walls).
+        collision_loss_prob: probability a given advertisement is lost
+            to co-channel collisions / scanner duty-cycle misses,
+            independent of the device's own stack bugs.
+        seed: master seed for the shadowing fields.
+    """
+
+    def __init__(
+        self,
+        path_loss: Optional[LogDistancePathLoss] = None,
+        *,
+        shadowing_sigma_db: float = 3.0,
+        shadowing_correlation_m: float = 2.0,
+        fading: Optional[RicianFading] = RicianFading(k_factor=6.0),
+        wall_oracle: Optional[WallOracle] = None,
+        collision_loss_prob: float = 0.05,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 <= collision_loss_prob <= 1.0:
+            raise ValueError(
+                f"collision_loss_prob must be a probability, got {collision_loss_prob}"
+            )
+        self.path_loss = path_loss if path_loss is not None else LogDistancePathLoss()
+        self.shadowing_sigma_db = shadowing_sigma_db
+        self.shadowing_correlation_m = shadowing_correlation_m
+        self.fading = fading
+        self.wall_oracle = wall_oracle
+        self.collision_loss_prob = collision_loss_prob
+        self.seed = seed
+        self._shadow_fields: dict = {}
+
+    def _shadow_field(self, tx_id: str) -> ShadowingField:
+        if tx_id not in self._shadow_fields:
+            self._shadow_fields[tx_id] = ShadowingField(
+                sigma_db=self.shadowing_sigma_db,
+                correlation_distance_m=self.shadowing_correlation_m,
+                link_seed=derive_seed(self.seed, f"shadow-field:{tx_id}"),
+            )
+        return self._shadow_fields[tx_id]
+
+    def link_budget(
+        self,
+        tx_id: str,
+        tx_pos: Position,
+        rx_pos: Position,
+        tx_power_dbm: float,
+        device: DeviceRadioProfile,
+        rng: np.random.Generator,
+    ) -> LinkBudget:
+        """Draw one RSSI sample and return its full decomposition."""
+        dx = rx_pos[0] - tx_pos[0]
+        dy = rx_pos[1] - tx_pos[1]
+        distance = float(np.hypot(dx, dy))
+        mean_rssi = self.path_loss.rssi(max(distance, 1e-6), tx_power_dbm)
+        path_loss = tx_power_dbm - mean_rssi
+
+        walls = 0.0
+        if self.wall_oracle is not None:
+            walls = wall_loss_db(self.wall_oracle(tx_pos, rx_pos))
+
+        shadow = self._shadow_field(tx_id).sample(rx_pos[0], rx_pos[1])
+        fade = self.fading.sample_db(rng) if self.fading is not None else 0.0
+        noise = (
+            float(rng.normal(0.0, device.rssi_noise_db))
+            if device.rssi_noise_db > 0.0
+            else 0.0
+        )
+
+        raw = (
+            tx_power_dbm
+            - path_loss
+            - walls
+            + shadow
+            + fade
+            + device.rx_gain_db
+            + noise
+        )
+        rssi = device.quantise(raw)
+
+        received = rssi >= device.sensitivity_dbm
+        if received and self.collision_loss_prob > 0.0:
+            received = rng.random() >= self.collision_loss_prob
+        if received and device.extra_loss_prob > 0.0:
+            received = rng.random() >= device.extra_loss_prob
+
+        return LinkBudget(
+            distance_m=distance,
+            tx_power_dbm=tx_power_dbm,
+            path_loss_db=path_loss,
+            wall_loss_db=walls,
+            shadowing_db=shadow,
+            fading_db=fade,
+            rx_gain_db=device.rx_gain_db,
+            noise_db=noise,
+            rssi=rssi,
+            received=received,
+        )
+
+    def sample_rssi(
+        self,
+        tx_id: str,
+        tx_pos: Position,
+        rx_pos: Position,
+        tx_power_dbm: float,
+        device: DeviceRadioProfile,
+        rng: np.random.Generator,
+    ) -> Optional[float]:
+        """Draw one RSSI sample; ``None`` when the packet is lost."""
+        budget = self.link_budget(tx_id, tx_pos, rx_pos, tx_power_dbm, device, rng)
+        return budget.rssi if budget.received else None

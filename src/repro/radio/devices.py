@@ -1,0 +1,102 @@
+"""Per-device receiver radio profiles.
+
+Section VIII / Figure 11 of the paper: the same transmitter at the same
+distance produces visibly different RSSI on different handsets, because
+of antenna gain, chipset AGC and reporting quantisation.  Each profile
+bundles the receiver-side constants the channel model needs.
+
+Gains are expressed relative to the Samsung Galaxy S3 Mini, the paper's
+reference device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+__all__ = ["DeviceRadioProfile", "DEVICE_PROFILES"]
+
+
+@dataclass(frozen=True)
+class DeviceRadioProfile:
+    """Receiver-side radio characteristics of a handset.
+
+    Attributes:
+        name: device key, e.g. ``"s3_mini"``.
+        rx_gain_db: systematic RSSI offset relative to the S3 Mini;
+            positive means the device reports stronger RSSI.
+        rssi_noise_db: std-dev of measurement/quantisation noise added
+            on top of channel fading.
+        sensitivity_dbm: packets below this RSSI are undecodable.
+        rssi_quantisation_db: reporting granularity (Android reports
+            integer dBm).
+        extra_loss_prob: probability that the BLE stack silently drops
+            a successfully received advertisement ("the adapter
+            sometimes looses some samples due to bugs in the software
+            stack", paper Section V).
+    """
+
+    name: str
+    rx_gain_db: float = 0.0
+    rssi_noise_db: float = 2.0
+    sensitivity_dbm: float = -96.0
+    rssi_quantisation_db: float = 1.0
+    extra_loss_prob: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.rssi_noise_db < 0.0:
+            raise ValueError(f"rssi_noise_db must be >= 0, got {self.rssi_noise_db}")
+        if not 0.0 <= self.extra_loss_prob <= 1.0:
+            raise ValueError(
+                f"extra_loss_prob must be a probability, got {self.extra_loss_prob}"
+            )
+        if self.rssi_quantisation_db < 0.0:
+            raise ValueError(
+                f"rssi_quantisation_db must be >= 0, got {self.rssi_quantisation_db}"
+            )
+
+    def quantise(self, rssi_dbm: float) -> float:
+        """Apply the device's RSSI reporting granularity."""
+        if self.rssi_quantisation_db == 0.0:
+            return rssi_dbm
+        q = self.rssi_quantisation_db
+        return round(rssi_dbm / q) * q
+
+
+#: Profiles used in the paper's experiments plus an idealised receiver.
+#:
+#: The S3 Mini (Android 4.1) is the reference: 0 dB gain and the
+#: buggy-stack loss probability the paper complains about.  The Nexus 5
+#: reports systematically stronger RSSI (Figure 11 shows a clear gap
+#: between the two at identical distance) and has a healthier stack.
+DEVICE_PROFILES: Mapping[str, DeviceRadioProfile] = {
+    "s3_mini": DeviceRadioProfile(
+        name="s3_mini",
+        rx_gain_db=0.0,
+        rssi_noise_db=2.0,
+        sensitivity_dbm=-94.0,
+        extra_loss_prob=0.10,
+    ),
+    "nexus_5": DeviceRadioProfile(
+        name="nexus_5",
+        rx_gain_db=6.0,
+        rssi_noise_db=1.5,
+        sensitivity_dbm=-97.0,
+        extra_loss_prob=0.04,
+    ),
+    "iphone_5s": DeviceRadioProfile(
+        name="iphone_5s",
+        rx_gain_db=4.0,
+        rssi_noise_db=1.5,
+        sensitivity_dbm=-97.0,
+        extra_loss_prob=0.01,
+    ),
+    "ideal": DeviceRadioProfile(
+        name="ideal",
+        rx_gain_db=0.0,
+        rssi_noise_db=0.0,
+        sensitivity_dbm=-120.0,
+        rssi_quantisation_db=0.0,
+        extra_loss_prob=0.0,
+    ),
+}

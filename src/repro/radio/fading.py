@@ -1,0 +1,64 @@
+"""Fast (multipath) fading models.
+
+Scan-to-scan RSSI fluctuation at a *static* position - the large
+variability the paper shows in Figure 4 - is dominated by multipath
+fading plus receiver quantisation.  Indoors with a line-of-sight
+component the envelope is Rician; fully obstructed links degrade to
+Rayleigh (Rician with K = 0).
+
+Both models return a dB-scale correction: ``20*log10(envelope)`` where
+the envelope has unit mean power, so the correction has (close to)
+zero mean in the linear power domain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["RicianFading", "RayleighFading"]
+
+
+@dataclass(frozen=True)
+class RicianFading:
+    """Rician fading with factor K (linear, not dB).
+
+    K is the ratio of line-of-sight power to scattered power.  K around
+    4-12 is typical for same-room BLE links; K = 0 gives Rayleigh.
+    The sample is generated as the envelope of a complex Gaussian with
+    a deterministic LoS component, normalised to unit mean power.
+    """
+
+    k_factor: float = 6.0
+
+    def __post_init__(self) -> None:
+        if self.k_factor < 0.0:
+            raise ValueError(f"K factor must be >= 0, got {self.k_factor}")
+
+    def sample_db(self, rng: np.random.Generator, size: int = None):
+        """Draw fading corrections in dB (zero mean in linear power).
+
+        Args:
+            rng: the random stream to draw from.
+            size: ``None`` for a scalar, else the number of samples.
+        """
+        k = self.k_factor
+        # Complex channel h = sqrt(K/(K+1)) + sqrt(1/(K+1)) * CN(0,1)
+        n = 1 if size is None else int(size)
+        scatter = (rng.normal(size=n) + 1j * rng.normal(size=n)) / np.sqrt(2.0)
+        h = np.sqrt(k / (k + 1.0)) + np.sqrt(1.0 / (k + 1.0)) * scatter
+        power = np.abs(h) ** 2
+        db = 10.0 * np.log10(np.maximum(power, 1e-12))
+        if size is None:
+            return float(db[0])
+        return db
+
+
+@dataclass(frozen=True)
+class RayleighFading:
+    """Rayleigh fading (no line-of-sight component)."""
+
+    def sample_db(self, rng: np.random.Generator, size: int = None):
+        """Draw fading corrections in dB for a fully scattered link."""
+        return RicianFading(k_factor=0.0).sample_db(rng, size=size)

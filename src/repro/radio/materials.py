@@ -1,0 +1,63 @@
+"""Wall and obstruction attenuation at 2.4 GHz.
+
+The multi-wall (COST 231 / Motley-Keenan style) component of the link
+budget: each wall crossed by the straight line between transmitter and
+receiver adds a material-dependent loss.  Values are representative
+2.4 GHz per-wall losses from the indoor-propagation literature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+__all__ = ["Material", "WALL_MATERIALS", "wall_loss_db"]
+
+
+@dataclass(frozen=True)
+class Material:
+    """A wall material with its 2.4 GHz penetration loss.
+
+    Attributes:
+        name: material key.
+        loss_db: one-wall penetration loss in dB.
+    """
+
+    name: str
+    loss_db: float
+
+    def __post_init__(self) -> None:
+        if self.loss_db < 0.0:
+            raise ValueError(f"loss_db must be >= 0, got {self.loss_db}")
+
+
+#: Representative 2.4 GHz per-wall penetration losses.
+WALL_MATERIALS: Mapping[str, Material] = {
+    "drywall": Material("drywall", 3.0),
+    "glass": Material("glass", 2.0),
+    "wood": Material("wood", 4.0),
+    "brick": Material("brick", 8.0),
+    "concrete": Material("concrete", 12.0),
+    "reinforced_concrete": Material("reinforced_concrete", 20.0),
+    "metal": Material("metal", 26.0),
+    "open": Material("open", 0.0),
+}
+
+
+def wall_loss_db(materials: Iterable[str]) -> float:
+    """Total attenuation for a ray crossing the given wall materials.
+
+    Args:
+        materials: material names, one per crossed wall.
+
+    Raises:
+        KeyError: unknown material name.
+    """
+    total = 0.0
+    for name in materials:
+        if name not in WALL_MATERIALS:
+            raise KeyError(
+                f"unknown wall material {name!r}; known: {sorted(WALL_MATERIALS)}"
+            )
+        total += WALL_MATERIALS[name].loss_db
+    return total

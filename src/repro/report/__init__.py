@@ -1,0 +1,33 @@
+"""Terminal rendering of the reproduced figures.
+
+The paper's evaluation is a set of plots; this package regenerates
+them as ASCII charts so every figure can be *looked at*, not just
+summarised: time-series plots of the signal traces (Figures 4-8),
+bar charts for the accuracy and energy comparisons (Figures 9-10),
+and a full text report covering every experiment.
+"""
+
+from repro.report.ascii_plot import ascii_bar_chart, ascii_time_series
+from repro.report.figures import (
+    render_figure_4,
+    render_figure_5,
+    render_figure_6,
+    render_figure_8,
+    render_figure_9,
+    render_figure_10,
+    render_figure_11,
+    render_all_figures,
+)
+
+__all__ = [
+    "ascii_bar_chart",
+    "ascii_time_series",
+    "render_figure_4",
+    "render_figure_5",
+    "render_figure_6",
+    "render_figure_8",
+    "render_figure_9",
+    "render_figure_10",
+    "render_figure_11",
+    "render_all_figures",
+]

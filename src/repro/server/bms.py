@@ -1,0 +1,278 @@
+"""The Building Management System server.
+
+Implements the server of Section IV.B as an in-process component: it
+ingests sighting reports from phones, stores calibration fingerprints,
+trains the Scene Analysis classifier (SVM-RBF by default), answers
+occupancy queries per device and per room, and exposes the whole thing
+over the REST-like :class:`~repro.server.rest.Router` so the uplink
+models can deliver real requests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+import numpy as np
+
+from repro.ml.datasets import (
+    FingerprintDataset,
+    FingerprintVectorizer,
+    MISSING_DISTANCE_M,
+)
+from repro.ml.kernels import RbfKernel
+from repro.ml.scaling import StandardScaler
+from repro.ml.svm import SupportVectorClassifier
+from repro.server.database import Database
+from repro.server.fingerprints import FingerprintStore
+from repro.server.history import OccupancyHistory
+from repro.server.rest import HttpError, Request, Router
+
+__all__ = ["OccupancySnapshot", "BuildingManagementServer"]
+
+#: A device that has not reported for this long is dropped from the
+#: occupancy state (it left the building or its battery died).
+DEFAULT_DEVICE_TIMEOUT_S = 30.0
+
+
+@dataclass(frozen=True)
+class OccupancySnapshot:
+    """Occupancy state at one instant.
+
+    Attributes:
+        time: snapshot time, seconds.
+        devices: device_id -> estimated room label.
+        rooms: room label -> number of devices estimated there.
+    """
+
+    time: float
+    devices: Dict[str, str]
+    rooms: Dict[str, int]
+
+    def count(self, room: str) -> int:
+        """Estimated occupant count in ``room``."""
+        return self.rooms.get(room, 0)
+
+    @property
+    def total_occupants(self) -> int:
+        """Total devices currently placed in any room."""
+        return sum(self.rooms.values())
+
+
+class BuildingManagementServer:
+    """BMS: fingerprint store + classifier + live occupancy state.
+
+    Args:
+        beacon_ids: the building's installed beacons (feature space).
+        classifier: any estimator with ``fit(X, y)``/``predict(X)``;
+            defaults to the paper's SVM with RBF kernel.
+        missing_value: vectoriser fill for unseen beacons.
+        device_timeout_s: drop devices silent for this long.
+        svm_c: box constraint of the default SVM.
+        svm_gamma: RBF gamma of the default SVM.
+    """
+
+    def __init__(
+        self,
+        beacon_ids: List[str],
+        *,
+        classifier=None,
+        missing_value: float = MISSING_DISTANCE_M,
+        device_timeout_s: float = DEFAULT_DEVICE_TIMEOUT_S,
+        svm_c: float = 10.0,
+        svm_gamma: float = 0.5,
+    ) -> None:
+        if not beacon_ids:
+            raise ValueError("the building needs at least one beacon")
+        if device_timeout_s <= 0.0:
+            raise ValueError(f"device timeout must be positive, got {device_timeout_s}")
+        self.db = Database()
+        self.db.create_table("sightings", ["time", "device_id", "beacons"])
+        self.fingerprints = FingerprintStore(self.db)
+        self.vectorizer = FingerprintVectorizer(beacon_ids, missing_value=missing_value)
+        self.scaler = StandardScaler()
+        self.classifier = (
+            classifier
+            if classifier is not None
+            else SupportVectorClassifier(c=svm_c, kernel=RbfKernel(gamma=svm_gamma))
+        )
+        self.device_timeout_s = float(device_timeout_s)
+        self.history = OccupancyHistory()
+        self.trained = False
+        self._device_rooms: Dict[str, str] = {}
+        self._device_last_seen: Dict[str, float] = {}
+        self._now = 0.0
+        self.router = Router()
+        self._register_routes()
+
+    # ------------------------------------------------------------------
+    # Core operations (also reachable over the REST router)
+    # ------------------------------------------------------------------
+    def add_fingerprint(
+        self, room: str, beacons: Mapping[str, float], time: float = 0.0
+    ) -> int:
+        """Store one calibration sample; returns its row id."""
+        return self.fingerprints.add(room, beacons, time)
+
+    def train(self) -> float:
+        """Fit the classifier on all stored fingerprints.
+
+        Returns:
+            Training-set accuracy (a sanity indicator, not the
+            evaluation metric).
+
+        Raises:
+            RuntimeError: fewer than two labelled rooms stored.
+        """
+        data = self.fingerprints.dataset()
+        if len(data.classes) < 2:
+            raise RuntimeError(
+                f"need fingerprints for >= 2 labels, have {data.classes}"
+            )
+        X, y, _ = data.to_matrix(self.vectorizer)
+        if self._wants_scaling:
+            X = self.scaler.fit_transform(X)
+        self.classifier.fit(X, y)
+        self.trained = True
+        return float(np.mean(self.classifier.predict(X) == y))
+
+    @property
+    def _wants_scaling(self) -> bool:
+        """Scale-sensitive classifiers get standardised features;
+        classifiers that key on the raw missing-value sentinel (the
+        proximity baseline) opt out via ``wants_scaling = False``."""
+        return getattr(self.classifier, "wants_scaling", True)
+
+    def classify(self, beacons: Mapping[str, float]) -> str:
+        """Predict the room for one fingerprint.
+
+        Raises:
+            RuntimeError: the classifier has not been trained.
+        """
+        if not self.trained:
+            raise RuntimeError("BMS classifier is not trained; call train()")
+        row = self.vectorizer.transform_one(beacons).reshape(1, -1)
+        if self._wants_scaling:
+            row = self.scaler.transform(row)
+        return str(self.classifier.predict(row)[0])
+
+    def ingest_sighting(
+        self, device_id: str, beacons: Mapping[str, float], time: float
+    ) -> str:
+        """Store a sighting report and update the device's location.
+
+        Returns:
+            The estimated room label for the device.
+        """
+        if not device_id:
+            raise ValueError("device_id must not be empty")
+        self.db.table("sightings").insert(
+            {"time": float(time), "device_id": device_id, "beacons": dict(beacons)}
+        )
+        room = self.classify(beacons)
+        self._device_rooms[device_id] = room
+        self._device_last_seen[device_id] = float(time)
+        self._now = max(self._now, float(time))
+        return room
+
+    def _expire_devices(self, now: float) -> None:
+        cutoff = now - self.device_timeout_s
+        for device_id in list(self._device_last_seen):
+            if self._device_last_seen[device_id] < cutoff:
+                del self._device_last_seen[device_id]
+                del self._device_rooms[device_id]
+
+    def snapshot(self, now: Optional[float] = None) -> OccupancySnapshot:
+        """Current occupancy estimate (devices silent too long dropped)."""
+        now = self._now if now is None else float(now)
+        self._expire_devices(now)
+        rooms: Dict[str, int] = {}
+        for room in self._device_rooms.values():
+            rooms[room] = rooms.get(room, 0) + 1
+        return OccupancySnapshot(
+            time=now, devices=dict(self._device_rooms), rooms=rooms
+        )
+
+    def record_history(self, now: Optional[float] = None) -> OccupancySnapshot:
+        """Append the current snapshot to the occupancy history.
+
+        Returns:
+            The snapshot that was recorded.
+        """
+        snap = self.snapshot(now)
+        self.history.record(snap.time, snap.rooms)
+        return snap
+
+    def device_room(self, device_id: str) -> Optional[str]:
+        """Last estimated room of ``device_id``, or ``None``."""
+        return self._device_rooms.get(device_id)
+
+    @property
+    def sighting_count(self) -> int:
+        """Number of sighting reports stored."""
+        return len(self.db.table("sightings"))
+
+    # ------------------------------------------------------------------
+    # REST interface (Section IV.B's Flask endpoints)
+    # ------------------------------------------------------------------
+    def _register_routes(self) -> None:
+        @self.router.route("POST", "/fingerprints")
+        def post_fingerprint(request: Request, params: Dict[str, str]):
+            body = request.body or {}
+            try:
+                row_id = self.add_fingerprint(
+                    body.get("room", ""), body.get("beacons", {}),
+                    body.get("time", request.time),
+                )
+            except ValueError as exc:
+                raise HttpError(400, str(exc))
+            return {"id": row_id}
+
+        @self.router.route("POST", "/train")
+        def post_train(request: Request, params: Dict[str, str]):
+            try:
+                train_accuracy = self.train()
+            except RuntimeError as exc:
+                raise HttpError(409, str(exc))
+            return {"train_accuracy": train_accuracy}
+
+        @self.router.route("POST", "/sightings")
+        def post_sighting(request: Request, params: Dict[str, str]):
+            body = request.body or {}
+            if "device_id" not in body or "beacons" not in body:
+                raise HttpError(400, "sighting needs device_id and beacons")
+            try:
+                room = self.ingest_sighting(
+                    body["device_id"], body["beacons"], body.get("time", request.time)
+                )
+            except RuntimeError as exc:
+                raise HttpError(409, str(exc))
+            return {"room": room}
+
+        @self.router.route("GET", "/occupancy")
+        def get_occupancy(request: Request, params: Dict[str, str]):
+            snap = self.snapshot(request.time if request.time > 0 else None)
+            return {"time": snap.time, "rooms": snap.rooms, "devices": snap.devices}
+
+        @self.router.route("GET", "/occupancy/<room>")
+        def get_room(request: Request, params: Dict[str, str]):
+            snap = self.snapshot(request.time if request.time > 0 else None)
+            return {"room": params["room"], "count": snap.count(params["room"])}
+
+        @self.router.route("GET", "/devices/<device_id>/location")
+        def get_device(request: Request, params: Dict[str, str]):
+            room = self.device_room(params["device_id"])
+            if room is None:
+                raise HttpError(404, f"unknown device {params['device_id']!r}")
+            return {"device_id": params["device_id"], "room": room}
+
+        @self.router.route("GET", "/history/<room>")
+        def get_history(request: Request, params: Dict[str, str]):
+            room = params["room"]
+            return {
+                "room": room,
+                "series": self.history.series(room),
+                "peak": self.history.peak(room),
+                "mean_occupancy": self.history.mean_occupancy(room),
+                "utilisation": self.history.utilisation(room),
+            }

@@ -1,0 +1,99 @@
+"""A typed client for the BMS REST API.
+
+What the phone app and the relay board would link against in a real
+deployment: thin, validated wrappers over the REST routes, raising
+:class:`BmsApiError` on non-2xx responses instead of leaking status
+codes into application logic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.server.rest import Request, Router
+
+__all__ = ["BmsApiError", "BmsClient"]
+
+
+class BmsApiError(RuntimeError):
+    """A non-2xx response from the BMS."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"BMS returned {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class BmsClient:
+    """Client-side view of the BMS REST interface.
+
+    Args:
+        router: the server's router (the in-process stand-in for the
+            HTTP connection).
+    """
+
+    def __init__(self, router: Router) -> None:
+        self.router = router
+
+    def _call(self, method: str, path: str, body=None, time: float = 0.0):
+        response = self.router.dispatch(
+            Request(method, path, body=body, time=time)
+        )
+        if not response.ok:
+            message = ""
+            if response.body and "error" in response.body:
+                message = str(response.body["error"])
+            raise BmsApiError(response.status, message)
+        return response.body
+
+    # ------------------------------------------------------------------
+    # Calibration phase
+    # ------------------------------------------------------------------
+    def post_fingerprint(
+        self, room: str, beacons: Mapping[str, float], time: float = 0.0
+    ) -> int:
+        """Store one labelled fingerprint; returns its row id."""
+        body = self._call(
+            "POST", "/fingerprints",
+            body={"room": room, "beacons": dict(beacons), "time": time},
+        )
+        return int(body["id"])
+
+    def train(self) -> float:
+        """Trigger training; returns the training accuracy."""
+        return float(self._call("POST", "/train")["train_accuracy"])
+
+    # ------------------------------------------------------------------
+    # Online phase
+    # ------------------------------------------------------------------
+    def post_sighting(
+        self, device_id: str, beacons: Mapping[str, float], time: float
+    ) -> str:
+        """Upload one sighting; returns the estimated room."""
+        body = self._call(
+            "POST", "/sightings",
+            body={"device_id": device_id, "beacons": dict(beacons), "time": time},
+            time=time,
+        )
+        return str(body["room"])
+
+    def occupancy(self, time: float = 0.0) -> Dict[str, int]:
+        """Current per-room occupant counts."""
+        return dict(self._call("GET", "/occupancy", time=time)["rooms"])
+
+    def room_count(self, room: str, time: float = 0.0) -> int:
+        """Occupant count of one room."""
+        return int(self._call("GET", f"/occupancy/{room}", time=time)["count"])
+
+    def device_location(self, device_id: str) -> str:
+        """Last estimated room of a device.
+
+        Raises:
+            BmsApiError: unknown device (404).
+        """
+        body = self._call("GET", f"/devices/{device_id}/location")
+        return str(body["room"])
+
+    def room_history(self, room: str) -> Dict:
+        """History statistics of one room (series/peak/mean/utilisation)."""
+        return self._call("GET", f"/history/{room}")

@@ -1,0 +1,78 @@
+"""Server-side fingerprint storage.
+
+Holds the labelled samples collected during the calibration walk
+("an operator that walks around the building collecting samples ...
+associated with the specific room and sent to the server that stores
+them in the database", Section VI) and hands them to the classifier as
+a :class:`~repro.ml.datasets.FingerprintDataset`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional
+
+from repro.ml.datasets import FingerprintDataset
+from repro.server.database import Database
+
+__all__ = ["FingerprintStore"]
+
+
+class FingerprintStore:
+    """Fingerprints persisted in the BMS database.
+
+    Args:
+        db: the BMS database; a ``fingerprints`` table is created if
+            missing.
+    """
+
+    TABLE = "fingerprints"
+
+    def __init__(self, db: Database) -> None:
+        self.db = db
+        if self.TABLE not in db:
+            db.create_table(self.TABLE, ["time", "room", "beacons"])
+
+    def add(self, room: str, beacons: Mapping[str, float], time: float = 0.0) -> int:
+        """Store one labelled fingerprint; returns its row id.
+
+        Raises:
+            ValueError: empty fingerprint or blank room label.
+        """
+        if not room:
+            raise ValueError("room label must not be empty")
+        if not beacons:
+            raise ValueError("fingerprint must contain at least one beacon")
+        return self.db.table(self.TABLE).insert(
+            {"time": float(time), "room": str(room), "beacons": dict(beacons)}
+        )
+
+    def __len__(self) -> int:
+        return len(self.db.table(self.TABLE))
+
+    def rooms(self) -> List[str]:
+        """Distinct room labels stored, sorted."""
+        return sorted({row["room"] for row in self.db.table(self.TABLE)})
+
+    def count_by_room(self) -> Dict[str, int]:
+        """Stored samples per room label."""
+        counts: Dict[str, int] = {}
+        for row in self.db.table(self.TABLE):
+            counts[row["room"]] = counts.get(row["room"], 0) + 1
+        return counts
+
+    def dataset(self, rooms: Optional[List[str]] = None) -> FingerprintDataset:
+        """All stored samples as a :class:`FingerprintDataset`.
+
+        Args:
+            rooms: restrict to these labels when given.
+        """
+        data = FingerprintDataset()
+        for row in self.db.table(self.TABLE):
+            if rooms is not None and row["room"] not in rooms:
+                continue
+            data.add(row["beacons"], row["room"], row["time"])
+        return data
+
+    def clear(self) -> int:
+        """Delete all fingerprints, returning the count removed."""
+        return self.db.table(self.TABLE).delete(lambda row: True)

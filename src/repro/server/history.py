@@ -1,0 +1,111 @@
+"""Occupancy history: the time-series record behind demand response.
+
+The BMS's live snapshot answers "who is where *now*"; the HVAC
+controller and building analytics need "how has each room been used"
+- per-room occupancy time series, utilisation fractions and peaks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+__all__ = ["OccupancyHistory"]
+
+
+@dataclass(frozen=True)
+class _HistoryEntry:
+    time: float
+    rooms: Dict[str, int]
+
+
+class OccupancyHistory:
+    """Time-ordered record of room occupancy counts.
+
+    Entries are appended by the detection loop (one per scan period or
+    at any coarser cadence) and queried by room.
+    """
+
+    def __init__(self) -> None:
+        self._entries: List[_HistoryEntry] = []
+
+    def record(self, time: float, rooms: Mapping[str, int]) -> None:
+        """Append one snapshot.
+
+        Raises:
+            ValueError: out-of-order timestamp or negative count.
+        """
+        if self._entries and time < self._entries[-1].time:
+            raise ValueError(
+                f"history must be appended in time order: {time} after "
+                f"{self._entries[-1].time}"
+            )
+        if any(count < 0 for count in rooms.values()):
+            raise ValueError(f"occupancy counts must be >= 0: {dict(rooms)}")
+        self._entries.append(_HistoryEntry(time=float(time), rooms=dict(rooms)))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def span_s(self) -> float:
+        """Covered time span (0 with fewer than two entries)."""
+        if len(self._entries) < 2:
+            return 0.0
+        return self._entries[-1].time - self._entries[0].time
+
+    def series(self, room: str) -> List[Tuple[float, int]]:
+        """``(time, count)`` series for one room (0 when absent)."""
+        return [(e.time, e.rooms.get(room, 0)) for e in self._entries]
+
+    def rooms(self) -> List[str]:
+        """All rooms ever observed, sorted."""
+        seen = set()
+        for entry in self._entries:
+            seen.update(entry.rooms)
+        return sorted(seen)
+
+    def peak(self, room: str) -> int:
+        """Maximum simultaneous occupancy seen in ``room``."""
+        counts = [count for _, count in self.series(room)]
+        return max(counts) if counts else 0
+
+    def mean_occupancy(self, room: str) -> float:
+        """Time-weighted mean occupant count of ``room``.
+
+        Uses each entry's count until the next entry's time; returns 0
+        with fewer than two entries.
+        """
+        if len(self._entries) < 2:
+            return 0.0
+        weighted = 0.0
+        for current, following in zip(self._entries, self._entries[1:]):
+            weighted += current.rooms.get(room, 0) * (following.time - current.time)
+        span = self.span_s
+        return weighted / span if span > 0 else 0.0
+
+    def utilisation(self, room: str) -> float:
+        """Fraction of the covered span with at least one occupant."""
+        if len(self._entries) < 2:
+            return 0.0
+        occupied = 0.0
+        for current, following in zip(self._entries, self._entries[1:]):
+            if current.rooms.get(room, 0) > 0:
+                occupied += following.time - current.time
+        span = self.span_s
+        return occupied / span if span > 0 else 0.0
+
+    def busiest_room(self) -> Optional[str]:
+        """Room with the highest mean occupancy (``None`` when empty)."""
+        rooms = self.rooms()
+        if not rooms:
+            return None
+        return max(rooms, key=self.mean_occupancy)
+
+    def between(self, t_start: float, t_end: float) -> "OccupancyHistory":
+        """A sub-history restricted to ``[t_start, t_end]``."""
+        sub = OccupancyHistory()
+        for entry in self._entries:
+            if t_start <= entry.time <= t_end:
+                sub.record(entry.time, entry.rooms)
+        return sub

@@ -1,0 +1,140 @@
+"""REST-like request routing.
+
+Models the Flask RESTful interface of the paper's server (Section IV.B)
+without sockets: requests are dataclasses, handlers are registered on
+``(method, path)`` routes with ``<param>`` placeholders, and responses
+carry a status code and JSON-serialisable body.  The uplink models in
+:mod:`repro.comms` deliver :class:`Request` objects to a
+:class:`Router`, preserving the architecture (app -> HTTP -> BMS)
+while staying in-process.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+__all__ = ["Request", "Response", "HttpError", "Router"]
+
+
+@dataclass(frozen=True)
+class Request:
+    """An HTTP-like request.
+
+    Attributes:
+        method: GET/POST/PUT/DELETE.
+        path: request path, e.g. ``"/sightings"``.
+        body: JSON-like payload.
+        time: client send time (simulation seconds), for latency
+            accounting.
+    """
+
+    method: str
+    path: str
+    body: Optional[Dict[str, Any]] = None
+    time: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.method not in ("GET", "POST", "PUT", "DELETE"):
+            raise ValueError(f"unsupported method {self.method!r}")
+        if not self.path.startswith("/"):
+            raise ValueError(f"path must start with '/', got {self.path!r}")
+
+    @property
+    def size_bytes(self) -> int:
+        """Approximate on-wire size (for the energy/traffic models)."""
+        import json
+
+        body = json.dumps(self.body) if self.body is not None else ""
+        # Method + path + minimal headers ~ 120 bytes.
+        return 120 + len(self.path) + len(body)
+
+
+@dataclass(frozen=True)
+class Response:
+    """An HTTP-like response."""
+
+    status: int
+    body: Optional[Dict[str, Any]] = None
+
+    @property
+    def ok(self) -> bool:
+        """True for 2xx statuses."""
+        return 200 <= self.status < 300
+
+    @property
+    def size_bytes(self) -> int:
+        """Approximate on-wire size."""
+        import json
+
+        body = json.dumps(self.body) if self.body is not None else ""
+        return 80 + len(body)
+
+
+class HttpError(Exception):
+    """Raised by handlers to produce a non-2xx response."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+Handler = Callable[[Request, Dict[str, str]], Any]
+
+_PARAM_RE = re.compile(r"<([a-zA-Z_][a-zA-Z0-9_]*)>")
+
+
+class Router:
+    """Maps ``(method, path pattern)`` to handlers.
+
+    Path patterns may contain ``<name>`` placeholders matching one path
+    segment; matched values are passed to the handler as a dict.
+
+    Example:
+        >>> router = Router()
+        >>> @router.route("GET", "/rooms/<room>")
+        ... def get_room(request, params):
+        ...     return {"room": params["room"]}
+        >>> router.dispatch(Request("GET", "/rooms/kitchen")).body
+        {'room': 'kitchen'}
+    """
+
+    def __init__(self) -> None:
+        self._routes: List[Tuple[str, re.Pattern, Handler]] = []
+        self.requests_handled = 0
+
+    def route(self, method: str, pattern: str) -> Callable[[Handler], Handler]:
+        """Decorator registering a handler for ``method pattern``."""
+        regex = re.compile(
+            "^" + _PARAM_RE.sub(r"(?P<\1>[^/]+)", pattern) + "$"
+        )
+
+        def decorator(handler: Handler) -> Handler:
+            self._routes.append((method, regex, handler))
+            return handler
+
+        return decorator
+
+    def dispatch(self, request: Request) -> Response:
+        """Route a request to its handler and wrap the result.
+
+        Handler return values become 200 responses; :class:`HttpError`
+        maps to its status; unmatched paths yield 404.
+        """
+        for method, regex, handler in self._routes:
+            if method != request.method:
+                continue
+            match = regex.match(request.path)
+            if match is None:
+                continue
+            self.requests_handled += 1
+            try:
+                result = handler(request, match.groupdict())
+            except HttpError as exc:
+                return Response(status=exc.status, body={"error": exc.message})
+            if isinstance(result, Response):
+                return result
+            return Response(status=200, body=result)
+        return Response(status=404, body={"error": f"no route for {request.method} {request.path}"})

@@ -1,0 +1,12 @@
+"""Discrete-event simulation core.
+
+Provides the event-queue engine (:class:`~repro.sim.engine.Simulator`),
+a simulation clock, and deterministic per-subsystem random-number
+streams used by every other subsystem in the reproduction.
+"""
+
+from repro.sim.clock import Clock
+from repro.sim.engine import Event, Simulator
+from repro.sim.rng import RngStreams, derive_seed
+
+__all__ = ["Clock", "Event", "Simulator", "RngStreams", "derive_seed"]

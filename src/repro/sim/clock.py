@@ -1,0 +1,49 @@
+"""Simulation clock.
+
+The clock is a small mutable object shared between the simulator and
+components that need to timestamp observations (scanners, energy
+meters, the BMS database).  Time is measured in seconds since the start
+of the simulation as a ``float``.
+"""
+
+from __future__ import annotations
+
+
+class Clock:
+    """Monotonic simulation clock measured in seconds.
+
+    The clock can only move forward; attempting to set it backwards
+    raises :class:`ValueError`, which guards against event-ordering bugs
+    in the simulation engine.
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0.0:
+            raise ValueError(f"clock cannot start before zero, got {start}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    def advance_to(self, t: float) -> None:
+        """Move the clock forward to absolute time ``t`` seconds.
+
+        Raises:
+            ValueError: if ``t`` is earlier than the current time.
+        """
+        if t < self._now:
+            raise ValueError(f"clock cannot move backwards: {t} < {self._now}")
+        self._now = float(t)
+
+    def advance_by(self, dt: float) -> None:
+        """Move the clock forward by ``dt`` seconds (``dt >= 0``)."""
+        if dt < 0.0:
+            raise ValueError(f"cannot advance by a negative interval: {dt}")
+        self._now += float(dt)
+
+    def __repr__(self) -> str:
+        return f"Clock(now={self._now:.6f})"

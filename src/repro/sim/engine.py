@@ -1,0 +1,206 @@
+"""Priority-queue discrete-event simulation engine.
+
+The engine drives every time-based process in the reproduction: beacon
+advertisement transmissions, phone scan cycles, occupant waypoint
+updates, battery sampling and BMS polling.  Callbacks may schedule
+further events, which is how periodic processes are expressed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.sim.clock import Clock
+
+__all__ = ["Event", "Simulator"]
+
+EventCallback = Callable[["Simulator"], None]
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Events are ordered by ``(time, priority, sequence)``; the sequence
+    number makes ordering stable for simultaneous events of equal
+    priority (FIFO within a timestamp).
+    """
+
+    time: float
+    priority: int
+    sequence: int
+    callback: EventCallback = field(compare=False)
+    label: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the engine skips it when popped."""
+        self.cancelled = True
+
+
+class Simulator:
+    """Discrete-event simulator with a shared :class:`Clock`.
+
+    Example:
+        >>> sim = Simulator()
+        >>> hits = []
+        >>> def tick(s):
+        ...     hits.append(s.now)
+        ...     if s.now < 2.5:
+        ...         s.schedule_in(1.0, tick)
+        >>> _ = sim.schedule_at(0.0, tick)
+        >>> sim.run()
+        >>> hits
+        [0.0, 1.0, 2.0, 3.0]
+    """
+
+    def __init__(self, clock: Optional[Clock] = None) -> None:
+        self.clock = clock if clock is not None else Clock()
+        self._queue: list[Event] = []
+        self._sequence = itertools.count()
+        self._events_processed = 0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self.clock.now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of callbacks executed so far."""
+        return self._events_processed
+
+    @property
+    def pending(self) -> int:
+        """Number of scheduled (possibly cancelled) events in the queue."""
+        return len(self._queue)
+
+    def schedule_at(
+        self,
+        t: float,
+        callback: EventCallback,
+        *,
+        priority: int = 0,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``callback`` at absolute time ``t``.
+
+        Raises:
+            ValueError: if ``t`` is in the past.
+        """
+        if t < self.clock.now:
+            raise ValueError(
+                f"cannot schedule event in the past: {t} < {self.clock.now}"
+            )
+        event = Event(
+            time=float(t),
+            priority=priority,
+            sequence=next(self._sequence),
+            callback=callback,
+            label=label,
+        )
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_in(
+        self,
+        dt: float,
+        callback: EventCallback,
+        *,
+        priority: int = 0,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``callback`` ``dt`` seconds from now (``dt >= 0``)."""
+        if dt < 0.0:
+            raise ValueError(f"cannot schedule with negative delay: {dt}")
+        return self.schedule_at(
+            self.clock.now + dt, callback, priority=priority, label=label
+        )
+
+    def run(
+        self, until: Optional[float] = None, max_events: Optional[int] = None
+    ) -> None:
+        """Process events until the queue drains.
+
+        Args:
+            until: if given, stop once the next event would be after
+                ``until`` (the clock is advanced to ``until``).
+            max_events: safety valve; stop after this many callbacks.
+
+        Raises:
+            RuntimeError: if called re-entrantly from a callback.
+        """
+        if self._running:
+            raise RuntimeError("Simulator.run() is not re-entrant")
+        self._running = True
+        try:
+            processed = 0
+            while self._queue:
+                if max_events is not None and processed >= max_events:
+                    return
+                event = self._queue[0]
+                if event.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and event.time > until:
+                    break
+                heapq.heappop(self._queue)
+                self.clock.advance_to(event.time)
+                event.callback(self)
+                self._events_processed += 1
+                processed += 1
+            if until is not None and until > self.clock.now:
+                self.clock.advance_to(until)
+        finally:
+            self._running = False
+
+    def every(
+        self,
+        period: float,
+        callback: Callable[["Simulator"], None],
+        *,
+        start: Optional[float] = None,
+        until: Optional[float] = None,
+        priority: int = 0,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``callback`` periodically every ``period`` seconds.
+
+        The first firing happens at ``start`` (default: now + period).
+        When ``until`` is given, no firing is scheduled after it.
+        Returns the first :class:`Event`; cancelling it before it fires
+        stops the whole chain.
+        """
+        if period <= 0.0:
+            raise ValueError(f"period must be positive, got {period}")
+        first = self.clock.now + period if start is None else start
+
+        def repeat(sim: "Simulator") -> None:
+            callback(sim)
+            next_time = sim.now + period
+            if until is None or next_time <= until:
+                sim.schedule_at(next_time, repeat, priority=priority, label=label)
+
+        if until is not None and first > until:
+            # Return an already-cancelled placeholder so callers can
+            # uniformly hold an Event handle.
+            placeholder = Event(
+                time=first,
+                priority=priority,
+                sequence=next(self._sequence),
+                callback=repeat,
+                label=label,
+            )
+            placeholder.cancel()
+            return placeholder
+        return self.schedule_at(first, repeat, priority=priority, label=label)
+
+    def __repr__(self) -> str:
+        return (
+            f"Simulator(now={self.now:.3f}, pending={self.pending}, "
+            f"processed={self._events_processed})"
+        )

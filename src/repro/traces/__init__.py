@@ -1,0 +1,33 @@
+"""Beacon trace synthesis and persistence.
+
+The paper's evaluation rests on traces collected by walking phones
+through a building - data we cannot collect, so (per the reproduction
+plan) we *synthesize* traces through the full simulated stack and make
+them first-class artefacts: typed records, CSV/JSONL round-tripping,
+and generators for static, walk and day-long scenarios.
+"""
+
+from repro.traces.schema import TraceRecord, TraceMeta, BeaconTrace
+from repro.traces.io import read_trace_csv, read_trace_jsonl, write_trace_csv, write_trace_jsonl
+from repro.traces.analysis import BeaconStats, TraceSummary, summarise_trace
+from repro.traces.synth import (
+    synthesize_static_trace,
+    synthesize_walk_trace,
+    synthesize_calibration_trace,
+)
+
+__all__ = [
+    "TraceRecord",
+    "TraceMeta",
+    "BeaconTrace",
+    "read_trace_csv",
+    "read_trace_jsonl",
+    "write_trace_csv",
+    "write_trace_jsonl",
+    "synthesize_static_trace",
+    "synthesize_walk_trace",
+    "synthesize_calibration_trace",
+    "BeaconStats",
+    "TraceSummary",
+    "summarise_trace",
+]

@@ -1,0 +1,123 @@
+"""Trace analysis: the statistics behind the paper's signal study.
+
+Summarises a :class:`~repro.traces.schema.BeaconTrace` the way
+Section V analyses its recordings: per-beacon loss rates (the stack
+bugs), RSSI/distance spread (the fluctuation), and ranging error
+against ground truth where available.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.building.geometry import Point
+from repro.traces.schema import BeaconTrace
+
+__all__ = ["BeaconStats", "TraceSummary", "summarise_trace"]
+
+
+@dataclass(frozen=True)
+class BeaconStats:
+    """Per-beacon statistics over one trace.
+
+    Attributes:
+        beacon_id: the beacon.
+        cycles_seen: cycles with a surfaced sample.
+        loss_rate: fraction of cycles the beacon was missing.
+        rssi_mean: mean surfaced RSSI, dBm.
+        rssi_std: RSSI spread, dB.
+        distance_mean: mean estimated distance, metres.
+        distance_std: estimate spread.
+        ranging_mae: mean absolute ranging error vs ground truth
+            (``None`` when the trace has no positions).
+    """
+
+    beacon_id: str
+    cycles_seen: int
+    loss_rate: float
+    rssi_mean: float
+    rssi_std: float
+    distance_mean: float
+    distance_std: float
+    ranging_mae: Optional[float]
+
+
+@dataclass(frozen=True)
+class TraceSummary:
+    """Whole-trace statistics."""
+
+    n_cycles: int
+    duration_s: float
+    beacons: Dict[str, BeaconStats]
+
+    def worst_loss_rate(self) -> float:
+        """Highest per-beacon loss rate (0 for an empty summary)."""
+        if not self.beacons:
+            return 0.0
+        return max(b.loss_rate for b in self.beacons.values())
+
+    def to_text(self) -> str:
+        """ASCII table of the per-beacon statistics."""
+        lines = [
+            f"{'beacon':<8}{'seen':>6}{'loss':>7}{'rssi':>14}"
+            f"{'distance':>14}{'mae':>7}"
+        ]
+        for beacon_id in sorted(self.beacons):
+            b = self.beacons[beacon_id]
+            mae = f"{b.ranging_mae:.2f}" if b.ranging_mae is not None else "-"
+            lines.append(
+                f"{beacon_id:<8}{b.cycles_seen:>6}{b.loss_rate:>7.1%}"
+                f"{b.rssi_mean:>8.1f}±{b.rssi_std:<5.1f}"
+                f"{b.distance_mean:>8.2f}±{b.distance_std:<5.2f}{mae:>7}"
+            )
+        return "\n".join(lines)
+
+
+def summarise_trace(
+    trace: BeaconTrace, beacon_positions: Optional[Dict[str, Point]] = None
+) -> TraceSummary:
+    """Compute per-beacon statistics for a trace.
+
+    Args:
+        trace: the trace to analyse.
+        beacon_positions: beacon_id -> position; enables the ranging
+            MAE when the trace carries ground-truth positions.
+    """
+    n_cycles = len(trace.records)
+    beacons: Dict[str, BeaconStats] = {}
+    for beacon_id in trace.beacon_ids():
+        rssis: List[float] = []
+        distances: List[float] = []
+        errors: List[float] = []
+        seen = 0
+        for record in trace.records:
+            if beacon_id in record.rssi:
+                seen += 1
+                rssis.append(record.rssi[beacon_id])
+            if beacon_id in record.distance:
+                distances.append(record.distance[beacon_id])
+                if (
+                    beacon_positions is not None
+                    and beacon_id in beacon_positions
+                    and record.true_position is not None
+                ):
+                    true = Point(*record.true_position).distance_to(
+                        beacon_positions[beacon_id]
+                    )
+                    errors.append(abs(record.distance[beacon_id] - true))
+        beacons[beacon_id] = BeaconStats(
+            beacon_id=beacon_id,
+            cycles_seen=seen,
+            loss_rate=1.0 - seen / n_cycles if n_cycles else 0.0,
+            rssi_mean=float(np.mean(rssis)) if rssis else float("nan"),
+            rssi_std=float(np.std(rssis)) if rssis else float("nan"),
+            distance_mean=float(np.mean(distances)) if distances else float("nan"),
+            distance_std=float(np.std(distances)) if distances else float("nan"),
+            ranging_mae=float(np.mean(errors)) if errors else None,
+        )
+    return TraceSummary(
+        n_cycles=n_cycles, duration_s=trace.duration_s, beacons=beacons
+    )

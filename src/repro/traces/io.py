@@ -1,0 +1,161 @@
+"""Trace persistence: JSONL (lossless) and CSV (flat, spreadsheet-able).
+
+JSONL stores the metadata as a header line followed by one record per
+line.  CSV flattens to one row per (cycle, beacon) pair, which loses
+nothing for single-beacon analyses and keeps the files diff-friendly.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.traces.schema import BeaconTrace, TraceMeta, TraceRecord
+
+__all__ = [
+    "write_trace_jsonl",
+    "read_trace_jsonl",
+    "write_trace_csv",
+    "read_trace_csv",
+]
+
+PathLike = Union[str, Path]
+
+
+def write_trace_jsonl(trace: BeaconTrace, path: PathLike) -> None:
+    """Write a trace to JSONL (header line + one line per record)."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as fh:
+        header = {"kind": "trace-meta", **trace.meta.__dict__}
+        fh.write(json.dumps(header) + "\n")
+        for r in trace.records:
+            row = {
+                "time": r.time,
+                "device_id": r.device_id,
+                "rssi": r.rssi,
+                "distance": r.distance,
+                "true_room": r.true_room,
+                "true_position": list(r.true_position) if r.true_position else None,
+            }
+            fh.write(json.dumps(row) + "\n")
+
+
+def read_trace_jsonl(path: PathLike) -> BeaconTrace:
+    """Read a trace written by :func:`write_trace_jsonl`.
+
+    Raises:
+        ValueError: malformed header or records.
+    """
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as fh:
+        lines = [line for line in fh if line.strip()]
+    if not lines:
+        raise ValueError(f"{path} is empty")
+    header = json.loads(lines[0])
+    if header.pop("kind", None) != "trace-meta":
+        raise ValueError(f"{path} does not start with a trace-meta header")
+    meta = TraceMeta(**header)
+    trace = BeaconTrace(meta=meta)
+    for line in lines[1:]:
+        row = json.loads(line)
+        trace.append(
+            TraceRecord(
+                time=float(row["time"]),
+                device_id=row["device_id"],
+                rssi={k: float(v) for k, v in row["rssi"].items()},
+                distance={k: float(v) for k, v in row["distance"].items()},
+                true_room=row.get("true_room"),
+                true_position=(
+                    tuple(row["true_position"]) if row.get("true_position") else None
+                ),
+            )
+        )
+    return trace
+
+
+_CSV_COLUMNS = [
+    "time",
+    "device_id",
+    "beacon_id",
+    "rssi",
+    "distance",
+    "true_room",
+    "true_x",
+    "true_y",
+]
+
+
+def write_trace_csv(trace: BeaconTrace, path: PathLike) -> None:
+    """Write a trace flattened to one CSV row per (cycle, beacon)."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(_CSV_COLUMNS)
+        for r in trace.records:
+            beacons = sorted(set(r.rssi) | set(r.distance))
+            for b in beacons:
+                writer.writerow(
+                    [
+                        f"{r.time:.6f}",
+                        r.device_id,
+                        b,
+                        "" if b not in r.rssi else f"{r.rssi[b]:.3f}",
+                        "" if b not in r.distance else f"{r.distance[b]:.4f}",
+                        r.true_room or "",
+                        "" if r.true_position is None else f"{r.true_position[0]:.4f}",
+                        "" if r.true_position is None else f"{r.true_position[1]:.4f}",
+                    ]
+                )
+
+
+def read_trace_csv(path: PathLike, meta: TraceMeta = None) -> BeaconTrace:
+    """Read a flattened CSV trace back into a :class:`BeaconTrace`.
+
+    Args:
+        path: CSV file written by :func:`write_trace_csv`.
+        meta: metadata to attach (CSV does not store it); defaults to
+            a placeholder.
+    """
+    path = Path(path)
+    if meta is None:
+        meta = TraceMeta(scenario="csv-import", device="unknown", scan_period_s=0.0, seed=0)
+    rows_by_time: dict = {}
+    with path.open("r", encoding="utf-8", newline="") as fh:
+        reader = csv.DictReader(fh)
+        missing = set(_CSV_COLUMNS) - set(reader.fieldnames or [])
+        if missing:
+            raise ValueError(f"{path} is missing columns {sorted(missing)}")
+        for row in reader:
+            key = (float(row["time"]), row["device_id"])
+            entry = rows_by_time.setdefault(
+                key,
+                {
+                    "rssi": {},
+                    "distance": {},
+                    "true_room": row["true_room"] or None,
+                    "true_position": (
+                        (float(row["true_x"]), float(row["true_y"]))
+                        if row["true_x"] and row["true_y"]
+                        else None
+                    ),
+                },
+            )
+            if row["rssi"]:
+                entry["rssi"][row["beacon_id"]] = float(row["rssi"])
+            if row["distance"]:
+                entry["distance"][row["beacon_id"]] = float(row["distance"])
+    trace = BeaconTrace(meta=meta)
+    for (time, device_id), entry in sorted(rows_by_time.items()):
+        trace.append(
+            TraceRecord(
+                time=time,
+                device_id=device_id,
+                rssi=entry["rssi"],
+                distance=entry["distance"],
+                true_room=entry["true_room"],
+                true_position=entry["true_position"],
+            )
+        )
+    return trace

@@ -1,0 +1,105 @@
+"""Trace record types.
+
+A trace is a sequence of per-scan-cycle records; each record carries
+the beacons surfaced in that cycle with their raw RSSI, the filtered
+estimates, and (for synthetic traces) ground truth for evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["TraceRecord", "TraceMeta", "BeaconTrace"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One scan cycle's worth of trace data.
+
+    Attributes:
+        time: cycle end time, seconds.
+        device_id: reporting device.
+        rssi: beacon_id -> raw RSSI surfaced this cycle.
+        distance: beacon_id -> estimated distance after filtering.
+        true_room: ground-truth room label (``None`` for field traces).
+        true_position: ground-truth ``(x, y)`` (``None`` for field
+            traces).
+    """
+
+    time: float
+    device_id: str
+    rssi: Dict[str, float]
+    distance: Dict[str, float]
+    true_room: Optional[str] = None
+    true_position: Optional[tuple] = None
+
+
+@dataclass(frozen=True)
+class TraceMeta:
+    """Provenance of a trace.
+
+    Attributes:
+        scenario: generator name ("static", "walk", "calibration", ...).
+        device: handset profile name.
+        scan_period_s: scan period used.
+        seed: master seed of the generating run.
+        notes: free-form description.
+    """
+
+    scenario: str
+    device: str
+    scan_period_s: float
+    seed: int
+    notes: str = ""
+
+
+@dataclass
+class BeaconTrace:
+    """A complete trace: metadata plus ordered records."""
+
+    meta: TraceMeta
+    records: List[TraceRecord] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def append(self, record: TraceRecord) -> None:
+        """Add a record; records must be time-ordered.
+
+        Raises:
+            ValueError: out-of-order record.
+        """
+        if self.records and record.time < self.records[-1].time:
+            raise ValueError(
+                f"record at {record.time} precedes last record at "
+                f"{self.records[-1].time}"
+            )
+        self.records.append(record)
+
+    @property
+    def duration_s(self) -> float:
+        """Time span covered by the records."""
+        if not self.records:
+            return 0.0
+        return self.records[-1].time - self.records[0].time
+
+    def beacon_ids(self) -> List[str]:
+        """All beacons appearing anywhere in the trace, sorted."""
+        seen = set()
+        for r in self.records:
+            seen.update(r.rssi)
+            seen.update(r.distance)
+        return sorted(seen)
+
+    def rssi_series(self, beacon_id: str) -> List[tuple]:
+        """``(time, rssi)`` pairs for one beacon (cycles it was seen)."""
+        return [(r.time, r.rssi[beacon_id]) for r in self.records if beacon_id in r.rssi]
+
+    def distance_series(self, beacon_id: str) -> List[tuple]:
+        """``(time, distance)`` pairs for one beacon."""
+        return [
+            (r.time, r.distance[beacon_id])
+            for r in self.records
+            if beacon_id in r.distance
+        ]

@@ -1,0 +1,36 @@
+"""Movement event types."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["RoomTransition"]
+
+
+@dataclass(frozen=True)
+class RoomTransition:
+    """One occupant moving between rooms.
+
+    Attributes:
+        time: when the transition was confirmed, seconds.
+        device_id: the moving occupant's device.
+        from_room: room left (may be ``outside``).
+        to_room: room entered (may be ``outside``).
+    """
+
+    time: float
+    device_id: str
+    from_room: str
+    to_room: str
+
+    def __post_init__(self) -> None:
+        if self.from_room == self.to_room:
+            raise ValueError(
+                f"transition must change rooms, got {self.from_room!r} twice"
+            )
+
+    def __str__(self) -> str:
+        return (
+            f"{self.device_id}: {self.from_room} -> {self.to_room} "
+            f"@ {self.time:.1f}s"
+        )

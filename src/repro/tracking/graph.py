@@ -1,0 +1,55 @@
+"""Movement graphs: room-transition flow analysis (networkx).
+
+Aggregates confirmed transitions into a weighted directed graph whose
+nodes are rooms and whose edge weights are transition counts - the
+structure a building manager would query ("which corridors carry the
+most traffic?", "which rooms feed the cafeteria at noon?").
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+import networkx as nx
+
+from repro.tracking.events import RoomTransition
+
+__all__ = ["build_movement_graph", "busiest_transitions", "reachable_rooms"]
+
+
+def build_movement_graph(transitions: Iterable[RoomTransition]) -> nx.DiGraph:
+    """A directed graph with per-edge ``count`` and ``devices`` attrs."""
+    graph = nx.DiGraph()
+    for t in transitions:
+        if graph.has_edge(t.from_room, t.to_room):
+            graph[t.from_room][t.to_room]["count"] += 1
+            graph[t.from_room][t.to_room]["devices"].add(t.device_id)
+        else:
+            graph.add_edge(
+                t.from_room, t.to_room, count=1, devices={t.device_id}
+            )
+    return graph
+
+
+def busiest_transitions(
+    graph: nx.DiGraph, top: int = 5
+) -> List[Tuple[str, str, int]]:
+    """The ``top`` most-travelled room pairs as (from, to, count)."""
+    if top < 1:
+        raise ValueError(f"top must be >= 1, got {top}")
+    edges = [
+        (u, v, data["count"]) for u, v, data in graph.edges(data=True)
+    ]
+    edges.sort(key=lambda e: (-e[2], e[0], e[1]))
+    return edges[:top]
+
+
+def reachable_rooms(graph: nx.DiGraph, start: str) -> List[str]:
+    """Rooms reachable from ``start`` through observed transitions.
+
+    Raises:
+        KeyError: ``start`` never appears in the graph.
+    """
+    if start not in graph:
+        raise KeyError(f"room {start!r} has no observed transitions")
+    return sorted(nx.descendants(graph, start))

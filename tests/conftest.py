@@ -1,0 +1,30 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.building.presets import single_room, test_house, two_room_corridor
+
+
+@pytest.fixture
+def rng():
+    """A deterministic generator for channel draws in tests."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def lab_plan():
+    """Single-room plan with one beacon."""
+    return single_room()
+
+
+@pytest.fixture
+def corridor_plan():
+    """Two rooms, one beacon each."""
+    return two_room_corridor()
+
+
+@pytest.fixture
+def house_plan():
+    """The five-room classification test house."""
+    return test_house()

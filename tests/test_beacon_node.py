@@ -1,0 +1,170 @@
+"""Tests for the transmitter board: HCI stack, node, TX calibration."""
+
+import pytest
+
+from repro.beacon_node.calibration import calibrate_tx_power
+from repro.beacon_node.hci import HciError, HciStack
+from repro.beacon_node.node import BeaconNode
+from repro.building.geometry import Point
+from repro.building.presets import BUILDING_UUID
+from repro.ibeacon.packet import IBeaconPacket
+
+
+def packet(tx_power=-59):
+    return IBeaconPacket(uuid=BUILDING_UUID, major=1, minor=1, tx_power=tx_power)
+
+
+class TestHciStack:
+    def test_starts_down(self):
+        assert not HciStack().powered
+
+    def test_commands_require_power(self):
+        hci = HciStack()
+        with pytest.raises(HciError):
+            hci.set_advertising_parameters(0.1)
+        with pytest.raises(HciError):
+            hci.set_advertising_data(b"\x01")
+        with pytest.raises(HciError):
+            hci.enable_advertising()
+
+    def test_full_bringup_sequence(self):
+        hci = HciStack()
+        hci.up()
+        hci.set_advertising_parameters(0.1)
+        hci.set_advertising_data(packet().encode())
+        hci.enable_advertising()
+        assert hci.advertising
+
+    def test_enable_requires_data(self):
+        hci = HciStack()
+        hci.up()
+        with pytest.raises(HciError):
+            hci.enable_advertising()
+
+    def test_interval_range_enforced(self):
+        hci = HciStack()
+        hci.up()
+        with pytest.raises(HciError):
+            hci.set_advertising_parameters(0.001)
+        with pytest.raises(HciError):
+            hci.set_advertising_parameters(60.0)
+
+    def test_cannot_change_params_while_advertising(self):
+        hci = HciStack()
+        hci.up()
+        hci.set_advertising_parameters(0.1)
+        hci.set_advertising_data(packet().encode())
+        hci.enable_advertising()
+        with pytest.raises(HciError):
+            hci.set_advertising_parameters(0.2)
+
+    def test_payload_size_limit(self):
+        hci = HciStack()
+        hci.up()
+        with pytest.raises(HciError):
+            hci.set_advertising_data(b"\x00" * 32)
+
+    def test_empty_payload_rejected(self):
+        hci = HciStack()
+        hci.up()
+        with pytest.raises(HciError):
+            hci.set_advertising_data(b"")
+
+    def test_down_stops_advertising(self):
+        hci = HciStack()
+        hci.up()
+        hci.set_advertising_data(packet().encode())
+        hci.enable_advertising()
+        hci.down()
+        assert not hci.advertising
+        assert not hci.powered
+
+
+class TestBeaconNode:
+    def make_node(self):
+        return BeaconNode("pi-1", Point(1.0, 1.0), "kitchen")
+
+    def test_program_starts_advertising(self):
+        node = self.make_node()
+        node.program(packet())
+        assert node.is_advertising
+        assert node.packet == packet()
+
+    def test_packet_read_back_from_register(self):
+        """The reported packet is decoded from the HCI bytes."""
+        node = self.make_node()
+        node.program(packet(tx_power=-65))
+        assert node.packet.tx_power == -65
+
+    def test_reprogram_tx_power_keeps_identity(self):
+        node = self.make_node()
+        node.program(packet())
+        node.reprogram_tx_power(-70)
+        assert node.packet.tx_power == -70
+        assert node.packet.identity == packet().identity
+        assert node.is_advertising
+
+    def test_reprogram_before_program_rejected(self):
+        with pytest.raises(HciError):
+            self.make_node().reprogram_tx_power(-60)
+
+    def test_placement_carries_radiated_power(self):
+        node = BeaconNode("pi", Point(0, 0), "kitchen", radiated_power_dbm=-62.0)
+        node.program(packet(tx_power=-59))
+        placement = node.placement()
+        assert placement.effective_radiated_power_dbm == -62.0
+        assert placement.packet.tx_power == -59
+
+    def test_placement_requires_advertising(self):
+        node = self.make_node()
+        with pytest.raises(HciError):
+            node.placement()
+        node.program(packet())
+        node.shutdown()
+        with pytest.raises(HciError):
+            node.placement()
+
+    def test_relay_requires_power(self):
+        node = self.make_node()
+        with pytest.raises(HciError):
+            node.enable_relay()
+        node.program(packet())
+        node.enable_relay()
+        assert node.relay_enabled
+
+
+class TestTxPowerCalibration:
+    def run_calibration(self, device, byte_start=-45, radiated=-59.0, seed=4):
+        node = BeaconNode(
+            "pi-cal", Point(0.0, 0.0), "calibration_rig",
+            radiated_power_dbm=radiated,
+        )
+        node.program(packet(tx_power=byte_start))
+        return node, calibrate_tx_power(node, device=device, seed=seed)
+
+    def test_converges_near_one_meter(self):
+        _, result = self.run_calibration("s3_mini")
+        assert result.error_m < 0.35
+
+    def test_corrects_a_misprogrammed_byte(self):
+        """Byte starts 14 dB off; calibration must pull it toward the
+        physical radiated power (modulo channel bias at the rig)."""
+        node, result = self.run_calibration("s3_mini")
+        assert abs(result.tx_power - (-59)) <= 6
+        assert node.packet.tx_power == result.tx_power
+
+    def test_absorbs_device_gain(self):
+        """Calibrating with the hotter Nexus 5 lands on a higher byte
+        than with the S3 Mini - the Figure 11 cross-device problem."""
+        _, s3 = self.run_calibration("s3_mini")
+        _, nexus = self.run_calibration("nexus_5")
+        assert nexus.tx_power > s3.tx_power
+
+    def test_history_recorded(self):
+        _, result = self.run_calibration("s3_mini")
+        assert len(result.history) == result.iterations + 1
+
+    def test_node_left_with_final_power(self):
+        node, result = self.run_calibration("nexus_5")
+        assert node.packet.tx_power == result.tx_power
+        assert node.is_advertising

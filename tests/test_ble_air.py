@@ -1,0 +1,90 @@
+"""Tests for the air interface."""
+
+import numpy as np
+import pytest
+
+from repro.ble.air import AirInterface
+from repro.building.geometry import Point
+from repro.building.presets import single_room, two_room_corridor
+from repro.radio.channel import ChannelModel
+from repro.radio.devices import DEVICE_PROFILES
+from repro.radio.fading import RicianFading
+
+IDEAL = DEVICE_PROFILES["ideal"]
+
+
+def quiet_air(plan):
+    channel = ChannelModel(
+        shadowing_sigma_db=0.0, fading=None, collision_loss_prob=0.0
+    )
+    return AirInterface(plan, channel)
+
+
+class TestObserve:
+    def test_sees_all_advertisements_on_ideal_link(self):
+        air = quiet_air(single_room())
+        sightings = air.observe(
+            lambda t: Point(1.5, 4.0), IDEAL, 0.0, 2.0, np.random.default_rng(0)
+        )
+        # 100 ms interval over 2 s: ~20 advertisements.
+        assert 18 <= len(sightings) <= 22
+
+    def test_sightings_sorted_by_time(self):
+        air = quiet_air(two_room_corridor())
+        sightings = air.observe(
+            lambda t: Point(6.0, 1.5), IDEAL, 0.0, 5.0, np.random.default_rng(0)
+        )
+        times = [s.time for s in sightings]
+        assert times == sorted(times)
+
+    def test_sightings_carry_packet_identity(self):
+        plan = single_room()
+        air = quiet_air(plan)
+        sightings = air.observe(
+            lambda t: Point(1.5, 4.0), IDEAL, 0.0, 1.0, np.random.default_rng(0)
+        )
+        assert all(s.packet == plan.beacons[0].packet for s in sightings)
+
+    def test_true_distance_recorded(self):
+        plan = single_room()
+        air = quiet_air(plan)
+        beacon_pos = plan.beacons[0].position
+        rx = Point(beacon_pos.x + 3.0, beacon_pos.y)
+        sightings = air.observe(
+            lambda t: rx, IDEAL, 0.0, 1.0, np.random.default_rng(0)
+        )
+        assert all(s.true_distance_m == pytest.approx(3.0) for s in sightings)
+
+    def test_moving_receiver_changes_distance(self):
+        plan = single_room()
+        air = quiet_air(plan)
+        beacon_pos = plan.beacons[0].position
+
+        def walk(t):
+            return Point(beacon_pos.x + 1.0 + t, beacon_pos.y)
+
+        sightings = air.observe(walk, IDEAL, 0.0, 4.0, np.random.default_rng(0))
+        distances = [s.true_distance_m for s in sightings]
+        assert distances[0] < distances[-1]
+
+    def test_wall_oracle_installed_from_plan(self):
+        plan = two_room_corridor()
+        air = AirInterface(plan)
+        assert air.channel.wall_oracle is not None
+
+    def test_both_beacons_visible_in_corridor(self):
+        air = quiet_air(two_room_corridor())
+        sightings = air.observe(
+            lambda t: Point(6.0, 1.5), IDEAL, 0.0, 2.0, np.random.default_rng(0)
+        )
+        assert {s.beacon_id for s in sightings} == {"1-1", "1-2"}
+
+    def test_closer_beacon_is_stronger(self):
+        air = quiet_air(two_room_corridor())
+        sightings = air.observe(
+            lambda t: Point(2.0, 1.5), IDEAL, 0.0, 2.0, np.random.default_rng(0)
+        )
+        by_beacon = {}
+        for s in sightings:
+            by_beacon.setdefault(s.beacon_id, []).append(s.rssi)
+        assert np.mean(by_beacon["1-1"]) > np.mean(by_beacon["1-2"])

@@ -1,0 +1,24 @@
+"""Tests for scan settings."""
+
+import pytest
+
+from repro.ble.scanner_params import ScanSettings
+
+
+class TestScanSettings:
+    def test_defaults_match_paper(self):
+        settings = ScanSettings()
+        assert settings.scan_period_s == 2.0
+        assert settings.duty_cycle == 1.0
+
+    def test_listen_window(self):
+        assert ScanSettings(4.0, duty_cycle=0.5).listen_window_s == 2.0
+
+    def test_rejects_nonpositive_period(self):
+        with pytest.raises(ValueError):
+            ScanSettings(scan_period_s=0.0)
+
+    @pytest.mark.parametrize("duty", [0.0, 1.5, -0.2])
+    def test_rejects_bad_duty_cycle(self, duty):
+        with pytest.raises(ValueError):
+            ScanSettings(duty_cycle=duty)

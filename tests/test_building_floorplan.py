@@ -1,0 +1,133 @@
+"""Tests for rooms, walls, beacon placement and ground truth."""
+
+import pytest
+
+from repro.building.floorplan import (
+    OUTSIDE,
+    BeaconPlacement,
+    FloorPlan,
+    Room,
+    Wall,
+)
+from repro.building.geometry import Point, Segment
+from repro.building.presets import BUILDING_UUID, make_beacon
+
+
+class TestRoom:
+    def test_contains_interior(self):
+        room = Room("a", 0, 0, 4, 3)
+        assert room.contains(Point(2, 1))
+
+    def test_contains_boundary(self):
+        room = Room("a", 0, 0, 4, 3)
+        assert room.contains(Point(0, 0))
+        assert room.contains(Point(4, 3))
+
+    def test_excludes_exterior(self):
+        room = Room("a", 0, 0, 4, 3)
+        assert not room.contains(Point(5, 1))
+
+    def test_centre_and_area(self):
+        room = Room("a", 0, 0, 4, 2)
+        assert room.centre == Point(2, 1)
+        assert room.area == 8.0
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(ValueError):
+            Room("a", 0, 0, 0, 3)
+
+    def test_rejects_reserved_name(self):
+        with pytest.raises(ValueError):
+            Room(OUTSIDE, 0, 0, 1, 1)
+
+
+class TestWall:
+    def test_rejects_unknown_material(self):
+        with pytest.raises(ValueError):
+            Wall(Segment(Point(0, 0), Point(1, 0)), material="unobtanium")
+
+
+class TestBeaconPlacement:
+    def test_beacon_id_from_major_minor(self):
+        beacon = make_beacon(7, Point(1, 1), "a", major=2)
+        assert beacon.beacon_id == "2-7"
+
+    def test_rejects_nonpositive_interval(self):
+        with pytest.raises(ValueError):
+            BeaconPlacement(
+                packet=make_beacon(1, Point(0, 0), "a").packet,
+                position=Point(0, 0),
+                room="a",
+                advertising_interval_s=0.0,
+            )
+
+
+class TestFloorPlan:
+    def make_plan(self):
+        rooms = [Room("a", 0, 0, 4, 4), Room("b", 4, 0, 8, 4)]
+        walls = [Wall(Segment(Point(4, 0), Point(4, 3)), "drywall")]
+        return FloorPlan(rooms, walls)
+
+    def test_duplicate_room_names_rejected(self):
+        with pytest.raises(ValueError):
+            FloorPlan([Room("a", 0, 0, 1, 1), Room("a", 2, 0, 3, 1)])
+
+    def test_room_lookup(self):
+        plan = self.make_plan()
+        assert plan.room("a").name == "a"
+        with pytest.raises(KeyError):
+            plan.room("zzz")
+
+    def test_room_at_interior(self):
+        plan = self.make_plan()
+        assert plan.room_at(Point(1, 1)) == "a"
+        assert plan.room_at(Point(5, 1)) == "b"
+
+    def test_room_at_outside(self):
+        plan = self.make_plan()
+        assert plan.room_at(Point(100, 100)) == OUTSIDE
+
+    def test_labels_include_outside(self):
+        plan = self.make_plan()
+        assert plan.labels == ["a", "b", OUTSIDE]
+
+    def test_add_beacon_unknown_room_rejected(self):
+        plan = self.make_plan()
+        with pytest.raises(ValueError):
+            plan.add_beacon(make_beacon(1, Point(1, 1), "nope"))
+
+    def test_add_duplicate_beacon_rejected(self):
+        plan = self.make_plan()
+        plan.add_beacon(make_beacon(1, Point(1, 1), "a"))
+        with pytest.raises(ValueError):
+            plan.add_beacon(make_beacon(1, Point(2, 2), "b"))
+
+    def test_beacon_lookup(self):
+        plan = self.make_plan()
+        plan.add_beacon(make_beacon(3, Point(1, 1), "a"))
+        assert plan.beacon("1-3").room == "a"
+        with pytest.raises(KeyError):
+            plan.beacon("9-9")
+
+    def test_walls_crossed_through_divider(self):
+        plan = self.make_plan()
+        assert plan.walls_crossed((1, 1), (7, 1)) == ["drywall"]
+
+    def test_walls_crossed_through_doorway(self):
+        plan = self.make_plan()
+        # The divider stops at y=3; pass above it.
+        assert plan.walls_crossed((1, 3.5), (7, 3.5)) == []
+
+    def test_walls_crossed_same_room(self):
+        plan = self.make_plan()
+        assert plan.walls_crossed((1, 1), (2, 2)) == []
+
+    def test_bounds(self):
+        assert self.make_plan().bounds() == (0, 0, 8, 4)
+
+    def test_bounds_empty_plan_raises(self):
+        with pytest.raises(ValueError):
+            FloorPlan([]).bounds()
+
+    def test_repr_mentions_rooms(self):
+        assert "a" in repr(self.make_plan())

@@ -1,0 +1,103 @@
+"""Tests for geometry primitives."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.building.geometry import Point, Segment, segments_intersect
+
+
+class TestPoint:
+    def test_distance(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == pytest.approx(5.0)
+
+    def test_distance_symmetric(self):
+        a, b = Point(1, 2), Point(-3, 7)
+        assert a.distance_to(b) == b.distance_to(a)
+
+    def test_add_sub(self):
+        assert Point(1, 2) + Point(3, 4) == Point(4, 6)
+        assert Point(1, 2) - Point(3, 4) == Point(-2, -2)
+
+    def test_scaled(self):
+        assert Point(1, -2).scaled(3.0) == Point(3, -6)
+
+    def test_norm(self):
+        assert Point(3, 4).norm() == pytest.approx(5.0)
+
+    def test_as_tuple(self):
+        assert Point(1.5, 2.5).as_tuple() == (1.5, 2.5)
+
+
+class TestSegment:
+    def test_length(self):
+        assert Segment(Point(0, 0), Point(0, 7)).length == pytest.approx(7.0)
+
+    def test_point_at_endpoints(self):
+        seg = Segment(Point(0, 0), Point(10, 0))
+        assert seg.point_at(0.0) == Point(0, 0)
+        assert seg.point_at(1.0) == Point(10, 0)
+
+    def test_point_at_midpoint(self):
+        seg = Segment(Point(0, 0), Point(10, 4))
+        assert seg.point_at(0.5) == Point(5, 2)
+
+
+class TestIntersection:
+    def test_crossing_segments(self):
+        a = Segment(Point(0, 0), Point(2, 2))
+        b = Segment(Point(0, 2), Point(2, 0))
+        assert segments_intersect(a, b)
+
+    def test_parallel_disjoint(self):
+        a = Segment(Point(0, 0), Point(2, 0))
+        b = Segment(Point(0, 1), Point(2, 1))
+        assert not segments_intersect(a, b)
+
+    def test_touching_endpoint_counts(self):
+        a = Segment(Point(0, 0), Point(2, 0))
+        b = Segment(Point(2, 0), Point(2, 2))
+        assert segments_intersect(a, b)
+
+    def test_collinear_overlapping(self):
+        a = Segment(Point(0, 0), Point(4, 0))
+        b = Segment(Point(2, 0), Point(6, 0))
+        assert segments_intersect(a, b)
+
+    def test_collinear_disjoint(self):
+        a = Segment(Point(0, 0), Point(1, 0))
+        b = Segment(Point(2, 0), Point(3, 0))
+        assert not segments_intersect(a, b)
+
+    def test_t_junction(self):
+        wall = Segment(Point(0, 0), Point(4, 0))
+        ray = Segment(Point(2, -1), Point(2, 1))
+        assert segments_intersect(wall, ray)
+
+    def test_near_miss(self):
+        wall = Segment(Point(0, 0), Point(4, 0))
+        ray = Segment(Point(5, -1), Point(5, 1))
+        assert not segments_intersect(wall, ray)
+
+    def test_symmetric(self):
+        a = Segment(Point(0, 0), Point(2, 2))
+        b = Segment(Point(0, 2), Point(2, 0))
+        assert segments_intersect(a, b) == segments_intersect(b, a)
+
+    @given(
+        ax=st.floats(-10, 10), ay=st.floats(-10, 10),
+        bx=st.floats(-10, 10), by=st.floats(-10, 10),
+        cx=st.floats(-10, 10), cy=st.floats(-10, 10),
+        dx=st.floats(-10, 10), dy=st.floats(-10, 10),
+    )
+    def test_symmetry_property(self, ax, ay, bx, by, cx, cy, dx, dy):
+        s1 = Segment(Point(ax, ay), Point(bx, by))
+        s2 = Segment(Point(cx, cy), Point(dx, dy))
+        assert segments_intersect(s1, s2) == segments_intersect(s2, s1)
+
+    @given(
+        ax=st.floats(-10, 10), ay=st.floats(-10, 10),
+        bx=st.floats(-10, 10), by=st.floats(-10, 10),
+    )
+    def test_segment_intersects_itself(self, ax, ay, bx, by):
+        seg = Segment(Point(ax, ay), Point(bx, by))
+        assert segments_intersect(seg, seg)

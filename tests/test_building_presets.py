@@ -1,0 +1,120 @@
+"""Tests for the ready-made floor plans."""
+
+import pytest
+
+from repro.building.floorplan import OUTSIDE
+from repro.building.geometry import Point
+from repro.building.presets import (
+    BUILDING_UUID,
+    make_beacon,
+    office_floor,
+    single_room,
+    test_house as make_test_house,
+    two_room_corridor,
+)
+
+
+class TestSingleRoom:
+    def test_one_room_one_beacon(self):
+        plan = single_room()
+        assert len(plan.rooms) == 1
+        assert len(plan.beacons) == 1
+
+    def test_beacon_inside_room(self):
+        plan = single_room()
+        assert plan.room_at(plan.beacons[0].position) == "lab"
+
+
+class TestTwoRoomCorridor:
+    def test_two_rooms_two_beacons(self):
+        plan = two_room_corridor()
+        assert plan.room_names == ["room_a", "room_b"]
+        assert len(plan.beacons) == 2
+
+    def test_beacons_in_their_rooms(self):
+        plan = two_room_corridor()
+        for beacon in plan.beacons:
+            assert plan.room_at(beacon.position) == beacon.room
+
+    def test_all_beacons_share_building_uuid(self):
+        plan = two_room_corridor()
+        assert {b.packet.uuid for b in plan.beacons} == {BUILDING_UUID}
+
+
+class TestTestHouse:
+    def test_five_rooms(self):
+        plan = make_test_house()
+        assert len(plan.rooms) == 5
+
+    def test_one_beacon_per_room(self):
+        plan = make_test_house()
+        assert sorted(b.room for b in plan.beacons) == sorted(plan.room_names)
+
+    def test_beacons_placed_in_their_rooms(self):
+        plan = make_test_house()
+        for beacon in plan.beacons:
+            assert plan.room_at(beacon.position) == beacon.room
+
+    def test_rooms_partition_the_footprint(self):
+        plan = make_test_house()
+        # Probe strictly interior points (offsets avoid every wall
+        # coordinate): each must lie in exactly one room.
+        probes = [
+            Point(0.3 + 0.6 * i, 0.3 + 0.6 * j)
+            for i in range(19)
+            for j in range(12)
+        ]
+        for p in probes:
+            containing = [r.name for r in plan.rooms if r.contains(p)]
+            assert len(containing) == 1, (p, containing)
+
+    def test_exterior_point_is_outside(self):
+        plan = make_test_house()
+        assert plan.room_at(Point(-3, -3)) == OUTSIDE
+
+    def test_interior_walls_separate_living_and_kitchen(self):
+        plan = make_test_house()
+        crossed = plan.walls_crossed((3.0, 2.0), (9.0, 2.0))
+        assert "drywall" in crossed
+
+    def test_exterior_walls_are_brick(self):
+        plan = make_test_house()
+        crossed = plan.walls_crossed((6.0, 4.0), (6.0, 20.0))
+        assert "brick" in crossed
+
+    def test_custom_tx_power_propagates(self):
+        plan = make_test_house(tx_power=-65)
+        assert all(b.packet.tx_power == -65 for b in plan.beacons)
+
+
+class TestOfficeFloor:
+    def test_office_count(self):
+        plan = office_floor(4)
+        assert sum(1 for r in plan.rooms if r.name.startswith("office")) == 4
+
+    def test_has_corridor(self):
+        assert "corridor" in office_floor(3).room_names
+
+    def test_beacon_per_office_plus_corridor(self):
+        plan = office_floor(4)
+        assert len(plan.beacons) == 5
+
+    def test_rejects_zero_offices(self):
+        with pytest.raises(ValueError):
+            office_floor(0)
+
+    def test_beacons_in_their_rooms(self):
+        plan = office_floor(5)
+        for beacon in plan.beacons:
+            assert plan.room_at(beacon.position) == beacon.room
+
+
+class TestMakeBeacon:
+    def test_default_uuid_and_power(self):
+        beacon = make_beacon(1, Point(0, 0), "a")
+        assert beacon.packet.uuid == BUILDING_UUID
+        assert beacon.packet.tx_power == -59
+
+    def test_minor_becomes_identity(self):
+        beacon = make_beacon(42, Point(0, 0), "a", major=3)
+        assert beacon.beacon_id == "3-42"

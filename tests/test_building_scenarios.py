@@ -1,0 +1,76 @@
+"""Tests for the office-day scenario generator."""
+
+import pytest
+
+from repro.building.presets import office_floor
+from repro.building.scenarios import generate_office_day
+
+HOUR = 3600.0
+
+
+class TestGenerateOfficeDay:
+    def test_worker_count(self):
+        day = generate_office_day(office_floor(3), n_workers=5, seed=1)
+        assert len(day.occupants) == 5
+        assert len(day.schedules) == 5
+
+    def test_deterministic(self):
+        plan = office_floor(3)
+        a = generate_office_day(plan, n_workers=3, seed=7)
+        b = generate_office_day(plan, n_workers=3, seed=7)
+        assert a.schedules == b.schedules
+
+    def test_seed_changes_day(self):
+        plan = office_floor(3)
+        a = generate_office_day(plan, n_workers=3, seed=7)
+        b = generate_office_day(plan, n_workers=3, seed=8)
+        assert a.schedules != b.schedules
+
+    def test_everyone_starts_and_ends_outside(self):
+        plan = office_floor(3)
+        day = generate_office_day(plan, n_workers=4, seed=2)
+        for occupant in day.occupants:
+            assert occupant.room_at(0.0, plan) == "outside"
+            assert occupant.room_at(day.duration_s + HOUR, plan) == "outside"
+
+    def test_everyone_present_midmorning(self):
+        plan = office_floor(3)
+        day = generate_office_day(plan, n_workers=4, seed=2)
+        t = 3.0 * HOUR
+        present = sum(
+            1 for o in day.occupants if o.room_at(t, plan) != "outside"
+        )
+        assert present >= 3  # most of the workforce is in
+
+    def test_schedules_time_ordered(self):
+        day = generate_office_day(office_floor(2), n_workers=3, seed=4)
+        for entries in day.schedules.values():
+            times = [t for t, _ in entries]
+            assert times == sorted(times)
+
+    def test_desks_restricted_to_requested_rooms(self):
+        plan = office_floor(4)
+        day = generate_office_day(
+            plan, n_workers=3, seed=3,
+            desk_rooms=["office_1"], meeting_rooms=["office_2"],
+        )
+        for entries in day.schedules.values():
+            rooms = {room for _, room in entries}
+            assert rooms <= {"outside", "office_1", "office_2"}
+
+    def test_ground_truth_counts(self):
+        plan = office_floor(3)
+        day = generate_office_day(plan, n_workers=4, seed=2)
+        truth = day.ground_truth(plan)
+        counts = truth(3.0 * HOUR)
+        assert sum(counts.values()) >= 3
+        assert all(v >= 1 for v in counts.values())
+        # Before the day starts nobody is inside.
+        assert truth(0.0) == {}
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"n_workers": 0}, {"day_hours": 1.0}, {"desk_rooms": []}]
+    )
+    def test_bad_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            generate_office_day(office_floor(2), seed=1, **kwargs)

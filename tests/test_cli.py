@@ -1,0 +1,70 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_figures_only_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figures", "--only", "99"])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.building == "test_house"
+        assert args.classifier == "svm"
+        assert args.uplink == "bluetooth"
+
+    def test_trace_requires_output(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace"])
+
+    def test_unknown_building_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--building", "atlantis"])
+
+
+class TestCommands:
+    def test_figures_single(self, capsys):
+        assert main(["figures", "--only", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 4" in out
+
+    def test_calibrate(self, capsys):
+        assert main(["calibrate", "--device", "s3_mini"]) == 0
+        out = capsys.readouterr().out
+        assert "converged" in out
+
+    def test_trace_jsonl(self, tmp_path, capsys):
+        out_file = tmp_path / "trace.jsonl"
+        assert main([
+            "trace", "--scenario", "static", "--duration", "20",
+            str(out_file),
+        ]) == 0
+        assert out_file.exists()
+        from repro.traces import read_trace_jsonl
+
+        trace = read_trace_jsonl(out_file)
+        assert len(trace) == 10
+
+    def test_trace_csv(self, tmp_path):
+        out_file = tmp_path / "trace.csv"
+        assert main([
+            "trace", "--scenario", "static", "--duration", "20",
+            "--format", "csv", str(out_file),
+        ]) == 0
+        assert out_file.read_text().startswith("time,")
+
+    def test_simulate_small(self, capsys):
+        assert main([
+            "simulate", "--building", "two_room_corridor",
+            "--duration", "60", "--classifier", "knn", "--seed", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "accuracy" in out
+        assert "occupant-1" in out

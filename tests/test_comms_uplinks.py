@@ -1,0 +1,118 @@
+"""Tests for the Wi-Fi and Bluetooth-relay uplinks."""
+
+import numpy as np
+import pytest
+
+from repro.comms.bt_relay import BluetoothRelayUplink
+from repro.comms.wifi import WifiUplink
+from repro.phone.app import RangedBeacon, SightingReport
+from repro.server.rest import Router
+
+
+def report(time=1.0):
+    return SightingReport(
+        device_id="alice",
+        time=time,
+        beacons=[RangedBeacon("1-1", -60.0, 2.0, False)],
+    )
+
+
+def accepting_router():
+    router = Router()
+
+    @router.route("POST", "/sightings")
+    def post(request, params):
+        return {"room": "kitchen"}
+
+    return router
+
+
+class TestWifiUplink:
+    def test_delivers_to_router(self):
+        uplink = WifiUplink(accepting_router(), rng=np.random.default_rng(0))
+        response = uplink.send_report(report())
+        assert response is not None and response.ok
+        assert uplink.stats.delivered == 1
+
+    def test_energy_charged_per_message(self):
+        uplink = WifiUplink(accepting_router(), rng=np.random.default_rng(0))
+        uplink.send_report(report())
+        assert uplink.stats.energy_j > 0.0
+
+    def test_idle_power_positive(self):
+        """Wi-Fi keeps the adapter on - the paper's complaint."""
+        uplink = WifiUplink(accepting_router())
+        assert uplink.idle_power_w > 0.0
+
+    def test_charge_idle_accumulates(self):
+        uplink = WifiUplink(accepting_router())
+        energy = uplink.charge_idle(10.0)
+        assert energy == pytest.approx(uplink.idle_power_w * 10.0)
+        assert uplink.stats.energy_j == pytest.approx(energy)
+
+    def test_charge_idle_rejects_negative(self):
+        with pytest.raises(ValueError):
+            WifiUplink(accepting_router()).charge_idle(-1.0)
+
+    def test_loss_and_retry(self):
+        uplink = WifiUplink(accepting_router(), rng=np.random.default_rng(0))
+        # Instance attribute overrides the class constant.
+        uplink.LOSS_PROBABILITY = 1.0
+        assert uplink.send_report(report()) is None
+        assert uplink.stats.failed == 1
+        assert uplink.stats.retries == uplink.max_retries
+
+    def test_delivery_ratio(self):
+        uplink = WifiUplink(accepting_router(), rng=np.random.default_rng(1))
+        for k in range(20):
+            uplink.send_report(report(float(k)))
+        assert uplink.stats.delivery_ratio > 0.9
+
+    def test_rejects_negative_retries(self):
+        with pytest.raises(ValueError):
+            WifiUplink(accepting_router(), max_retries=-1)
+
+
+class TestBluetoothRelayUplink:
+    def test_delivers_via_relay(self):
+        uplink = BluetoothRelayUplink(accepting_router(), rng=np.random.default_rng(0))
+        response = uplink.send_report(report())
+        assert response is not None and response.ok
+        assert uplink.relay_requests == 1
+
+    def test_no_idle_power(self):
+        """BT connects on demand: no standing adapter cost."""
+        assert BluetoothRelayUplink(accepting_router()).idle_power_w == 0.0
+
+    def test_cheaper_per_message_than_wifi(self):
+        router = accepting_router()
+        wifi = WifiUplink(router)
+        bt = BluetoothRelayUplink(router)
+        size = 400
+        assert bt.energy_per_message_j(size) < wifi.energy_per_message_j(size)
+
+    def test_less_reliable_than_wifi(self):
+        """Paper: BT less stable due to BLE Android API bugs."""
+        assert (
+            BluetoothRelayUplink.LOSS_PROBABILITY > WifiUplink.LOSS_PROBABILITY
+        )
+
+    def test_failed_attempts_still_cost_energy(self):
+        uplink = BluetoothRelayUplink(accepting_router(), rng=np.random.default_rng(0))
+        uplink.__dict__["LOSS_PROBABILITY"] = 1.0
+        uplink.send_report(report())
+        assert uplink.stats.energy_j > 0.0
+        assert uplink.stats.delivered == 0
+
+    def test_relay_leg_failure_counts_as_failed(self):
+        uplink = BluetoothRelayUplink(accepting_router(), rng=np.random.default_rng(0))
+        uplink.__dict__["RELAY_LOSS_PROBABILITY"] = 1.0
+        assert uplink.send_report(report()) is None
+        assert uplink.stats.failed == 1
+
+    def test_long_run_delivery_ratio_reasonable(self):
+        uplink = BluetoothRelayUplink(accepting_router(), rng=np.random.default_rng(3))
+        for k in range(200):
+            uplink.send_report(report(float(k)))
+        # One retry on a 4 % loss channel: ~99.8 % delivery.
+        assert uplink.stats.delivery_ratio > 0.97

@@ -1,0 +1,98 @@
+"""Tests for calibration dataset construction."""
+
+import pytest
+
+from repro.building.presets import test_house as make_test_house
+from repro.core.calibration import dataset_from_trace, run_calibration
+from repro.traces.schema import BeaconTrace, TraceMeta, TraceRecord
+
+
+def labelled_trace():
+    trace = BeaconTrace(
+        meta=TraceMeta(scenario="t", device="d", scan_period_s=2.0, seed=0)
+    )
+    trace.append(
+        TraceRecord(
+            time=2.0, device_id="d",
+            rssi={"1-1": -60.0}, distance={"1-1": 2.0}, true_room="kitchen",
+        )
+    )
+    trace.append(
+        TraceRecord(
+            time=4.0, device_id="d",
+            rssi={"1-2": -70.0}, distance={"1-2": 5.0}, true_room="living",
+        )
+    )
+    return trace
+
+
+class TestDatasetFromTrace:
+    def test_distance_features_default(self):
+        data = dataset_from_trace(labelled_trace())
+        assert data.fingerprints[0] == {"1-1": 2.0}
+        assert data.labels == ["kitchen", "living"]
+
+    def test_rssi_features(self):
+        data = dataset_from_trace(labelled_trace(), feature="rssi")
+        assert data.fingerprints[0] == {"1-1": -60.0}
+
+    def test_rejects_unknown_feature(self):
+        with pytest.raises(ValueError):
+            dataset_from_trace(labelled_trace(), feature="barometer")
+
+    def test_rejects_unlabelled_records(self):
+        trace = BeaconTrace(
+            meta=TraceMeta(scenario="t", device="d", scan_period_s=2.0, seed=0)
+        )
+        trace.append(
+            TraceRecord(time=2.0, device_id="d", rssi={"a": -60.0},
+                        distance={"a": 2.0}, true_room=None)
+        )
+        with pytest.raises(ValueError):
+            dataset_from_trace(trace)
+
+    def test_empty_inside_cycles_skipped(self):
+        trace = labelled_trace()
+        trace.append(
+            TraceRecord(time=6.0, device_id="d", rssi={}, distance={},
+                        true_room="kitchen")
+        )
+        data = dataset_from_trace(trace)
+        assert len(data) == 2
+
+
+class TestRunCalibration:
+    def test_survey_covers_every_room(self):
+        plan = make_test_house()
+        data = run_calibration(plan, duration_s=400.0, seed=1)
+        assert set(data.classes) >= set(plan.room_names)
+
+    def test_outside_class_included_by_default(self):
+        plan = make_test_house()
+        data = run_calibration(plan, duration_s=400.0, seed=1)
+        assert "outside" in data.classes
+
+    def test_outside_can_be_excluded(self):
+        plan = make_test_house()
+        data = run_calibration(
+            plan, duration_s=400.0, seed=1, include_outside=False
+        )
+        assert "outside" not in data.classes
+
+    def test_walk_mode_supported(self):
+        plan = make_test_house()
+        data = run_calibration(
+            plan, duration_s=120.0, seed=1, mode="walk", include_outside=False
+        )
+        assert len(data) > 0
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError):
+            run_calibration(make_test_house(), mode="teleport")
+
+    def test_deterministic(self):
+        plan = make_test_house()
+        a = run_calibration(plan, duration_s=300.0, seed=2)
+        b = run_calibration(plan, duration_s=300.0, seed=2)
+        assert a.fingerprints == b.fingerprints
+        assert a.labels == b.labels

@@ -1,0 +1,48 @@
+"""Tests for the system configuration."""
+
+import pytest
+
+from repro.core.config import SystemConfig
+
+
+class TestDefaults:
+    def test_defaults_match_paper(self):
+        config = SystemConfig()
+        assert config.platform == "android"
+        assert config.device == "s3_mini"
+        assert config.scan_period_s == 2.0
+        assert config.filter_coefficient == 0.65
+        assert config.max_consecutive_losses == 2
+        assert config.classifier == "svm"
+        assert config.feature == "distance"
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            SystemConfig().platform = "ios"
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"platform": "windows_phone"},
+            {"scan_period_s": 0.0},
+            {"filter_coefficient": 1.0},
+            {"filter_coefficient": -0.1},
+            {"feature": "magnetometer"},
+            {"classifier": "decision_tree"},
+            {"uplink": "zigbee"},
+            {"path_loss_exponent": 0.0},
+        ],
+    )
+    def test_rejects_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            SystemConfig(**kwargs)
+
+    def test_accepts_all_classifiers(self):
+        for name in ("svm", "knn", "naive_bayes", "proximity"):
+            assert SystemConfig(classifier=name).classifier == name
+
+    def test_accepts_both_uplinks(self):
+        for name in ("wifi", "bluetooth"):
+            assert SystemConfig(uplink=name).uplink == name

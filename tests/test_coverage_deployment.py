@@ -1,0 +1,139 @@
+"""Tests for coverage analysis and deployment validation."""
+
+import pytest
+
+from repro.building.coverage import analyse_coverage
+from repro.building.floorplan import FloorPlan, Room
+from repro.building.geometry import Point
+from repro.building.presets import make_beacon, test_house as make_test_house
+from repro.server.deployment import DeploymentManager
+
+
+class TestCoverageGrid:
+    def test_fully_covered_house(self):
+        plan = make_test_house()
+        grid = analyse_coverage(plan, resolution_m=1.0)
+        assert grid.coverage_fraction(plan) > 0.99
+        assert grid.holes(plan) == []
+
+    def test_nearest_beacon_strongest_in_open_space(self):
+        plan = FloorPlan(
+            rooms=[Room("hall", 0, 0, 20, 4)],
+            beacons=[
+                make_beacon(1, Point(2, 2), "hall"),
+                make_beacon(2, Point(18, 2), "hall"),
+            ],
+        )
+        grid = analyse_coverage(plan, resolution_m=1.0)
+        # Points near x=2 must be served by beacon 1-1, near x=18 by 1-2.
+        j_left = int((2.0 - grid.xs[0]) / 1.0)
+        j_right = int((18.0 - grid.xs[0]) / 1.0)
+        i_mid = len(grid.ys) // 2
+        assert grid.best_beacon[i_mid, j_left] == "1-1"
+        assert grid.best_beacon[i_mid, j_right] == "1-2"
+
+    def test_weak_beacon_leaves_holes(self):
+        plan = FloorPlan(
+            rooms=[Room("barn", 0, 0, 60, 60)],
+            beacons=[
+                make_beacon(1, Point(1, 1), "barn", tx_power=-75)
+            ],
+        )
+        grid = analyse_coverage(plan, resolution_m=2.0, sensitivity_dbm=-90.0)
+        assert grid.coverage_fraction(plan) < 1.0
+        assert len(grid.holes(plan)) > 0
+
+    def test_margin_reduces_coverage(self):
+        plan = FloorPlan(
+            rooms=[Room("barn", 0, 0, 40, 40)],
+            beacons=[make_beacon(1, Point(1, 1), "barn", tx_power=-70)],
+        )
+        loose = analyse_coverage(plan, resolution_m=2.0, sensitivity_dbm=-92.0)
+        tight = analyse_coverage(
+            plan, resolution_m=2.0, sensitivity_dbm=-92.0, margin_db=15.0
+        )
+        assert tight.coverage_fraction(plan) < loose.coverage_fraction(plan)
+
+    def test_room_coverage_per_room(self):
+        plan = make_test_house()
+        grid = analyse_coverage(plan, resolution_m=1.0)
+        per_room = grid.room_coverage(plan)
+        assert set(per_room) == set(plan.room_names)
+        assert all(0.0 <= v <= 1.0 for v in per_room.values())
+
+    def test_rejects_no_beacons(self):
+        plan = FloorPlan(rooms=[Room("a", 0, 0, 4, 4)])
+        with pytest.raises(ValueError):
+            analyse_coverage(plan)
+
+    def test_rejects_bad_resolution(self):
+        with pytest.raises(ValueError):
+            analyse_coverage(make_test_house(), resolution_m=0.0)
+
+
+class TestDeploymentManager:
+    def test_complete_deployment_ok(self):
+        manager = DeploymentManager(make_test_house())
+        report = manager.validate()
+        assert report.ok
+        assert report.coverage_fraction > 0.95
+
+    def test_missing_room_beacon_is_error(self):
+        plan = FloorPlan(
+            rooms=[Room("a", 0, 0, 4, 4), Room("b", 4, 0, 8, 4)],
+            beacons=[make_beacon(1, Point(2, 2), "a")],
+        )
+        report = DeploymentManager(plan).validate()
+        assert not report.ok
+        assert any(i.room == "b" and i.severity == "error" for i in report.issues)
+        assert "b" in report.suggestions
+
+    def test_mixed_uuids_is_error(self):
+        import uuid
+
+        plan = FloorPlan(
+            rooms=[Room("a", 0, 0, 4, 4), Room("b", 4, 0, 8, 4)],
+            beacons=[
+                make_beacon(1, Point(2, 2), "a"),
+                make_beacon(2, Point(6, 2), "b", uuid=uuid.uuid4()),
+            ],
+        )
+        report = DeploymentManager(plan).validate()
+        assert not report.ok
+        assert any("UUID" in i.message for i in report.issues)
+
+    def test_register_adds_to_plan(self):
+        plan = FloorPlan(
+            rooms=[Room("a", 0, 0, 4, 4)],
+        )
+        manager = DeploymentManager(plan)
+        beacon_id = manager.register(make_beacon(9, Point(2, 2), "a"))
+        assert beacon_id == "1-9"
+        assert plan.beacon_ids == ["1-9"]
+        assert manager.registered == ["1-9"]
+
+    def test_register_duplicate_rejected(self):
+        plan = FloorPlan(rooms=[Room("a", 0, 0, 4, 4)])
+        manager = DeploymentManager(plan)
+        manager.register(make_beacon(9, Point(2, 2), "a"))
+        with pytest.raises(ValueError):
+            manager.register(make_beacon(9, Point(1, 1), "a"))
+
+    def test_undersized_beacon_warns_with_suggestion(self):
+        plan = FloorPlan(
+            rooms=[Room("barn", 0, 0, 60, 60)],
+            beacons=[make_beacon(1, Point(1, 1), "barn", tx_power=-75)],
+        )
+        report = DeploymentManager(plan).validate(
+            resolution_m=2.0, sensitivity_dbm=-85.0, margin_db=6.0
+        )
+        assert report.ok  # warnings only
+        assert any(i.severity == "warning" for i in report.issues)
+        assert "barn" in report.suggestions
+
+    def test_issue_str(self):
+        manager = DeploymentManager(
+            FloorPlan(rooms=[Room("a", 0, 0, 4, 4)])
+        )
+        report = manager.validate()
+        assert any("no beacon" in str(i) for i in report.issues)

@@ -1,0 +1,109 @@
+"""Property-based tests for cross-cutting invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.building.floorplan import FloorPlan, Room, Wall
+from repro.building.geometry import Point, Segment
+from repro.ml.datasets import FingerprintVectorizer
+from repro.server.bms import BuildingManagementServer
+from repro.server.history import OccupancyHistory
+
+coords = st.floats(-20.0, 20.0)
+
+
+class TestFloorPlanProperties:
+    @given(ax=coords, ay=coords, bx=coords, by=coords)
+    def test_walls_crossed_is_symmetric(self, ax, ay, bx, by):
+        plan = FloorPlan(
+            rooms=[Room("a", 0, 0, 10, 10)],
+            walls=[
+                Wall(Segment(Point(5, 0), Point(5, 10)), "drywall"),
+                Wall(Segment(Point(0, 5), Point(10, 5)), "brick"),
+            ],
+        )
+        forward = sorted(plan.walls_crossed((ax, ay), (bx, by)))
+        backward = sorted(plan.walls_crossed((bx, by), (ax, ay)))
+        assert forward == backward
+
+    @given(x=coords, y=coords)
+    def test_room_at_is_deterministic(self, x, y):
+        plan = FloorPlan(rooms=[Room("a", 0, 0, 5, 5), Room("b", 5, 0, 10, 5)])
+        p = Point(x, y)
+        assert plan.room_at(p) == plan.room_at(p)
+
+    @given(x=st.floats(0.01, 4.99), y=st.floats(0.01, 4.99))
+    def test_interior_points_belong_to_their_room(self, x, y):
+        plan = FloorPlan(rooms=[Room("a", 0, 0, 5, 5)])
+        assert plan.room_at(Point(x, y)) == "a"
+
+
+class TestVectorizerProperties:
+    @given(
+        values=st.dictionaries(
+            st.sampled_from(["b1", "b2", "b3"]),
+            st.floats(0.1, 50.0),
+            max_size=3,
+        )
+    )
+    def test_transform_preserves_known_values(self, values):
+        vec = FingerprintVectorizer(["b1", "b2", "b3"], missing_value=99.0)
+        row = vec.transform_one(values)
+        for i, beacon in enumerate(vec.beacon_ids):
+            if beacon in values:
+                assert row[i] == values[beacon]
+            else:
+                assert row[i] == 99.0
+
+    @given(
+        batch=st.lists(
+            st.dictionaries(
+                st.sampled_from(["b1", "b2"]), st.floats(0.1, 50.0), max_size=2
+            ),
+            max_size=6,
+        )
+    )
+    def test_batch_equals_rowwise(self, batch):
+        vec = FingerprintVectorizer(["b1", "b2"])
+        X = vec.transform(batch)
+        assert X.shape == (len(batch), 2)
+        for i, fp in enumerate(batch):
+            np.testing.assert_array_equal(X[i], vec.transform_one(fp))
+
+
+class TestBmsProperties:
+    @given(
+        queries=st.lists(
+            st.tuples(st.floats(0.1, 20.0), st.floats(0.1, 20.0)),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_classify_always_returns_known_label(self, queries):
+        bms = BuildingManagementServer(["1-1", "1-2"])
+        for i in range(6):
+            bms.add_fingerprint("kitchen", {"1-1": 1.0 + 0.2 * i, "1-2": 8.0})
+            bms.add_fingerprint("living", {"1-1": 8.0, "1-2": 1.0 + 0.2 * i})
+        bms.train()
+        for d1, d2 in queries:
+            assert bms.classify({"1-1": d1, "1-2": d2}) in ("kitchen", "living")
+
+
+class TestHistoryProperties:
+    @given(
+        counts=st.lists(
+            st.dictionaries(
+                st.sampled_from(["a", "b"]), st.integers(0, 5), max_size=2
+            ),
+            min_size=2,
+            max_size=15,
+        )
+    )
+    def test_mean_occupancy_bounded_by_peak(self, counts):
+        history = OccupancyHistory()
+        for t, rooms in enumerate(counts):
+            history.record(float(t), rooms)
+        for room in history.rooms():
+            assert history.mean_occupancy(room) <= history.peak(room)
+            assert 0.0 <= history.utilisation(room) <= 1.0

@@ -1,0 +1,32 @@
+"""Execute the doctest examples embedded in the API docstrings.
+
+Keeps the documentation honest: if a docstring example drifts from the
+code, this module fails.
+"""
+
+import doctest
+
+import pytest
+
+import repro.beacon_node.node
+import repro.filters.tracker
+import repro.server.rest
+import repro.sim.engine
+import repro.sim.rng
+import repro.tracking.tracker
+
+MODULES = [
+    repro.sim.engine,
+    repro.sim.rng,
+    repro.filters.tracker,
+    repro.server.rest,
+    repro.tracking.tracker,
+    repro.beacon_node.node,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.attempted > 0, f"{module.__name__} has no doctests"
+    assert results.failed == 0

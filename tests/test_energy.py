@@ -1,0 +1,200 @@
+"""Tests for the energy model: battery, meter, profiles, gating, logger."""
+
+import pytest
+
+from repro.energy.battery import Battery
+from repro.energy.gating import AccelerometerGate
+from repro.energy.logger import BatteryLogger
+from repro.energy.meter import EnergyMeter
+from repro.energy.profiles import PHONE_ENERGY_PROFILES, PhoneEnergyProfile
+
+
+class TestBattery:
+    def test_full_by_default(self):
+        battery = Battery(5.7)
+        assert battery.soc == 1.0
+        assert battery.remaining_j == pytest.approx(5.7 * 3600.0)
+
+    def test_partial_initial_soc(self):
+        assert Battery(5.7, initial_soc=0.5).soc == 0.5
+
+    def test_drain_reduces_charge(self):
+        battery = Battery(1.0)
+        battery.drain(1800.0)
+        assert battery.soc == pytest.approx(0.5)
+
+    def test_drain_clamps_at_empty(self):
+        battery = Battery(1.0)
+        drained = battery.drain(1e9)
+        assert drained == pytest.approx(3600.0)
+        assert battery.is_empty
+        assert battery.soc == 0.0
+
+    def test_drain_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Battery(1.0).drain(-1.0)
+
+    def test_lifetime_projection(self):
+        # 5.7 Wh at 0.57 W -> 10 h: the paper's headline battery life.
+        assert Battery(5.7).lifetime_hours(0.57) == pytest.approx(10.0)
+
+    def test_lifetime_rejects_nonpositive_power(self):
+        with pytest.raises(ValueError):
+            Battery(1.0).lifetime_hours(0.0)
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            Battery(0.0)
+
+    def test_rejects_bad_soc(self):
+        with pytest.raises(ValueError):
+            Battery(1.0, initial_soc=1.5)
+
+
+class TestEnergyMeter:
+    def test_power_charge(self):
+        meter = EnergyMeter()
+        meter.charge_power("cpu", 0.5, 10.0)
+        assert meter.total_j == pytest.approx(5.0)
+
+    def test_components_tracked_separately(self):
+        meter = EnergyMeter()
+        meter.charge_power("cpu", 1.0, 2.0)
+        meter.charge_energy("radio", 3.0)
+        breakdown = meter.breakdown()
+        assert breakdown.components_j == {"cpu": 2.0, "radio": 3.0}
+
+    def test_average_power(self):
+        meter = EnergyMeter()
+        meter.advance(10.0)
+        meter.charge_energy("cpu", 5.0)
+        assert meter.breakdown().average_power_w == pytest.approx(0.5)
+
+    def test_average_power_zero_duration(self):
+        meter = EnergyMeter()
+        meter.charge_energy("cpu", 5.0)
+        assert meter.breakdown().average_power_w == 0.0
+
+    def test_fraction(self):
+        meter = EnergyMeter()
+        meter.charge_energy("a", 3.0)
+        meter.charge_energy("b", 1.0)
+        assert meter.breakdown().fraction("a") == pytest.approx(0.75)
+        assert meter.breakdown().fraction("zzz") == 0.0
+
+    def test_battery_drained_in_step(self):
+        battery = Battery(1.0)
+        meter = EnergyMeter(battery)
+        meter.charge_energy("cpu", 360.0)
+        assert battery.soc == pytest.approx(0.9)
+
+    def test_reset(self):
+        meter = EnergyMeter()
+        meter.charge_energy("cpu", 1.0)
+        meter.advance(5.0)
+        meter.reset()
+        assert meter.total_j == 0.0
+        assert meter.duration_s == 0.0
+
+    def test_rejects_negative_power(self):
+        with pytest.raises(ValueError):
+            EnergyMeter().charge_power("x", -1.0, 1.0)
+
+    def test_rejects_negative_energy(self):
+        with pytest.raises(ValueError):
+            EnergyMeter().charge_energy("x", -1.0)
+
+    def test_breakdown_to_text(self):
+        meter = EnergyMeter()
+        meter.charge_energy("radio", 2.0)
+        assert "radio" in meter.breakdown().to_text()
+
+
+class TestProfiles:
+    def test_s3_mini_battery_matches_hardware(self):
+        # 1500 mAh at 3.8 V.
+        assert PHONE_ENERGY_PROFILES["s3_mini"].battery_wh == pytest.approx(5.7)
+
+    def test_battery_joules(self):
+        profile = PHONE_ENERGY_PROFILES["s3_mini"]
+        assert profile.battery_j == pytest.approx(5.7 * 3600.0)
+
+    def test_rejects_negative_power(self):
+        with pytest.raises(ValueError):
+            PhoneEnergyProfile(name="x", battery_wh=5.0, baseline_w=-1.0, ble_scan_w=0.1)
+
+
+class TestAccelerometerGate:
+    def test_senses_while_moving(self):
+        gate = AccelerometerGate(lambda t: True)
+        assert gate.should_sense(0.0)
+        assert gate.suppression_ratio == 0.0
+
+    def test_suppresses_after_grace(self):
+        gate = AccelerometerGate(lambda t: False, grace_period_s=5.0)
+        assert not gate.should_sense(100.0)
+        assert gate.cycles_suppressed == 1
+
+    def test_grace_period_keeps_sensing(self):
+        moving_until = 10.0
+        gate = AccelerometerGate(lambda t: t < moving_until, grace_period_s=5.0)
+        assert gate.should_sense(9.0)       # moving
+        assert gate.should_sense(12.0)      # within grace of t=9
+        assert not gate.should_sense(20.0)  # grace expired
+
+    def test_motion_resumption_reopens_gate(self):
+        calls = {"moving": False}
+        gate = AccelerometerGate(lambda t: calls["moving"], grace_period_s=1.0)
+        assert not gate.should_sense(10.0)
+        calls["moving"] = True
+        assert gate.should_sense(11.0)
+
+    def test_suppression_ratio(self):
+        # Moving for t < 4 (cycles 0-3 allowed); with zero grace the
+        # remaining 6 of 10 cycles are suppressed.
+        gate = AccelerometerGate(lambda t: t < 4.0, grace_period_s=0.0)
+        for t in range(10):
+            gate.should_sense(float(t))
+        assert gate.suppression_ratio == pytest.approx(0.6)
+
+    def test_rejects_negative_grace(self):
+        with pytest.raises(ValueError):
+            AccelerometerGate(lambda t: True, grace_period_s=-1.0)
+
+
+class TestBatteryLogger:
+    def test_samples_at_period(self):
+        battery = Battery(5.7)
+        logger = BatteryLogger(battery, period_s=10.0)
+        logger.maybe_sample(0.0)
+        battery.drain(100.0)
+        logger.maybe_sample(25.0)
+        times = [e.time for e in logger.entries]
+        assert times == [0.0, 10.0, 20.0]
+
+    def test_average_power_from_discharge(self):
+        battery = Battery(5.7)
+        logger = BatteryLogger(battery, period_s=10.0)
+        logger.maybe_sample(0.0)
+        battery.drain(57.0)
+        logger.maybe_sample(100.0)
+        assert logger.average_power_w() == pytest.approx(57.0 / 100.0, rel=0.15)
+
+    def test_average_power_needs_two_samples(self):
+        logger = BatteryLogger(Battery(1.0))
+        logger.maybe_sample(0.0)
+        with pytest.raises(ValueError):
+            logger.average_power_w()
+
+    def test_discharge_series_monotone(self):
+        battery = Battery(1.0)
+        logger = BatteryLogger(battery, period_s=1.0)
+        for t in range(5):
+            logger.maybe_sample(float(t))
+            battery.drain(10.0)
+        socs = [s for _, s in logger.discharge_series()]
+        assert socs == sorted(socs, reverse=True)
+
+    def test_rejects_bad_period(self):
+        with pytest.raises(ValueError):
+            BatteryLogger(Battery(1.0), period_s=0.0)

@@ -1,0 +1,84 @@
+"""Tests for battery discharge projection."""
+
+import pytest
+
+from repro.energy.battery import Battery
+from repro.energy.discharge import project_discharge, time_to_empty_h
+
+
+class TestProjectDischarge:
+    def test_constant_power_empties_on_schedule(self):
+        battery = Battery(1.0)  # 3600 J
+        curve = project_discharge(
+            battery, [(3600.0, 1.0)], sample_period_s=600.0
+        )
+        assert battery.is_empty
+        assert curve[-1][0] == pytest.approx(3600.0, rel=0.01)
+
+    def test_curve_monotone_decreasing(self):
+        battery = Battery(1.0)
+        curve = project_discharge(battery, [(1000.0, 2.0)], sample_period_s=100.0)
+        socs = [soc for _, soc in curve]
+        assert socs == sorted(socs, reverse=True)
+
+    def test_starts_at_full(self):
+        battery = Battery(1.0)
+        curve = project_discharge(battery, [(100.0, 1.0)], repeat=False)
+        assert curve[0] == (0.0, 1.0)
+
+    def test_piecewise_profile(self):
+        battery = Battery(1.0)
+        # 1800 J in the first hour segment, 1800 J in the second.
+        curve = project_discharge(
+            battery, [(1800.0, 1.0), (1800.0, 1.0)], sample_period_s=900.0
+        )
+        assert battery.is_empty
+        assert curve[-1][0] == pytest.approx(3600.0, rel=0.01)
+
+    def test_no_repeat_stops_after_one_pass(self):
+        battery = Battery(1.0)
+        project_discharge(battery, [(600.0, 1.0)], repeat=False)
+        assert not battery.is_empty
+        assert battery.soc == pytest.approx(1.0 - 600.0 / 3600.0)
+
+    def test_zero_power_respects_max_duration(self):
+        battery = Battery(1.0)
+        curve = project_discharge(
+            battery, [(3600.0, 0.0)], max_duration_s=7200.0,
+            sample_period_s=3600.0,
+        )
+        assert not battery.is_empty
+        assert curve[-1][0] <= 7200.0 + 1e-6
+
+    @pytest.mark.parametrize(
+        "profile",
+        [[], [(0.0, 1.0)], [(100.0, -1.0)]],
+    )
+    def test_bad_profiles_rejected(self, profile):
+        with pytest.raises(ValueError):
+            project_discharge(Battery(1.0), profile)
+
+    def test_bad_sample_period_rejected(self):
+        with pytest.raises(ValueError):
+            project_discharge(Battery(1.0), [(1.0, 1.0)], sample_period_s=0.0)
+
+
+class TestTimeToEmpty:
+    def test_paper_headline_number(self):
+        """5.7 Wh at the measured ~0.57 W -> ~10 h (Figure 10)."""
+        assert time_to_empty_h(5.7, [(1.0, 0.57)]) == pytest.approx(10.0)
+
+    def test_mixed_profile_uses_mean_power(self):
+        # Half the time 1 W, half 0 W -> mean 0.5 W.
+        hours = time_to_empty_h(1.0, [(100.0, 1.0), (100.0, 0.0)])
+        assert hours == pytest.approx(2.0)
+
+    def test_zero_power_is_infinite(self):
+        assert time_to_empty_h(1.0, [(100.0, 0.0)]) == float("inf")
+
+    def test_single_pass_insufficient_is_infinite(self):
+        assert time_to_empty_h(1.0, [(60.0, 1.0)], repeat=False) == float("inf")
+
+    def test_single_pass_sufficient(self):
+        hours = time_to_empty_h(1.0, [(7200.0, 1.0)], repeat=False)
+        assert hours == pytest.approx(1.0, rel=0.01)

@@ -1,0 +1,180 @@
+"""Tests for the scalar filters."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.filters.base import RawFilter
+from repro.filters.ewma import PAPER_COEFFICIENT, EwmaFilter
+from repro.filters.kalman import Kalman1DFilter
+from repro.filters.moving_average import MovingAverageFilter
+
+finite_floats = st.floats(-1000.0, 1000.0)
+
+
+class TestRawFilter:
+    def test_passthrough(self):
+        f = RawFilter()
+        assert f.update(3.0) == 3.0
+        assert f.update(-7.5) == -7.5
+
+    def test_value_before_update_raises(self):
+        with pytest.raises(ValueError):
+            RawFilter().value
+
+    def test_reset(self):
+        f = RawFilter()
+        f.update(1.0)
+        f.reset()
+        with pytest.raises(ValueError):
+            f.value
+
+    def test_clone_is_fresh(self):
+        f = RawFilter()
+        f.update(5.0)
+        clone = f.clone()
+        with pytest.raises(ValueError):
+            clone.value
+
+
+class TestEwmaFilter:
+    def test_paper_coefficient_constant(self):
+        assert PAPER_COEFFICIENT == 0.65
+
+    def test_first_update_initialises_directly(self):
+        f = EwmaFilter(0.65)
+        assert f.update(-60.0) == -60.0
+
+    def test_recurrence_matches_paper_formula(self):
+        """p_i = c * p_{i-1} + (1 - c) * v_i."""
+        f = EwmaFilter(0.65)
+        f.update(-60.0)
+        assert f.update(-70.0) == pytest.approx(0.65 * -60.0 + 0.35 * -70.0)
+
+    def test_zero_coefficient_is_raw(self):
+        f = EwmaFilter(0.0)
+        f.update(1.0)
+        assert f.update(9.0) == 9.0
+
+    @pytest.mark.parametrize("coeff", [-0.1, 1.0, 1.5])
+    def test_rejects_bad_coefficient(self, coeff):
+        with pytest.raises(ValueError):
+            EwmaFilter(coeff)
+
+    def test_higher_coefficient_smooths_more(self):
+        rng = np.random.default_rng(0)
+        noise = rng.normal(0.0, 1.0, 200)
+        smooth = EwmaFilter(0.9)
+        rough = EwmaFilter(0.2)
+        out_smooth = [smooth.update(v) for v in noise]
+        out_rough = [rough.update(v) for v in noise]
+        assert np.std(out_smooth[50:]) < np.std(out_rough[50:])
+
+    @given(values=st.lists(finite_floats, min_size=1, max_size=50))
+    def test_output_bounded_by_input_range(self, values):
+        """EWMA output is a convex combination of past inputs."""
+        f = EwmaFilter(0.65)
+        for v in values:
+            out = f.update(v)
+            assert min(values) - 1e-9 <= out <= max(values) + 1e-9
+
+    @given(
+        constant=finite_floats,
+        n=st.integers(1, 30),
+        coeff=st.floats(0.0, 0.99),
+    )
+    def test_constant_input_is_fixed_point(self, constant, n, coeff):
+        f = EwmaFilter(coeff)
+        for _ in range(n):
+            out = f.update(constant)
+        assert out == pytest.approx(constant, abs=1e-6)
+
+    def test_clone_preserves_coefficient(self):
+        assert EwmaFilter(0.3).clone().coefficient == 0.3
+
+
+class TestMovingAverage:
+    def test_window_mean(self):
+        f = MovingAverageFilter(3)
+        f.update(1.0)
+        f.update(2.0)
+        assert f.update(3.0) == pytest.approx(2.0)
+        assert f.update(4.0) == pytest.approx(3.0)
+
+    def test_partial_window(self):
+        f = MovingAverageFilter(10)
+        assert f.update(4.0) == 4.0
+        assert f.update(6.0) == 5.0
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            MovingAverageFilter(0)
+
+    def test_reset_clears_buffer(self):
+        f = MovingAverageFilter(3)
+        f.update(100.0)
+        f.reset()
+        assert f.update(2.0) == 2.0
+
+    @given(values=st.lists(finite_floats, min_size=1, max_size=50))
+    def test_output_bounded_by_window_range(self, values):
+        f = MovingAverageFilter(5)
+        for i, v in enumerate(values):
+            out = f.update(v)
+            window = values[max(0, i - 4) : i + 1]
+            assert min(window) - 1e-9 <= out <= max(window) + 1e-9
+
+
+class TestKalman:
+    def test_first_update_initialises(self):
+        f = Kalman1DFilter()
+        assert f.update(-60.0) == -60.0
+
+    def test_converges_to_constant_signal(self):
+        f = Kalman1DFilter(process_variance=0.01, measurement_variance=4.0)
+        rng = np.random.default_rng(1)
+        out = None
+        for _ in range(300):
+            out = f.update(-60.0 + rng.normal(0, 2.0))
+        assert out == pytest.approx(-60.0, abs=1.5)
+
+    def test_variance_shrinks_with_updates(self):
+        f = Kalman1DFilter()
+        f.update(0.0)
+        v1 = f.variance
+        for _ in range(10):
+            f.update(0.0)
+        assert f.variance < v1
+
+    def test_tracks_step_change(self):
+        f = Kalman1DFilter(process_variance=1.0, measurement_variance=1.0)
+        for _ in range(20):
+            f.update(0.0)
+        for _ in range(20):
+            out = f.update(10.0)
+        assert out > 8.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"process_variance": 0.0},
+            {"measurement_variance": -1.0},
+            {"initial_variance": 0.0},
+        ],
+    )
+    def test_rejects_bad_variances(self, kwargs):
+        with pytest.raises(ValueError):
+            Kalman1DFilter(**kwargs)
+
+    def test_reset_restores_prior(self):
+        f = Kalman1DFilter()
+        f.update(5.0)
+        f.reset()
+        assert f.variance == f.initial_variance
+
+    def test_clone_preserves_config(self):
+        f = Kalman1DFilter(0.3, 2.0, 50.0)
+        clone = f.clone()
+        assert clone.process_variance == 0.3
+        assert clone.measurement_variance == 2.0
+        assert clone.initial_variance == 50.0

@@ -1,0 +1,124 @@
+"""Tests for the per-beacon tracker and the paper's loss policy."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.filters.ewma import EwmaFilter
+from repro.filters.base import RawFilter
+from repro.filters.tracker import (
+    PAPER_MAX_CONSECUTIVE_LOSSES,
+    BeaconTracker,
+    paper_filter_bank,
+)
+
+
+class TestBasicTracking:
+    def test_new_beacon_appears(self):
+        tracker = BeaconTracker()
+        estimates = tracker.update({"1-1": -60.0})
+        assert estimates["1-1"].value == -60.0
+        assert not estimates["1-1"].held
+
+    def test_each_beacon_gets_own_filter(self):
+        tracker = BeaconTracker(prototype=EwmaFilter(0.5))
+        tracker.update({"a": 0.0, "b": 100.0})
+        estimates = tracker.update({"a": 10.0, "b": 110.0})
+        assert estimates["a"].value == pytest.approx(5.0)
+        assert estimates["b"].value == pytest.approx(105.0)
+
+    def test_live_beacons_sorted(self):
+        tracker = BeaconTracker()
+        tracker.update({"b": 1.0, "a": 2.0})
+        assert tracker.live_beacons == ["a", "b"]
+
+    def test_reset_clears(self):
+        tracker = BeaconTracker()
+        tracker.update({"a": 1.0})
+        tracker.reset()
+        assert tracker.live_beacons == []
+
+
+class TestPaperLossPolicy:
+    """Section V: remove only after the second consecutive loss."""
+
+    def test_value_held_through_single_loss(self):
+        tracker = paper_filter_bank()
+        tracker.update({"1-1": -60.0})
+        estimates = tracker.update({})
+        assert estimates["1-1"].value == -60.0
+        assert estimates["1-1"].held
+        assert estimates["1-1"].consecutive_losses == 1
+
+    def test_evicted_after_second_consecutive_loss(self):
+        tracker = paper_filter_bank()
+        tracker.update({"1-1": -60.0})
+        tracker.update({})
+        estimates = tracker.update({})
+        assert estimates == {}
+
+    def test_reappearance_resets_loss_counter(self):
+        tracker = paper_filter_bank()
+        tracker.update({"1-1": -60.0})
+        tracker.update({})  # loss 1
+        tracker.update({"1-1": -62.0})  # seen again
+        estimates = tracker.update({})  # loss 1 again, still held
+        assert "1-1" in estimates
+        assert estimates["1-1"].consecutive_losses == 1
+
+    def test_paper_threshold_is_two(self):
+        assert PAPER_MAX_CONSECUTIVE_LOSSES == 2
+
+    def test_custom_threshold(self):
+        tracker = BeaconTracker(max_consecutive_losses=3)
+        tracker.update({"a": 1.0})
+        tracker.update({})
+        tracker.update({})
+        assert "a" in tracker.estimates()
+        tracker.update({})
+        assert tracker.estimates() == {}
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError):
+            BeaconTracker(max_consecutive_losses=0)
+
+    def test_loss_does_not_advance_filter_state(self):
+        """A held value must be the last filtered value, unchanged."""
+        tracker = BeaconTracker(prototype=EwmaFilter(0.5))
+        tracker.update({"a": 10.0})
+        tracker.update({"a": 20.0})  # filtered: 15
+        held = tracker.update({})["a"].value
+        assert held == pytest.approx(15.0)
+        # On reappearance the filter continues from 15.
+        back = tracker.update({"a": 25.0})["a"].value
+        assert back == pytest.approx(20.0)
+
+
+class TestIndependence:
+    def test_loss_of_one_beacon_does_not_affect_other(self):
+        tracker = paper_filter_bank()
+        tracker.update({"a": 1.0, "b": 2.0})
+        tracker.update({"a": 1.0})
+        tracker.update({"a": 1.0})
+        estimates = tracker.estimates()
+        assert "a" in estimates
+        assert "b" not in estimates
+
+    @given(
+        streams=st.lists(
+            st.dictionaries(
+                st.sampled_from(["a", "b", "c"]), st.floats(-100, 0), max_size=3
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    def test_live_beacons_were_seen_recently(self, streams):
+        """Invariant: every live beacon was measured within the last
+        max_consecutive_losses cycles."""
+        tracker = BeaconTracker(prototype=RawFilter(), max_consecutive_losses=2)
+        history = []
+        for measurements in streams:
+            history.append(set(measurements))
+            tracker.update(measurements)
+            recent = set().union(*history[-2:])
+            assert set(tracker.live_beacons) <= recent

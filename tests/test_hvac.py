@@ -1,0 +1,151 @@
+"""Tests for the HVAC thermal model and demand-response controller."""
+
+import pytest
+
+from repro.hvac.controller import OccupancySetbackController, ThermostatConfig
+from repro.hvac.simulation import simulate_hvac_day
+from repro.hvac.thermal import RoomThermalModel
+
+
+class TestThermalModel:
+    def test_cools_toward_outdoor_without_heating(self):
+        room = RoomThermalModel("r", temperature_c=20.0)
+        for _ in range(600):
+            room.step(60.0, outdoor_c=0.0, heating_on=False)
+        assert room.temperature_c < 20.0
+
+    def test_heats_when_on(self):
+        room = RoomThermalModel("r", temperature_c=16.0)
+        before = room.temperature_c
+        room.step(600.0, outdoor_c=10.0, heating_on=True)
+        assert room.temperature_c > before
+
+    def test_occupants_add_heat(self):
+        warm = RoomThermalModel("r", temperature_c=20.0)
+        cold = RoomThermalModel("r", temperature_c=20.0)
+        warm.step(600.0, outdoor_c=20.0, heating_on=False, occupants=5)
+        cold.step(600.0, outdoor_c=20.0, heating_on=False, occupants=0)
+        assert warm.temperature_c > cold.temperature_c
+
+    def test_energy_accounting(self):
+        room = RoomThermalModel("r", heater_power_w=2000.0)
+        energy = room.step(60.0, outdoor_c=0.0, heating_on=True)
+        assert energy == pytest.approx(2000.0 * 60.0)
+        assert room.step(60.0, outdoor_c=0.0, heating_on=False) == 0.0
+
+    def test_equilibrium_is_outdoor_when_off(self):
+        room = RoomThermalModel("r", temperature_c=25.0)
+        for _ in range(100000):
+            room.step(600.0, outdoor_c=5.0, heating_on=False)
+        assert room.temperature_c == pytest.approx(5.0, abs=0.5)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            RoomThermalModel("r", thermal_resistance_k_per_w=0.0)
+        with pytest.raises(ValueError):
+            RoomThermalModel("r", thermal_capacity_j_per_k=-1.0)
+
+    def test_rejects_bad_step(self):
+        room = RoomThermalModel("r")
+        with pytest.raises(ValueError):
+            room.step(0.0, 0.0, False)
+        with pytest.raises(ValueError):
+            room.step(60.0, 0.0, False, occupants=-1)
+
+
+class TestController:
+    def test_occupied_room_uses_comfort_setpoint(self):
+        ctrl = OccupancySetbackController()
+        assert ctrl.setpoint_for(True) == ctrl.config.comfort_c
+
+    def test_empty_room_uses_setback(self):
+        ctrl = OccupancySetbackController()
+        assert ctrl.setpoint_for(False) == ctrl.config.setback_c
+
+    def test_baseline_ignores_occupancy(self):
+        ctrl = OccupancySetbackController(always_comfort=True)
+        assert ctrl.setpoint_for(False) == ctrl.config.comfort_c
+
+    def test_heats_cold_occupied_room(self):
+        ctrl = OccupancySetbackController()
+        assert ctrl.heating_command("r", 15.0, occupied=True)
+
+    def test_does_not_heat_warm_room(self):
+        ctrl = OccupancySetbackController()
+        assert not ctrl.heating_command("r", 25.0, occupied=True)
+
+    def test_hysteresis_prevents_chatter(self):
+        config = ThermostatConfig(comfort_c=21.0, deadband_c=0.5)
+        ctrl = OccupancySetbackController(config)
+        assert ctrl.heating_command("r", 20.0, True)   # cold: on
+        assert ctrl.heating_command("r", 21.2, True)   # within band: stays on
+        assert not ctrl.heating_command("r", 21.6, True)  # above band: off
+        assert not ctrl.heating_command("r", 20.8, True)  # within band: stays off
+        assert ctrl.heating_command("r", 20.4, True)   # below band: on
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ThermostatConfig(comfort_c=20.0, setback_c=22.0)
+        with pytest.raises(ValueError):
+            ThermostatConfig(deadband_c=0.0)
+
+
+class TestDaySimulation:
+    def occupancy(self, t):
+        """One office occupied 9:00-17:00, the other always empty."""
+        hour = (t / 3600.0) % 24
+        return {"office_1": 1 if 9 <= hour < 17 else 0, "office_2": 0}
+
+    def test_occupancy_control_saves_energy(self):
+        rooms = ["office_1", "office_2"]
+        baseline = simulate_hvac_day(
+            rooms, self.occupancy, policy="baseline", duration_s=86400.0
+        )
+        oracle = simulate_hvac_day(
+            rooms, self.occupancy, policy="oracle", duration_s=86400.0
+        )
+        assert oracle.hvac_energy_kwh < baseline.hvac_energy_kwh
+
+    def test_empty_room_dominates_savings(self):
+        rooms = ["office_1", "office_2"]
+        oracle = simulate_hvac_day(
+            rooms, self.occupancy, policy="oracle", duration_s=86400.0
+        )
+        assert oracle.room_energy_kwh["office_2"] < oracle.room_energy_kwh["office_1"]
+
+    def test_baseline_has_no_comfort_violations_at_steady_state(self):
+        rooms = ["office_1"]
+        result = simulate_hvac_day(
+            rooms,
+            self.occupancy,
+            policy="baseline",
+            duration_s=86400.0,
+            initial_temperature_c=21.0,
+        )
+        assert result.comfort_violation_degree_hours < 1.0
+
+    def test_false_negative_belief_causes_discomfort(self):
+        """Believing an occupied room empty - the paper's bad case."""
+        rooms = ["office_1"]
+        blind = simulate_hvac_day(
+            rooms,
+            self.occupancy,
+            believed_occupancy_fn=lambda t: {"office_1": 0},
+            policy="detected",
+            duration_s=86400.0,
+        )
+        oracle = simulate_hvac_day(
+            rooms, self.occupancy, policy="oracle", duration_s=86400.0
+        )
+        assert (
+            blind.comfort_violation_degree_hours
+            > oracle.comfort_violation_degree_hours
+        )
+
+    def test_result_fields(self):
+        result = simulate_hvac_day(
+            ["office_1"], self.occupancy, duration_s=3600.0
+        )
+        assert result.policy == "detected"
+        assert result.hvac_energy_kwh >= 0.0
+        assert set(result.room_energy_kwh) == {"office_1"}

@@ -1,0 +1,78 @@
+"""Tests for the AltBeacon packet variant."""
+
+import uuid
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ibeacon.altbeacon import (
+    ALTBEACON_CODE,
+    AltBeaconPacket,
+    decode_altbeacon,
+)
+from repro.ibeacon.packet import IBeaconPacket, PacketDecodeError
+
+UUID_A = uuid.UUID("f7826da6-4fa2-4e98-8024-bc5b71e0893e")
+
+
+def make(**overrides):
+    fields = dict(uuid=UUID_A, major=1, minor=2, tx_power=-59)
+    fields.update(overrides)
+    return AltBeaconPacket(**fields)
+
+
+class TestEncoding:
+    def test_length_is_28(self):
+        assert len(make().encode()) == 28
+
+    def test_beacon_code_present(self):
+        assert make().encode()[4:6] == ALTBEACON_CODE
+
+    def test_default_mfg_id_is_radius_networks(self):
+        payload = make().encode()
+        assert int.from_bytes(payload[2:4], "little") == 0x0118
+
+    def test_roundtrip(self):
+        packet = make(major=500, minor=65535, tx_power=-90, mfg_reserved=0x7F)
+        assert decode_altbeacon(packet.encode()) == packet
+
+
+class TestValidation:
+    def test_rejects_wrong_length(self):
+        with pytest.raises(PacketDecodeError):
+            decode_altbeacon(b"\x00" * 27)
+
+    def test_rejects_missing_beacon_code(self):
+        payload = bytearray(make().encode())
+        payload[4] = 0x00
+        with pytest.raises(PacketDecodeError):
+            decode_altbeacon(bytes(payload))
+
+    def test_rejects_bad_reserved_byte(self):
+        with pytest.raises(ValueError):
+            make(mfg_reserved=256)
+
+    def test_rejects_bad_tx_power(self):
+        with pytest.raises(ValueError):
+            make(tx_power=-200)
+
+
+class TestInterop:
+    def test_to_ibeacon_preserves_identity(self):
+        alt = make(major=7, minor=9)
+        ib = alt.to_ibeacon()
+        assert isinstance(ib, IBeaconPacket)
+        assert ib.identity == alt.identity
+
+    def test_from_ibeacon_roundtrip(self):
+        ib = IBeaconPacket(uuid=UUID_A, major=3, minor=4, tx_power=-65)
+        assert AltBeaconPacket.from_ibeacon(ib).to_ibeacon() == ib
+
+    @given(
+        major=st.integers(0, 0xFFFF),
+        minor=st.integers(0, 0xFFFF),
+        tx_power=st.integers(-128, 127),
+    )
+    def test_roundtrip_property(self, major, minor, tx_power):
+        packet = make(major=major, minor=minor, tx_power=tx_power)
+        assert decode_altbeacon(packet.encode()) == packet

@@ -1,0 +1,129 @@
+"""Tests for iBeacon packet encoding/decoding (paper Figure 1)."""
+
+import uuid
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ibeacon.packet import (
+    IBEACON_PREFIX,
+    PACKET_LENGTH,
+    IBeaconPacket,
+    PacketDecodeError,
+    decode_packet,
+)
+
+UUID_A = uuid.UUID("f7826da6-4fa2-4e98-8024-bc5b71e0893e")
+
+
+def make_packet(**overrides):
+    fields = dict(uuid=UUID_A, major=1, minor=2, tx_power=-59)
+    fields.update(overrides)
+    return IBeaconPacket(**fields)
+
+
+class TestConstruction:
+    def test_accepts_uuid_string(self):
+        packet = IBeaconPacket(uuid=str(UUID_A), major=0, minor=0, tx_power=-59)
+        assert packet.uuid == UUID_A
+
+    @pytest.mark.parametrize("major", [-1, 65536])
+    def test_rejects_out_of_range_major(self, major):
+        with pytest.raises(ValueError):
+            make_packet(major=major)
+
+    @pytest.mark.parametrize("minor", [-1, 70000])
+    def test_rejects_out_of_range_minor(self, minor):
+        with pytest.raises(ValueError):
+            make_packet(minor=minor)
+
+    @pytest.mark.parametrize("tx", [-129, 128])
+    def test_rejects_out_of_range_tx_power(self, tx):
+        with pytest.raises(ValueError):
+            make_packet(tx_power=tx)
+
+    def test_identity_triple(self):
+        assert make_packet(major=3, minor=9).identity == (UUID_A, 3, 9)
+
+    def test_str_mentions_fields(self):
+        text = str(make_packet(major=7, minor=11))
+        assert "7" in text and "11" in text
+
+
+class TestEncoding:
+    def test_payload_is_30_bytes(self):
+        assert len(make_packet().encode()) == PACKET_LENGTH == 30
+
+    def test_payload_starts_with_prefix(self):
+        assert make_packet().encode()[:9] == IBEACON_PREFIX
+
+    def test_prefix_is_flags_plus_apple_manufacturer_header(self):
+        # 02 01 06 | 1A FF | 4C 00 | 02 15 per Apple's spec.
+        assert IBEACON_PREFIX == bytes(
+            [0x02, 0x01, 0x06, 0x1A, 0xFF, 0x4C, 0x00, 0x02, 0x15]
+        )
+
+    def test_uuid_bytes_at_offset_9(self):
+        payload = make_packet().encode()
+        assert payload[9:25] == UUID_A.bytes
+
+    def test_major_minor_big_endian(self):
+        payload = make_packet(major=0x0102, minor=0x0304).encode()
+        assert payload[25:27] == bytes([0x01, 0x02])
+        assert payload[27:29] == bytes([0x03, 0x04])
+
+    def test_tx_power_twos_complement(self):
+        payload = make_packet(tx_power=-59).encode()
+        assert payload[29] == (256 - 59)
+
+    def test_positive_tx_power_encoding(self):
+        payload = make_packet(tx_power=4).encode()
+        assert payload[29] == 4
+
+
+class TestDecoding:
+    def test_roundtrip(self):
+        packet = make_packet(major=1000, minor=65535, tx_power=-100)
+        assert decode_packet(packet.encode()) == packet
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(PacketDecodeError):
+            decode_packet(b"\x00" * 29)
+
+    def test_rejects_wrong_prefix(self):
+        payload = bytearray(make_packet().encode())
+        payload[0] ^= 0xFF
+        with pytest.raises(PacketDecodeError):
+            decode_packet(bytes(payload))
+
+    def test_rejects_non_bytes(self):
+        with pytest.raises(PacketDecodeError):
+            decode_packet("not bytes")
+
+    def test_accepts_bytearray(self):
+        packet = make_packet()
+        assert decode_packet(bytearray(packet.encode())) == packet
+
+
+class TestRoundtripProperty:
+    @given(
+        raw_uuid=st.binary(min_size=16, max_size=16),
+        major=st.integers(0, 0xFFFF),
+        minor=st.integers(0, 0xFFFF),
+        tx_power=st.integers(-128, 127),
+    )
+    def test_encode_decode_roundtrip(self, raw_uuid, major, minor, tx_power):
+        packet = IBeaconPacket(
+            uuid=uuid.UUID(bytes=raw_uuid), major=major, minor=minor, tx_power=tx_power
+        )
+        assert decode_packet(packet.encode()) == packet
+
+    @given(
+        major=st.integers(0, 0xFFFF),
+        minor=st.integers(0, 0xFFFF),
+    )
+    def test_encoding_is_injective_in_major_minor(self, major, minor):
+        base = make_packet(major=major, minor=minor).encode()
+        other = make_packet(major=minor, minor=major).encode()
+        if (major, minor) != (minor, major):
+            assert base != other

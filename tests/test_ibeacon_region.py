@@ -1,0 +1,63 @@
+"""Tests for iBeacon region matching semantics."""
+
+import uuid
+
+import pytest
+
+from repro.ibeacon.packet import IBeaconPacket
+from repro.ibeacon.region import BeaconRegion, RegionEvent, RegionEventKind
+
+UUID_A = uuid.UUID("f7826da6-4fa2-4e98-8024-bc5b71e0893e")
+UUID_B = uuid.UUID("00000000-0000-0000-0000-000000000001")
+
+
+def packet(major=1, minor=2, u=UUID_A):
+    return IBeaconPacket(uuid=u, major=major, minor=minor, tx_power=-59)
+
+
+class TestRegionMatching:
+    def test_uuid_only_region_matches_any_major_minor(self):
+        region = BeaconRegion("all", UUID_A)
+        assert region.matches(packet(1, 1))
+        assert region.matches(packet(9, 700))
+
+    def test_uuid_mismatch_never_matches(self):
+        region = BeaconRegion("all", UUID_A)
+        assert not region.matches(packet(u=UUID_B))
+
+    def test_major_filter(self):
+        region = BeaconRegion("group", UUID_A, major=5)
+        assert region.matches(packet(5, 123))
+        assert not region.matches(packet(6, 123))
+
+    def test_minor_filter(self):
+        region = BeaconRegion("one", UUID_A, major=5, minor=7)
+        assert region.matches(packet(5, 7))
+        assert not region.matches(packet(5, 8))
+
+    def test_minor_without_major_rejected(self):
+        with pytest.raises(ValueError):
+            BeaconRegion("bad", UUID_A, minor=3)
+
+    @pytest.mark.parametrize("major", [-1, 65536])
+    def test_out_of_range_major_rejected(self, major):
+        with pytest.raises(ValueError):
+            BeaconRegion("bad", UUID_A, major=major)
+
+    def test_uuid_string_coerced(self):
+        region = BeaconRegion("all", str(UUID_A))
+        assert region.matches(packet())
+
+    def test_str_mentions_identifier(self):
+        assert "lobby" in str(BeaconRegion("lobby", UUID_A))
+
+
+class TestRegionEvent:
+    def test_event_str(self):
+        region = BeaconRegion("lobby", UUID_A)
+        event = RegionEvent(time=12.5, kind=RegionEventKind.ENTER, region=region)
+        text = str(event)
+        assert "enter" in text and "lobby" in text
+
+    def test_kinds_are_distinct(self):
+        assert RegionEventKind.ENTER is not RegionEventKind.EXIT

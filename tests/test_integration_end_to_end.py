@@ -1,0 +1,111 @@
+"""Deep integration tests: every subsystem in one run.
+
+These tests run the full pipeline (beacons -> channel -> scanners ->
+filters -> uplink -> BMS -> classifier -> history/tracking) and check
+the cross-subsystem invariants that unit tests cannot see.
+"""
+
+import pytest
+
+from repro.building.occupant import Occupant
+from repro.building.presets import office_floor, test_house as make_test_house
+from repro.building.scenarios import generate_office_day
+from repro.core.config import SystemConfig
+from repro.core.system import OccupancyDetectionSystem
+from repro.server.rest import Request
+from repro.tracking.tracker import OccupantTracker
+
+
+@pytest.fixture(scope="module")
+def multi_occupant_run():
+    """One 5-minute run with two occupants (module-scoped: slow)."""
+    from repro.building.mobility import RandomWaypoint
+
+    plan = make_test_house()
+    system = OccupancyDetectionSystem(plan, SystemConfig(seed=19))
+    system.calibrate(duration_s=700.0)
+    system.train()
+    for name, seed in (("ana", 1), ("ben", 2)):
+        system.add_occupant(
+            Occupant(name, RandomWaypoint(plan, seed=seed,
+                                          pause_range_s=(30.0, 90.0)))
+        )
+    run = system.run(300.0)
+    return plan, system, run
+
+
+class TestCrossSubsystemInvariants:
+    def test_every_occupant_has_full_prediction_series(self, multi_occupant_run):
+        _, system, run = multi_occupant_run
+        for name in system.occupants:
+            assert len(run.predictions[name]) == 150  # 300 s / 2 s
+
+    def test_history_length_matches_cycles(self, multi_occupant_run):
+        _, system, _ = multi_occupant_run
+        assert len(system.bms.history) == 150
+
+    def test_history_counts_never_exceed_population(self, multi_occupant_run):
+        _, system, _ = multi_occupant_run
+        for room in system.bms.history.rooms():
+            assert system.bms.history.peak(room) <= 2
+
+    def test_sightings_stored_equal_delivered(self, multi_occupant_run):
+        _, system, run = multi_occupant_run
+        delivered = sum(stats.delivered for stats in run.delivery.values())
+        assert system.bms.sighting_count == delivered
+
+    def test_energy_has_all_components(self, multi_occupant_run):
+        _, _, run = multi_occupant_run
+        for breakdown in run.energy.values():
+            assert {"baseline", "ble_scan", "uplink_radio"} <= set(
+                breakdown.components_j
+            )
+            assert breakdown.total_j > 0.0
+
+    def test_accuracy_reasonable_with_two_occupants(self, multi_occupant_run):
+        _, _, run = multi_occupant_run
+        assert run.accuracy > 0.6
+
+    def test_region_events_start_with_enter(self, multi_occupant_run):
+        _, system, _ = multi_occupant_run
+        for rt in system._runtimes.values():
+            events = rt.phone.app.region_events
+            if events:
+                assert events[0].kind.value == "enter"
+
+    def test_rest_queries_agree_with_snapshot(self, multi_occupant_run):
+        _, system, _ = multi_occupant_run
+        snap = system.bms.snapshot()
+        response = system.bms.router.dispatch(
+            Request("GET", "/occupancy", time=snap.time)
+        )
+        assert response.ok
+        assert response.body["rooms"] == snap.rooms
+
+    def test_tracker_transitions_consistent_with_estimates(self, multi_occupant_run):
+        _, system, run = multi_occupant_run
+        tracker = OccupantTracker.from_predictions(run.predictions)
+        for transition in tracker.transitions:
+            assert transition.device_id in system.occupants
+            assert transition.from_room != transition.to_room
+
+    def test_confusion_totals_match_predictions(self, multi_occupant_run):
+        _, system, run = multi_occupant_run
+        n_predictions = sum(len(v) for v in run.predictions.values())
+        assert run.confusion.total == n_predictions
+
+
+class TestOfficeDayScenarioIntegration:
+    def test_generated_day_runs_through_the_pipeline(self):
+        plan = office_floor(2)
+        day = generate_office_day(plan, n_workers=2, seed=5, day_hours=3.0)
+        system = OccupancyDetectionSystem(plan, SystemConfig(seed=23))
+        system.calibrate(duration_s=500.0)
+        system.train()
+        for occupant in day.occupants:
+            system.add_occupant(occupant)
+        # Run a midday slice of the generated day.
+        run = system.run(240.0)
+        assert run.accuracy >= 0.0  # evaluated without error
+        truth = day.ground_truth(plan)
+        assert isinstance(truth(1.5 * 3600.0), dict)

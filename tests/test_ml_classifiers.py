@@ -1,0 +1,164 @@
+"""Tests for kNN, naive Bayes and the proximity baseline."""
+
+import numpy as np
+import pytest
+
+from repro.ml.knn import KNeighborsClassifier
+from repro.ml.naive_bayes import GaussianNaiveBayes
+from repro.ml.proximity import ProximityClassifier
+
+
+def blobs(rng, centers, n_per=40, spread=0.6):
+    X = np.vstack([rng.normal(c, spread, size=(n_per, len(c))) for c in centers])
+    y = np.concatenate([np.full(n_per, i) for i in range(len(centers))])
+    return X, np.array(["c%d" % i for i in y.astype(int)])
+
+
+class TestKnn:
+    def test_memorises_training_data_with_k1(self):
+        rng = np.random.default_rng(0)
+        X, y = blobs(rng, [(0, 0), (5, 5)])
+        model = KNeighborsClassifier(k=1).fit(X, y)
+        assert model.score(X, y) == 1.0
+
+    def test_separable_generalisation(self):
+        rng = np.random.default_rng(1)
+        X, y = blobs(rng, [(0, 0), (6, 0)])
+        Xt, yt = blobs(rng, [(0, 0), (6, 0)], n_per=10)
+        assert KNeighborsClassifier(5).fit(X, y).score(Xt, yt) == 1.0
+
+    def test_distance_weighting_prefers_nearest(self):
+        X = np.array([[0.0], [0.1], [10.0], [10.1], [10.2]])
+        y = np.array(["near", "near", "far", "far", "far"])
+        model = KNeighborsClassifier(k=5, weights="distance").fit(X, y)
+        assert model.predict(np.array([[0.05]]))[0] == "near"
+
+    def test_uniform_majority_wins(self):
+        X = np.array([[0.0], [0.1], [0.2], [5.0], [5.1]])
+        y = np.array(["a", "a", "a", "b", "b"])
+        model = KNeighborsClassifier(k=5, weights="uniform").fit(X, y)
+        assert model.predict(np.array([[2.0]]))[0] == "a"
+
+    def test_k_larger_than_dataset_clamped(self):
+        X = np.array([[0.0], [1.0]])
+        y = np.array(["a", "b"])
+        model = KNeighborsClassifier(k=99).fit(X, y)
+        assert model.predict(np.array([[0.4]])).shape == (1,)
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            KNeighborsClassifier(k=0)
+
+    def test_rejects_bad_weights(self):
+        with pytest.raises(ValueError):
+            KNeighborsClassifier(weights="quadratic")
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            KNeighborsClassifier().predict(np.ones((1, 2)))
+
+    def test_clone(self):
+        model = KNeighborsClassifier(k=3, weights="distance")
+        clone = model.clone()
+        assert clone.k == 3 and clone.weights == "distance"
+
+
+class TestGaussianNaiveBayes:
+    def test_separable_blobs(self):
+        rng = np.random.default_rng(0)
+        X, y = blobs(rng, [(0, 0), (6, 0)])
+        assert GaussianNaiveBayes().fit(X, y).score(X, y) > 0.98
+
+    def test_respects_priors(self):
+        rng = np.random.default_rng(1)
+        # Overlapping classes, 9:1 prior; ambiguous points go majority.
+        X = np.vstack([rng.normal(0, 1, (90, 1)), rng.normal(0.2, 1, (10, 1))])
+        y = np.array(["major"] * 90 + ["minor"] * 10)
+        model = GaussianNaiveBayes().fit(X, y)
+        assert model.predict(np.array([[0.1]]))[0] == "major"
+
+    def test_log_proba_shape(self):
+        rng = np.random.default_rng(2)
+        X, y = blobs(rng, [(0, 0), (6, 0), (0, 6)])
+        model = GaussianNaiveBayes().fit(X, y)
+        assert model.predict_log_proba(X[:5]).shape == (5, 3)
+
+    def test_handles_constant_feature(self):
+        X = np.array([[0.0, 1.0], [0.1, 1.0], [5.0, 1.0], [5.1, 1.0]])
+        y = np.array(["a", "a", "b", "b"])
+        model = GaussianNaiveBayes().fit(X, y)
+        assert model.score(X, y) == 1.0
+
+    def test_rejects_negative_smoothing(self):
+        with pytest.raises(ValueError):
+            GaussianNaiveBayes(var_smoothing=-1.0)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            GaussianNaiveBayes().predict(np.ones((1, 2)))
+
+
+class TestProximity:
+    BEACON_ROOMS = {"1-1": "kitchen", "1-2": "living"}
+    FEATURES = ["1-1", "1-2"]
+
+    def make(self, **kwargs):
+        return ProximityClassifier(self.BEACON_ROOMS, self.FEATURES, **kwargs)
+
+    def test_nearest_beacon_wins_distance_mode(self):
+        model = self.make()
+        X = np.array([[1.0, 5.0], [6.0, 2.0]])
+        assert list(model.predict(X)) == ["kitchen", "living"]
+
+    def test_strongest_beacon_wins_rssi_mode(self):
+        model = self.make(mode="rssi", missing_value=-100.0)
+        X = np.array([[-50.0, -70.0], [-80.0, -60.0]])
+        assert list(model.predict(X)) == ["kitchen", "living"]
+
+    def test_all_missing_is_outside(self):
+        model = self.make(missing_value=30.0)
+        X = np.array([[30.0, 30.0]])
+        assert model.predict(X)[0] == "outside"
+
+    def test_partial_visibility_uses_visible_only(self):
+        model = self.make(missing_value=30.0)
+        X = np.array([[30.0, 9.0]])
+        assert model.predict(X)[0] == "living"
+
+    def test_outside_threshold_distance_mode(self):
+        model = self.make(outside_threshold=10.0)
+        assert model.predict(np.array([[15.0, 20.0]]))[0] == "outside"
+        assert model.predict(np.array([[5.0, 20.0]]))[0] == "kitchen"
+
+    def test_outside_threshold_rssi_mode(self):
+        model = self.make(
+            mode="rssi", missing_value=-100.0, outside_threshold=-85.0
+        )
+        assert model.predict(np.array([[-95.0, -90.0]]))[0] == "outside"
+        assert model.predict(np.array([[-60.0, -90.0]]))[0] == "kitchen"
+
+    def test_fit_is_noop(self):
+        model = self.make()
+        assert model.fit(np.ones((1, 2)), ["kitchen"]) is model
+
+    def test_rejects_unmapped_feature(self):
+        with pytest.raises(ValueError):
+            ProximityClassifier({"1-1": "kitchen"}, ["1-1", "1-9"])
+
+    def test_rejects_bad_mode(self):
+        with pytest.raises(ValueError):
+            self.make(mode="sonar")
+
+    def test_rejects_wrong_width(self):
+        with pytest.raises(ValueError):
+            self.make().predict(np.ones((1, 3)))
+
+    def test_wants_scaling_false(self):
+        """The BMS must not standardise proximity features."""
+        assert self.make().wants_scaling is False
+
+    def test_clone_roundtrip(self):
+        model = self.make(outside_threshold=9.0)
+        clone = model.clone()
+        assert clone.outside_threshold == 9.0
+        assert clone.beacon_rooms == self.BEACON_ROOMS

@@ -1,0 +1,88 @@
+"""Tests for SVM kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.ml.kernels import LinearKernel, PolynomialKernel, RbfKernel
+
+small_matrices = arrays(
+    np.float64,
+    st.tuples(st.integers(1, 6), st.integers(1, 4)),
+    elements=st.floats(-10, 10),
+)
+
+
+class TestLinearKernel:
+    def test_matches_dot_product(self):
+        X = np.array([[1.0, 2.0], [3.0, 4.0]])
+        K = LinearKernel()(X, X)
+        np.testing.assert_allclose(K, X @ X.T)
+
+    def test_rectangular_gram(self):
+        X = np.ones((3, 2))
+        Y = np.ones((5, 2))
+        assert LinearKernel()(X, Y).shape == (3, 5)
+
+    def test_1d_input_promoted(self):
+        K = LinearKernel()(np.array([1.0, 2.0]), np.array([[3.0, 4.0]]))
+        assert K.shape == (1, 1)
+        assert K[0, 0] == pytest.approx(11.0)
+
+    def test_rejects_3d_input(self):
+        with pytest.raises(ValueError):
+            LinearKernel()(np.ones((2, 2, 2)), np.ones((2, 2)))
+
+
+class TestPolynomialKernel:
+    def test_degree_one_matches_affine_linear(self):
+        X = np.array([[1.0, 2.0]])
+        K = PolynomialKernel(degree=1, gamma=1.0, coef0=1.0)(X, X)
+        assert K[0, 0] == pytest.approx(1.0 + 5.0)
+
+    def test_rejects_bad_degree(self):
+        with pytest.raises(ValueError):
+            PolynomialKernel(degree=0)
+
+    def test_rejects_bad_gamma(self):
+        with pytest.raises(ValueError):
+            PolynomialKernel(gamma=0.0)
+
+
+class TestRbfKernel:
+    def test_self_similarity_is_one(self):
+        X = np.array([[1.0, -2.0], [0.5, 3.0]])
+        K = RbfKernel(0.7)(X, X)
+        np.testing.assert_allclose(np.diag(K), 1.0)
+
+    def test_decays_with_distance(self):
+        x = np.array([[0.0, 0.0]])
+        near = RbfKernel(0.5)(x, np.array([[0.1, 0.0]]))[0, 0]
+        far = RbfKernel(0.5)(x, np.array([[5.0, 0.0]]))[0, 0]
+        assert near > far
+
+    def test_known_value(self):
+        K = RbfKernel(1.0)(np.array([[0.0]]), np.array([[1.0]]))
+        assert K[0, 0] == pytest.approx(np.exp(-1.0))
+
+    def test_rejects_bad_gamma(self):
+        with pytest.raises(ValueError):
+            RbfKernel(-1.0)
+
+    @given(X=small_matrices)
+    def test_symmetric_gram(self, X):
+        K = RbfKernel(0.5)(X, X)
+        np.testing.assert_allclose(K, K.T, atol=1e-12)
+
+    @given(X=small_matrices)
+    def test_values_in_unit_interval(self, X):
+        K = RbfKernel(0.5)(X, X)
+        assert np.all(K >= 0.0)
+        assert np.all(K <= 1.0 + 1e-12)
+
+    @given(X=small_matrices)
+    def test_gram_positive_semidefinite(self, X):
+        K = RbfKernel(0.5)(X, X)
+        eigenvalues = np.linalg.eigvalsh((K + K.T) / 2.0)
+        assert np.all(eigenvalues >= -1e-8)

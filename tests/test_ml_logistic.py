@@ -1,0 +1,98 @@
+"""Tests for multinomial logistic regression."""
+
+import numpy as np
+import pytest
+
+from repro.ml.logistic import LogisticRegression
+
+
+def blobs(rng, centers, n_per=40, spread=0.5):
+    X = np.vstack([rng.normal(c, spread, size=(n_per, len(c))) for c in centers])
+    y = np.array(
+        sum([["c%d" % i] * n_per for i in range(len(centers))], [])
+    )
+    return X, y
+
+
+class TestFit:
+    def test_separable_two_class(self):
+        rng = np.random.default_rng(0)
+        X, y = blobs(rng, [(0, 0), (4, 0)])
+        model = LogisticRegression().fit(X, y)
+        assert model.score(X, y) > 0.98
+
+    def test_three_class(self):
+        rng = np.random.default_rng(1)
+        X, y = blobs(rng, [(0, 0), (4, 0), (0, 4)])
+        model = LogisticRegression().fit(X, y)
+        assert model.score(X, y) > 0.95
+
+    def test_generalises(self):
+        rng = np.random.default_rng(2)
+        X, y = blobs(rng, [(0, 0), (4, 0)], n_per=60)
+        Xt, yt = blobs(rng, [(0, 0), (4, 0)], n_per=20)
+        model = LogisticRegression().fit(X, y)
+        assert model.score(Xt, yt) > 0.95
+
+    def test_early_stopping_records_iterations(self):
+        rng = np.random.default_rng(3)
+        X, y = blobs(rng, [(0, 0), (8, 0)], spread=0.2)
+        model = LogisticRegression(tol=1e-2).fit(X, y)
+        assert 1 <= model.n_iter_ <= model.max_iter
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError):
+            LogisticRegression().fit(np.ones((5, 2)), ["a"] * 5)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            LogisticRegression().fit(np.ones((5, 2)), ["a", "b"])
+
+
+class TestPredict:
+    def test_proba_rows_sum_to_one(self):
+        rng = np.random.default_rng(4)
+        X, y = blobs(rng, [(0, 0), (4, 0), (0, 4)])
+        model = LogisticRegression().fit(X, y)
+        proba = model.predict_proba(X[:10])
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0, atol=1e-9)
+        assert np.all(proba >= 0.0)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            LogisticRegression().predict(np.ones((1, 2)))
+
+    def test_1d_input_promoted(self):
+        rng = np.random.default_rng(5)
+        X, y = blobs(rng, [(0, 0), (4, 0)])
+        model = LogisticRegression().fit(X, y)
+        assert model.predict(np.array([4.0, 0.0])).shape == (1,)
+
+    def test_confident_far_from_boundary(self):
+        rng = np.random.default_rng(6)
+        X, y = blobs(rng, [(0, 0), (6, 0)], spread=0.3)
+        model = LogisticRegression().fit(X, y)
+        proba = model.predict_proba(np.array([[6.0, 0.0]]))
+        assert proba.max() > 0.95
+
+
+class TestRegularisation:
+    def test_l2_shrinks_weights(self):
+        rng = np.random.default_rng(7)
+        X, y = blobs(rng, [(0, 0), (3, 0)])
+        loose = LogisticRegression(l2=0.0, max_iter=500).fit(X, y)
+        tight = LogisticRegression(l2=1.0, max_iter=500).fit(X, y)
+        assert np.abs(tight._weights).sum() < np.abs(loose._weights).sum()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"learning_rate": 0.0}, {"l2": -1.0}, {"max_iter": 0}],
+    )
+    def test_bad_params_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            LogisticRegression(**kwargs)
+
+    def test_clone(self):
+        model = LogisticRegression(learning_rate=0.1, l2=0.5)
+        clone = model.clone()
+        assert clone.learning_rate == 0.1 and clone.l2 == 0.5

@@ -1,0 +1,142 @@
+"""Tests for splitting, cross-validation and grid search."""
+
+import numpy as np
+import pytest
+
+from repro.ml.knn import KNeighborsClassifier
+from repro.ml.model_selection import GridSearch, KFold, cross_val_score, train_test_split
+
+
+def dataset(n_per=30, seed=0):
+    rng = np.random.default_rng(seed)
+    X = np.vstack(
+        [rng.normal((0, 0), 0.5, (n_per, 2)), rng.normal((4, 0), 0.5, (n_per, 2))]
+    )
+    y = np.array(["a"] * n_per + ["b"] * n_per)
+    return X, y
+
+
+class TestTrainTestSplit:
+    def test_sizes(self):
+        X, y = dataset()
+        Xtr, Xte, ytr, yte = train_test_split(X, y, test_fraction=0.25, seed=1)
+        assert len(Xte) == len(yte) == 15 or abs(len(Xte) - 15) <= 1
+        assert len(Xtr) + len(Xte) == 60
+
+    def test_disjoint_and_complete(self):
+        X, y = dataset()
+        Xtr, Xte, _, _ = train_test_split(X, y, seed=2)
+        combined = np.vstack([Xtr, Xte])
+        assert combined.shape[0] == X.shape[0]
+        # Every original row appears exactly once.
+        original = {tuple(row) for row in X}
+        recombined = [tuple(row) for row in combined]
+        assert set(recombined) == original
+        assert len(recombined) == len(original)
+
+    def test_stratified_keeps_class_ratio(self):
+        X, y = dataset(n_per=40)
+        _, _, ytr, yte = train_test_split(X, y, test_fraction=0.25, seed=3)
+        assert sorted(set(yte)) == ["a", "b"]
+        counts = {c: int(np.sum(yte == c)) for c in ("a", "b")}
+        assert counts["a"] == counts["b"]
+
+    def test_stratify_rejects_singleton_class(self):
+        X = np.ones((3, 1))
+        y = np.array(["a", "a", "b"])
+        with pytest.raises(ValueError):
+            train_test_split(X, y, stratify=True)
+
+    def test_unstratified_split_works_with_singleton(self):
+        X = np.ones((3, 1))
+        y = np.array(["a", "a", "b"])
+        Xtr, Xte, _, _ = train_test_split(X, y, stratify=False, seed=1)
+        assert len(Xtr) + len(Xte) == 3
+
+    @pytest.mark.parametrize("fraction", [0.0, 1.0, -0.5])
+    def test_rejects_bad_fraction(self, fraction):
+        X, y = dataset()
+        with pytest.raises(ValueError):
+            train_test_split(X, y, test_fraction=fraction)
+
+    def test_deterministic_given_seed(self):
+        X, y = dataset()
+        a = train_test_split(X, y, seed=9)
+        b = train_test_split(X, y, seed=9)
+        np.testing.assert_array_equal(a[1], b[1])
+
+
+class TestKFold:
+    def test_folds_partition_indices(self):
+        kf = KFold(n_splits=4, seed=0)
+        seen = []
+        for train, test in kf.split(20):
+            seen.extend(test.tolist())
+            assert set(train) | set(test) == set(range(20))
+            assert set(train) & set(test) == set()
+        assert sorted(seen) == list(range(20))
+
+    def test_rejects_too_few_samples(self):
+        with pytest.raises(ValueError):
+            list(KFold(n_splits=5).split(3))
+
+    def test_rejects_bad_n_splits(self):
+        with pytest.raises(ValueError):
+            KFold(n_splits=1)
+
+    def test_number_of_folds(self):
+        assert len(list(KFold(n_splits=3).split(9))) == 3
+
+
+class TestCrossValScore:
+    def test_scores_high_on_separable_data(self):
+        X, y = dataset()
+        scores = cross_val_score(KNeighborsClassifier(3), X, y, n_splits=4)
+        assert scores.shape == (4,)
+        assert scores.mean() > 0.9
+
+    def test_does_not_mutate_estimator(self):
+        X, y = dataset()
+        estimator = KNeighborsClassifier(3)
+        cross_val_score(estimator, X, y, n_splits=3)
+        with pytest.raises(RuntimeError):
+            estimator.predict(X[:1])  # estimator itself never fitted
+
+
+class TestGridSearch:
+    def test_picks_best_parameter(self):
+        X, y = dataset()
+        grid = GridSearch(
+            lambda p: KNeighborsClassifier(k=p["k"]),
+            {"k": [1, 3, 5]},
+            n_splits=3,
+        ).fit(X, y)
+        assert grid.best_params_["k"] in (1, 3, 5)
+        assert grid.best_score_ > 0.9
+        assert len(grid.results_) == 3
+
+    def test_best_estimator_is_fitted(self):
+        X, y = dataset()
+        grid = GridSearch(
+            lambda p: KNeighborsClassifier(k=p["k"]), {"k": [1, 3]}
+        ).fit(X, y)
+        model = grid.best_estimator(X, y)
+        assert model.score(X, y) > 0.9
+
+    def test_rejects_empty_grid(self):
+        with pytest.raises(ValueError):
+            GridSearch(lambda p: None, {})
+
+    def test_best_estimator_before_fit_raises(self):
+        grid = GridSearch(lambda p: KNeighborsClassifier(), {"k": [1]})
+        with pytest.raises(RuntimeError):
+            grid.best_estimator(np.ones((2, 2)), ["a", "b"])
+
+    def test_cartesian_product_of_params(self):
+        X, y = dataset()
+        grid = GridSearch(
+            lambda p: KNeighborsClassifier(k=p["k"], weights=p["w"]),
+            {"k": [1, 3], "w": ["uniform", "distance"]},
+            n_splits=3,
+        ).fit(X, y)
+        assert len(grid.results_) == 4

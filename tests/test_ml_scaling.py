@@ -1,0 +1,80 @@
+"""Tests for feature scaling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.ml.scaling import MinMaxScaler, StandardScaler
+
+matrices = arrays(
+    np.float64,
+    st.tuples(st.integers(2, 20), st.integers(1, 5)),
+    elements=st.floats(-100, 100),
+)
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(5.0, 3.0, (200, 4))
+        Z = StandardScaler().fit_transform(X)
+        np.testing.assert_allclose(Z.mean(axis=0), 0.0, atol=1e-9)
+        np.testing.assert_allclose(Z.std(axis=0), 1.0, atol=1e-9)
+
+    def test_constant_feature_passes_through_centred(self):
+        X = np.array([[1.0, 7.0], [2.0, 7.0], [3.0, 7.0]])
+        Z = StandardScaler().fit_transform(X)
+        np.testing.assert_allclose(Z[:, 1], 0.0)
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.ones((2, 2)))
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            StandardScaler().fit(np.ones(5))
+
+    @given(X=matrices)
+    def test_inverse_roundtrip(self, X):
+        scaler = StandardScaler().fit(X)
+        np.testing.assert_allclose(
+            scaler.inverse_transform(scaler.transform(X)), X, atol=1e-6
+        )
+
+    def test_test_data_uses_train_statistics(self):
+        train = np.array([[0.0], [10.0]])
+        scaler = StandardScaler().fit(train)
+        out = scaler.transform(np.array([[20.0]]))
+        assert out[0, 0] == pytest.approx((20.0 - 5.0) / 5.0)
+
+
+class TestMinMaxScaler:
+    def test_unit_interval(self):
+        rng = np.random.default_rng(1)
+        X = rng.uniform(-50, 50, (100, 3))
+        Z = MinMaxScaler().fit_transform(X)
+        assert Z.min() >= 0.0
+        assert Z.max() <= 1.0
+
+    def test_endpoints_map_to_0_and_1(self):
+        X = np.array([[2.0], [4.0], [6.0]])
+        Z = MinMaxScaler().fit_transform(X)
+        assert Z[0, 0] == 0.0
+        assert Z[2, 0] == 1.0
+
+    def test_constant_feature_no_blowup(self):
+        X = np.full((4, 1), 3.0)
+        Z = MinMaxScaler().fit_transform(X)
+        assert np.all(np.isfinite(Z))
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            MinMaxScaler().transform(np.ones((2, 2)))
+
+    @given(X=matrices)
+    def test_inverse_roundtrip(self, X):
+        scaler = MinMaxScaler().fit(X)
+        np.testing.assert_allclose(
+            scaler.inverse_transform(scaler.transform(X)), X, atol=1e-6
+        )

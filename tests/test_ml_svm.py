@@ -1,0 +1,192 @@
+"""Tests for the from-scratch SVM (SMO solver)."""
+
+import numpy as np
+import pytest
+
+from repro.ml.kernels import LinearKernel, RbfKernel
+from repro.ml.svm import BinarySVM, SupportVectorClassifier
+
+
+def blobs(rng, centers, n_per=40, spread=0.6):
+    X = np.vstack([rng.normal(c, spread, size=(n_per, len(c))) for c in centers])
+    y = np.concatenate([np.full(n_per, i) for i in range(len(centers))])
+    return X, y
+
+
+class TestBinarySVM:
+    def test_separable_problem_perfectly_classified(self):
+        rng = np.random.default_rng(0)
+        X, y01 = blobs(rng, [(-3.0, 0.0), (3.0, 0.0)], spread=0.4)
+        y = np.where(y01 == 0, -1.0, 1.0)
+        model = BinarySVM(c=10.0, kernel=LinearKernel()).fit(X, y)
+        assert np.mean(model.predict(X) == y) == 1.0
+
+    def test_xor_needs_rbf(self):
+        """Linear fails XOR, RBF solves it - classic kernel check."""
+        X = np.array(
+            [[0, 0], [1, 1], [0, 1], [1, 0]] * 10, dtype=float
+        ) + np.random.default_rng(1).normal(0, 0.05, (40, 2))
+        y = np.array([-1, -1, 1, 1] * 10, dtype=float)
+        rbf = BinarySVM(c=10.0, kernel=RbfKernel(gamma=2.0)).fit(X, y)
+        assert np.mean(rbf.predict(X) == y) > 0.95
+
+    def test_decision_function_sign_matches_predict(self):
+        rng = np.random.default_rng(2)
+        X, y01 = blobs(rng, [(-2.0, 0.0), (2.0, 0.0)])
+        y = np.where(y01 == 0, -1.0, 1.0)
+        model = BinarySVM(c=1.0).fit(X, y)
+        scores = model.decision_function(X)
+        np.testing.assert_array_equal(np.sign(scores) >= 0, model.predict(X) == 1.0)
+
+    def test_support_vectors_subset_of_training(self):
+        rng = np.random.default_rng(3)
+        X, y01 = blobs(rng, [(-2.0, 0.0), (2.0, 0.0)])
+        y = np.where(y01 == 0, -1.0, 1.0)
+        model = BinarySVM(c=1.0).fit(X, y)
+        assert 0 < model.n_support_ <= X.shape[0]
+        for sv in model.support_vectors_:
+            assert any(np.allclose(sv, row) for row in X)
+
+    def test_dual_coefficients_bounded_by_c(self):
+        rng = np.random.default_rng(4)
+        X, y01 = blobs(rng, [(-1.0, 0.0), (1.0, 0.0)], spread=1.0)
+        y = np.where(y01 == 0, -1.0, 1.0)
+        c = 2.5
+        model = BinarySVM(c=c).fit(X, y)
+        assert np.all(np.abs(model.dual_coef_) <= c + 1e-6)
+
+    def test_deterministic_given_seed(self):
+        rng = np.random.default_rng(5)
+        X, y01 = blobs(rng, [(-1.0, 0.0), (1.0, 0.0)], spread=1.2)
+        y = np.where(y01 == 0, -1.0, 1.0)
+        a = BinarySVM(c=1.0, seed=7).fit(X, y)
+        b = BinarySVM(c=1.0, seed=7).fit(X, y)
+        np.testing.assert_allclose(
+            a.decision_function(X), b.decision_function(X)
+        )
+
+    def test_rejects_single_class(self):
+        with pytest.raises(ValueError):
+            BinarySVM().fit(np.ones((5, 2)), np.ones(5))
+
+    def test_rejects_bad_labels(self):
+        with pytest.raises(ValueError):
+            BinarySVM().fit(np.ones((4, 2)), np.array([0.0, 1.0, 0.0, 1.0]))
+
+    def test_rejects_mismatched_shapes(self):
+        with pytest.raises(ValueError):
+            BinarySVM().fit(np.ones((4, 2)), np.array([-1.0, 1.0]))
+
+    def test_rejects_bad_c(self):
+        with pytest.raises(ValueError):
+            BinarySVM(c=0.0)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            BinarySVM().predict(np.ones((1, 2)))
+
+    def test_single_sample_prediction_shape(self):
+        rng = np.random.default_rng(6)
+        X, y01 = blobs(rng, [(-2.0, 0.0), (2.0, 0.0)])
+        y = np.where(y01 == 0, -1.0, 1.0)
+        model = BinarySVM().fit(X, y)
+        assert model.predict(np.array([0.5, 0.0])).shape == (1,)
+
+
+class TestKktConditions:
+    """The trained solution must satisfy the soft-margin KKT system -
+    the mathematical definition of 'SMO converged correctly'."""
+
+    def trained(self, seed=0, c=2.0):
+        rng = np.random.default_rng(seed)
+        X, y01 = blobs(rng, [(-1.5, 0.0), (1.5, 0.0)], n_per=30, spread=1.0)
+        y = np.where(y01 == 0, -1.0, 1.0)
+        model = BinarySVM(c=c, kernel=RbfKernel(gamma=0.5), tol=1e-4)
+        model.fit(X, y)
+        return model, X, y
+
+    def test_dual_balance(self):
+        """sum_i alpha_i y_i = 0 (the equality constraint)."""
+        model, X, y = self.trained()
+        assert abs(model.dual_coef_.sum()) < 1e-6
+
+    def test_margin_conditions(self):
+        """Non-bound SVs sit on the margin; bound ones inside it;
+        non-SVs outside.  Checked via y_i f(x_i)."""
+        model, X, y = self.trained()
+        c = model.c
+        margins = y * model.decision_function(X)
+        # Recover per-sample alpha from the stored SV coefficients.
+        alphas = np.zeros(len(X))
+        for coef, sv in zip(model.dual_coef_, model.support_vectors_):
+            idx = next(
+                i for i, row in enumerate(X)
+                if np.allclose(row, sv) and alphas[i] == 0.0
+            )
+            alphas[idx] = abs(coef)
+        tol = 5e-2
+        for alpha, margin in zip(alphas, margins):
+            if alpha < 1e-8:
+                assert margin >= 1.0 - tol  # correctly outside margin
+            elif alpha > c - 1e-8:
+                assert margin <= 1.0 + tol  # bound: inside/violating
+            else:
+                assert abs(margin - 1.0) < tol  # free SV: on the margin
+
+
+class TestMulticlassSVC:
+    def test_three_class_blobs(self):
+        rng = np.random.default_rng(0)
+        X, y = blobs(rng, [(0.0, 0.0), (4.0, 0.0), (0.0, 4.0)])
+        labels = np.array(["a", "b", "c"])[y.astype(int)]
+        model = SupportVectorClassifier(c=10.0).fit(X, labels)
+        assert model.score(X, labels) > 0.95
+
+    def test_string_labels_roundtrip(self):
+        rng = np.random.default_rng(1)
+        X, y = blobs(rng, [(0.0, 0.0), (5.0, 0.0)])
+        labels = np.array(["kitchen", "living"])[y.astype(int)]
+        model = SupportVectorClassifier().fit(X, labels)
+        assert set(model.predict(X)) <= {"kitchen", "living"}
+
+    def test_number_of_pairwise_machines(self):
+        rng = np.random.default_rng(2)
+        X, y = blobs(rng, [(0, 0), (4, 0), (0, 4), (4, 4)], n_per=20)
+        model = SupportVectorClassifier(c=5.0).fit(X, y)
+        assert len(model._machines) == 6  # C(4, 2)
+
+    def test_classes_sorted(self):
+        rng = np.random.default_rng(3)
+        X, y = blobs(rng, [(0, 0), (5, 0)])
+        labels = np.array(["zebra", "apple"])[y.astype(int)]
+        model = SupportVectorClassifier().fit(X, labels)
+        assert model.classes_ == ["apple", "zebra"]
+
+    def test_clone_is_unfitted_with_same_params(self):
+        model = SupportVectorClassifier(c=3.0, kernel=RbfKernel(0.2))
+        clone = model.clone()
+        assert clone.c == 3.0
+        assert clone.kernel.gamma == 0.2
+        with pytest.raises(RuntimeError):
+            clone.predict(np.ones((1, 2)))
+
+    def test_rejects_single_class(self):
+        with pytest.raises(ValueError):
+            SupportVectorClassifier().fit(np.ones((5, 2)), ["a"] * 5)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            SupportVectorClassifier().predict(np.ones((1, 2)))
+
+    def test_generalises_to_held_out_data(self):
+        rng = np.random.default_rng(4)
+        X, y = blobs(rng, [(0.0, 0.0), (4.0, 0.0), (0.0, 4.0)], n_per=60)
+        X_test, y_test = blobs(rng, [(0.0, 0.0), (4.0, 0.0), (0.0, 4.0)], n_per=20)
+        model = SupportVectorClassifier(c=10.0).fit(X, y)
+        assert model.score(X_test, y_test) > 0.85
+
+    def test_n_support_total_positive(self):
+        rng = np.random.default_rng(5)
+        X, y = blobs(rng, [(0.0, 0.0), (4.0, 0.0)])
+        model = SupportVectorClassifier().fit(X, y)
+        assert model.n_support_total > 0

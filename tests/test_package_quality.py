@@ -1,0 +1,60 @@
+"""Repository-quality guards.
+
+Meta-tests enforcing the documentation discipline of the codebase:
+every module carries a docstring, every public symbol exported through
+``__all__`` exists and is documented.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+ALL_MODULES = sorted(
+    name
+    for _, name, _ in pkgutil.walk_packages(repro.__path__, "repro.")
+    if not name.endswith("__main__")
+)
+
+
+@pytest.mark.parametrize("module_name", ALL_MODULES)
+def test_module_has_docstring(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__ and module.__doc__.strip(), (
+        f"{module_name} lacks a module docstring"
+    )
+
+
+@pytest.mark.parametrize("module_name", ALL_MODULES)
+def test_dunder_all_entries_exist(module_name):
+    module = importlib.import_module(module_name)
+    exported = getattr(module, "__all__", None)
+    if exported is None:
+        pytest.skip(f"{module_name} has no __all__")
+    for name in exported:
+        assert hasattr(module, name), (
+            f"{module_name}.__all__ exports missing symbol {name!r}"
+        )
+
+
+@pytest.mark.parametrize("module_name", ALL_MODULES)
+def test_public_classes_and_functions_documented(module_name):
+    module = importlib.import_module(module_name)
+    exported = getattr(module, "__all__", [])
+    for name in exported:
+        obj = getattr(module, name)
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            # Only check symbols defined in this package.
+            if getattr(obj, "__module__", "").startswith("repro"):
+                assert obj.__doc__ and obj.__doc__.strip(), (
+                    f"{module_name}.{name} lacks a docstring"
+                )
+
+
+def test_package_tree_is_importable():
+    """Every module imports cleanly (no hidden import-time errors)."""
+    for module_name in ALL_MODULES:
+        importlib.import_module(module_name)

@@ -1,0 +1,97 @@
+"""Tests for the Smartphone bundle and DetectionRun API."""
+
+import pytest
+
+from repro.ble.air import AirInterface
+from repro.building.geometry import Point
+from repro.building.mobility import StaticPosition
+from repro.building.occupant import Occupant
+from repro.building.presets import BUILDING_UUID, single_room
+from repro.ibeacon.region import BeaconRegion
+from repro.phone.device import Smartphone
+from repro.sim.rng import RngStreams
+
+
+def make_phone(platform="android", name="alice"):
+    plan = single_room()
+    air = AirInterface(plan)
+    region = BeaconRegion("building", BUILDING_UUID)
+    occupant = Occupant(name, StaticPosition(Point(2.5, 4.0)))
+    return Smartphone(occupant, air, region, platform=platform,
+                      streams=RngStreams(3))
+
+
+class TestSmartphone:
+    def test_device_id_is_occupant_name(self):
+        assert make_phone(name="zoe").device_id == "zoe"
+
+    def test_rejects_unknown_platform(self):
+        plan = single_room()
+        air = AirInterface(plan)
+        occupant = Occupant("a", StaticPosition(Point(1, 1)))
+        with pytest.raises(ValueError):
+            Smartphone(occupant, air, BeaconRegion("b", BUILDING_UUID),
+                       platform="symbian")
+
+    def test_boot_then_cycle(self):
+        phone = make_phone()
+        phone.boot()
+        report = phone.run_cycle(0.0)
+        assert report is not None
+        assert report.device_id == "alice"
+
+    def test_ios_platform_uses_ios_scanner(self):
+        from repro.phone.scanner import IosScanner
+
+        phone = make_phone(platform="ios")
+        assert isinstance(phone.scanner, IosScanner)
+
+    def test_different_occupants_get_independent_rng(self):
+        a = make_phone(name="a")
+        b = make_phone(name="b")
+        a.boot()
+        b.boot()
+        report_a = a.run_cycle(0.0)
+        report_b = b.run_cycle(0.0)
+        # Same position, same plan - but independent channel draws.
+        assert report_a.beacons[0].rssi != report_b.beacons[0].rssi
+
+    def test_same_occupant_is_reproducible(self):
+        a = make_phone(name="same")
+        b = make_phone(name="same")
+        a.boot()
+        b.boot()
+        assert a.run_cycle(0.0).beacons[0].rssi == b.run_cycle(0.0).beacons[0].rssi
+
+
+class TestDetectionRunApi:
+    @pytest.fixture(scope="class")
+    def run(self):
+        from repro.building.presets import two_room_corridor
+        from repro.core.config import SystemConfig
+        from repro.core.system import OccupancyDetectionSystem
+
+        plan = two_room_corridor()
+        system = OccupancyDetectionSystem(plan, SystemConfig(seed=9))
+        system.calibrate(duration_s=400.0)
+        system.train()
+        system.add_occupant(
+            Occupant("bob", StaticPosition(Point(2.0, 1.5)))
+        )
+        return system.run(60.0)
+
+    def test_average_power(self, run):
+        assert run.average_power_w("bob") > 0.1
+
+    def test_battery_life_projection(self, run):
+        life = run.battery_life_hours("bob", battery_wh=5.7)
+        assert 5.0 < life < 20.0
+
+    def test_battery_life_scales_with_capacity(self, run):
+        small = run.battery_life_hours("bob", battery_wh=2.0)
+        large = run.battery_life_hours("bob", battery_wh=8.0)
+        assert large == pytest.approx(4.0 * small)
+
+    def test_unknown_device_raises(self, run):
+        with pytest.raises(KeyError):
+            run.average_power_w("ghost")

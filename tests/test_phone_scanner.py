@@ -1,0 +1,136 @@
+"""Tests for the platform-faithful scanner semantics (paper Section V)."""
+
+import numpy as np
+import pytest
+
+from repro.ble.air import AirInterface
+from repro.ble.scanner_params import ScanSettings
+from repro.building.geometry import Point
+from repro.building.presets import single_room, two_room_corridor
+from repro.phone.scanner import AndroidScanner, IosScanner
+from repro.radio.channel import ChannelModel
+from repro.radio.devices import DEVICE_PROFILES
+
+
+def quiet_air(plan):
+    return AirInterface(
+        plan,
+        ChannelModel(shadowing_sigma_db=0.0, fading=None, collision_loss_prob=0.0),
+    )
+
+
+def fixed(point):
+    return lambda t: point
+
+
+class TestAndroidSemantics:
+    def test_one_sample_per_beacon_per_cycle(self):
+        air = quiet_air(single_room())
+        scanner = AndroidScanner(air, device="ideal", rng=np.random.default_rng(0))
+        cycle = scanner.scan_cycle(fixed(Point(2.0, 4.0)), 0.0)
+        assert cycle.surfaced_count == 1
+        assert len(cycle.samples["1-1"]) == 1
+
+    def test_multiple_beacons_one_sample_each(self):
+        air = quiet_air(two_room_corridor())
+        scanner = AndroidScanner(air, device="ideal", rng=np.random.default_rng(0))
+        cycle = scanner.scan_cycle(fixed(Point(6.0, 1.5)), 0.0)
+        assert cycle.beacon_ids == ["1-1", "1-2"]
+        assert cycle.surfaced_count == 2
+
+    def test_received_count_exceeds_surfaced(self):
+        """The radio hears every advertisement; the API hides most."""
+        air = quiet_air(single_room())
+        scanner = AndroidScanner(air, device="ideal", rng=np.random.default_rng(0))
+        cycle = scanner.scan_cycle(fixed(Point(2.0, 4.0)), 0.0)
+        assert cycle.received_count > cycle.surfaced_count
+
+    def test_surfaced_sample_is_first_reception(self):
+        air = quiet_air(single_room())
+        scanner = AndroidScanner(air, device="ideal", rng=np.random.default_rng(1))
+        pos = fixed(Point(2.0, 4.0))
+        cycle = scanner.scan_cycle(pos, 0.0)
+        sightings = air.observe(
+            pos, DEVICE_PROFILES["ideal"], 0.0, 2.0, np.random.default_rng(1)
+        )
+        # Regenerate with the same rng seed: first sighting's RSSI must
+        # match the surfaced sample.
+        assert cycle.samples["1-1"][0] == pytest.approx(sightings[0].rssi)
+
+
+class TestIosSemantics:
+    def test_all_advertisements_surfaced(self):
+        air = quiet_air(single_room())
+        scanner = IosScanner(air, device="ideal", rng=np.random.default_rng(0))
+        cycle = scanner.scan_cycle(fixed(Point(2.0, 4.0)), 0.0)
+        assert cycle.surfaced_count == cycle.received_count
+        assert cycle.surfaced_count >= 15
+
+    def test_paper_example_ratio(self):
+        """2 s scans: Android gets 1 sample/cycle, iOS ~20 at 100 ms."""
+        air = quiet_air(single_room())
+        android = AndroidScanner(air, device="ideal", rng=np.random.default_rng(0))
+        ios = IosScanner(air, device="ideal", rng=np.random.default_rng(0))
+        pos = fixed(Point(2.0, 4.0))
+        a = android.scan_cycle(pos, 0.0).surfaced_count
+        i = ios.scan_cycle(pos, 0.0).surfaced_count
+        assert a == 1
+        assert i >= 15 * a
+
+
+class TestScanCycle:
+    def test_mean_rssi(self):
+        air = quiet_air(single_room())
+        scanner = IosScanner(air, device="ideal", rng=np.random.default_rng(0))
+        cycle = scanner.scan_cycle(fixed(Point(2.0, 4.0)), 0.0)
+        values = cycle.samples["1-1"]
+        assert cycle.mean_rssi("1-1") == pytest.approx(float(np.mean(values)))
+
+    def test_mean_rssi_unknown_beacon_raises(self):
+        air = quiet_air(single_room())
+        scanner = AndroidScanner(air, device="ideal", rng=np.random.default_rng(0))
+        cycle = scanner.scan_cycle(fixed(Point(2.0, 4.0)), 0.0)
+        with pytest.raises(KeyError):
+            cycle.mean_rssi("9-9")
+
+    def test_cycle_window(self):
+        air = quiet_air(single_room())
+        scanner = AndroidScanner(
+            air, device="ideal", settings=ScanSettings(3.0),
+            rng=np.random.default_rng(0),
+        )
+        cycle = scanner.scan_cycle(fixed(Point(2.0, 4.0)), 6.0)
+        assert cycle.t_start == 6.0
+        assert cycle.t_end == 9.0
+
+    def test_duty_cycle_limits_receptions(self):
+        air = quiet_air(single_room())
+        full = IosScanner(
+            air, device="ideal", settings=ScanSettings(2.0, duty_cycle=1.0),
+            rng=np.random.default_rng(0),
+        )
+        half = IosScanner(
+            air, device="ideal", settings=ScanSettings(2.0, duty_cycle=0.5),
+            rng=np.random.default_rng(0),
+        )
+        pos = fixed(Point(2.0, 4.0))
+        assert half.scan_cycle(pos, 0.0).received_count < full.scan_cycle(
+            pos, 0.0
+        ).received_count
+
+
+class TestScannerConstruction:
+    def test_device_name_resolved(self):
+        air = quiet_air(single_room())
+        scanner = AndroidScanner(air, device="s3_mini")
+        assert scanner.device.name == "s3_mini"
+
+    def test_bad_device_type_rejected(self):
+        air = quiet_air(single_room())
+        with pytest.raises(TypeError):
+            AndroidScanner(air, device=42)
+
+    def test_unknown_device_name_raises(self):
+        air = quiet_air(single_room())
+        with pytest.raises(KeyError):
+            AndroidScanner(air, device="pixel_99")

@@ -1,0 +1,154 @@
+"""Tests for trilateration and geometric room inference."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.building.geometry import Point
+from repro.building.presets import test_house as make_test_house
+from repro.positioning.room_inference import GeometricRoomClassifier
+from repro.positioning.trilateration import (
+    TrilaterationError,
+    trilaterate,
+    trilaterate_fingerprint,
+)
+
+ANCHORS = [(0.0, 0.0), (10.0, 0.0), (0.0, 10.0), (10.0, 10.0)]
+
+
+def true_distances(point, anchors=ANCHORS):
+    return [float(np.hypot(point[0] - a[0], point[1] - a[1])) for a in anchors]
+
+
+class TestTrilaterate:
+    def test_exact_distances_recover_position(self):
+        target = (3.0, 4.0)
+        result = trilaterate(ANCHORS, true_distances(target))
+        assert result.position.x == pytest.approx(3.0, abs=1e-6)
+        assert result.position.y == pytest.approx(4.0, abs=1e-6)
+        assert result.rms_residual_m < 1e-6
+
+    def test_three_anchors_sufficient(self):
+        target = (2.0, 7.0)
+        result = trilaterate(ANCHORS[:3], true_distances(target, ANCHORS[:3]))
+        assert result.position.distance_to(Point(*target)) < 1e-5
+
+    def test_noisy_distances_stay_close(self):
+        rng = np.random.default_rng(0)
+        target = (4.5, 6.0)
+        noisy = [d + rng.normal(0, 0.3) for d in true_distances(target)]
+        result = trilaterate(ANCHORS, noisy)
+        assert result.position.distance_to(Point(*target)) < 1.5
+
+    def test_residual_reflects_inconsistency(self):
+        target = (5.0, 5.0)
+        clean = trilaterate(ANCHORS, true_distances(target))
+        inconsistent = trilaterate(ANCHORS, [1.0, 1.0, 1.0, 1.0])
+        assert inconsistent.rms_residual_m > clean.rms_residual_m + 1.0
+
+    def test_rejects_too_few_anchors(self):
+        with pytest.raises(TrilaterationError):
+            trilaterate(ANCHORS[:2], [1.0, 2.0])
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(TrilaterationError):
+            trilaterate(ANCHORS, [1.0, 2.0])
+
+    def test_rejects_negative_distances(self):
+        with pytest.raises(TrilaterationError):
+            trilaterate(ANCHORS[:3], [1.0, -2.0, 3.0])
+
+    def test_rejects_collinear_anchors(self):
+        collinear = [(0.0, 0.0), (5.0, 0.0), (10.0, 0.0)]
+        with pytest.raises(TrilaterationError):
+            trilaterate(collinear, [1.0, 2.0, 3.0])
+
+    @given(
+        x=st.floats(0.5, 9.5),
+        y=st.floats(0.5, 9.5),
+    )
+    def test_roundtrip_property(self, x, y):
+        result = trilaterate(ANCHORS, true_distances((x, y)))
+        assert result.position.distance_to(Point(x, y)) < 1e-4
+
+
+class TestTrilaterateFingerprint:
+    def positions(self):
+        return {
+            "a": Point(0.0, 0.0),
+            "b": Point(10.0, 0.0),
+            "c": Point(0.0, 10.0),
+        }
+
+    def test_solves_from_fingerprint(self):
+        target = Point(3.0, 3.0)
+        fingerprint = {
+            name: target.distance_to(p) for name, p in self.positions().items()
+        }
+        result = trilaterate_fingerprint(fingerprint, self.positions())
+        assert result.position.distance_to(target) < 1e-5
+
+    def test_unknown_beacons_ignored(self):
+        target = Point(3.0, 3.0)
+        fingerprint = {
+            name: target.distance_to(p) for name, p in self.positions().items()
+        }
+        fingerprint["ghost"] = 1.0
+        result = trilaterate_fingerprint(fingerprint, self.positions())
+        assert result.position.distance_to(target) < 1e-5
+
+    def test_too_few_usable_beacons(self):
+        with pytest.raises(TrilaterationError):
+            trilaterate_fingerprint({"a": 1.0, "b": 2.0}, self.positions())
+
+
+class TestGeometricRoomClassifier:
+    def make(self, **kwargs):
+        plan = make_test_house()
+        return plan, GeometricRoomClassifier(plan, plan.beacon_ids, **kwargs)
+
+    def vector_for(self, plan, point):
+        """Exact distances from a point to every beacon."""
+        return np.array(
+            [point.distance_to(b.position) for b in plan.beacons]
+        ).reshape(1, -1)
+
+    def test_exact_distances_give_right_room(self):
+        plan, model = self.make()
+        point = Point(3.0, 2.5)  # living room centre
+        assert model.predict(self.vector_for(plan, point))[0] == "living"
+
+    def test_all_missing_is_outside(self):
+        plan, model = self.make(missing_value=30.0)
+        row = np.full((1, len(plan.beacon_ids)), 30.0)
+        assert model.predict(row)[0] == "outside"
+
+    def test_huge_residual_is_outside(self):
+        plan, model = self.make(max_residual_m=0.5)
+        # Wildly inconsistent distances: all beacons 0.1 m away.
+        row = np.full((1, len(plan.beacon_ids)), 0.1)
+        assert model.predict(row)[0] == "outside"
+
+    def test_rejects_wrong_width(self):
+        _, model = self.make()
+        with pytest.raises(ValueError):
+            model.predict(np.ones((1, 2)))
+
+    def test_wants_scaling_false(self):
+        _, model = self.make()
+        assert model.wants_scaling is False
+
+    def test_score_on_exact_inputs(self):
+        plan, model = self.make()
+        points = {
+            "living": Point(3.0, 2.5),
+            "kitchen": Point(9.0, 2.0),
+            "bedroom": Point(3.0, 6.5),
+        }
+        X = np.vstack([self.vector_for(plan, p) for p in points.values()])
+        y = np.array(list(points.keys()))
+        assert model.score(X, y) == 1.0
+
+    def test_clone(self):
+        _, model = self.make(max_residual_m=7.0)
+        assert model.clone().max_residual_m == 7.0

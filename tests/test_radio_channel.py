@@ -1,0 +1,118 @@
+"""Tests for the end-to-end channel model."""
+
+import numpy as np
+import pytest
+
+from repro.radio.channel import ChannelModel
+from repro.radio.devices import DEVICE_PROFILES
+from repro.radio.fading import RicianFading
+from repro.radio.pathloss import LogDistancePathLoss
+
+IDEAL = DEVICE_PROFILES["ideal"]
+S3 = DEVICE_PROFILES["s3_mini"]
+
+
+def quiet_channel(**overrides):
+    """A channel with every random impairment disabled."""
+    defaults = dict(
+        shadowing_sigma_db=0.0,
+        fading=None,
+        collision_loss_prob=0.0,
+        seed=0,
+    )
+    defaults.update(overrides)
+    return ChannelModel(**defaults)
+
+
+class TestLinkBudget:
+    def test_quiet_channel_matches_path_loss_exactly(self, rng):
+        channel = quiet_channel()
+        budget = channel.link_budget("b1", (0.0, 0.0), (2.0, 0.0), -59.0, IDEAL, rng)
+        expected = LogDistancePathLoss().rssi(2.0, -59.0)
+        assert budget.rssi == pytest.approx(expected)
+        assert budget.received
+
+    def test_distance_recorded(self, rng):
+        channel = quiet_channel()
+        budget = channel.link_budget("b1", (0.0, 0.0), (3.0, 4.0), -59.0, IDEAL, rng)
+        assert budget.distance_m == pytest.approx(5.0)
+
+    def test_rx_gain_shifts_rssi(self, rng):
+        channel = quiet_channel()
+        base = channel.link_budget("b1", (0.0, 0.0), (2.0, 0.0), -59.0, IDEAL, rng)
+        gained_profile = DEVICE_PROFILES["ideal"].__class__(
+            name="gained", rx_gain_db=6.0, rssi_noise_db=0.0,
+            sensitivity_dbm=-120.0, rssi_quantisation_db=0.0, extra_loss_prob=0.0,
+        )
+        gained = channel.link_budget(
+            "b1", (0.0, 0.0), (2.0, 0.0), -59.0, gained_profile, rng
+        )
+        assert gained.rssi - base.rssi == pytest.approx(6.0)
+
+    def test_wall_oracle_attenuates(self, rng):
+        free = quiet_channel()
+        walled = quiet_channel(wall_oracle=lambda a, b: ["concrete"])
+        open_rssi = free.link_budget("b1", (0, 0), (2, 0), -59.0, IDEAL, rng).rssi
+        blocked = walled.link_budget("b1", (0, 0), (2, 0), -59.0, IDEAL, rng).rssi
+        assert open_rssi - blocked == pytest.approx(12.0)
+
+    def test_below_sensitivity_not_received(self, rng):
+        channel = quiet_channel()
+        profile = DEVICE_PROFILES["ideal"].__class__(
+            name="deaf", rx_gain_db=0.0, rssi_noise_db=0.0,
+            sensitivity_dbm=-20.0, rssi_quantisation_db=0.0, extra_loss_prob=0.0,
+        )
+        budget = channel.link_budget("b1", (0, 0), (10, 0), -59.0, profile, rng)
+        assert not budget.received
+
+    def test_shadowing_constant_at_fixed_position(self):
+        channel = ChannelModel(
+            shadowing_sigma_db=4.0, fading=None, collision_loss_prob=0.0, seed=2
+        )
+        rng = np.random.default_rng(0)
+        first = channel.link_budget("b1", (0, 0), (3, 1), -59.0, IDEAL, rng).shadowing_db
+        second = channel.link_budget("b1", (0, 0), (3, 1), -59.0, IDEAL, rng).shadowing_db
+        assert first == second
+
+    def test_shadowing_differs_between_transmitters(self):
+        channel = ChannelModel(
+            shadowing_sigma_db=4.0, fading=None, collision_loss_prob=0.0, seed=2
+        )
+        rng = np.random.default_rng(0)
+        a = channel.link_budget("b1", (0, 0), (3, 1), -59.0, IDEAL, rng).shadowing_db
+        b = channel.link_budget("b2", (0, 0), (3, 1), -59.0, IDEAL, rng).shadowing_db
+        assert a != b
+
+
+class TestSampleRssi:
+    def test_none_when_lost(self, rng):
+        channel = quiet_channel(collision_loss_prob=1.0)
+        assert channel.sample_rssi("b1", (0, 0), (2, 0), -59.0, IDEAL, rng) is None
+
+    def test_value_when_received(self, rng):
+        channel = quiet_channel()
+        value = channel.sample_rssi("b1", (0, 0), (2, 0), -59.0, IDEAL, rng)
+        assert isinstance(value, float)
+
+    def test_loss_rate_roughly_matches_probability(self):
+        channel = quiet_channel(collision_loss_prob=0.3)
+        rng = np.random.default_rng(7)
+        received = sum(
+            channel.sample_rssi("b1", (0, 0), (2, 0), -59.0, IDEAL, rng) is not None
+            for _ in range(2000)
+        )
+        assert 0.62 < received / 2000 < 0.78
+
+    def test_stack_bug_losses_add_on_top(self):
+        channel = quiet_channel(collision_loss_prob=0.0)
+        rng = np.random.default_rng(7)
+        received = sum(
+            channel.sample_rssi("b1", (0, 0), (2, 0), -59.0, S3, rng) is not None
+            for _ in range(2000)
+        )
+        # S3 Mini extra_loss_prob = 0.10.
+        assert 0.85 < received / 2000 < 0.95
+
+    def test_rejects_bad_collision_prob(self):
+        with pytest.raises(ValueError):
+            ChannelModel(collision_loss_prob=1.5)

@@ -1,0 +1,56 @@
+"""Tests for per-device receiver profiles (paper Figure 11 substrate)."""
+
+import pytest
+
+from repro.radio.devices import DEVICE_PROFILES, DeviceRadioProfile
+
+
+class TestProfiles:
+    def test_paper_devices_present(self):
+        assert "s3_mini" in DEVICE_PROFILES
+        assert "nexus_5" in DEVICE_PROFILES
+
+    def test_s3_mini_is_the_zero_gain_reference(self):
+        assert DEVICE_PROFILES["s3_mini"].rx_gain_db == 0.0
+
+    def test_nexus5_reports_stronger_rssi(self):
+        assert DEVICE_PROFILES["nexus_5"].rx_gain_db > DEVICE_PROFILES["s3_mini"].rx_gain_db
+
+    def test_s3_mini_has_buggy_stack(self):
+        """Paper: 'the adapter sometimes looses some samples'."""
+        assert DEVICE_PROFILES["s3_mini"].extra_loss_prob > 0.05
+
+    def test_ideal_device_is_noise_free(self):
+        ideal = DEVICE_PROFILES["ideal"]
+        assert ideal.rssi_noise_db == 0.0
+        assert ideal.extra_loss_prob == 0.0
+        assert ideal.rssi_quantisation_db == 0.0
+
+
+class TestValidation:
+    def test_rejects_negative_noise(self):
+        with pytest.raises(ValueError):
+            DeviceRadioProfile(name="x", rssi_noise_db=-1.0)
+
+    def test_rejects_bad_loss_probability(self):
+        with pytest.raises(ValueError):
+            DeviceRadioProfile(name="x", extra_loss_prob=1.5)
+
+    def test_rejects_negative_quantisation(self):
+        with pytest.raises(ValueError):
+            DeviceRadioProfile(name="x", rssi_quantisation_db=-0.5)
+
+
+class TestQuantisation:
+    def test_integer_quantisation(self):
+        profile = DeviceRadioProfile(name="x", rssi_quantisation_db=1.0)
+        assert profile.quantise(-63.4) == -63.0
+        assert profile.quantise(-63.6) == -64.0
+
+    def test_zero_quantisation_passthrough(self):
+        profile = DeviceRadioProfile(name="x", rssi_quantisation_db=0.0)
+        assert profile.quantise(-63.456) == -63.456
+
+    def test_coarse_quantisation(self):
+        profile = DeviceRadioProfile(name="x", rssi_quantisation_db=2.0)
+        assert profile.quantise(-63.0) in (-62.0, -64.0)

@@ -1,0 +1,52 @@
+"""Tests for fast-fading models."""
+
+import numpy as np
+import pytest
+
+from repro.radio.fading import RayleighFading, RicianFading
+
+
+class TestRician:
+    def test_rejects_negative_k(self):
+        with pytest.raises(ValueError):
+            RicianFading(k_factor=-1.0)
+
+    def test_scalar_sample(self, rng):
+        value = RicianFading(6.0).sample_db(rng)
+        assert isinstance(value, float)
+
+    def test_vector_sample_shape(self, rng):
+        values = RicianFading(6.0).sample_db(rng, size=1000)
+        assert values.shape == (1000,)
+
+    def test_unit_mean_power(self, rng):
+        """E[|h|^2] = 1, so mean linear power should be ~1 (0 dB)."""
+        db = RicianFading(6.0).sample_db(rng, size=20000)
+        mean_power = np.mean(10.0 ** (db / 10.0))
+        assert mean_power == pytest.approx(1.0, rel=0.05)
+
+    def test_higher_k_means_less_variance(self, rng):
+        rng_a = np.random.default_rng(0)
+        rng_b = np.random.default_rng(0)
+        calm = RicianFading(20.0).sample_db(rng_a, size=5000)
+        wild = RicianFading(0.5).sample_db(rng_b, size=5000)
+        assert np.std(calm) < np.std(wild)
+
+    def test_deterministic_given_rng(self):
+        a = RicianFading(6.0).sample_db(np.random.default_rng(5), size=10)
+        b = RicianFading(6.0).sample_db(np.random.default_rng(5), size=10)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestRayleigh:
+    def test_matches_k_zero_rician_statistics(self):
+        ray = RayleighFading().sample_db(np.random.default_rng(1), size=5000)
+        ric = RicianFading(0.0).sample_db(np.random.default_rng(1), size=5000)
+        np.testing.assert_allclose(ray, ric)
+
+    def test_heavier_tail_than_rician(self):
+        ray = RayleighFading().sample_db(np.random.default_rng(2), size=5000)
+        ric = RicianFading(10.0).sample_db(np.random.default_rng(2), size=5000)
+        # Deep fades (below -10 dB) are common for Rayleigh, rare with
+        # a strong LoS.
+        assert np.mean(ray < -10.0) > np.mean(ric < -10.0)

@@ -1,0 +1,43 @@
+"""Tests for wall material attenuation."""
+
+import pytest
+
+from repro.radio.materials import WALL_MATERIALS, Material, wall_loss_db
+
+
+class TestMaterials:
+    def test_known_materials_present(self):
+        for name in ("drywall", "glass", "brick", "concrete", "metal", "open"):
+            assert name in WALL_MATERIALS
+
+    def test_open_is_lossless(self):
+        assert WALL_MATERIALS["open"].loss_db == 0.0
+
+    def test_concrete_lossier_than_drywall(self):
+        assert WALL_MATERIALS["concrete"].loss_db > WALL_MATERIALS["drywall"].loss_db
+
+    def test_material_rejects_negative_loss(self):
+        with pytest.raises(ValueError):
+            Material("weird", -1.0)
+
+
+class TestWallLoss:
+    def test_empty_path_is_zero(self):
+        assert wall_loss_db([]) == 0.0
+
+    def test_single_wall(self):
+        assert wall_loss_db(["drywall"]) == WALL_MATERIALS["drywall"].loss_db
+
+    def test_losses_add(self):
+        assert wall_loss_db(["drywall", "brick"]) == pytest.approx(
+            WALL_MATERIALS["drywall"].loss_db + WALL_MATERIALS["brick"].loss_db
+        )
+
+    def test_duplicate_walls_count_twice(self):
+        assert wall_loss_db(["drywall", "drywall"]) == pytest.approx(
+            2.0 * WALL_MATERIALS["drywall"].loss_db
+        )
+
+    def test_unknown_material_raises(self):
+        with pytest.raises(KeyError):
+            wall_loss_db(["adamantium"])

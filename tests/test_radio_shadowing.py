@@ -1,0 +1,63 @@
+"""Tests for the spatially correlated shadowing field."""
+
+import numpy as np
+import pytest
+
+from repro.radio.shadowing import ShadowingField
+
+
+class TestDeterminism:
+    def test_same_position_same_value(self):
+        field = ShadowingField(sigma_db=3.0, link_seed=1)
+        assert field.sample(2.3, 4.5) == field.sample(2.3, 4.5)
+
+    def test_same_seed_same_field(self):
+        a = ShadowingField(sigma_db=3.0, link_seed=9)
+        b = ShadowingField(sigma_db=3.0, link_seed=9)
+        assert a.sample(1.0, 1.0) == b.sample(1.0, 1.0)
+
+    def test_different_seed_different_field(self):
+        a = ShadowingField(sigma_db=3.0, link_seed=1)
+        b = ShadowingField(sigma_db=3.0, link_seed=2)
+        samples_a = [a.sample(x, 0.0) for x in range(10)]
+        samples_b = [b.sample(x, 0.0) for x in range(10)]
+        assert samples_a != samples_b
+
+
+class TestStatistics:
+    def test_zero_sigma_is_zero_everywhere(self):
+        field = ShadowingField(sigma_db=0.0)
+        assert field.sample(3.0, 7.0) == 0.0
+
+    def test_marginal_std_close_to_sigma(self):
+        field = ShadowingField(sigma_db=4.0, correlation_distance_m=1.0, link_seed=3)
+        rng = np.random.default_rng(0)
+        # Sample far apart (decorrelated) positions at cell centres.
+        values = [
+            field.sample(float(x) + 0.0, float(y) + 0.0)
+            for x in range(0, 300, 10)
+            for y in range(0, 30, 10)
+        ]
+        std = np.std(values)
+        # Bilinear interpolation shrinks variance somewhat; accept a
+        # broad band around sigma.
+        assert 1.5 < std < 6.0
+
+    def test_nearby_points_are_similar(self):
+        field = ShadowingField(sigma_db=4.0, correlation_distance_m=5.0, link_seed=3)
+        base = field.sample(10.0, 10.0)
+        near = field.sample(10.3, 10.1)
+        far_values = [field.sample(10.0 + 50.0 * k, 10.0 + 35.0 * k) for k in range(1, 8)]
+        assert abs(near - base) < 2.0
+        # Far samples should spread much more than the near difference.
+        assert np.std(far_values) > abs(near - base)
+
+
+class TestValidation:
+    def test_rejects_negative_sigma(self):
+        with pytest.raises(ValueError):
+            ShadowingField(sigma_db=-1.0)
+
+    def test_rejects_nonpositive_correlation(self):
+        with pytest.raises(ValueError):
+            ShadowingField(correlation_distance_m=0.0)

@@ -1,0 +1,106 @@
+"""Tests for the ASCII chart primitives and figure renderers."""
+
+import pytest
+
+from repro.report.ascii_plot import ascii_bar_chart, ascii_time_series
+from repro.report.figures import (
+    render_figure_4,
+    render_figure_5,
+    render_figure_8,
+    render_figure_11,
+)
+
+
+class TestTimeSeries:
+    def test_contains_markers(self):
+        chart = ascii_time_series({"a": [(0.0, 1.0), (1.0, 2.0)]})
+        assert "*" in chart
+
+    def test_title_and_labels(self):
+        chart = ascii_time_series(
+            {"a": [(0.0, 1.0), (1.0, 2.0)]},
+            title="My Plot",
+            y_label="metres",
+            x_label="seconds",
+        )
+        assert "My Plot" in chart
+        assert "metres" in chart
+        assert "seconds" in chart
+
+    def test_legend_for_multiple_series(self):
+        chart = ascii_time_series(
+            {"raw": [(0.0, 1.0)], "filtered": [(0.0, 2.0)]}
+        )
+        assert "legend" in chart
+        assert "raw" in chart and "filtered" in chart
+
+    def test_single_series_no_legend(self):
+        chart = ascii_time_series({"only": [(0.0, 1.0), (1.0, 1.5)]})
+        assert "legend" not in chart
+
+    def test_axis_extents_printed(self):
+        chart = ascii_time_series({"a": [(5.0, -3.0), (15.0, 7.0)]})
+        assert "7.00" in chart
+        assert "-3.00" in chart
+
+    def test_constant_series_no_crash(self):
+        chart = ascii_time_series({"flat": [(0.0, 2.0), (10.0, 2.0)]})
+        assert "flat" not in chart  # single series: no legend
+        assert "2.00" in chart
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            ascii_time_series({"a": []})
+
+    def test_dimensions_respected(self):
+        chart = ascii_time_series(
+            {"a": [(0.0, 0.0), (1.0, 1.0)]}, width=30, height=5
+        )
+        plot_lines = [l for l in chart.splitlines() if "|" in l]
+        assert len(plot_lines) == 5
+
+
+class TestBarChart:
+    def test_bars_scale_with_values(self):
+        chart = ascii_bar_chart({"big": 10.0, "small": 1.0})
+        lines = {l.split("|")[0].strip(): l for l in chart.splitlines()}
+        assert lines["big"].count("#") > lines["small"].count("#")
+
+    def test_unit_suffix(self):
+        chart = ascii_bar_chart({"x": 5.0}, unit=" mW")
+        assert "5 mW" in chart
+
+    def test_sorting(self):
+        chart = ascii_bar_chart({"a": 1.0, "b": 9.0}, sort=True)
+        assert chart.splitlines()[0].startswith("b")
+
+    def test_zero_value_gets_empty_bar(self):
+        chart = ascii_bar_chart({"none": 0.0, "some": 2.0})
+        none_line = [l for l in chart.splitlines() if l.startswith("none")][0]
+        assert "#" not in none_line
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            ascii_bar_chart({})
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            ascii_bar_chart({"bad": -1.0})
+
+
+class TestFigureRenderers:
+    def test_figure_4_mentions_std(self):
+        out = render_figure_4()
+        assert "Figure 4" in out and "std" in out
+
+    def test_figure_5_shows_both_series(self):
+        out = render_figure_5()
+        assert "raw" in out and "filtered" in out
+
+    def test_figure_8_shows_tradeoff(self):
+        out = render_figure_8()
+        assert "lag" in out and "0.65" in out
+
+    def test_figure_11_shows_gap(self):
+        out = render_figure_11()
+        assert "Nexus 5" in out or "nexus_5" in out

@@ -1,0 +1,69 @@
+"""Tests for the ASCII floor-plan renderer and classification report."""
+
+import pytest
+
+from repro.building.geometry import Point
+from repro.building.presets import test_house as make_test_house, two_room_corridor
+from repro.ml.metrics import ConfusionMatrix
+from repro.report.floorplan_art import render_plan
+
+
+class TestRenderPlan:
+    def test_rooms_drawn_with_letters(self):
+        art = render_plan(two_room_corridor())
+        # room_a -> 'r', room_b -> disambiguated letter.
+        assert "r" in art
+        assert "legend" in art
+
+    def test_beacons_marked(self):
+        art = render_plan(make_test_house())
+        grid_rows = [l for l in art.splitlines() if l.startswith("|")]
+        assert sum(row.count("B") for row in grid_rows) == 5
+
+    def test_markers_overlaid(self):
+        art = render_plan(
+            make_test_house(), markers={"alice": Point(3.0, 2.5)}
+        )
+        assert "A" in art
+        assert "A=alice" in art
+
+    def test_outside_cells_blank(self):
+        art = render_plan(two_room_corridor())
+        body = [l for l in art.splitlines() if l.startswith("|")]
+        assert body  # has grid rows
+
+    def test_distinct_letters_for_colliding_initials(self):
+        plan = make_test_house()  # bedroom vs bathroom share 'b'
+        art = render_plan(plan)
+        legend_line = [l for l in art.splitlines() if l.startswith("legend")][0]
+        letters = [part.split("=")[0] for part in legend_line[8:].split()]
+        assert len(set(letters)) == len(letters)
+
+    def test_rejects_bad_cell_size(self):
+        with pytest.raises(ValueError):
+            render_plan(two_room_corridor(), cell_m=0.0)
+
+    def test_no_legend_option(self):
+        art = render_plan(two_room_corridor(), show_legend=False)
+        assert "legend" not in art
+
+    def test_grid_dimensions_scale_with_cell(self):
+        coarse = render_plan(two_room_corridor(), cell_m=1.0, show_legend=False)
+        fine = render_plan(two_room_corridor(), cell_m=0.5, show_legend=False)
+        assert len(fine.splitlines()) > len(coarse.splitlines())
+
+
+class TestClassificationReport:
+    def test_report_contains_all_classes(self):
+        cm = ConfusionMatrix(
+            ["a", "a", "b", "b"], ["a", "b", "b", "b"], labels=["a", "b"]
+        )
+        report = cm.classification_report()
+        assert "a" in report and "b" in report
+        assert "precision" in report
+        assert "accuracy: 0.750" in report
+
+    def test_support_column(self):
+        cm = ConfusionMatrix(["a"] * 3 + ["b"], ["a"] * 3 + ["b"])
+        report = cm.classification_report()
+        assert "3" in report  # class a support

@@ -1,0 +1,176 @@
+"""Tests for the BMS server (fingerprints, training, occupancy)."""
+
+import pytest
+
+from repro.ml.proximity import ProximityClassifier
+from repro.server.bms import BuildingManagementServer
+from repro.server.rest import Request
+
+
+def trained_bms(**kwargs):
+    """A BMS with two rooms' worth of easy, separable fingerprints."""
+    bms = BuildingManagementServer(["1-1", "1-2"], **kwargs)
+    for i in range(12):
+        bms.add_fingerprint("kitchen", {"1-1": 1.0 + 0.1 * i, "1-2": 8.0}, i)
+        bms.add_fingerprint("living", {"1-1": 8.0, "1-2": 1.0 + 0.1 * i}, i)
+    bms.train()
+    return bms
+
+
+class TestConstruction:
+    def test_rejects_empty_beacons(self):
+        with pytest.raises(ValueError):
+            BuildingManagementServer([])
+
+    def test_rejects_bad_timeout(self):
+        with pytest.raises(ValueError):
+            BuildingManagementServer(["1-1"], device_timeout_s=0.0)
+
+
+class TestFingerprints:
+    def test_add_fingerprint_stored(self):
+        bms = BuildingManagementServer(["1-1"])
+        bms.add_fingerprint("kitchen", {"1-1": 2.0})
+        assert len(bms.fingerprints) == 1
+
+    def test_rejects_empty_room(self):
+        bms = BuildingManagementServer(["1-1"])
+        with pytest.raises(ValueError):
+            bms.add_fingerprint("", {"1-1": 2.0})
+
+    def test_rejects_empty_beacons(self):
+        bms = BuildingManagementServer(["1-1"])
+        with pytest.raises(ValueError):
+            bms.add_fingerprint("kitchen", {})
+
+
+class TestTraining:
+    def test_train_requires_two_classes(self):
+        bms = BuildingManagementServer(["1-1"])
+        bms.add_fingerprint("kitchen", {"1-1": 2.0})
+        with pytest.raises(RuntimeError):
+            bms.train()
+
+    def test_training_accuracy_high_on_separable_data(self):
+        bms = trained_bms()
+        assert bms.trained
+
+    def test_classify_before_train_raises(self):
+        bms = BuildingManagementServer(["1-1"])
+        with pytest.raises(RuntimeError):
+            bms.classify({"1-1": 2.0})
+
+    def test_classify_after_train(self):
+        bms = trained_bms()
+        assert bms.classify({"1-1": 1.2, "1-2": 8.0}) == "kitchen"
+        assert bms.classify({"1-1": 8.0, "1-2": 1.2}) == "living"
+
+    def test_proximity_classifier_skips_scaling(self):
+        proximity = ProximityClassifier(
+            {"1-1": "kitchen", "1-2": "living"}, ["1-1", "1-2"]
+        )
+        bms = trained_bms(classifier=proximity)
+        assert bms.classify({"1-1": 1.0, "1-2": 8.0}) == "kitchen"
+
+
+class TestOccupancy:
+    def test_ingest_updates_device_room(self):
+        bms = trained_bms()
+        room = bms.ingest_sighting("alice", {"1-1": 1.0, "1-2": 8.0}, 10.0)
+        assert room == "kitchen"
+        assert bms.device_room("alice") == "kitchen"
+
+    def test_snapshot_counts_devices_per_room(self):
+        bms = trained_bms()
+        bms.ingest_sighting("alice", {"1-1": 1.0, "1-2": 8.0}, 10.0)
+        bms.ingest_sighting("bob", {"1-1": 1.1, "1-2": 8.0}, 10.0)
+        bms.ingest_sighting("carol", {"1-1": 8.0, "1-2": 1.0}, 10.0)
+        snap = bms.snapshot(10.0)
+        assert snap.count("kitchen") == 2
+        assert snap.count("living") == 1
+        assert snap.total_occupants == 3
+
+    def test_silent_device_expires(self):
+        bms = trained_bms(device_timeout_s=20.0)
+        bms.ingest_sighting("alice", {"1-1": 1.0, "1-2": 8.0}, 10.0)
+        assert bms.snapshot(25.0).count("kitchen") == 1
+        assert bms.snapshot(31.0).count("kitchen") == 0
+
+    def test_sightings_recorded_in_db(self):
+        bms = trained_bms()
+        bms.ingest_sighting("alice", {"1-1": 1.0, "1-2": 8.0}, 10.0)
+        assert bms.sighting_count == 1
+
+    def test_device_room_unknown_is_none(self):
+        assert trained_bms().device_room("nobody") is None
+
+    def test_rejects_empty_device_id(self):
+        bms = trained_bms()
+        with pytest.raises(ValueError):
+            bms.ingest_sighting("", {"1-1": 1.0}, 0.0)
+
+
+class TestRestApi:
+    def test_post_fingerprint(self):
+        bms = BuildingManagementServer(["1-1", "1-2"])
+        response = bms.router.dispatch(
+            Request("POST", "/fingerprints",
+                    body={"room": "kitchen", "beacons": {"1-1": 2.0}})
+        )
+        assert response.ok
+        assert len(bms.fingerprints) == 1
+
+    def test_post_fingerprint_validation_400(self):
+        bms = BuildingManagementServer(["1-1"])
+        response = bms.router.dispatch(
+            Request("POST", "/fingerprints", body={"room": "", "beacons": {}})
+        )
+        assert response.status == 400
+
+    def test_post_train_conflict_when_insufficient(self):
+        bms = BuildingManagementServer(["1-1"])
+        response = bms.router.dispatch(Request("POST", "/train"))
+        assert response.status == 409
+
+    def test_full_rest_flow(self):
+        bms = BuildingManagementServer(["1-1", "1-2"])
+        for i in range(6):
+            bms.router.dispatch(Request(
+                "POST", "/fingerprints",
+                body={"room": "kitchen", "beacons": {"1-1": 1.0 + i * 0.2, "1-2": 8.0}},
+            ))
+            bms.router.dispatch(Request(
+                "POST", "/fingerprints",
+                body={"room": "living", "beacons": {"1-1": 8.0, "1-2": 1.0 + i * 0.2}},
+            ))
+        assert bms.router.dispatch(Request("POST", "/train")).ok
+        response = bms.router.dispatch(Request(
+            "POST", "/sightings",
+            body={"device_id": "alice", "beacons": {"1-1": 1.2, "1-2": 8.0}, "time": 5.0},
+        ))
+        assert response.body["room"] == "kitchen"
+        occupancy = bms.router.dispatch(Request("GET", "/occupancy", time=5.0))
+        assert occupancy.body["rooms"] == {"kitchen": 1}
+        room = bms.router.dispatch(Request("GET", "/occupancy/kitchen", time=5.0))
+        assert room.body["count"] == 1
+        location = bms.router.dispatch(
+            Request("GET", "/devices/alice/location", time=5.0)
+        )
+        assert location.body["room"] == "kitchen"
+
+    def test_sighting_missing_fields_400(self):
+        bms = trained_bms()
+        response = bms.router.dispatch(Request("POST", "/sightings", body={}))
+        assert response.status == 400
+
+    def test_sighting_before_training_409(self):
+        bms = BuildingManagementServer(["1-1"])
+        response = bms.router.dispatch(Request(
+            "POST", "/sightings", body={"device_id": "a", "beacons": {"1-1": 1.0}}
+        ))
+        assert response.status == 409
+
+    def test_unknown_device_location_404(self):
+        bms = trained_bms()
+        response = bms.router.dispatch(Request("GET", "/devices/ghost/location"))
+        assert response.status == 404

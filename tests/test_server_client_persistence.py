@@ -1,0 +1,113 @@
+"""Tests for the BMS API client and calibration persistence."""
+
+import pytest
+
+from repro.server.bms import BuildingManagementServer
+from repro.server.client import BmsApiError, BmsClient
+from repro.server.persistence import load_calibration, save_calibration
+
+
+def fresh_bms():
+    return BuildingManagementServer(["1-1", "1-2"])
+
+
+def seeded_client():
+    bms = fresh_bms()
+    client = BmsClient(bms.router)
+    for i in range(8):
+        client.post_fingerprint("kitchen", {"1-1": 1.0 + 0.1 * i, "1-2": 8.0}, i)
+        client.post_fingerprint("living", {"1-1": 8.0, "1-2": 1.0 + 0.1 * i}, i)
+    return bms, client
+
+
+class TestBmsClient:
+    def test_fingerprint_and_train_roundtrip(self):
+        bms, client = seeded_client()
+        accuracy = client.train()
+        assert accuracy > 0.9
+        assert bms.trained
+
+    def test_sighting_returns_room(self):
+        _, client = seeded_client()
+        client.train()
+        room = client.post_sighting("alice", {"1-1": 1.2, "1-2": 8.0}, 5.0)
+        assert room == "kitchen"
+
+    def test_occupancy_queries(self):
+        bms, client = seeded_client()
+        client.train()
+        client.post_sighting("alice", {"1-1": 1.2, "1-2": 8.0}, 5.0)
+        assert client.occupancy(time=5.0) == {"kitchen": 1}
+        assert client.room_count("kitchen", time=5.0) == 1
+        assert client.room_count("living", time=5.0) == 0
+        assert client.device_location("alice") == "kitchen"
+
+    def test_history_after_recording(self):
+        bms, client = seeded_client()
+        client.train()
+        client.post_sighting("alice", {"1-1": 1.2, "1-2": 8.0}, 5.0)
+        bms.record_history(5.0)
+        bms.record_history(15.0)
+        history = client.room_history("kitchen")
+        assert history["peak"] == 1
+
+    def test_errors_raise_typed_exception(self):
+        _, client = seeded_client()
+        with pytest.raises(BmsApiError) as excinfo:
+            client.device_location("ghost")
+        assert excinfo.value.status == 404
+
+    def test_train_without_data_conflicts(self):
+        client = BmsClient(fresh_bms().router)
+        with pytest.raises(BmsApiError) as excinfo:
+            client.train()
+        assert excinfo.value.status == 409
+
+    def test_validation_error_maps_to_400(self):
+        client = BmsClient(fresh_bms().router)
+        with pytest.raises(BmsApiError) as excinfo:
+            client.post_fingerprint("", {}, 0.0)
+        assert excinfo.value.status == 400
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        bms, client = seeded_client()
+        path = tmp_path / "calibration.json"
+        saved = save_calibration(bms, path)
+        assert saved == 16
+
+        restored = fresh_bms()
+        loaded = load_calibration(restored, path)
+        assert loaded == 16
+        assert restored.trained
+        assert restored.classify({"1-1": 1.2, "1-2": 8.0}) == "kitchen"
+
+    def test_load_without_training(self, tmp_path):
+        bms, _ = seeded_client()
+        path = tmp_path / "calibration.json"
+        save_calibration(bms, path)
+        restored = fresh_bms()
+        load_calibration(restored, path, train=False)
+        assert not restored.trained
+        assert len(restored.fingerprints) == 16
+
+    def test_beacon_mismatch_rejected(self, tmp_path):
+        bms, _ = seeded_client()
+        path = tmp_path / "calibration.json"
+        save_calibration(bms, path)
+        other = BuildingManagementServer(["9-9"])
+        with pytest.raises(ValueError):
+            load_calibration(other, path)
+
+    def test_bad_format_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format": 99}')
+        with pytest.raises(ValueError):
+            load_calibration(fresh_bms(), path)
+
+    def test_empty_store_roundtrip(self, tmp_path):
+        bms = fresh_bms()
+        path = tmp_path / "empty.json"
+        assert save_calibration(bms, path) == 0
+        assert load_calibration(fresh_bms(), path) == 0

@@ -1,0 +1,67 @@
+"""Tests for the fingerprint store."""
+
+import pytest
+
+from repro.server.database import Database
+from repro.server.fingerprints import FingerprintStore
+
+
+def store():
+    return FingerprintStore(Database())
+
+
+class TestStore:
+    def test_add_and_count(self):
+        s = store()
+        s.add("kitchen", {"1-1": 2.0}, 1.0)
+        s.add("living", {"1-2": 3.0}, 2.0)
+        assert len(s) == 2
+
+    def test_rejects_empty_room(self):
+        with pytest.raises(ValueError):
+            store().add("", {"1-1": 2.0})
+
+    def test_rejects_empty_fingerprint(self):
+        with pytest.raises(ValueError):
+            store().add("kitchen", {})
+
+    def test_rooms_sorted(self):
+        s = store()
+        s.add("z", {"a": 1.0})
+        s.add("a", {"a": 1.0})
+        assert s.rooms() == ["a", "z"]
+
+    def test_count_by_room(self):
+        s = store()
+        s.add("x", {"a": 1.0})
+        s.add("x", {"a": 2.0})
+        s.add("y", {"a": 3.0})
+        assert s.count_by_room() == {"x": 2, "y": 1}
+
+    def test_dataset_roundtrip(self):
+        s = store()
+        s.add("kitchen", {"1-1": 2.0}, 5.0)
+        data = s.dataset()
+        assert data.labels == ["kitchen"]
+        assert data.fingerprints == [{"1-1": 2.0}]
+        assert data.times == [5.0]
+
+    def test_dataset_filtered_by_rooms(self):
+        s = store()
+        s.add("x", {"a": 1.0})
+        s.add("y", {"a": 2.0})
+        data = s.dataset(rooms=["x"])
+        assert data.labels == ["x"]
+
+    def test_clear(self):
+        s = store()
+        s.add("x", {"a": 1.0})
+        assert s.clear() == 1
+        assert len(s) == 0
+
+    def test_reuses_existing_table(self):
+        db = Database()
+        first = FingerprintStore(db)
+        first.add("x", {"a": 1.0})
+        second = FingerprintStore(db)
+        assert len(second) == 1

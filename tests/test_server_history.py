@@ -1,0 +1,108 @@
+"""Tests for the occupancy history."""
+
+import pytest
+
+from repro.server.history import OccupancyHistory
+
+
+def filled_history():
+    history = OccupancyHistory()
+    history.record(0.0, {"kitchen": 1, "living": 0})
+    history.record(10.0, {"kitchen": 2, "living": 1})
+    history.record(20.0, {"kitchen": 0, "living": 1})
+    history.record(30.0, {"kitchen": 0, "living": 0})
+    return history
+
+
+class TestRecording:
+    def test_length_and_span(self):
+        history = filled_history()
+        assert len(history) == 4
+        assert history.span_s == 30.0
+
+    def test_out_of_order_rejected(self):
+        history = filled_history()
+        with pytest.raises(ValueError):
+            history.record(5.0, {})
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            OccupancyHistory().record(0.0, {"kitchen": -1})
+
+    def test_equal_timestamps_allowed(self):
+        history = OccupancyHistory()
+        history.record(1.0, {"a": 1})
+        history.record(1.0, {"a": 2})
+        assert len(history) == 2
+
+
+class TestQueries:
+    def test_series(self):
+        history = filled_history()
+        assert history.series("kitchen") == [(0.0, 1), (10.0, 2), (20.0, 0), (30.0, 0)]
+
+    def test_series_missing_room_is_zero(self):
+        history = filled_history()
+        assert history.series("attic") == [(0.0, 0), (10.0, 0), (20.0, 0), (30.0, 0)]
+
+    def test_rooms(self):
+        assert filled_history().rooms() == ["kitchen", "living"]
+
+    def test_peak(self):
+        history = filled_history()
+        assert history.peak("kitchen") == 2
+        assert history.peak("attic") == 0
+
+    def test_mean_occupancy_time_weighted(self):
+        history = filled_history()
+        # kitchen: 1 for 10 s, 2 for 10 s, 0 for 10 s -> mean 1.0.
+        assert history.mean_occupancy("kitchen") == pytest.approx(1.0)
+
+    def test_utilisation(self):
+        history = filled_history()
+        # kitchen occupied during [0, 20) of 30 s.
+        assert history.utilisation("kitchen") == pytest.approx(2.0 / 3.0)
+        # living occupied during [10, 30) of 30 s.
+        assert history.utilisation("living") == pytest.approx(2.0 / 3.0)
+
+    def test_busiest_room(self):
+        assert filled_history().busiest_room() == "kitchen"
+
+    def test_busiest_room_empty(self):
+        assert OccupancyHistory().busiest_room() is None
+
+    def test_empty_history_stats(self):
+        history = OccupancyHistory()
+        assert history.span_s == 0.0
+        assert history.mean_occupancy("x") == 0.0
+        assert history.utilisation("x") == 0.0
+
+    def test_between(self):
+        sub = filled_history().between(5.0, 25.0)
+        assert len(sub) == 2
+        assert sub.series("kitchen") == [(10.0, 2), (20.0, 0)]
+
+
+class TestBmsIntegration:
+    def test_record_history_via_bms(self):
+        from tests.test_server_bms import trained_bms
+
+        bms = trained_bms()
+        bms.ingest_sighting("alice", {"1-1": 1.0, "1-2": 8.0}, 10.0)
+        bms.record_history(10.0)
+        bms.ingest_sighting("alice", {"1-1": 8.0, "1-2": 1.0}, 12.0)
+        bms.record_history(12.0)
+        assert bms.history.series("kitchen") == [(10.0, 1), (12.0, 0)]
+
+    def test_history_rest_route(self):
+        from repro.server.rest import Request
+        from tests.test_server_bms import trained_bms
+
+        bms = trained_bms()
+        bms.ingest_sighting("alice", {"1-1": 1.0, "1-2": 8.0}, 10.0)
+        bms.record_history(10.0)
+        bms.record_history(20.0)
+        response = bms.router.dispatch(Request("GET", "/history/kitchen"))
+        assert response.ok
+        assert response.body["peak"] == 1
+        assert response.body["utilisation"] > 0.0

@@ -1,0 +1,88 @@
+"""Tests for the REST-like router."""
+
+import pytest
+
+from repro.server.rest import HttpError, Request, Response, Router
+
+
+class TestRequest:
+    def test_rejects_unknown_method(self):
+        with pytest.raises(ValueError):
+            Request("FETCH", "/x")
+
+    def test_rejects_relative_path(self):
+        with pytest.raises(ValueError):
+            Request("GET", "x")
+
+    def test_size_grows_with_body(self):
+        small = Request("POST", "/x", body={"a": 1})
+        large = Request("POST", "/x", body={"a": "y" * 500})
+        assert large.size_bytes > small.size_bytes
+
+    def test_size_without_body(self):
+        assert Request("GET", "/x").size_bytes > 0
+
+
+class TestResponse:
+    def test_ok_for_2xx(self):
+        assert Response(200).ok
+        assert Response(204).ok
+
+    def test_not_ok_otherwise(self):
+        assert not Response(404).ok
+        assert not Response(500).ok
+
+
+class TestRouter:
+    def make_router(self):
+        router = Router()
+
+        @router.route("GET", "/rooms/<room>")
+        def get_room(request, params):
+            return {"room": params["room"]}
+
+        @router.route("POST", "/items")
+        def post_item(request, params):
+            if not request.body:
+                raise HttpError(400, "missing body")
+            return {"ok": True}
+
+        return router
+
+    def test_dispatch_matches_route(self):
+        response = self.make_router().dispatch(Request("GET", "/rooms/kitchen"))
+        assert response.status == 200
+        assert response.body == {"room": "kitchen"}
+
+    def test_param_extraction_stops_at_slash(self):
+        response = self.make_router().dispatch(Request("GET", "/rooms/a/b"))
+        assert response.status == 404
+
+    def test_unknown_path_404(self):
+        response = self.make_router().dispatch(Request("GET", "/nope"))
+        assert response.status == 404
+
+    def test_method_mismatch_404(self):
+        response = self.make_router().dispatch(Request("POST", "/rooms/kitchen"))
+        assert response.status == 404
+
+    def test_http_error_maps_to_status(self):
+        response = self.make_router().dispatch(Request("POST", "/items"))
+        assert response.status == 400
+        assert "missing body" in response.body["error"]
+
+    def test_handler_returning_response_passthrough(self):
+        router = Router()
+
+        @router.route("GET", "/custom")
+        def custom(request, params):
+            return Response(status=201, body={"made": True})
+
+        assert router.dispatch(Request("GET", "/custom")).status == 201
+
+    def test_request_counter(self):
+        router = self.make_router()
+        router.dispatch(Request("GET", "/rooms/a"))
+        router.dispatch(Request("GET", "/rooms/b"))
+        router.dispatch(Request("GET", "/missing"))
+        assert router.requests_handled == 2

@@ -1,0 +1,45 @@
+"""Tests for the simulation clock."""
+
+import pytest
+
+from repro.sim.clock import Clock
+
+
+class TestClock:
+    def test_starts_at_zero_by_default(self):
+        assert Clock().now == 0.0
+
+    def test_starts_at_given_time(self):
+        assert Clock(5.0).now == 5.0
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ValueError):
+            Clock(-1.0)
+
+    def test_advance_to_moves_forward(self):
+        clock = Clock()
+        clock.advance_to(3.5)
+        assert clock.now == 3.5
+
+    def test_advance_to_same_time_is_allowed(self):
+        clock = Clock(2.0)
+        clock.advance_to(2.0)
+        assert clock.now == 2.0
+
+    def test_advance_to_rejects_backwards(self):
+        clock = Clock(10.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(9.999)
+
+    def test_advance_by_accumulates(self):
+        clock = Clock()
+        clock.advance_by(1.5)
+        clock.advance_by(2.5)
+        assert clock.now == 4.0
+
+    def test_advance_by_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Clock().advance_by(-0.1)
+
+    def test_repr_contains_time(self):
+        assert "3.5" in repr(Clock(3.5))

@@ -1,0 +1,158 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule_at(2.0, lambda s: order.append("b"))
+        sim.schedule_at(1.0, lambda s: order.append("a"))
+        sim.schedule_at(3.0, lambda s: order.append("c"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_at(4.5, lambda s: seen.append(s.now))
+        sim.run()
+        assert seen == [4.5]
+
+    def test_fifo_for_simultaneous_events(self):
+        sim = Simulator()
+        order = []
+        sim.schedule_at(1.0, lambda s: order.append(1))
+        sim.schedule_at(1.0, lambda s: order.append(2))
+        sim.run()
+        assert order == [1, 2]
+
+    def test_priority_breaks_ties(self):
+        sim = Simulator()
+        order = []
+        sim.schedule_at(1.0, lambda s: order.append("low"), priority=1)
+        sim.schedule_at(1.0, lambda s: order.append("high"), priority=0)
+        sim.run()
+        assert order == ["high", "low"]
+
+    def test_schedule_in_is_relative(self):
+        sim = Simulator()
+        times = []
+        def first(s):
+            s.schedule_in(2.0, lambda s2: times.append(s2.now))
+        sim.schedule_at(1.0, first)
+        sim.run()
+        assert times == [3.0]
+
+    def test_cannot_schedule_in_past(self):
+        sim = Simulator()
+        sim.schedule_at(5.0, lambda s: s.schedule_at(1.0, lambda s2: None))
+        with pytest.raises(ValueError):
+            sim.run()
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator().schedule_in(-1.0, lambda s: None)
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_run(self):
+        sim = Simulator()
+        hits = []
+        event = sim.schedule_at(1.0, lambda s: hits.append(1))
+        event.cancel()
+        sim.run()
+        assert hits == []
+
+    def test_cancelled_event_not_counted_as_processed(self):
+        sim = Simulator()
+        event = sim.schedule_at(1.0, lambda s: None)
+        event.cancel()
+        sim.run()
+        assert sim.events_processed == 0
+
+
+class TestRunUntil:
+    def test_until_stops_before_later_events(self):
+        sim = Simulator()
+        hits = []
+        sim.schedule_at(1.0, lambda s: hits.append(1))
+        sim.schedule_at(10.0, lambda s: hits.append(10))
+        sim.run(until=5.0)
+        assert hits == [1]
+        assert sim.now == 5.0
+
+    def test_until_leaves_future_events_pending(self):
+        sim = Simulator()
+        sim.schedule_at(10.0, lambda s: None)
+        sim.run(until=5.0)
+        assert sim.pending == 1
+
+    def test_continue_after_until(self):
+        sim = Simulator()
+        hits = []
+        sim.schedule_at(10.0, lambda s: hits.append(10))
+        sim.run(until=5.0)
+        sim.run()
+        assert hits == [10]
+
+    def test_max_events_bounds_work(self):
+        sim = Simulator()
+        def rearm(s):
+            s.schedule_in(1.0, rearm)
+        sim.schedule_at(0.0, rearm)
+        sim.run(max_events=50)
+        assert sim.events_processed == 50
+
+
+class TestPeriodic:
+    def test_every_fires_at_period(self):
+        sim = Simulator()
+        times = []
+        sim.every(2.0, lambda s: times.append(s.now), until=10.0)
+        sim.run()
+        assert times == [2.0, 4.0, 6.0, 8.0, 10.0]
+
+    def test_every_with_explicit_start(self):
+        sim = Simulator()
+        times = []
+        sim.every(3.0, lambda s: times.append(s.now), start=1.0, until=8.0)
+        sim.run()
+        assert times == [1.0, 4.0, 7.0]
+
+    def test_every_rejects_nonpositive_period(self):
+        with pytest.raises(ValueError):
+            Simulator().every(0.0, lambda s: None)
+
+    def test_every_start_beyond_until_never_fires(self):
+        sim = Simulator()
+        times = []
+        event = sim.every(1.0, lambda s: times.append(s.now), start=20.0, until=10.0)
+        sim.run()
+        assert times == []
+        assert event.cancelled
+
+    def test_cancelling_first_event_stops_chain(self):
+        sim = Simulator()
+        times = []
+        event = sim.every(1.0, lambda s: times.append(s.now), until=5.0)
+        event.cancel()
+        sim.run()
+        assert times == []
+
+
+class TestReentrancy:
+    def test_run_is_not_reentrant(self):
+        sim = Simulator()
+        errors = []
+        def reenter(s):
+            try:
+                s.run()
+            except RuntimeError as exc:
+                errors.append(str(exc))
+        sim.schedule_at(1.0, reenter)
+        sim.run()
+        assert errors and "re-entrant" in errors[0]

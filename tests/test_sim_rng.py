@@ -1,0 +1,66 @@
+"""Tests for deterministic RNG streams."""
+
+import numpy as np
+
+from repro.sim.rng import RngStreams, derive_seed
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "fading") == derive_seed(42, "fading")
+
+    def test_differs_by_name(self):
+        assert derive_seed(42, "fading") != derive_seed(42, "mobility")
+
+    def test_differs_by_master(self):
+        assert derive_seed(1, "fading") != derive_seed(2, "fading")
+
+    def test_fits_in_64_bits(self):
+        assert 0 <= derive_seed(0, "x") < 2**64
+
+
+class TestRngStreams:
+    def test_same_name_returns_same_generator(self):
+        streams = RngStreams(0)
+        assert streams.get("a") is streams.get("a")
+
+    def test_different_names_are_independent_generators(self):
+        streams = RngStreams(0)
+        assert streams.get("a") is not streams.get("b")
+
+    def test_streams_reproducible_across_instances(self):
+        a = RngStreams(7).get("chan").random(5)
+        b = RngStreams(7).get("chan").random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_streams_differ_between_names(self):
+        streams = RngStreams(7)
+        a = streams.get("a").random(5)
+        b = streams.get("b").random(5)
+        assert not np.array_equal(a, b)
+
+    def test_reset_restarts_sequences(self):
+        streams = RngStreams(3)
+        first = streams.get("x").random(4)
+        streams.reset()
+        again = streams.get("x").random(4)
+        np.testing.assert_array_equal(first, again)
+
+    def test_spawn_creates_independent_family(self):
+        parent = RngStreams(3)
+        child1 = parent.spawn("phone:alice")
+        child2 = parent.spawn("phone:bob")
+        assert child1.master_seed != child2.master_seed
+        assert not np.array_equal(
+            child1.get("c").random(3), child2.get("c").random(3)
+        )
+
+    def test_spawn_deterministic(self):
+        a = RngStreams(3).spawn("p").get("c").random(3)
+        b = RngStreams(3).spawn("p").get("c").random(3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_repr_lists_streams(self):
+        streams = RngStreams(0)
+        streams.get("zeta")
+        assert "zeta" in repr(streams)

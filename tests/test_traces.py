@@ -1,0 +1,226 @@
+"""Tests for trace records, IO round-trips and synthesis."""
+
+import pytest
+
+from repro.building.geometry import Point
+from repro.building.presets import single_room, test_house as make_test_house
+from repro.traces.io import (
+    read_trace_csv,
+    read_trace_jsonl,
+    write_trace_csv,
+    write_trace_jsonl,
+)
+from repro.traces.schema import BeaconTrace, TraceMeta, TraceRecord
+from repro.traces.synth import (
+    synthesize_static_trace,
+    synthesize_survey_trace,
+    synthesize_walk_trace,
+)
+
+
+def sample_trace():
+    trace = BeaconTrace(
+        meta=TraceMeta(scenario="test", device="s3_mini", scan_period_s=2.0, seed=7)
+    )
+    trace.append(
+        TraceRecord(
+            time=2.0,
+            device_id="d1",
+            rssi={"1-1": -60.0},
+            distance={"1-1": 2.1},
+            true_room="lab",
+            true_position=(1.0, 2.0),
+        )
+    )
+    trace.append(
+        TraceRecord(
+            time=4.0,
+            device_id="d1",
+            rssi={"1-1": -62.0, "1-2": -80.0},
+            distance={"1-1": 2.3, "1-2": 9.0},
+            true_room="lab",
+            true_position=(1.1, 2.0),
+        )
+    )
+    return trace
+
+
+class TestSchema:
+    def test_append_enforces_time_order(self):
+        trace = sample_trace()
+        with pytest.raises(ValueError):
+            trace.append(
+                TraceRecord(time=1.0, device_id="d1", rssi={}, distance={})
+            )
+
+    def test_duration(self):
+        assert sample_trace().duration_s == pytest.approx(2.0)
+
+    def test_empty_trace_duration_zero(self):
+        trace = BeaconTrace(
+            meta=TraceMeta(scenario="x", device="d", scan_period_s=1.0, seed=0)
+        )
+        assert trace.duration_s == 0.0
+
+    def test_beacon_ids_union(self):
+        assert sample_trace().beacon_ids() == ["1-1", "1-2"]
+
+    def test_rssi_series_skips_missing_cycles(self):
+        series = sample_trace().rssi_series("1-2")
+        assert series == [(4.0, -80.0)]
+
+    def test_distance_series(self):
+        series = sample_trace().distance_series("1-1")
+        assert series == [(2.0, 2.1), (4.0, 2.3)]
+
+
+class TestJsonlRoundtrip:
+    def test_roundtrip_preserves_everything(self, tmp_path):
+        trace = sample_trace()
+        path = tmp_path / "trace.jsonl"
+        write_trace_jsonl(trace, path)
+        back = read_trace_jsonl(path)
+        assert back.meta == trace.meta
+        assert back.records == trace.records
+
+    def test_rejects_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(ValueError):
+            read_trace_jsonl(path)
+
+    def test_rejects_missing_header(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"time": 1.0}\n')
+        with pytest.raises(ValueError):
+            read_trace_jsonl(path)
+
+
+class TestCsvRoundtrip:
+    def test_roundtrip_preserves_measurements(self, tmp_path):
+        trace = sample_trace()
+        path = tmp_path / "trace.csv"
+        write_trace_csv(trace, path)
+        back = read_trace_csv(path)
+        assert len(back) == len(trace)
+        for orig, copy in zip(trace.records, back.records):
+            assert copy.time == pytest.approx(orig.time)
+            assert copy.true_room == orig.true_room
+            for beacon, value in orig.rssi.items():
+                assert copy.rssi[beacon] == pytest.approx(value, abs=1e-3)
+
+    def test_rejects_missing_columns(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("time,device_id\n1.0,d1\n")
+        with pytest.raises(ValueError):
+            read_trace_csv(path)
+
+    def test_custom_meta_attached(self, tmp_path):
+        trace = sample_trace()
+        path = tmp_path / "trace.csv"
+        write_trace_csv(trace, path)
+        back = read_trace_csv(path, meta=trace.meta)
+        assert back.meta == trace.meta
+
+
+class TestSynthStatic:
+    def test_record_count_matches_duration(self):
+        plan = single_room()
+        trace = synthesize_static_trace(
+            plan, Point(2.5, 4.0), duration_s=20.0, scan_period_s=2.0, seed=1
+        )
+        assert len(trace) == 10
+
+    def test_ground_truth_room_labelled(self):
+        plan = single_room()
+        trace = synthesize_static_trace(
+            plan, Point(2.5, 4.0), duration_s=10.0, seed=1
+        )
+        assert all(r.true_room == "lab" for r in trace.records)
+
+    def test_deterministic_given_seed(self):
+        plan = single_room()
+        a = synthesize_static_trace(plan, Point(2.5, 4.0), duration_s=10.0, seed=3)
+        b = synthesize_static_trace(plan, Point(2.5, 4.0), duration_s=10.0, seed=3)
+        assert a.records == b.records
+
+    def test_seed_changes_trace(self):
+        plan = single_room()
+        a = synthesize_static_trace(plan, Point(2.5, 4.0), duration_s=10.0, seed=3)
+        b = synthesize_static_trace(plan, Point(2.5, 4.0), duration_s=10.0, seed=4)
+        assert a.records != b.records
+
+    def test_ios_platform_supported(self):
+        plan = single_room()
+        trace = synthesize_static_trace(
+            plan, Point(2.5, 4.0), duration_s=10.0, seed=1, platform="ios"
+        )
+        assert len(trace) == 5
+
+    def test_rejects_bad_duration(self):
+        with pytest.raises(ValueError):
+            synthesize_static_trace(single_room(), Point(1, 1), duration_s=0.0)
+
+
+class TestSynthWalk:
+    def test_walk_covers_both_rooms(self):
+        from repro.building.presets import two_room_corridor
+
+        plan = two_room_corridor()
+        trace = synthesize_walk_trace(
+            plan,
+            [Point(1.0, 1.5), Point(11.0, 1.5)],
+            speed_mps=1.2,
+            seed=2,
+        )
+        rooms = {r.true_room for r in trace.records}
+        assert rooms == {"room_a", "room_b"}
+
+    def test_distance_to_destination_decreases(self):
+        from repro.building.presets import two_room_corridor
+
+        plan = two_room_corridor()
+        trace = synthesize_walk_trace(
+            plan, [Point(1.0, 1.5), Point(11.0, 1.5)], seed=2
+        )
+        positions = [r.true_position for r in trace.records]
+        first = Point(*positions[0]).distance_to(Point(11.0, 1.5))
+        last = Point(*positions[-1]).distance_to(Point(11.0, 1.5))
+        assert last < first
+
+
+class TestSynthSurvey:
+    def test_all_rooms_and_outside_sampled(self):
+        plan = make_test_house()
+        trace = synthesize_survey_trace(
+            plan, points_per_room=2, dwell_s=4.0, outside_points=2, seed=5
+        )
+        labels = {r.true_room for r in trace.records}
+        assert labels == set(plan.room_names) | {"outside"}
+
+    def test_sample_count(self):
+        plan = make_test_house()
+        trace = synthesize_survey_trace(
+            plan, points_per_room=2, dwell_s=4.0, outside_points=1,
+            scan_period_s=2.0, seed=5,
+        )
+        # (5 rooms * 2 points + 1 outside) * 2 cycles each.
+        assert len(trace) == 22
+
+    def test_rejects_dwell_shorter_than_scan(self):
+        with pytest.raises(ValueError):
+            synthesize_survey_trace(
+                make_test_house(), dwell_s=1.0, scan_period_s=2.0
+            )
+
+    def test_rejects_zero_points(self):
+        with pytest.raises(ValueError):
+            synthesize_survey_trace(make_test_house(), points_per_room=0)
+
+    def test_times_strictly_ordered(self):
+        plan = make_test_house()
+        trace = synthesize_survey_trace(
+            plan, points_per_room=1, dwell_s=4.0, seed=5
+        )
+        times = [r.time for r in trace.records]
+        assert times == sorted(times)

@@ -1,0 +1,79 @@
+"""Tests for trace analysis statistics."""
+
+import pytest
+
+from repro.building.geometry import Point
+from repro.building.presets import single_room
+from repro.traces.analysis import summarise_trace
+from repro.traces.schema import BeaconTrace, TraceMeta, TraceRecord
+from repro.traces.synth import synthesize_static_trace
+
+
+def hand_trace():
+    trace = BeaconTrace(
+        meta=TraceMeta(scenario="t", device="d", scan_period_s=2.0, seed=0)
+    )
+    trace.append(TraceRecord(
+        time=2.0, device_id="d", rssi={"a": -60.0}, distance={"a": 2.0},
+        true_position=(2.0, 0.0),
+    ))
+    trace.append(TraceRecord(
+        time=4.0, device_id="d", rssi={"a": -62.0, "b": -80.0},
+        distance={"a": 2.4, "b": 9.0}, true_position=(2.0, 0.0),
+    ))
+    trace.append(TraceRecord(
+        time=6.0, device_id="d", rssi={"b": -82.0}, distance={"b": 10.0},
+        true_position=(2.0, 0.0),
+    ))
+    return trace
+
+
+class TestSummarise:
+    def test_cycles_seen_and_loss(self):
+        summary = summarise_trace(hand_trace())
+        assert summary.n_cycles == 3
+        assert summary.beacons["a"].cycles_seen == 2
+        assert summary.beacons["a"].loss_rate == pytest.approx(1 / 3)
+        assert summary.beacons["b"].loss_rate == pytest.approx(1 / 3)
+
+    def test_rssi_statistics(self):
+        summary = summarise_trace(hand_trace())
+        assert summary.beacons["a"].rssi_mean == pytest.approx(-61.0)
+        assert summary.beacons["a"].rssi_std == pytest.approx(1.0)
+
+    def test_distance_statistics(self):
+        summary = summarise_trace(hand_trace())
+        assert summary.beacons["a"].distance_mean == pytest.approx(2.2)
+
+    def test_ranging_mae_with_positions(self):
+        positions = {"a": Point(0.0, 0.0)}
+        summary = summarise_trace(hand_trace(), beacon_positions=positions)
+        # True distance 2.0; estimates 2.0 and 2.4 -> MAE 0.2.
+        assert summary.beacons["a"].ranging_mae == pytest.approx(0.2)
+        assert summary.beacons["b"].ranging_mae is None
+
+    def test_mae_none_without_positions(self):
+        summary = summarise_trace(hand_trace())
+        assert summary.beacons["a"].ranging_mae is None
+
+    def test_worst_loss_rate(self):
+        assert summarise_trace(hand_trace()).worst_loss_rate() == pytest.approx(1 / 3)
+
+    def test_to_text(self):
+        text = summarise_trace(hand_trace()).to_text()
+        assert "a" in text and "loss" in text
+
+    def test_on_synthetic_trace(self):
+        plan = single_room()
+        beacon = plan.beacons[0]
+        trace = synthesize_static_trace(
+            plan, Point(beacon.position.x + 2.0, beacon.position.y),
+            duration_s=60.0, seed=2,
+        )
+        summary = summarise_trace(
+            trace, beacon_positions={beacon.beacon_id: beacon.position}
+        )
+        stats = summary.beacons[beacon.beacon_id]
+        assert stats.cycles_seen > 20
+        assert stats.ranging_mae is not None
+        assert stats.ranging_mae < 3.0
