@@ -1,0 +1,68 @@
+"""Building geometry, floor plans, mobility and occupancy scenarios.
+
+The simulated counterpart of the physical deployment in the paper: a
+floor plan partitioned into rooms, iBeacon transmitters placed inside
+them, walls that attenuate the 2.4 GHz link, and occupants that move
+through the building following mobility models or daily schedules.
+
+Everything downstream — the BLE air interface, the phone scanners, the
+scene-analysis classifier, the HVAC controller — consumes this package
+for geometry, wall crossings and ground-truth room occupancy.
+"""
+
+from __future__ import annotations
+
+from repro.building.coverage import CoverageGrid, CoverageHole, analyse_coverage
+from repro.building.floorplan import (
+    OUTSIDE,
+    BeaconPlacement,
+    FloorPlan,
+    Room,
+    Wall,
+)
+from repro.building.geometry import Point, Segment, segments_intersect
+from repro.building.mobility import (
+    MobilityModel,
+    RandomWaypoint,
+    RoomSchedule,
+    StaticPosition,
+    WaypointPath,
+)
+from repro.building.occupant import Occupant
+from repro.building.presets import (
+    BUILDING_UUID,
+    make_beacon,
+    office_floor,
+    single_room,
+    test_house,
+    two_room_corridor,
+)
+from repro.building.scenarios import OfficeDay, generate_office_day
+
+__all__ = [
+    "OUTSIDE",
+    "BUILDING_UUID",
+    "BeaconPlacement",
+    "CoverageGrid",
+    "CoverageHole",
+    "FloorPlan",
+    "MobilityModel",
+    "Occupant",
+    "OfficeDay",
+    "Point",
+    "RandomWaypoint",
+    "Room",
+    "RoomSchedule",
+    "Segment",
+    "StaticPosition",
+    "Wall",
+    "WaypointPath",
+    "analyse_coverage",
+    "generate_office_day",
+    "make_beacon",
+    "office_floor",
+    "segments_intersect",
+    "single_room",
+    "test_house",
+    "two_room_corridor",
+]

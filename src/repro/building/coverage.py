@@ -1,0 +1,165 @@
+"""Radio-coverage analysis over a floor plan.
+
+Rasterises the plan into cells and predicts, per cell, the strongest
+beacon and its mean RSSI through the deterministic part of the link
+budget (log-distance path loss plus multi-wall attenuation).  Used by
+the deployment manager to answer "can every room actually hear a
+beacon?" before any occupant walks in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.building.floorplan import OUTSIDE, FloorPlan
+from repro.building.geometry import Point
+from repro.radio.materials import wall_loss_db
+from repro.radio.pathloss import rssi_from_distance
+
+__all__ = ["CoverageHole", "CoverageGrid", "analyse_coverage", "PATH_LOSS_EXPONENT"]
+
+#: Exponent of the deterministic prediction; matches the channel
+#: model's default for the lightly furnished test house.
+PATH_LOSS_EXPONENT = 2.2
+
+
+@dataclass(frozen=True)
+class CoverageHole:
+    """One in-room grid cell below the receive threshold.
+
+    Attributes:
+        room: room containing the cell.
+        position: cell-centre coordinates.
+        best_rssi_dbm: strongest predicted RSSI at the cell.
+    """
+
+    room: str
+    position: Point
+    best_rssi_dbm: float
+
+
+class CoverageGrid:
+    """Per-cell best-beacon and RSSI predictions over a floor plan.
+
+    Attributes:
+        xs: cell-centre x coordinates (length = number of columns).
+        ys: cell-centre y coordinates (length = number of rows).
+        best_rssi: ``(len(ys), len(xs))`` array of strongest RSSI, dBm.
+        best_beacon: same-shape array of the strongest beacon's id.
+        threshold_dbm: effective receive threshold (sensitivity plus
+            fade margin) a cell must meet to count as covered.
+    """
+
+    def __init__(
+        self,
+        xs: np.ndarray,
+        ys: np.ndarray,
+        best_rssi: np.ndarray,
+        best_beacon: np.ndarray,
+        threshold_dbm: float,
+    ) -> None:
+        self.xs = xs
+        self.ys = ys
+        self.best_rssi = best_rssi
+        self.best_beacon = best_beacon
+        self.threshold_dbm = threshold_dbm
+
+    def _cell_rooms(self, plan: FloorPlan) -> list[tuple[int, int, str]]:
+        """Indices and room labels of cells that fall inside a room."""
+        cells = []
+        for i, y in enumerate(self.ys):
+            for j, x in enumerate(self.xs):
+                room = plan.room_at(Point(float(x), float(y)))
+                if room != OUTSIDE:
+                    cells.append((i, j, room))
+        return cells
+
+    def coverage_fraction(self, plan: FloorPlan) -> float:
+        """Fraction of in-room cells at or above the threshold."""
+        cells = self._cell_rooms(plan)
+        if not cells:
+            return 0.0
+        covered = sum(
+            1 for i, j, _ in cells if self.best_rssi[i, j] >= self.threshold_dbm
+        )
+        return covered / len(cells)
+
+    def holes(self, plan: FloorPlan) -> list[CoverageHole]:
+        """In-room cells whose best beacon is below the threshold."""
+        return [
+            CoverageHole(
+                room=room,
+                position=Point(float(self.xs[j]), float(self.ys[i])),
+                best_rssi_dbm=float(self.best_rssi[i, j]),
+            )
+            for i, j, room in self._cell_rooms(plan)
+            if self.best_rssi[i, j] < self.threshold_dbm
+        ]
+
+    def room_coverage(self, plan: FloorPlan) -> dict[str, float]:
+        """Covered cell fraction per room (rooms with no cells score 0)."""
+        totals: dict[str, int] = {room: 0 for room in plan.room_names}
+        covered: dict[str, int] = {room: 0 for room in plan.room_names}
+        for i, j, room in self._cell_rooms(plan):
+            totals[room] += 1
+            if self.best_rssi[i, j] >= self.threshold_dbm:
+                covered[room] += 1
+        return {
+            room: (covered[room] / totals[room] if totals[room] else 0.0)
+            for room in plan.room_names
+        }
+
+
+def analyse_coverage(
+    plan: FloorPlan,
+    *,
+    resolution_m: float = 0.5,
+    sensitivity_dbm: float = -94.0,
+    margin_db: float = 0.0,
+) -> CoverageGrid:
+    """Predict mean coverage of ``plan`` on a square grid.
+
+    Args:
+        plan: floor plan with at least one beacon.
+        resolution_m: cell edge length in metres.
+        sensitivity_dbm: receiver sensitivity.
+        margin_db: fade margin subtracted from predictions before the
+            sensitivity comparison, guarding against shadowing.
+
+    Raises:
+        ValueError: no beacons installed, or non-positive resolution.
+    """
+    if not plan.beacons:
+        raise ValueError("coverage analysis needs at least one beacon")
+    if resolution_m <= 0.0:
+        raise ValueError(f"resolution_m must be > 0, got {resolution_m}")
+    x_min, y_min, x_max, y_max = plan.bounds()
+    n_cols = max(int(round((x_max - x_min) / resolution_m)), 1)
+    n_rows = max(int(round((y_max - y_min) / resolution_m)), 1)
+    xs = x_min + (np.arange(n_cols) + 0.5) * resolution_m
+    ys = y_min + (np.arange(n_rows) + 0.5) * resolution_m
+
+    best_rssi = np.full((n_rows, n_cols), -np.inf)
+    best_beacon = np.full((n_rows, n_cols), "", dtype=object)
+    for beacon in plan.beacons:
+        tx = beacon.effective_radiated_power_dbm
+        origin = beacon.position.as_tuple()
+        for i, y in enumerate(ys):
+            for j, x in enumerate(xs):
+                cell = (float(x), float(y))
+                distance = beacon.position.distance_to(Point(*cell))
+                rssi = rssi_from_distance(
+                    distance, tx, PATH_LOSS_EXPONENT
+                ) - wall_loss_db(plan.walls_crossed(origin, cell))
+                if rssi > best_rssi[i, j]:
+                    best_rssi[i, j] = rssi
+                    best_beacon[i, j] = beacon.beacon_id
+    return CoverageGrid(
+        xs=xs,
+        ys=ys,
+        best_rssi=best_rssi,
+        best_beacon=best_beacon,
+        threshold_dbm=sensitivity_dbm + margin_db,
+    )

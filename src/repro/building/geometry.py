@@ -1,0 +1,124 @@
+"""Planar geometry primitives for floor plans.
+
+Points, line segments, and the segment-intersection predicate used to
+count wall crossings in the multi-wall path-loss model.  All
+coordinates are metres in a building-local frame.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["Point", "Segment", "segments_intersect"]
+
+#: Tolerance for the orientation predicate; floor-plan coordinates are
+#: metres, so this is far below any physically meaningful distance.
+_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class Point:
+    """A point (or displacement vector) in the floor-plan plane.
+
+    Attributes:
+        x: easting in metres.
+        y: northing in metres.
+    """
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to ``other`` in metres."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def __add__(self, other: "Point") -> "Point":
+        return Point(self.x + other.x, self.y + other.y)
+
+    def __sub__(self, other: "Point") -> "Point":
+        return Point(self.x - other.x, self.y - other.y)
+
+    def scaled(self, factor: float) -> "Point":
+        """This point treated as a vector, scaled by ``factor``."""
+        return Point(self.x * factor, self.y * factor)
+
+    def norm(self) -> float:
+        """Length of this point treated as a vector."""
+        return math.hypot(self.x, self.y)
+
+    def as_tuple(self) -> tuple[float, float]:
+        """The point as a plain ``(x, y)`` tuple."""
+        return (self.x, self.y)
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A directed line segment between two points.
+
+    Attributes:
+        a: start point.
+        b: end point.
+    """
+
+    a: Point
+    b: Point
+
+    @property
+    def length(self) -> float:
+        """Segment length in metres."""
+        return self.a.distance_to(self.b)
+
+    def point_at(self, t: float) -> Point:
+        """Linear interpolation: ``t=0`` is ``a``, ``t=1`` is ``b``."""
+        return Point(
+            self.a.x + (self.b.x - self.a.x) * t,
+            self.a.y + (self.b.y - self.a.y) * t,
+        )
+
+
+def _orient(p: Point, q: Point, r: Point) -> int:
+    """Sign of the cross product (q - p) x (r - p): CCW>0, CW<0, 0 collinear."""
+    cross = (q.x - p.x) * (r.y - p.y) - (q.y - p.y) * (r.x - p.x)
+    if cross > _EPS:
+        return 1
+    if cross < -_EPS:
+        return -1
+    return 0
+
+
+def _on_segment(p: Point, q: Point, r: Point) -> bool:
+    """Whether collinear point ``q`` lies within the bounding box of ``pr``."""
+    return (
+        min(p.x, r.x) - _EPS <= q.x <= max(p.x, r.x) + _EPS
+        and min(p.y, r.y) - _EPS <= q.y <= max(p.y, r.y) + _EPS
+    )
+
+
+def segments_intersect(s1: Segment, s2: Segment) -> bool:
+    """Whether two closed segments share at least one point.
+
+    Touching endpoints, T-junctions and collinear overlap all count as
+    intersections; the predicate is symmetric in its arguments and
+    robust to degenerate (zero-length) segments.
+    """
+    p1, q1 = s1.a, s1.b
+    p2, q2 = s2.a, s2.b
+
+    o1 = _orient(p1, q1, p2)
+    o2 = _orient(p1, q1, q2)
+    o3 = _orient(p2, q2, p1)
+    o4 = _orient(p2, q2, q1)
+
+    if o1 != o2 and o3 != o4 and o1 != 0 and o2 != 0 and o3 != 0 and o4 != 0:
+        return True
+
+    if o1 == 0 and _on_segment(p1, p2, q1):
+        return True
+    if o2 == 0 and _on_segment(p1, q2, q1):
+        return True
+    if o3 == 0 and _on_segment(p2, p1, q2):
+        return True
+    if o4 == 0 and _on_segment(p2, q1, q2):
+        return True
+    return False

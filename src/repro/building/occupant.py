@@ -1,0 +1,50 @@
+"""Occupants: a named person, their phone model, and their movement.
+
+Binds a mobility model to the identity the rest of the stack needs —
+the device profile (for RSSI bias and energy modelling) and the name
+used as the tracking key in reports and ground truth.
+"""
+
+from __future__ import annotations
+
+from repro.building.floorplan import FloorPlan
+from repro.building.geometry import Point
+from repro.building.mobility import MobilityModel
+
+__all__ = ["Occupant"]
+
+#: Speeds below this are treated as standing still (finite-difference
+#: noise floor for the accelerometer-gating logic).
+_MOVING_THRESHOLD_MPS = 0.05
+
+
+class Occupant:
+    """A building occupant carrying an Android phone.
+
+    Attributes:
+        name: unique occupant/tracking identifier.
+        mobility: trajectory model queried for positions.
+        device: device-profile key (see ``repro.radio.devices``).
+    """
+
+    def __init__(
+        self, name: str, mobility: MobilityModel, device: str = "s3_mini"
+    ) -> None:
+        self.name = name
+        self.mobility = mobility
+        self.device = device
+
+    def position_at(self, t: float) -> Point:
+        """Occupant position at simulation time ``t``."""
+        return self.mobility.position_at(t)
+
+    def room_at(self, t: float, plan: FloorPlan) -> str:
+        """Ground-truth room label at ``t`` (geometric, via the plan)."""
+        return plan.room_at(self.mobility.position_at(t))
+
+    def is_moving_at(self, t: float) -> bool:
+        """Whether the occupant is walking at ``t`` (accelerometer proxy)."""
+        return self.mobility.speed_at(t) > _MOVING_THRESHOLD_MPS
+
+    def __repr__(self) -> str:
+        return f"Occupant({self.name!r}, device={self.device!r})"

@@ -1,0 +1,173 @@
+"""Ready-made floor plans used throughout the tests and examples.
+
+Four deployments mirroring the paper's setups: a single survey room, a
+two-room corridor (the minimal classification problem), the five-room
+test house of the evaluation (Section V), and a parameterised office
+floor for the smart-building scenarios.
+"""
+
+from __future__ import annotations
+
+import uuid
+
+from repro.building.floorplan import BeaconPlacement, FloorPlan, Room, Wall
+from repro.building.geometry import Point, Segment
+from repro.ibeacon.packet import IBeaconPacket
+
+__all__ = [
+    "BUILDING_UUID",
+    "make_beacon",
+    "single_room",
+    "two_room_corridor",
+    "test_house",
+    "office_floor",
+]
+
+#: The proximity UUID shared by every beacon in one building (the
+#: iBeacon region the client app monitors).
+BUILDING_UUID = uuid.UUID("f7826da6-4fa2-4e98-8024-bc5b71e0893e")
+
+
+def make_beacon(
+    minor: int,
+    position: Point,
+    room: str,
+    *,
+    major: int = 1,
+    uuid: uuid.UUID = BUILDING_UUID,
+    tx_power: int = -59,
+    advertising_interval_s: float = 0.1,
+) -> BeaconPlacement:
+    """Build a beacon placement with the building-wide defaults.
+
+    Args:
+        minor: iBeacon minor (the per-room identity).
+        position: transmitter location.
+        room: name of the room the beacon is installed in.
+        major: iBeacon major (deployment group).
+        uuid: proximity UUID; defaults to :data:`BUILDING_UUID`.
+        tx_power: calibrated RSSI at 1 m, dBm.
+        advertising_interval_s: advertising period in seconds.
+    """
+    packet = IBeaconPacket(uuid=uuid, major=major, minor=minor, tx_power=tx_power)
+    return BeaconPlacement(
+        packet=packet,
+        position=position,
+        room=room,
+        advertising_interval_s=advertising_interval_s,
+    )
+
+
+def _perimeter(
+    x_min: float, y_min: float, x_max: float, y_max: float, material: str
+) -> list[Wall]:
+    """Four walls enclosing a rectangle."""
+    sw = Point(x_min, y_min)
+    se = Point(x_max, y_min)
+    ne = Point(x_max, y_max)
+    nw = Point(x_min, y_max)
+    return [
+        Wall(Segment(sw, se), material),
+        Wall(Segment(se, ne), material),
+        Wall(Segment(ne, nw), material),
+        Wall(Segment(nw, sw), material),
+    ]
+
+
+def single_room() -> FloorPlan:
+    """One 5 m x 8 m laboratory with a single beacon on the west wall."""
+    lab = Room("lab", 0.0, 0.0, 5.0, 8.0)
+    plan = FloorPlan(
+        rooms=[lab],
+        walls=_perimeter(0.0, 0.0, 5.0, 8.0, "brick"),
+    )
+    plan.add_beacon(make_beacon(1, Point(0.5, 4.0), "lab"))
+    return plan
+
+
+def two_room_corridor() -> FloorPlan:
+    """Two 6 m x 3 m rooms along a corridor, one beacon each."""
+    room_a = Room("room_a", 0.0, 0.0, 6.0, 3.0)
+    room_b = Room("room_b", 6.0, 0.0, 12.0, 3.0)
+    walls = _perimeter(0.0, 0.0, 12.0, 3.0, "brick")
+    # Dividing wall with a 1 m doorway at the north end.
+    walls.append(Wall(Segment(Point(6.0, 0.0), Point(6.0, 2.0)), "drywall"))
+    plan = FloorPlan(rooms=[room_a, room_b], walls=walls)
+    plan.add_beacon(make_beacon(1, Point(2.0, 1.5), "room_a"))
+    plan.add_beacon(make_beacon(2, Point(10.0, 1.5), "room_b"))
+    return plan
+
+
+def test_house(tx_power: int = -59) -> FloorPlan:
+    """The five-room test house of the paper's evaluation (Section V).
+
+    A 12 m x 7 m apartment — living room, kitchen, bedroom, bathroom
+    and study — with one beacon per room, drywall interior partitions
+    (each with a 1 m doorway) and a brick perimeter.
+
+    Args:
+        tx_power: calibrated 1 m RSSI programmed into every beacon.
+    """
+    rooms = [
+        Room("living", 0.0, 0.0, 6.0, 4.0),
+        Room("kitchen", 6.0, 0.0, 12.0, 4.0),
+        Room("bedroom", 0.0, 4.0, 6.0, 7.0),
+        Room("bathroom", 6.0, 4.0, 9.0, 7.0),
+        Room("study", 9.0, 4.0, 12.0, 7.0),
+    ]
+    walls = _perimeter(0.0, 0.0, 12.0, 7.0, "brick")
+    interior = [
+        # living | kitchen, doorway at y in [3, 4].
+        Segment(Point(6.0, 0.0), Point(6.0, 3.0)),
+        # living+kitchen | upper floor, doorways at x in [4,5] and [10,11].
+        Segment(Point(0.0, 4.0), Point(4.0, 4.0)),
+        Segment(Point(5.0, 4.0), Point(10.0, 4.0)),
+        Segment(Point(11.0, 4.0), Point(12.0, 4.0)),
+        # bedroom | bathroom, doorway at y in [6, 7].
+        Segment(Point(6.0, 4.0), Point(6.0, 6.0)),
+        # bathroom | study, doorway at y in [6, 7].
+        Segment(Point(9.0, 4.0), Point(9.0, 6.0)),
+    ]
+    walls.extend(Wall(segment, "drywall") for segment in interior)
+    plan = FloorPlan(rooms=rooms, walls=walls)
+    for minor, room in enumerate(rooms, start=1):
+        plan.add_beacon(
+            make_beacon(minor, room.centre, room.name, tx_power=tx_power)
+        )
+    return plan
+
+
+def office_floor(n_offices: int = 3) -> FloorPlan:
+    """An office floor: ``n_offices`` offices along a shared corridor.
+
+    Each office is 4 m x 4 m south of a 2 m-deep corridor that spans
+    the full floor; every office and the corridor get one beacon.
+
+    Args:
+        n_offices: number of offices (>= 1).
+
+    Raises:
+        ValueError: ``n_offices`` is not positive.
+    """
+    if n_offices < 1:
+        raise ValueError(f"n_offices must be >= 1, got {n_offices}")
+    width = 4.0 * n_offices
+    rooms = [
+        Room(f"office_{i + 1}", 4.0 * i, 0.0, 4.0 * (i + 1), 4.0)
+        for i in range(n_offices)
+    ]
+    rooms.append(Room("corridor", 0.0, 4.0, width, 6.0))
+    walls = _perimeter(0.0, 0.0, width, 6.0, "brick")
+    for i in range(n_offices):
+        # Office/corridor partition with a 1 m doorway in the middle.
+        x0, x1 = 4.0 * i, 4.0 * (i + 1)
+        mid = (x0 + x1) / 2.0
+        walls.append(Wall(Segment(Point(x0, 4.0), Point(mid - 0.5, 4.0)), "drywall"))
+        walls.append(Wall(Segment(Point(mid + 0.5, 4.0), Point(x1, 4.0)), "drywall"))
+        if i:
+            # Office/office partition, solid.
+            walls.append(Wall(Segment(Point(x0, 0.0), Point(x0, 4.0)), "drywall"))
+    plan = FloorPlan(rooms=rooms, walls=walls)
+    for minor, room in enumerate(rooms, start=1):
+        plan.add_beacon(make_beacon(minor, room.centre, room.name))
+    return plan

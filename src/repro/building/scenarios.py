@@ -1,0 +1,141 @@
+"""Occupancy scenario generation: a simulated office working day.
+
+Generates the workload the smart-building evaluation runs against:
+workers who arrive in the morning, sit at their desks, attend meetings,
+and leave in the evening — as :class:`~repro.building.occupant.Occupant`
+objects driven by :class:`~repro.building.mobility.RoomSchedule`, plus
+the ground-truth occupancy the detection pipeline is scored against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.building.floorplan import OUTSIDE, FloorPlan
+from repro.building.mobility import RoomSchedule
+from repro.building.occupant import Occupant
+from repro.sim.rng import derive_seed
+
+__all__ = ["OfficeDay", "generate_office_day"]
+
+_HOUR_S = 3600.0
+
+#: Shortest plausible working day the generator accepts, in hours.
+_MIN_DAY_HOURS = 2.0
+
+
+@dataclass(frozen=True)
+class OfficeDay:
+    """A generated working day.
+
+    Attributes:
+        occupants: the workforce, mobility already attached.
+        schedules: per-worker ``(time_s, room)`` entries (the exact
+            input each worker's :class:`RoomSchedule` was built from).
+        duration_s: nominal day length in seconds.
+    """
+
+    occupants: List[Occupant]
+    schedules: Dict[str, List[tuple[float, str]]]
+    duration_s: float
+
+    def ground_truth(self, plan: FloorPlan) -> Callable[[float], Dict[str, int]]:
+        """Room-occupancy oracle: ``t -> {room: headcount}``.
+
+        Rooms with nobody in them are omitted, so an empty dict means
+        the building is empty.
+        """
+
+        def truth(t: float) -> Dict[str, int]:
+            counts: Dict[str, int] = {}
+            for occupant in self.occupants:
+                room = occupant.room_at(t, plan)
+                if room != OUTSIDE:
+                    counts[room] = counts.get(room, 0) + 1
+            return counts
+
+        return truth
+
+
+def _worker_schedule(
+    rng: np.random.Generator,
+    day_hours: float,
+    desk: str,
+    meeting_rooms: Sequence[str],
+) -> List[tuple[float, str]]:
+    """One worker's day: arrive, meet a few times, return to desk, leave."""
+    arrival = float(rng.uniform(0.5, 1.5)) * _HOUR_S
+    departure = (day_hours - float(rng.uniform(0.1, 0.5))) * _HOUR_S
+    entries: List[tuple[float, str]] = [(0.0, OUTSIDE), (arrival, desk)]
+    t = arrival
+    while True:
+        start = t + float(rng.uniform(0.75, 2.0)) * _HOUR_S
+        length = float(rng.uniform(0.5, 1.0)) * _HOUR_S
+        if start + length > departure - 0.25 * _HOUR_S:
+            break
+        meeting_room = meeting_rooms[int(rng.integers(len(meeting_rooms)))]
+        entries.append((start, meeting_room))
+        entries.append((start + length, desk))
+        t = start + length
+    entries.append((departure, OUTSIDE))
+    return entries
+
+
+def generate_office_day(
+    plan: FloorPlan,
+    n_workers: int = 4,
+    seed: int = 0,
+    day_hours: float = 8.0,
+    desk_rooms: Optional[Sequence[str]] = None,
+    meeting_rooms: Optional[Sequence[str]] = None,
+) -> OfficeDay:
+    """Generate a deterministic office day on ``plan``.
+
+    Args:
+        plan: the office floor plan.
+        n_workers: workforce size (>= 1).
+        day_hours: nominal day length (>= 2 h).
+        desk_rooms: rooms workers may be assigned desks in; defaults to
+            every non-corridor room.
+        meeting_rooms: rooms meetings may be booked in; defaults to
+            every room.
+        seed: master seed; the same seed reproduces the same day.
+
+    Raises:
+        ValueError: invalid workforce size, day length, or room lists.
+    """
+    if n_workers < 1:
+        raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+    if day_hours < _MIN_DAY_HOURS:
+        raise ValueError(
+            f"day_hours must be >= {_MIN_DAY_HOURS}, got {day_hours}"
+        )
+    if desk_rooms is None:
+        non_corridor = [r for r in plan.room_names if "corridor" not in r]
+        desk_rooms = non_corridor or plan.room_names
+    if meeting_rooms is None:
+        meeting_rooms = plan.room_names
+    desk_rooms = list(desk_rooms)
+    meeting_rooms = list(meeting_rooms)
+    if not desk_rooms or not meeting_rooms:
+        raise ValueError("desk_rooms and meeting_rooms must be non-empty")
+    for room in desk_rooms + meeting_rooms:
+        plan.room(room)  # raises KeyError on unknown rooms
+
+    occupants: List[Occupant] = []
+    schedules: Dict[str, List[tuple[float, str]]] = {}
+    for index in range(n_workers):
+        rng = np.random.default_rng(derive_seed(seed, f"office-day:{index}"))
+        name = f"worker_{index}"
+        desk = desk_rooms[int(rng.integers(len(desk_rooms)))]
+        entries = _worker_schedule(rng, day_hours, desk, meeting_rooms)
+        schedules[name] = entries
+        occupants.append(Occupant(name, RoomSchedule(plan, entries)))
+    return OfficeDay(
+        occupants=occupants,
+        schedules=schedules,
+        duration_s=day_hours * _HOUR_S,
+    )

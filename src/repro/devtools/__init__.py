@@ -1,0 +1,24 @@
+"""Static analysis for the repro codebase itself.
+
+A pure-AST linter — it never imports the code under analysis, so it
+keeps working even when the source tree is too broken to import (the
+exact failure mode it exists to catch).  Three rule families:
+
+- **import integrity** (:mod:`repro.devtools.imports`): every
+  first-party ``import``/``from ... import`` must resolve to an
+  existing module and an existing top-level name;
+- **layering** (:mod:`repro.devtools.layering`): package dependencies
+  must follow the declared architecture DAG, and the module import
+  graph must be cycle-free;
+- **determinism** (:mod:`repro.devtools.determinism`): simulation-domain
+  packages must not call wall clocks or unseeded random generators.
+
+Run it as ``python -m repro.devtools.lint --format=json|text``.
+"""
+
+from __future__ import annotations
+
+from repro.devtools.config import REPRO_LAYERS, LintConfig
+from repro.devtools.findings import Finding
+
+__all__ = ["Finding", "LintConfig", "REPRO_LAYERS"]

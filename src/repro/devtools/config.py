@@ -1,0 +1,100 @@
+"""Linter configuration: the architecture the rules enforce.
+
+:data:`REPRO_LAYERS` is the declared package-dependency DAG of this
+repository — package ``p`` may import from ``REPRO_LAYERS[p]`` (and
+from itself, and from third-party libraries).  Top-level modules
+(``cli``, ``__main__``, the root ``__init__``) form the application
+layer and may import anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Mapping
+
+__all__ = ["REPRO_LAYERS", "SIM_DOMAIN_PACKAGES", "DETERMINISM_EXEMPT", "LintConfig"]
+
+
+def _layers(mapping: Mapping[str, tuple]) -> Mapping[str, FrozenSet[str]]:
+    return {package: frozenset(deps) for package, deps in mapping.items()}
+
+
+#: The declared layering DAG: package -> packages it may import.
+#: Leaf libraries first; each later layer only reaches down.
+REPRO_LAYERS: Mapping[str, FrozenSet[str]] = _layers(
+    {
+        # Leaf libraries: no first-party dependencies at all.
+        "sim": (),
+        "filters": (),
+        "ibeacon": (),
+        "ml": (),
+        "energy": (),
+        "hvac": (),
+        "tracking": (),
+        "devtools": (),
+        # Physical modelling.
+        "radio": ("sim",),
+        "building": ("ibeacon", "radio", "sim"),
+        "positioning": ("building",),
+        "ble": ("building", "ibeacon", "radio", "sim"),
+        # Device and data plane.
+        "phone": ("ble", "building", "filters", "ibeacon", "radio", "sim"),
+        "server": ("building", "ml"),
+        "comms": ("phone", "server"),
+        "traces": ("ble", "building", "filters", "phone", "radio", "sim"),
+        "beacon_node": (
+            "ble",
+            "building",
+            "ibeacon",
+            "phone",
+            "radio",
+            "server",
+            "sim",
+            "traces",
+        ),
+        # Orchestration and presentation.
+        "core": (
+            "ble",
+            "building",
+            "comms",
+            "energy",
+            "filters",
+            "ibeacon",
+            "ml",
+            "phone",
+            "radio",
+            "server",
+            "sim",
+            "traces",
+        ),
+        "report": ("building", "core"),
+    }
+)
+
+#: Packages whose code must be replayable: no wall clocks, no unseeded
+#: randomness.
+SIM_DOMAIN_PACKAGES: FrozenSet[str] = frozenset(
+    {"sim", "ble", "traces", "energy", "building"}
+)
+
+#: Modules allowed to touch the primitives the determinism rule bans —
+#: they are the sanctioned wrappers the rule steers authors towards.
+DETERMINISM_EXEMPT: FrozenSet[str] = frozenset({"repro.sim.rng", "repro.sim.clock"})
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Tunable rule configuration.
+
+    Attributes:
+        layers: package-dependency allowlist (see :data:`REPRO_LAYERS`).
+        sim_domain_packages: packages the determinism rule applies to.
+        determinism_exempt: dotted module names the determinism rule
+            skips entirely.
+    """
+
+    layers: Mapping[str, FrozenSet[str]] = field(
+        default_factory=lambda: REPRO_LAYERS
+    )
+    sim_domain_packages: FrozenSet[str] = SIM_DOMAIN_PACKAGES
+    determinism_exempt: FrozenSet[str] = DETERMINISM_EXEMPT

@@ -1,0 +1,165 @@
+"""Determinism rule: no wall clocks or unseeded RNG in simulation code.
+
+Simulation-domain packages must be replayable: the same seed must
+produce the same trace.  This rule flags calls into the process wall
+clock (``time.time``, ``datetime.now``, ...) and into the global or
+unseeded :mod:`random` machinery, steering authors to the seeded
+primitives in ``repro.sim.rng`` and the simulated ``repro.sim.clock``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional
+
+from repro.devtools.config import LintConfig
+from repro.devtools.findings import Finding
+from repro.devtools.modules import ModuleInfo
+
+__all__ = ["WALL_CLOCK", "UNSEEDED_RNG", "check_determinism"]
+
+#: Rule id: reading the process wall clock.
+WALL_CLOCK = "determinism-wall-clock"
+
+#: Rule id: drawing from the global or an unseeded ``random`` generator.
+UNSEEDED_RNG = "determinism-unseeded-rng"
+
+#: Wall-clock functions of the ``time`` module.
+_TIME_FUNCS = {
+    "time",
+    "time_ns",
+    "monotonic",
+    "monotonic_ns",
+    "perf_counter",
+    "perf_counter_ns",
+    "localtime",
+    "gmtime",
+}
+
+#: Wall-clock constructors of the ``datetime`` classes.
+_DATETIME_FUNCS = {"now", "utcnow", "today"}
+
+
+def _call_path(func: ast.expr) -> Optional[List[str]]:
+    """Dotted attribute path of a call target, e.g. ``["time", "time"]``."""
+    parts: List[str] = []
+    node = func
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return list(reversed(parts))
+    return None
+
+
+class _DeterminismVisitor(ast.NodeVisitor):
+    """Tracks stdlib aliasing and flags nondeterministic call sites."""
+
+    def __init__(self, info: ModuleInfo) -> None:
+        self.info = info
+        self.findings: List[Finding] = []
+        # Aliases of the three relevant stdlib modules in this file.
+        self._module_aliases: Dict[str, str] = {}
+        # Names imported directly out of those modules: name -> (module, attr).
+        self._member_aliases: Dict[str, tuple] = {}
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name in {"time", "datetime", "random"}:
+                self._module_aliases[alias.asname or alias.name] = alias.name
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module in {"time", "datetime", "random"}:
+            for alias in node.names:
+                if alias.name != "*":
+                    self._member_aliases[alias.asname or alias.name] = (
+                        node.module,
+                        alias.name,
+                    )
+        self.generic_visit(node)
+
+    def _flag(self, node: ast.Call, rule: str, what: str, hint: str) -> None:
+        self.findings.append(
+            Finding(
+                path=str(self.info.path),
+                line=node.lineno,
+                rule=rule,
+                module=self.info.name,
+                message=f"{what} in simulation-domain code; {hint}",
+            )
+        )
+
+    def _check_member_call(self, node: ast.Call, module: str, attr: str) -> None:
+        if module == "time" and attr in _TIME_FUNCS:
+            self._flag(
+                node,
+                WALL_CLOCK,
+                f"call to time.{attr}()",
+                "use the simulation clock (repro.sim.clock)",
+            )
+        elif module == "datetime" and attr in _DATETIME_FUNCS:
+            self._flag(
+                node,
+                WALL_CLOCK,
+                f"call to datetime {attr}()",
+                "use the simulation clock (repro.sim.clock)",
+            )
+        elif module == "random":
+            if attr in {"Random", "SystemRandom"}:
+                if not node.args and not node.keywords:
+                    self._flag(
+                        node,
+                        UNSEEDED_RNG,
+                        f"unseeded random.{attr}()",
+                        "derive a seed via repro.sim.rng.derive_seed",
+                    )
+            else:
+                self._flag(
+                    node,
+                    UNSEEDED_RNG,
+                    f"call to random.{attr}()",
+                    "use a seeded generator from repro.sim.rng",
+                )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        path = _call_path(node.func)
+        if path:
+            head = path[0]
+            if len(path) >= 2 and head in self._module_aliases:
+                module = self._module_aliases[head]
+                # datetime.datetime.now() and datetime.now() both land
+                # on the final attribute.
+                self._check_member_call(node, module, path[-1])
+            elif len(path) == 1 and head in self._member_aliases:
+                module, attr = self._member_aliases[head]
+                self._check_member_call(node, module, attr)
+            elif (
+                len(path) == 2
+                and head in self._member_aliases
+                and self._member_aliases[head][0] == "datetime"
+            ):
+                # from datetime import datetime; datetime.now(...)
+                self._check_member_call(node, "datetime", path[-1])
+        self.generic_visit(node)
+
+
+def check_determinism(
+    modules: Dict[str, ModuleInfo], config: LintConfig
+) -> List[Finding]:
+    """Run the determinism rule over simulation-domain modules."""
+    findings: List[Finding] = []
+    for info in modules.values():
+        parts = info.name.split(".")
+        package = parts[1] if len(parts) > 1 else ""
+        if package not in config.sim_domain_packages:
+            continue
+        if info.name in config.determinism_exempt:
+            continue
+        if info.tree is None:
+            continue
+        visitor = _DeterminismVisitor(info)
+        visitor.visit(info.tree)
+        findings.extend(visitor.findings)
+    return findings

@@ -1,0 +1,37 @@
+"""The linter's result type.
+
+Every rule reports :class:`Finding` instances; the CLI serialises them
+to text or JSON, and the test gate asserts the list is empty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+__all__ = ["Finding"]
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Attributes:
+        path: file path, relative to the analysis root when possible.
+        line: 1-based line number of the offending node.
+        rule: stable rule identifier (e.g. ``import-missing-module``).
+        module: dotted name of the module containing the violation.
+        message: human-readable explanation.
+    """
+
+    path: str
+    line: int
+    rule: str
+    module: str
+    message: str
+
+    def to_dict(self) -> dict:
+        """Plain-dict form for JSON output."""
+        return asdict(self)
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"

@@ -1,0 +1,166 @@
+"""Layering rule: package DAG conformance and import-cycle detection.
+
+Two checks over the first-party import graph:
+
+- **layer violations**: module in package ``p`` imports from package
+  ``q`` although ``q`` is not in ``p``'s declared dependency set;
+- **import cycles**: strongly connected components in the module-level
+  import graph (deferred, in-function imports are excluded — they are
+  the sanctioned way to break a cycle, and imports of a module's own
+  ancestor packages are ignored since Python initialises ancestors
+  first anyway).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.devtools.config import LintConfig
+from repro.devtools.findings import Finding
+from repro.devtools.modules import ModuleInfo
+
+__all__ = ["LAYER_VIOLATION", "IMPORT_CYCLE", "check_layering"]
+
+#: Rule id: an import crosses the layer DAG against the arrows.
+LAYER_VIOLATION = "layer-violation"
+
+#: Rule id: a set of modules import each other in a cycle.
+IMPORT_CYCLE = "import-cycle"
+
+
+def _package_of(module_name: str) -> str:
+    """Second dotted component: ``repro.ble.air`` -> ``ble``.
+
+    Top-level modules (``repro``, ``repro.cli``) map to ``""``, the
+    unconstrained application layer.
+    """
+    parts = module_name.split(".")
+    return parts[1] if len(parts) > 1 else ""
+
+
+def _is_ancestor(target: str, module_name: str) -> bool:
+    return module_name == target or module_name.startswith(target + ".")
+
+
+def _resolve_edge(record_target: str, record_name, modules) -> str:
+    """Edge destination: prefer the submodule when one is imported."""
+    if record_name is not None and f"{record_target}.{record_name}" in modules:
+        return f"{record_target}.{record_name}"
+    return record_target
+
+
+def _strongly_connected(graph: Dict[str, set]) -> Iterable[List[str]]:
+    """Tarjan's SCC algorithm, iterative to survive deep graphs."""
+    index: Dict[str, int] = {}
+    lowlink: Dict[str, int] = {}
+    on_stack: Dict[str, bool] = {}
+    stack: List[str] = []
+    counter = [0]
+    components: List[List[str]] = []
+
+    for root in sorted(graph):
+        if root in index:
+            continue
+        work = [(root, iter(sorted(graph[root])))]
+        index[root] = lowlink[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack[root] = True
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for succ in successors:
+                if succ not in graph:
+                    continue
+                if succ not in index:
+                    index[succ] = lowlink[succ] = counter[0]
+                    counter[0] += 1
+                    stack.append(succ)
+                    on_stack[succ] = True
+                    work.append((succ, iter(sorted(graph[succ]))))
+                    advanced = True
+                    break
+                if on_stack.get(succ):
+                    lowlink[node] = min(lowlink[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack[member] = False
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(component)
+    return components
+
+
+def check_layering(
+    modules: Dict[str, ModuleInfo], config: LintConfig
+) -> List[Finding]:
+    """Run layer-DAG and cycle checks over all discovered modules."""
+    known_tops = {name.split(".")[0] for name in modules}
+    findings: List[Finding] = []
+    graph: Dict[str, set] = {name: set() for name in modules}
+
+    for info in modules.values():
+        source_package = _package_of(info.name)
+        reported_lines = set()
+        for record in info.imports:
+            if record.target.split(".")[0] not in known_tops:
+                continue
+            destination = _resolve_edge(record.target, record.name, modules)
+            if destination not in modules or _is_ancestor(destination, info.name):
+                continue
+            if not record.deferred:
+                graph[info.name].add(destination)
+            target_package = _package_of(destination)
+            if (
+                source_package == ""
+                or target_package == ""
+                or source_package == target_package
+                or source_package not in config.layers
+            ):
+                continue
+            if target_package not in config.layers[source_package]:
+                key = (record.line, target_package)
+                if key in reported_lines:
+                    continue
+                reported_lines.add(key)
+                allowed = sorted(config.layers[source_package]) or ["(nothing)"]
+                findings.append(
+                    Finding(
+                        path=str(info.path),
+                        line=record.line,
+                        rule=LAYER_VIOLATION,
+                        module=info.name,
+                        message=(
+                            f"package {source_package!r} may not import from "
+                            f"{target_package!r}; allowed: {', '.join(allowed)}"
+                        ),
+                    )
+                )
+
+    for component in _strongly_connected(graph):
+        is_cycle = len(component) > 1 or (
+            component and component[0] in graph[component[0]]
+        )
+        if not is_cycle:
+            continue
+        members = sorted(component)
+        anchor = modules[members[0]]
+        findings.append(
+            Finding(
+                path=str(anchor.path),
+                line=1,
+                rule=IMPORT_CYCLE,
+                module=anchor.name,
+                message="import cycle: " + " -> ".join(members + [members[0]]),
+            )
+        )
+    return findings

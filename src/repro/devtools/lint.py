@@ -1,0 +1,129 @@
+"""Linter entry point: run all rule families and report.
+
+Library use::
+
+    from repro.devtools.lint import run_lint
+    findings = run_lint(Path("src"))
+
+Command line::
+
+    python -m repro.devtools.lint --root src --format text
+    python -m repro.devtools.lint --format json
+
+Exit status is 0 when the tree is clean and 1 when any rule fires, so
+it slots directly into CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.devtools.config import LintConfig
+from repro.devtools.determinism import check_determinism
+from repro.devtools.findings import Finding
+from repro.devtools.imports import check_imports
+from repro.devtools.layering import check_layering
+from repro.devtools.modules import discover_modules
+
+__all__ = ["RULE_FAMILIES", "run_lint", "main"]
+
+#: Selectable rule families, as accepted by ``--rules``.
+RULE_FAMILIES = ("imports", "layering", "determinism")
+
+
+def run_lint(
+    root: Path,
+    config: Optional[LintConfig] = None,
+    rules: Optional[Sequence[str]] = None,
+) -> List[Finding]:
+    """Run the selected rule families over the tree under ``root``.
+
+    Args:
+        root: source root (the directory containing top-level packages).
+        config: rule configuration; defaults to this repo's architecture.
+        rules: subset of :data:`RULE_FAMILIES`; defaults to all.
+
+    Raises:
+        ValueError: unknown rule family name, or ``root`` is not a
+            directory.
+    """
+    if not root.is_dir():
+        raise ValueError(f"lint root {root} is not a directory")
+    selected = tuple(rules) if rules is not None else RULE_FAMILIES
+    unknown = set(selected) - set(RULE_FAMILIES)
+    if unknown:
+        raise ValueError(
+            f"unknown rule families {sorted(unknown)}; known: {RULE_FAMILIES}"
+        )
+    config = config or LintConfig()
+    modules = discover_modules(root)
+    findings: List[Finding] = []
+    if "imports" in selected:
+        findings.extend(check_imports(modules))
+    if "layering" in selected:
+        findings.extend(check_layering(modules, config))
+    if "determinism" in selected:
+        findings.extend(check_determinism(modules, config))
+    return sorted(findings)
+
+
+def _render_text(findings: List[Finding]) -> str:
+    lines = [str(finding) for finding in findings]
+    lines.append(
+        f"{len(findings)} finding(s)" if findings else "clean: 0 findings"
+    )
+    return "\n".join(lines)
+
+
+def _render_json(findings: List[Finding]) -> str:
+    return json.dumps(
+        {
+            "count": len(findings),
+            "findings": [finding.to_dict() for finding in findings],
+        },
+        indent=2,
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools.lint",
+        description="AST-level import, layering and determinism linter.",
+    )
+    parser.add_argument(
+        "--root",
+        default="src",
+        type=Path,
+        help="source root to analyse (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        help="comma-separated rule families to run "
+        f"(default: all of {','.join(RULE_FAMILIES)})",
+    )
+    args = parser.parse_args(argv)
+    rules = args.rules.split(",") if args.rules else None
+    try:
+        findings = run_lint(args.root, rules=rules)
+    except (ValueError, SyntaxError) as error:
+        print(f"lint error: {error}", file=sys.stderr)
+        return 2
+    renderer = _render_json if args.format == "json" else _render_text
+    print(renderer(findings))
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,228 @@
+"""Source-tree discovery and per-module AST facts.
+
+Walks a source root, parses every ``*.py`` file, and extracts the two
+things the rules need: the imports a module performs (with location and
+whether they are deferred inside a function) and the names the module
+binds at top level (so ``from x import name`` can be resolved without
+importing ``x``).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional
+
+__all__ = ["ImportRecord", "ModuleInfo", "discover_modules"]
+
+_SKIP_DIRS = {"__pycache__", ".git", ".pytest_cache"}
+
+
+@dataclass(frozen=True)
+class ImportRecord:
+    """One import statement target, normalised to absolute dotted form.
+
+    Attributes:
+        target: absolute dotted module the import reads from (for
+            ``from pkg import name`` this is ``pkg``).
+        name: imported top-level name, or ``None`` for plain
+            ``import pkg`` statements and ``*`` imports.
+        line: 1-based source line.
+        deferred: import occurs inside a function body, so it does not
+            run at module import time (the sanctioned cycle breaker).
+        is_star: the record is a ``from pkg import *``.
+    """
+
+    target: str
+    name: Optional[str]
+    line: int
+    deferred: bool = False
+    is_star: bool = False
+
+
+@dataclass
+class ModuleInfo:
+    """Everything the rules need to know about one module.
+
+    Attributes:
+        name: dotted module name relative to the analysis root.
+        path: source file path.
+        is_package: whether the file is a package ``__init__``.
+        bindings: names bound at module top level (defs, classes,
+            assignments, imports).
+        has_star_import: module performs ``from x import *``, making
+            its exported namespace statically unknowable.
+        imports: all import statements in the file.
+    """
+
+    name: str
+    path: Path
+    is_package: bool
+    bindings: set = field(default_factory=set)
+    has_star_import: bool = False
+    imports: List[ImportRecord] = field(default_factory=list)
+    tree: Optional[ast.AST] = None
+
+    @property
+    def package(self) -> str:
+        """Dotted package the module lives in (itself, for packages)."""
+        if self.is_package:
+            return self.name
+        return self.name.rpartition(".")[0]
+
+
+def _iter_sources(root: Path) -> Iterator[Path]:
+    for path in sorted(root.rglob("*.py")):
+        if any(part in _SKIP_DIRS or part.endswith(".egg-info") for part in path.parts):
+            continue
+        yield path
+
+
+def _module_name(root: Path, path: Path) -> Optional[str]:
+    parts = list(path.relative_to(root).with_suffix("").parts)
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    if not parts:
+        return None
+    return ".".join(parts)
+
+
+def _binding_targets(node: ast.expr) -> Iterator[str]:
+    if isinstance(node, ast.Name):
+        yield node.id
+    elif isinstance(node, (ast.Tuple, ast.List)):
+        for element in node.elts:
+            yield from _binding_targets(element)
+    elif isinstance(node, ast.Starred):
+        yield from _binding_targets(node.value)
+
+
+def _resolve_relative(info_package: str, node: ast.ImportFrom) -> Optional[str]:
+    """Absolute dotted target of a relative ``from ... import``."""
+    parts = info_package.split(".") if info_package else []
+    if node.level - 1 > len(parts):
+        return None
+    base = parts[: len(parts) - (node.level - 1)]
+    if node.module:
+        base = base + node.module.split(".")
+    return ".".join(base) if base else None
+
+
+class _Collector(ast.NodeVisitor):
+    """Single-pass collector of bindings and imports for one module."""
+
+    def __init__(self, info: ModuleInfo) -> None:
+        self.info = info
+        self._depth = 0  # function nesting depth; >0 means deferred
+
+    def _add_import_node(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if self._depth == 0:
+                bound = alias.asname or alias.name.split(".")[0]
+                self.info.bindings.add(bound)
+            self.info.imports.append(
+                ImportRecord(
+                    target=alias.name,
+                    name=None,
+                    line=node.lineno,
+                    deferred=self._depth > 0,
+                )
+            )
+
+    def _add_importfrom_node(self, node: ast.ImportFrom) -> None:
+        if node.level:
+            target = _resolve_relative(self.info.package, node)
+        else:
+            target = node.module
+        if target is None:
+            return
+        for alias in node.names:
+            star = alias.name == "*"
+            if self._depth == 0:
+                if star:
+                    self.info.has_star_import = True
+                else:
+                    self.info.bindings.add(alias.asname or alias.name)
+            self.info.imports.append(
+                ImportRecord(
+                    target=target,
+                    name=None if star else alias.name,
+                    line=node.lineno,
+                    deferred=self._depth > 0,
+                    is_star=star,
+                )
+            )
+
+    def visit_Import(self, node: ast.Import) -> None:
+        self._add_import_node(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        self._add_importfrom_node(node)
+
+    def _visit_scoped(self, node: ast.AST) -> None:
+        if self._depth == 0 and hasattr(node, "name"):
+            self.info.bindings.add(node.name)
+        self._depth += 1
+        self.generic_visit(node)
+        self._depth -= 1
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_scoped(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_scoped(node)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        # Class bodies execute at import time but bind into the class
+        # namespace; only the class name itself is a module binding.
+        self._visit_scoped(node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if self._depth == 0:
+            for target in node.targets:
+                self.info.bindings.update(_binding_targets(target))
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if self._depth == 0:
+            self.info.bindings.update(_binding_targets(node.target))
+        self.generic_visit(node)
+
+    def visit_For(self, node: ast.For) -> None:
+        if self._depth == 0:
+            self.info.bindings.update(_binding_targets(node.target))
+        self.generic_visit(node)
+
+    def visit_With(self, node: ast.With) -> None:
+        if self._depth == 0:
+            for item in node.items:
+                if item.optional_vars is not None:
+                    self.info.bindings.update(_binding_targets(item.optional_vars))
+        self.generic_visit(node)
+
+
+def discover_modules(root: Path) -> Dict[str, ModuleInfo]:
+    """Parse every module under ``root`` keyed by dotted name.
+
+    Args:
+        root: directory whose immediate children are top-level packages
+            or modules (e.g. the ``src`` directory of this repo).
+
+    Raises:
+        SyntaxError: a source file fails to parse — surfaced to the
+            caller because an unparsable tree cannot be analysed.
+    """
+    modules: Dict[str, ModuleInfo] = {}
+    for path in _iter_sources(root):
+        name = _module_name(root, path)
+        if name is None:
+            continue
+        tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+        info = ModuleInfo(
+            name=name, path=path, is_package=path.name == "__init__.py"
+        )
+        info.tree = tree
+        _Collector(info).visit(tree)
+        modules[name] = info
+    return modules

@@ -1,0 +1,1 @@
+"""Fixture tree: two sibling modules importing each other."""

@@ -1,0 +1,7 @@
+"""First half of the cycle."""
+
+from repro.beta import BETA
+
+__all__ = ["ALPHA"]
+
+ALPHA = BETA + 1

@@ -1,0 +1,12 @@
+"""Second half of the cycle."""
+
+import repro.alpha
+
+__all__ = ["BETA", "back"]
+
+BETA = 1
+
+
+def back():
+    """Reach back into alpha."""
+    return repro.alpha.ALPHA

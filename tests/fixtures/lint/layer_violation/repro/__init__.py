@@ -1,0 +1,1 @@
+"""Fixture tree: a leaf library reaching up into the server layer."""

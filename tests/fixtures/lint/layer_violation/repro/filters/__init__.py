@@ -1,0 +1,1 @@
+"""A leaf library package (no first-party imports allowed)."""

@@ -1,0 +1,10 @@
+"""A filters module that illegally imports from the server layer."""
+
+from repro.server.store import DATABASE
+
+__all__ = ["peek"]
+
+
+def peek():
+    """Read server state from a leaf library (the violation)."""
+    return DATABASE

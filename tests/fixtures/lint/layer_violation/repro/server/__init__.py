@@ -1,0 +1,1 @@
+"""The server package the leaf library must not touch."""

@@ -1,0 +1,5 @@
+"""Server-side storage stub."""
+
+__all__ = ["DATABASE"]
+
+DATABASE = {}

@@ -1,0 +1,1 @@
+"""Fixture tree: an import of a module that does not exist."""

@@ -1,0 +1,10 @@
+"""Imports a module that is absent from the tree."""
+
+from repro.ghost import haunt
+
+__all__ = ["boo"]
+
+
+def boo():
+    """Use the phantom import."""
+    return haunt()

@@ -1,0 +1,1 @@
+"""Fixture tree: an import of a name its module does not define."""

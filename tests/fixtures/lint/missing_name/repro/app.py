@@ -1,0 +1,10 @@
+"""Imports a name `repro.util` does not bind."""
+
+from repro.util import missing
+
+__all__ = ["use"]
+
+
+def use():
+    """Use the unresolvable import."""
+    return missing()

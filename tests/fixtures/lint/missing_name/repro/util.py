@@ -1,0 +1,8 @@
+"""Defines one helper; does not define `missing`."""
+
+__all__ = ["present"]
+
+
+def present():
+    """The only name this module exports."""
+    return 1

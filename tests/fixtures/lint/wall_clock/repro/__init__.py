@@ -1,0 +1,1 @@
+"""Fixture tree: a wall-clock call inside a simulation package."""

@@ -1,0 +1,1 @@
+"""Simulation-domain package for the determinism fixture."""

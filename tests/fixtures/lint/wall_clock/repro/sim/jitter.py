@@ -1,0 +1,10 @@
+"""Uses the process wall clock where simulated time is required."""
+
+import time
+
+__all__ = ["now"]
+
+
+def now():
+    """Return the wall-clock time (the violation)."""
+    return time.time()

@@ -1,0 +1,258 @@
+"""Static-analysis gate and linter unit tests.
+
+The gate: `repro.devtools` must report zero findings over `src/repro`.
+The unit tests: each planted fixture tree under `tests/fixtures/lint/`
+must produce exactly one finding with the expected rule id and
+location, and the CLI must exit non-zero on them.
+"""
+
+import json
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.devtools.determinism import UNSEEDED_RNG, WALL_CLOCK
+from repro.devtools.imports import MISSING_MODULE, MISSING_NAME
+from repro.devtools.layering import IMPORT_CYCLE, LAYER_VIOLATION
+from repro.devtools.lint import RULE_FAMILIES, run_lint
+from repro.devtools.modules import discover_modules
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+FIXTURES = REPO / "tests" / "fixtures" / "lint"
+
+
+class TestGate:
+    """The tier-1 gate: the real tree is clean under every rule family."""
+
+    def test_src_tree_has_zero_findings(self):
+        assert run_lint(SRC) == []
+
+    @pytest.mark.parametrize("family", RULE_FAMILIES)
+    def test_each_family_clean_individually(self, family):
+        assert run_lint(SRC, rules=[family]) == []
+
+    def test_discovers_the_whole_tree(self):
+        modules = discover_modules(SRC)
+        assert "repro" in modules
+        assert "repro.building.geometry" in modules
+        assert "repro.devtools.lint" in modules
+        assert len(modules) > 100
+
+
+class TestFixtures:
+    """Each planted violation yields exactly one, correctly-located finding."""
+
+    def _single_finding(self, tree: str):
+        findings = run_lint(FIXTURES / tree)
+        assert len(findings) == 1, [str(f) for f in findings]
+        return findings[0]
+
+    def test_missing_module(self):
+        finding = self._single_finding("missing_module")
+        assert finding.rule == MISSING_MODULE
+        assert finding.module == "repro.app"
+        assert finding.path.endswith("missing_module/repro/app.py")
+        assert finding.line == 3
+        assert "repro.ghost" in finding.message
+
+    def test_missing_name(self):
+        finding = self._single_finding("missing_name")
+        assert finding.rule == MISSING_NAME
+        assert finding.module == "repro.app"
+        assert finding.line == 3
+        assert "missing" in finding.message
+
+    def test_layer_violation(self):
+        finding = self._single_finding("layer_violation")
+        assert finding.rule == LAYER_VIOLATION
+        assert finding.module == "repro.filters.extra"
+        assert finding.path.endswith("repro/filters/extra.py")
+        assert finding.line == 3
+        assert "'server'" in finding.message
+
+    def test_import_cycle(self):
+        finding = self._single_finding("import_cycle")
+        assert finding.rule == IMPORT_CYCLE
+        assert finding.module == "repro.alpha"
+        assert "repro.alpha -> repro.beta -> repro.alpha" in finding.message
+
+    def test_wall_clock(self):
+        finding = self._single_finding("wall_clock")
+        assert finding.rule == WALL_CLOCK
+        assert finding.module == "repro.sim.jitter"
+        assert finding.path.endswith("repro/sim/jitter.py")
+        assert finding.line == 10
+        assert "time.time" in finding.message
+
+
+class TestRuleBehaviour:
+    """Synthetic trees exercising rule edges the fixtures don't cover."""
+
+    def _tree(self, tmp_path, files):
+        for relpath, body in files.items():
+            target = tmp_path / relpath
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(body, encoding="utf-8")
+        return tmp_path
+
+    def test_third_party_imports_ignored(self, tmp_path):
+        root = self._tree(
+            tmp_path,
+            {
+                "repro/__init__.py": "",
+                "repro/app.py": "import numpy\nfrom os.path import join\n",
+            },
+        )
+        assert run_lint(root) == []
+
+    def test_submodule_import_resolves_as_name(self, tmp_path):
+        root = self._tree(
+            tmp_path,
+            {
+                "repro/__init__.py": "",
+                "repro/pkg/__init__.py": "",
+                "repro/pkg/leaf.py": "X = 1\n",
+                "repro/app.py": "from repro.pkg import leaf\n",
+            },
+        )
+        assert run_lint(root) == []
+
+    def test_relative_import_resolved(self, tmp_path):
+        root = self._tree(
+            tmp_path,
+            {
+                "repro/__init__.py": "",
+                "repro/pkg/__init__.py": "",
+                "repro/pkg/a.py": "from .b import gone\n",
+                "repro/pkg/b.py": "Y = 2\n",
+            },
+        )
+        findings = run_lint(root)
+        assert [f.rule for f in findings] == [MISSING_NAME]
+
+    def test_deferred_import_breaks_cycle(self, tmp_path):
+        root = self._tree(
+            tmp_path,
+            {
+                "repro/__init__.py": "",
+                "repro/a.py": "from repro.b import B\nA = 1\n",
+                "repro/b.py": "B = 2\n\ndef f():\n    from repro.a import A\n    return A\n",
+            },
+        )
+        assert run_lint(root) == []
+
+    def test_unseeded_random_flagged_in_sim_domain(self, tmp_path):
+        root = self._tree(
+            tmp_path,
+            {
+                "repro/__init__.py": "",
+                "repro/traces/__init__.py": "",
+                "repro/traces/gen.py": (
+                    "import random\n\ndef draw():\n    return random.random()\n"
+                ),
+            },
+        )
+        findings = run_lint(root)
+        assert [f.rule for f in findings] == [UNSEEDED_RNG]
+
+    def test_seeded_random_instance_allowed(self, tmp_path):
+        root = self._tree(
+            tmp_path,
+            {
+                "repro/__init__.py": "",
+                "repro/sim/__init__.py": "",
+                "repro/sim/ok.py": (
+                    "import random\n\ndef make(seed):\n"
+                    "    return random.Random(seed)\n"
+                ),
+            },
+        )
+        assert run_lint(root) == []
+
+    def test_wall_clock_allowed_outside_sim_domain(self, tmp_path):
+        root = self._tree(
+            tmp_path,
+            {
+                "repro/__init__.py": "",
+                "repro/cli_tools/__init__.py": "",
+                "repro/cli_tools/timing.py": (
+                    "import time\n\ndef stamp():\n    return time.time()\n"
+                ),
+            },
+        )
+        assert run_lint(root) == []
+
+    def test_deleting_a_building_module_reports_every_importer(self, tmp_path):
+        """The acceptance scenario: remove geometry.py from a scratch
+        copy of src and the import-integrity rule must name every
+        module that imports it."""
+        scratch = tmp_path / "src"
+        shutil.copytree(SRC, scratch, ignore=shutil.ignore_patterns("__pycache__"))
+        (scratch / "repro" / "building" / "geometry.py").unlink()
+        findings = run_lint(scratch, rules=["imports"])
+        flagged = {f.module for f in findings}
+        assert all(f.rule == MISSING_MODULE for f in findings)
+        importers = {
+            name
+            for name, info in discover_modules(SRC).items()
+            if any(r.target == "repro.building.geometry" for r in info.imports)
+        }
+        assert importers  # the package is genuinely load-bearing
+        assert importers <= flagged
+
+
+class TestCli:
+    """End-to-end CLI behaviour: formats and exit codes."""
+
+    def _run(self, *args):
+        return subprocess.run(
+            [sys.executable, "-m", "repro.devtools.lint", *args],
+            capture_output=True,
+            text=True,
+            cwd=REPO,
+            env={"PYTHONPATH": str(SRC), "PATH": "/usr/bin:/bin"},
+        )
+
+    def test_clean_tree_exits_zero(self):
+        result = self._run("--root", "src", "--format", "json")
+        assert result.returncode == 0, result.stderr
+        payload = json.loads(result.stdout)
+        assert payload == {"count": 0, "findings": []}
+
+    @pytest.mark.parametrize(
+        "tree, rule",
+        [
+            ("missing_module", MISSING_MODULE),
+            ("missing_name", MISSING_NAME),
+            ("layer_violation", LAYER_VIOLATION),
+            ("import_cycle", IMPORT_CYCLE),
+            ("wall_clock", WALL_CLOCK),
+        ],
+    )
+    def test_fixture_trees_exit_nonzero_with_structured_findings(self, tree, rule):
+        result = self._run(
+            "--root", str(FIXTURES / tree), "--format", "json"
+        )
+        assert result.returncode == 1
+        payload = json.loads(result.stdout)
+        assert payload["count"] == 1
+        assert payload["findings"][0]["rule"] == rule
+        assert {"path", "line", "rule", "module", "message"} <= set(
+            payload["findings"][0]
+        )
+
+    def test_text_format_mentions_rule(self):
+        result = self._run(
+            "--root", str(FIXTURES / "wall_clock"), "--format", "text"
+        )
+        assert result.returncode == 1
+        assert "[determinism-wall-clock]" in result.stdout
+
+    def test_unknown_rule_family_exits_two(self):
+        result = self._run("--root", "src", "--rules", "nonsense")
+        assert result.returncode == 2
+        assert "unknown rule families" in result.stderr
