@@ -5,9 +5,28 @@ paper, prints a paper-vs-measured table, and asserts that the *shape*
 of the result holds (who wins, roughly by how much).  Timing is taken
 with a single round: the quantity of interest is the experimental
 output, not the runtime of the harness.
+
+Besides printing, every table row is captured and — together with the
+test's pass/fail outcome — appended to ``BENCH_results.json`` at the
+repository root when the session ends, so successive benchmark runs
+build a machine-readable paper-vs-measured trajectory.
 """
 
+import json
+from pathlib import Path
+
 import pytest
+
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_results.json"
+
+#: nodeid -> list of row dicts captured by :func:`print_table`.
+_tables = {}
+
+#: nodeid -> "passed" / "failed" outcome of the call phase.
+_outcomes = {}
+
+#: nodeid of the test currently executing (tables attribute to it).
+_current_nodeid = None
 
 
 def run_once(benchmark, fn, *args, **kwargs):
@@ -16,7 +35,7 @@ def run_once(benchmark, fn, *args, **kwargs):
 
 
 def print_table(title, rows):
-    """Print an aligned paper-vs-measured table.
+    """Print an aligned paper-vs-measured table and capture its rows.
 
     Args:
         title: table heading.
@@ -28,3 +47,51 @@ def print_table(title, rows):
     print(f"{'quantity':<{width}}  {'paper':>18}  {'measured':>18}")
     for label, paper, measured in rows:
         print(f"{label:<{width}}  {paper:>18}  {measured:>18}")
+    if _current_nodeid is not None:
+        _tables.setdefault(_current_nodeid, []).extend(
+            {
+                "title": title,
+                "label": str(label),
+                "paper": str(paper),
+                "measured": str(measured),
+            }
+            for label, paper, measured in rows
+        )
+
+
+def pytest_runtest_setup(item):
+    global _current_nodeid
+    _current_nodeid = item.nodeid
+
+
+def pytest_runtest_logreport(report):
+    if report.when == "call":
+        _outcomes[report.nodeid] = report.outcome
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Append this session's captured tables to ``BENCH_results.json``."""
+    if not _tables:
+        return
+    results = []
+    for nodeid, rows in sorted(_tables.items()):
+        passed = _outcomes.get(nodeid) == "passed"
+        for row in rows:
+            results.append({"test": nodeid, "passed": passed, **row})
+    try:
+        history = json.loads(RESULTS_PATH.read_text(encoding="utf-8"))
+        if not isinstance(history, list):
+            history = []
+    except (OSError, json.JSONDecodeError):
+        history = []
+    history.append({"results": results})
+    RESULTS_PATH.write_text(
+        json.dumps(history, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+@pytest.fixture(autouse=True)
+def _clear_current_nodeid_after_test():
+    yield
+    global _current_nodeid
+    _current_nodeid = None

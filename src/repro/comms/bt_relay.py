@@ -17,6 +17,7 @@ from typing import Optional
 import numpy as np
 
 from repro.comms.uplink import Uplink
+from repro.obs.metrics import MetricsRegistry
 from repro.phone.app import SightingReport
 from repro.server.rest import Response, Router
 
@@ -39,6 +40,8 @@ class BluetoothRelayUplink(Uplink):
             (wired/mains, nearly perfect).
     """
 
+    TRANSPORT = "bt_relay"
+
     LOSS_PROBABILITY = 0.04
     CONNECTION_ENERGY_J = 0.09
     ENERGY_PER_BYTE_J = 6.0e-5
@@ -50,8 +53,9 @@ class BluetoothRelayUplink(Uplink):
         router: Router,
         rng: Optional[np.random.Generator] = None,
         max_retries: int = 1,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
-        super().__init__(router, rng=rng, max_retries=max_retries)
+        super().__init__(router, rng=rng, max_retries=max_retries, registry=registry)
         self.relay_requests = 0
 
     @property
@@ -79,24 +83,31 @@ class BluetoothRelayUplink(Uplink):
             },
             time=report.time,
         )
+        attrs = self._obs_attrs(report)
         self.stats.attempts += 1
+        self._c_reports.inc(**attrs)
         for attempt in range(self.max_retries + 1):
             # BT leg: the phone pays energy whether or not it succeeds.
             self.stats.bytes_sent += request.size_bytes
+            self._c_bytes.inc(request.size_bytes, **attrs)
             self.stats.energy_j += self.energy_per_message_j(request.size_bytes)
             if self.rng.random() < self.LOSS_PROBABILITY:
                 if attempt < self.max_retries:
                     self.stats.retries += 1
+                    self._c_retries.inc(**attrs)
                     continue
                 self.stats.failed += 1
+                self._c_failed.inc(**attrs)
                 return None
             # Relay leg: board -> server over HTTP (mains powered, so
             # no phone energy; losses are rare but final).
             self.relay_requests += 1
             if self.rng.random() < self.RELAY_LOSS_PROBABILITY:
                 self.stats.failed += 1
+                self._c_failed.inc(relay_leg=True, **attrs)
                 return None
             response = self.router.dispatch(request)
             self.stats.delivered += 1
+            self._c_delivered.inc(**attrs)
             return response
         return None  # pragma: no cover - loop always returns

@@ -8,6 +8,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.obs.metrics import MetricsRegistry
 from repro.phone.app import SightingReport
 from repro.server.rest import Request, Response, Router
 
@@ -40,13 +41,20 @@ class Uplink(abc.ABC):
         router: the BMS REST router.
         rng: random stream for delivery-failure draws.
         max_retries: retransmissions attempted after a radio failure.
+        registry: telemetry registry; defaults to a no-op one.  Emitted
+            events carry ``transport`` (:attr:`TRANSPORT`) and
+            ``device`` attributes.
     """
+
+    #: Telemetry label for this channel type.
+    TRANSPORT = "uplink"
 
     def __init__(
         self,
         router: Router,
         rng: Optional[np.random.Generator] = None,
         max_retries: int = 1,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if max_retries < 0:
             raise ValueError(f"max_retries must be >= 0, got {max_retries}")
@@ -54,6 +62,16 @@ class Uplink(abc.ABC):
         self.rng = rng if rng is not None else np.random.default_rng(0)
         self.max_retries = int(max_retries)
         self.stats = DeliveryStats()
+        self.obs = registry if registry is not None else MetricsRegistry()
+        self._c_reports = self.obs.counter("uplink.reports")
+        self._c_delivered = self.obs.counter("uplink.delivered")
+        self._c_failed = self.obs.counter("uplink.failed")
+        self._c_retries = self.obs.counter("uplink.retries")
+        self._c_bytes = self.obs.counter("uplink.bytes")
+
+    def _obs_attrs(self, report: SightingReport) -> dict:
+        """Telemetry attributes for one report's events."""
+        return {"transport": self.TRANSPORT, "device": report.device_id}
 
     # -- channel characteristics, provided by subclasses ---------------
     @property
@@ -88,18 +106,24 @@ class Uplink(abc.ABC):
             },
             time=report.time,
         )
+        attrs = self._obs_attrs(report)
         self.stats.attempts += 1
+        self._c_reports.inc(**attrs)
         for attempt in range(self.max_retries + 1):
             self.stats.bytes_sent += request.size_bytes
+            self._c_bytes.inc(request.size_bytes, **attrs)
             self.stats.energy_j += self.energy_per_message_j(request.size_bytes)
             if self.rng.random() < self.loss_probability:
                 if attempt < self.max_retries:
                     self.stats.retries += 1
+                    self._c_retries.inc(**attrs)
                     continue
                 self.stats.failed += 1
+                self._c_failed.inc(**attrs)
                 return None
             response = self.router.dispatch(request)
             self.stats.delivered += 1
+            self._c_delivered.inc(**attrs)
             return response
         return None  # pragma: no cover - loop always returns
 

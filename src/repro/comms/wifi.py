@@ -27,6 +27,8 @@ class WifiUplink(Uplink):
         IDLE_POWER_W: keeping the adapter associated while the app runs.
     """
 
+    TRANSPORT = "wifi"
+
     LOSS_PROBABILITY = 0.005
     WAKE_ENERGY_J = 0.06
     ENERGY_PER_BYTE_J = 1.6e-4

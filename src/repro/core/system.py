@@ -42,6 +42,7 @@ from repro.ml.metrics import ConfusionMatrix
 from repro.ml.naive_bayes import GaussianNaiveBayes
 from repro.ml.proximity import ProximityClassifier
 from repro.ml.svm import SupportVectorClassifier
+from repro.obs.metrics import MetricsRegistry
 from repro.phone.device import Smartphone
 from repro.radio.channel import ChannelModel
 from repro.server.bms import BuildingManagementServer
@@ -73,6 +74,10 @@ class DetectionRun:
         energy: device_id -> energy breakdown of the run.
         delivery: device_id -> uplink delivery statistics.
         predictions: device_id -> list of ``(time, truth, estimate)``.
+        telemetry: the system's metrics registry after the run — its
+            event log (when a recording sink is attached) and metric
+            aggregates cover engine, scanner, uplink, server and
+            energy sources.
     """
 
     duration_s: float
@@ -81,6 +86,7 @@ class DetectionRun:
     energy: Dict[str, EnergyBreakdown]
     delivery: Dict[str, object]
     predictions: Dict[str, List[Tuple[float, str, str]]]
+    telemetry: Optional[MetricsRegistry] = None
 
     def average_power_w(self, device_id: str) -> float:
         """Mean power of one device over the run."""
@@ -103,6 +109,12 @@ class OccupancyDetectionSystem:
         region_uuid: monitored proximity UUID; defaults to the UUID of
             the plan's first beacon (all beacons of one building share
             it, Section III).
+        registry: telemetry registry threaded through every subsystem
+            (engine, scanners, uplinks, server, energy meters).  The
+            default uses a no-op sink, so instrumentation costs
+            nothing; attach one backed by a
+            :class:`~repro.obs.sinks.MemorySink` to collect the
+            sim-time event log.
     """
 
     def __init__(
@@ -110,11 +122,13 @@ class OccupancyDetectionSystem:
         plan: FloorPlan,
         config: SystemConfig = SystemConfig(),
         region_uuid=None,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if not plan.beacons:
             raise ValueError("the floor plan has no beacons installed")
         self.plan = plan
         self.config = config
+        self.obs = registry if registry is not None else MetricsRegistry()
         self.streams = RngStreams(config.seed)
         self.channel = ChannelModel(seed=derive_seed(config.seed, "channel"))
         self.air = AirInterface(plan, self.channel)
@@ -135,6 +149,7 @@ class OccupancyDetectionSystem:
             classifier=self._make_classifier(),
             missing_value=missing,
             device_timeout_s=timeout,
+            registry=self.obs,
         )
         self._runtimes: Dict[str, PhoneRuntime] = {}
         self.calibration_size = 0
@@ -216,6 +231,7 @@ class OccupancyDetectionSystem:
             platform=self.config.platform,
             streams=self.streams,
             path_loss_exponent=self.config.path_loss_exponent,
+            registry=self.obs,
         )
         phone.app.tracker = BeaconTracker(
             prototype=EwmaFilter(self.config.filter_coefficient),
@@ -223,11 +239,13 @@ class OccupancyDetectionSystem:
         )
         uplink_rng = self.streams.spawn(f"uplink:{occupant.name}").get("loss")
         uplink_cls = WifiUplink if self.config.uplink == "wifi" else BluetoothRelayUplink
-        uplink = uplink_cls(self.bms.router, rng=uplink_rng)
+        uplink = uplink_cls(self.bms.router, rng=uplink_rng, registry=self.obs)
         profile = PHONE_ENERGY_PROFILES.get(
             occupant.device, PHONE_ENERGY_PROFILES["s3_mini"]
         )
-        meter = EnergyMeter(Battery(profile.battery_wh))
+        meter = EnergyMeter(
+            Battery(profile.battery_wh), registry=self.obs, device=occupant.name
+        )
         gate = None
         if self.config.accel_gating:
             gate = AccelerometerGate(
@@ -275,7 +293,7 @@ class OccupancyDetectionSystem:
         # history recorder, which fires at each period boundary before
         # that boundary's scan cycles (priority -1).
         if n_cycles > 0:
-            sim = Simulator()
+            sim = Simulator(registry=self.obs)
             last_cycle_start = (n_cycles - 1) * period
             for rt in self._runtimes.values():
                 sim.every(
@@ -321,9 +339,14 @@ class OccupancyDetectionSystem:
             },
             delivery={name: rt.uplink.stats for name, rt in self._runtimes.items()},
             predictions=predictions,
+            telemetry=self.obs,
         )
 
     def _run_phone_cycle(self, rt: PhoneRuntime, t0: float) -> None:
+        with self.obs.tracer.span("core.scan_cycle", phone=rt.phone.device_id):
+            self._run_phone_cycle_inner(rt, t0)
+
+    def _run_phone_cycle_inner(self, rt: PhoneRuntime, t0: float) -> None:
         period = self.config.scan_period_s
         profile = PHONE_ENERGY_PROFILES.get(
             rt.phone.occupant.device, PHONE_ENERGY_PROFILES["s3_mini"]
@@ -348,4 +371,7 @@ class OccupancyDetectionSystem:
         truth = rt.phone.occupant.room_at(now, self.plan)
         snapshot = self.bms.snapshot(now)
         estimate = snapshot.devices.get(rt.phone.device_id, OUTSIDE)
+        # The confusion counter lives here rather than in the BMS
+        # because only the simulation knows the ground truth.
+        self.obs.counter("server.confusion").inc(truth=truth, estimate=estimate)
         rt.predictions.append((now, truth, estimate))

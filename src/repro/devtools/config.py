@@ -24,23 +24,25 @@ def _layers(mapping: Mapping[str, tuple]) -> Mapping[str, FrozenSet[str]]:
 REPRO_LAYERS: Mapping[str, FrozenSet[str]] = _layers(
     {
         # Leaf libraries: no first-party dependencies at all.
-        "sim": (),
+        "obs": (),
         "filters": (),
         "ibeacon": (),
         "ml": (),
-        "energy": (),
         "hvac": (),
         "tracking": (),
         "devtools": (),
+        # Instrumented infrastructure leaves: only telemetry below them.
+        "sim": ("obs",),
+        "energy": ("obs",),
         # Physical modelling.
         "radio": ("sim",),
         "building": ("ibeacon", "radio", "sim"),
         "positioning": ("building",),
-        "ble": ("building", "ibeacon", "radio", "sim"),
+        "ble": ("building", "ibeacon", "obs", "radio", "sim"),
         # Device and data plane.
-        "phone": ("ble", "building", "filters", "ibeacon", "radio", "sim"),
-        "server": ("building", "ml"),
-        "comms": ("phone", "server"),
+        "phone": ("ble", "building", "filters", "ibeacon", "obs", "radio", "sim"),
+        "server": ("building", "ml", "obs"),
+        "comms": ("obs", "phone", "server"),
         "traces": ("ble", "building", "filters", "phone", "radio", "sim"),
         "beacon_node": (
             "ble",
@@ -61,25 +63,30 @@ REPRO_LAYERS: Mapping[str, FrozenSet[str]] = _layers(
             "filters",
             "ibeacon",
             "ml",
+            "obs",
             "phone",
             "radio",
             "server",
             "sim",
             "traces",
         ),
-        "report": ("building", "core"),
+        "report": ("building", "core", "obs"),
     }
 )
 
 #: Packages whose code must be replayable: no wall clocks, no unseeded
-#: randomness.
+#: randomness.  ``obs`` is included because telemetry must be stamped
+#: with the injected simulation clock, never the process clock.
 SIM_DOMAIN_PACKAGES: FrozenSet[str] = frozenset(
-    {"sim", "ble", "traces", "energy", "building"}
+    {"sim", "ble", "traces", "energy", "building", "obs"}
 )
 
 #: Modules allowed to touch the primitives the determinism rule bans —
 #: they are the sanctioned wrappers the rule steers authors towards.
-DETERMINISM_EXEMPT: FrozenSet[str] = frozenset({"repro.sim.rng", "repro.sim.clock"})
+#: ``repro.obs.profiling`` is the single wall-clock profiling module.
+DETERMINISM_EXEMPT: FrozenSet[str] = frozenset(
+    {"repro.sim.rng", "repro.sim.clock", "repro.obs.profiling"}
+)
 
 
 @dataclass(frozen=True)

@@ -6,6 +6,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.energy.battery import Battery
+from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["EnergyBreakdown", "EnergyMeter"]
 
@@ -57,12 +58,26 @@ class EnergyMeter:
 
     Args:
         battery: drained in step with the metered energy when given.
+        registry: telemetry registry; defaults to a no-op one.  Every
+            charge emits an ``energy.joules`` counter sample split by
+            component, and the battery level (when present) is tracked
+            by the ``energy.battery_soc`` gauge.
+        device: value of the ``device`` attribute on emitted telemetry.
     """
 
-    def __init__(self, battery: Optional[Battery] = None) -> None:
+    def __init__(
+        self,
+        battery: Optional[Battery] = None,
+        registry: Optional[MetricsRegistry] = None,
+        device: str = "",
+    ) -> None:
         self.battery = battery
         self._components: Dict[str, float] = {}
         self._duration_s = 0.0
+        self.obs = registry if registry is not None else MetricsRegistry()
+        self._obs_device = device
+        self._c_joules = self.obs.counter("energy.joules")
+        self._g_soc = self.obs.gauge("energy.battery_soc")
 
     def charge_power(self, component: str, power_w: float, duration_s: float) -> None:
         """Account ``power_w`` drawn for ``duration_s`` seconds."""
@@ -77,8 +92,11 @@ class EnergyMeter:
         if energy_j < 0.0:
             raise ValueError(f"energy must be >= 0, got {energy_j}")
         self._components[component] = self._components.get(component, 0.0) + energy_j
+        attrs = {"device": self._obs_device} if self._obs_device else {}
+        self._c_joules.inc(energy_j, component=component, **attrs)
         if self.battery is not None:
             self.battery.drain(energy_j)
+            self._g_soc.set(self.battery.soc, **attrs)
 
     def advance(self, duration_s: float) -> None:
         """Extend the metered interval (time passes, no direct cost)."""

@@ -1,0 +1,63 @@
+"""Sim-time telemetry: metrics, spans, event log and exporters.
+
+``repro.obs`` is a leaf package (no first-party imports) that every
+instrumented layer — the event engine, the phone stack, the uplinks,
+the BMS and the energy meters — can depend on.  All telemetry is
+timestamped by an *injected* clock (the simulation clock in practice,
+never the wall clock), so instrumented runs stay replayable; the one
+sanctioned wall-clock module is :mod:`repro.obs.profiling`, which is
+listed in the determinism lint's exemptions.
+
+The moving parts:
+
+- :class:`~repro.obs.metrics.MetricsRegistry` — counters, gauges and
+  fixed-bucket histograms, plus the shared clock and sink;
+- :class:`~repro.obs.tracing.Tracer` — nested spans over the event log
+  (``tracer.span("scan_cycle", phone="alice")``);
+- sinks — :class:`~repro.obs.sinks.NullSink` (the free default) and
+  :class:`~repro.obs.sinks.MemorySink` (collects the event log);
+- exporters — JSON-lines, Prometheus-style text, and the ASCII
+  timeline behind ``python -m repro.obs.report``.
+"""
+
+from repro.obs.events import (
+    COUNTER,
+    GAUGE,
+    HISTOGRAM,
+    SPAN_END,
+    SPAN_START,
+    TelemetryEvent,
+)
+from repro.obs.export import (
+    read_jsonl,
+    render_prometheus,
+    render_timeline,
+    to_jsonl,
+    write_jsonl,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.sinks import MemorySink, NullSink, Sink
+from repro.obs.tracing import Span, Tracer
+
+__all__ = [
+    "COUNTER",
+    "GAUGE",
+    "HISTOGRAM",
+    "SPAN_END",
+    "SPAN_START",
+    "TelemetryEvent",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MemorySink",
+    "NullSink",
+    "Sink",
+    "Span",
+    "Tracer",
+    "read_jsonl",
+    "render_prometheus",
+    "render_timeline",
+    "to_jsonl",
+    "write_jsonl",
+]

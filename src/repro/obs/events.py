@@ -1,0 +1,95 @@
+"""The telemetry event record and its kind vocabulary.
+
+Every instrument emission — a counter increment, a gauge sample, a
+histogram observation, a span boundary — is one immutable
+:class:`TelemetryEvent`.  The stream of events *is* the observability
+contract: sinks store it, exporters render it, and replaying it
+reconstructs every aggregate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping
+
+__all__ = [
+    "COUNTER",
+    "GAUGE",
+    "HISTOGRAM",
+    "SPAN_START",
+    "SPAN_END",
+    "EVENT_KINDS",
+    "TelemetryEvent",
+]
+
+#: Event kind: a counter was incremented by ``value``.
+COUNTER = "counter"
+
+#: Event kind: a gauge was set to ``value``.
+GAUGE = "gauge"
+
+#: Event kind: a histogram observed ``value``.
+HISTOGRAM = "histogram"
+
+#: Event kind: a span opened (``value`` is the span id).
+SPAN_START = "span_start"
+
+#: Event kind: a span closed (``value`` is its sim-time duration).
+SPAN_END = "span_end"
+
+#: All valid event kinds.
+EVENT_KINDS = frozenset({COUNTER, GAUGE, HISTOGRAM, SPAN_START, SPAN_END})
+
+
+@dataclass(frozen=True)
+class TelemetryEvent:
+    """One telemetry emission.
+
+    Attributes:
+        time: simulation time of the emission, seconds.
+        kind: one of :data:`EVENT_KINDS`.
+        name: dotted instrument name; the leading component names the
+            emitting subsystem (``sim.events`` -> source ``sim``).
+        value: increment, sample, span id or span duration.
+        attrs: free-form labels (phone id, transport, room, ...).
+    """
+
+    time: float
+    kind: str
+    name: str
+    value: float
+    attrs: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in EVENT_KINDS:
+            raise ValueError(f"unknown event kind {self.kind!r}")
+
+    @property
+    def source(self) -> str:
+        """Emitting subsystem: the name's first dotted component."""
+        return self.name.split(".", 1)[0]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form used by the JSONL exporter."""
+        return {
+            "t": self.time,
+            "kind": self.kind,
+            "name": self.name,
+            "value": self.value,
+            "attrs": dict(self.attrs),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "TelemetryEvent":
+        """Inverse of :meth:`to_dict`.
+
+        Raises:
+            KeyError: a required field is missing.
+        """
+        return cls(
+            time=float(payload["t"]),
+            kind=str(payload["kind"]),
+            name=str(payload["name"]),
+            value=float(payload["value"]),
+            attrs=dict(payload.get("attrs", {})),
+        )

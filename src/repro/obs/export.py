@@ -1,0 +1,164 @@
+"""Telemetry exporters: JSON-lines, Prometheus text, ASCII timeline.
+
+Three renderings of the same data:
+
+- :func:`write_jsonl` / :func:`read_jsonl` — the durable, replayable
+  event log (one JSON object per line);
+- :func:`render_prometheus` — the registry's aggregate state in the
+  Prometheus text exposition format, for scrape-style integration;
+- :func:`render_timeline` — a terminal summary of an event log: per
+  source, event density over simulated time.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Union
+
+from repro.obs.events import TelemetryEvent
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "to_jsonl",
+    "write_jsonl",
+    "read_jsonl",
+    "render_prometheus",
+    "render_timeline",
+]
+
+
+# ----------------------------------------------------------------------
+# JSON lines
+# ----------------------------------------------------------------------
+def to_jsonl(events: Iterable[TelemetryEvent]) -> str:
+    """Serialise events to JSONL text (one event per line)."""
+    return "".join(
+        json.dumps(e.to_dict(), sort_keys=True, separators=(",", ":")) + "\n"
+        for e in events
+    )
+
+
+def write_jsonl(events: Iterable[TelemetryEvent], path: Union[str, Path]) -> int:
+    """Write the event log to ``path``; returns the event count."""
+    text = to_jsonl(events)
+    Path(path).write_text(text, encoding="utf-8")
+    return text.count("\n")
+
+
+def read_jsonl(source: Union[str, Path, Iterable[str]]) -> List[TelemetryEvent]:
+    """Load an event log from a path or an iterable of JSONL lines.
+
+    Blank lines are skipped.
+
+    Raises:
+        ValueError: a line is not valid JSON or not a valid event.
+    """
+    if isinstance(source, (str, Path)):
+        lines: Iterable[str] = Path(source).read_text(encoding="utf-8").splitlines()
+    else:
+        lines = source
+    events: List[TelemetryEvent] = []
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            events.append(TelemetryEvent.from_dict(json.loads(line)))
+        except (json.JSONDecodeError, KeyError, ValueError) as exc:
+            raise ValueError(f"bad event on line {lineno}: {exc}") from exc
+    return events
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+def _prom_name(name: str) -> str:
+    """Dotted instrument name to a Prometheus-legal metric name."""
+    return name.replace(".", "_").replace("-", "_")
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """Render the registry's aggregates in Prometheus text format."""
+    lines: List[str] = []
+    for name, counter in sorted(registry.counters.items()):
+        metric = _prom_name(name)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric}_total {counter.value:g}")
+        for key, value in sorted(counter.series.items()):
+            labels = ",".join(f'{k}="{v}"' for k, v in key)
+            lines.append(f"{metric}_total{{{labels}}} {value:g}")
+    for name, gauge in sorted(registry.gauges.items()):
+        if gauge.value is None:
+            continue
+        metric = _prom_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {gauge.value:g}")
+    for name, hist in sorted(registry.histograms.items()):
+        metric = _prom_name(name)
+        lines.append(f"# TYPE {metric} histogram")
+        for bound, count in hist.bucket_counts().items():
+            lines.append(f'{metric}_bucket{{le="{bound}"}} {count}')
+        lines.append(f"{metric}_sum {hist.sum:g}")
+        lines.append(f"{metric}_count {hist.count}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# ----------------------------------------------------------------------
+# ASCII timeline
+# ----------------------------------------------------------------------
+#: Density glyphs, blank -> dense.
+_SHADES = " .:-=+*#%@"
+
+
+def _density_row(times: Sequence[float], t0: float, t1: float, width: int) -> str:
+    bins = [0] * width
+    span = t1 - t0
+    for t in times:
+        i = int((t - t0) / span * width) if span > 0.0 else 0
+        bins[min(max(i, 0), width - 1)] += 1
+    peak = max(bins)
+    if peak == 0:
+        return " " * width
+    row = []
+    for n in bins:
+        level = 0 if n == 0 else 1 + int((len(_SHADES) - 2) * n / peak)
+        row.append(_SHADES[level])
+    return "".join(row)
+
+
+def render_timeline(events: Sequence[TelemetryEvent], width: int = 60) -> str:
+    """ASCII summary of an event log.
+
+    One density row per source (events per time bin, darker = more),
+    preceded by event/kind totals.
+
+    Raises:
+        ValueError: non-positive width.
+    """
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    if not events:
+        return "(empty event log)"
+    t0 = min(e.time for e in events)
+    t1 = max(e.time for e in events)
+    by_source: Dict[str, List[float]] = {}
+    kinds: Dict[str, int] = {}
+    for e in events:
+        by_source.setdefault(e.source, []).append(e.time)
+        kinds[e.kind] = kinds.get(e.kind, 0) + 1
+    lines = [
+        f"{len(events)} events over t=[{t0:g}, {t1:g}] s from "
+        f"{len(by_source)} sources",
+        "kinds: "
+        + ", ".join(f"{k}={n}" for k, n in sorted(kinds.items())),
+        "",
+    ]
+    label_w = max(len(s) for s in by_source)
+    for source in sorted(by_source):
+        times = by_source[source]
+        row = _density_row(times, t0, t1, width)
+        lines.append(f"{source:>{label_w}} |{row}| {len(times)}")
+    axis = f"{t0:g}".ljust(width - 8) + f"{t1:g}".rjust(8)
+    lines.append(f"{'':>{label_w}}  {axis[:width]}")
+    return "\n".join(lines)

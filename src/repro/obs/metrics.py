@@ -1,0 +1,309 @@
+"""Metric instruments and the registry that owns them.
+
+The :class:`MetricsRegistry` is the single object an instrumented
+component needs: it hands out named counters, gauges and fixed-bucket
+histograms, stamps every emission with the *injected* clock (the
+simulation clock in a run — never the wall clock), and forwards the
+event to its sink.  Aggregates are maintained even with the event log
+disabled, so a Prometheus-style scrape works either way.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.obs.events import COUNTER, GAUGE, HISTOGRAM, TelemetryEvent
+from repro.obs.sinks import MemorySink, NullSink, Sink
+
+__all__ = ["ClockFn", "Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+#: A zero-argument callable yielding the current simulation time.
+ClockFn = Callable[[], float]
+
+#: Attribute sets are keyed by their sorted item tuple.
+AttrKey = Tuple[Tuple[str, object], ...]
+
+#: Default histogram bucket upper bounds (seconds-ish scale).
+DEFAULT_BUCKETS: Tuple[float, ...] = (0.1, 0.5, 1.0, 2.0, 5.0, 10.0, 30.0, 60.0)
+
+
+def _attr_key(attrs: Mapping[str, object]) -> AttrKey:
+    return tuple(sorted(attrs.items()))
+
+
+class _Instrument:
+    """Shared plumbing: name, registry backref, event emission."""
+
+    kind = ""
+
+    def __init__(self, name: str, registry: "MetricsRegistry") -> None:
+        if not name:
+            raise ValueError("instrument name must not be empty")
+        self.name = name
+        self._registry = registry
+
+    def _emit(self, value: float, attrs: Mapping[str, object]) -> None:
+        sink = self._registry.sink
+        if not sink.enabled:
+            return
+        sink.emit(
+            TelemetryEvent(
+                time=self._registry.now(),
+                kind=self.kind,
+                name=self.name,
+                value=float(value),
+                attrs=dict(attrs),
+            )
+        )
+
+
+class Counter(_Instrument):
+    """Monotonically increasing total, optionally split by attributes.
+
+    ``inc(3, phone="alice")`` adds to both the grand total and the
+    ``phone=alice`` series.
+    """
+
+    kind = COUNTER
+
+    def __init__(self, name: str, registry: "MetricsRegistry") -> None:
+        super().__init__(name, registry)
+        self._total = 0.0
+        self._by_attrs: Dict[AttrKey, float] = {}
+
+    def inc(self, value: float = 1.0, **attrs: object) -> None:
+        """Add ``value`` (must be >= 0) to the counter.
+
+        Raises:
+            ValueError: on a negative increment.
+        """
+        if value < 0.0:
+            raise ValueError(f"counter increment must be >= 0, got {value}")
+        self._total += value
+        if attrs:
+            key = _attr_key(attrs)
+            self._by_attrs[key] = self._by_attrs.get(key, 0.0) + value
+        self._emit(value, attrs)
+
+    @property
+    def value(self) -> float:
+        """Grand total across all attribute sets."""
+        return self._total
+
+    def value_for(self, **attrs: object) -> float:
+        """Total accumulated under exactly this attribute set."""
+        return self._by_attrs.get(_attr_key(attrs), 0.0)
+
+    @property
+    def series(self) -> Dict[AttrKey, float]:
+        """Per-attribute-set totals (copy)."""
+        return dict(self._by_attrs)
+
+
+class Gauge(_Instrument):
+    """Last-written value, optionally split by attributes."""
+
+    kind = GAUGE
+
+    def __init__(self, name: str, registry: "MetricsRegistry") -> None:
+        super().__init__(name, registry)
+        self._value: Optional[float] = None
+        self._by_attrs: Dict[AttrKey, float] = {}
+
+    def set(self, value: float, **attrs: object) -> None:
+        """Record the current level of the observed quantity."""
+        self._value = float(value)
+        if attrs:
+            self._by_attrs[_attr_key(attrs)] = float(value)
+        self._emit(value, attrs)
+
+    @property
+    def value(self) -> Optional[float]:
+        """Most recent value, or ``None`` if never set."""
+        return self._value
+
+    def value_for(self, **attrs: object) -> Optional[float]:
+        """Most recent value written under this attribute set."""
+        return self._by_attrs.get(_attr_key(attrs))
+
+
+class Histogram(_Instrument):
+    """Fixed-bucket histogram (cumulative, Prometheus-style).
+
+    Args:
+        name: instrument name.
+        registry: owning registry.
+        buckets: strictly increasing upper bounds; an implicit +inf
+            bucket catches the rest.
+    """
+
+    kind = HISTOGRAM
+
+    def __init__(
+        self,
+        name: str,
+        registry: "MetricsRegistry",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        super().__init__(name, registry)
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError(f"bucket bounds must be strictly increasing: {bounds}")
+        self.bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float, **attrs: object) -> None:
+        """Record one observation."""
+        value = float(value)
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self._counts[i] += 1
+                break
+        else:
+            self._counts[-1] += 1
+        self._sum += value
+        self._count += 1
+        self._emit(value, attrs)
+
+    @property
+    def count(self) -> int:
+        """Number of observations."""
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        """Sum of all observed values."""
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        """Mean observation (0.0 when empty)."""
+        return self._sum / self._count if self._count else 0.0
+
+    def bucket_counts(self) -> Dict[str, int]:
+        """Cumulative counts keyed by upper bound (``"+Inf"`` last)."""
+        out: Dict[str, int] = {}
+        running = 0
+        for bound, n in zip(self.bounds, self._counts):
+            running += n
+            out[f"{bound:g}"] = running
+        out["+Inf"] = running + self._counts[-1]
+        return out
+
+
+class MetricsRegistry:
+    """Factory and directory for instruments, clock and sink in one.
+
+    Args:
+        sink: event destination; defaults to the free
+            :class:`~repro.obs.sinks.NullSink`.
+        clock: sim-time source; defaults to a constant 0.0 until a
+            simulator binds its clock via :meth:`bind_clock`.
+    """
+
+    def __init__(
+        self, sink: Optional[Sink] = None, clock: Optional[ClockFn] = None
+    ) -> None:
+        self.sink: Sink = sink if sink is not None else NullSink()
+        self._clock: ClockFn = clock if clock is not None else (lambda: 0.0)
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._tracer: Optional[object] = None
+
+    # -- clock ----------------------------------------------------------
+    def now(self) -> float:
+        """Current time of the bound clock."""
+        return self._clock()
+
+    def bind_clock(self, clock: ClockFn) -> None:
+        """Re-point the registry at a (new) simulation clock.
+
+        The engine calls this when a run starts so that every
+        instrument — wherever it was created — stamps events with that
+        run's simulation time.
+        """
+        self._clock = clock
+
+    # -- instrument factories (get-or-create, keyed by name) ------------
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter ``name``."""
+        inst = self._counters.get(name)
+        if inst is None:
+            inst = self._counters[name] = Counter(name, self)
+        return inst
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the gauge ``name``."""
+        inst = self._gauges.get(name)
+        if inst is None:
+            inst = self._gauges[name] = Gauge(name, self)
+        return inst
+
+    def histogram(
+        self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        """Get or create the histogram ``name`` (buckets fixed at
+        first creation)."""
+        inst = self._histograms.get(name)
+        if inst is None:
+            inst = self._histograms[name] = Histogram(name, self, buckets)
+        return inst
+
+    @property
+    def tracer(self):
+        """The registry's tracer (created on first use)."""
+        if self._tracer is None:
+            # Deferred to break the metrics <-> tracing import cycle.
+            from repro.obs.tracing import Tracer
+
+            self._tracer = Tracer(self)
+        return self._tracer
+
+    # -- introspection --------------------------------------------------
+    @property
+    def enabled(self) -> bool:
+        """Whether the sink records events."""
+        return self.sink.enabled
+
+    @property
+    def events(self) -> List[TelemetryEvent]:
+        """The collected event log (empty unless the sink keeps one)."""
+        if isinstance(self.sink, MemorySink):
+            return list(self.sink.events)
+        return []
+
+    @property
+    def counters(self) -> Dict[str, Counter]:
+        """All counters by name (copy)."""
+        return dict(self._counters)
+
+    @property
+    def gauges(self) -> Dict[str, Gauge]:
+        """All gauges by name (copy)."""
+        return dict(self._gauges)
+
+    @property
+    def histograms(self) -> Dict[str, Histogram]:
+        """All histograms by name (copy)."""
+        return dict(self._histograms)
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Aggregate state of every instrument, JSON-friendly."""
+        out: Dict[str, Dict[str, object]] = {}
+        for name, c in sorted(self._counters.items()):
+            out[name] = {"kind": COUNTER, "value": c.value}
+        for name, g in sorted(self._gauges.items()):
+            out[name] = {"kind": GAUGE, "value": g.value}
+        for name, h in sorted(self._histograms.items()):
+            out[name] = {
+                "kind": HISTOGRAM,
+                "count": h.count,
+                "sum": h.sum,
+                "buckets": h.bucket_counts(),
+            }
+        return out

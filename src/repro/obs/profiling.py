@@ -1,0 +1,71 @@
+"""Wall-clock profiling — the one sanctioned non-deterministic module.
+
+Everything else in ``repro.obs`` timestamps with the *simulation*
+clock so instrumented runs replay bit-for-bit.  Hot-path tuning,
+however, needs real elapsed time; this module wraps
+``time.perf_counter`` behind one small accumulator and is listed in
+``repro.devtools.config.DETERMINISM_EXEMPT`` so the determinism lint
+stays clean.  Profiling results must never feed back into simulation
+behaviour — they are for humans reading performance numbers only.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator
+
+__all__ = ["WallClockProfiler"]
+
+
+class WallClockProfiler:
+    """Accumulates real elapsed time per labelled section.
+
+    Example:
+        profiler = WallClockProfiler()
+        with profiler.measure("train"):
+            ...expensive work...
+        profiler.totals()  # {"train": 0.123}
+    """
+
+    def __init__(self) -> None:
+        self._totals: Dict[str, float] = {}
+        self._counts: Dict[str, int] = {}
+
+    @contextmanager
+    def measure(self, label: str) -> Iterator[None]:
+        """Time the enclosed block under ``label``.
+
+        Raises:
+            ValueError: empty label.
+        """
+        if not label:
+            raise ValueError("profile label must not be empty")
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self._totals[label] = self._totals.get(label, 0.0) + elapsed
+            self._counts[label] = self._counts.get(label, 0) + 1
+
+    def totals(self) -> Dict[str, float]:
+        """label -> accumulated wall seconds (copy)."""
+        return dict(self._totals)
+
+    def count(self, label: str) -> int:
+        """Number of measured sections under ``label``."""
+        return self._counts.get(label, 0)
+
+    def to_text(self) -> str:
+        """Aligned table of the accumulated timings."""
+        if not self._totals:
+            return "(no sections profiled)"
+        width = max(len(label) for label in self._totals)
+        lines = [f"{'section':<{width}}  {'calls':>6}  {'total s':>10}"]
+        for label in sorted(self._totals, key=self._totals.get, reverse=True):
+            lines.append(
+                f"{label:<{width}}  {self._counts[label]:>6}"
+                f"  {self._totals[label]:>10.4f}"
+            )
+        return "\n".join(lines)

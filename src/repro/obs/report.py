@@ -1,0 +1,111 @@
+"""Terminal report over a dumped telemetry event log.
+
+Usage::
+
+    python -m repro.obs.report events.jsonl [--width 72]
+
+Reads a JSON-lines event log (see :func:`repro.obs.export.write_jsonl`),
+prints the ASCII timeline, then reconstructs and prints the aggregate
+view: counter totals, final gauge values, histogram summaries and
+per-name span statistics.  Everything is derived from the log alone —
+the report is the proof that the event stream is replayable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from repro.obs.events import (
+    COUNTER,
+    GAUGE,
+    HISTOGRAM,
+    SPAN_END,
+    TelemetryEvent,
+)
+from repro.obs.export import read_jsonl, render_timeline
+
+__all__ = ["summarise", "main"]
+
+
+def _aggregate_lines(events: Sequence[TelemetryEvent]) -> List[str]:
+    counters: Dict[str, float] = {}
+    counter_n: Dict[str, int] = {}
+    gauges: Dict[str, float] = {}
+    hist_sum: Dict[str, float] = {}
+    hist_n: Dict[str, int] = {}
+    span_total: Dict[str, float] = {}
+    span_n: Dict[str, int] = {}
+    for e in events:
+        if e.kind == COUNTER:
+            counters[e.name] = counters.get(e.name, 0.0) + e.value
+            counter_n[e.name] = counter_n.get(e.name, 0) + 1
+        elif e.kind == GAUGE:
+            gauges[e.name] = e.value
+        elif e.kind == HISTOGRAM:
+            hist_sum[e.name] = hist_sum.get(e.name, 0.0) + e.value
+            hist_n[e.name] = hist_n.get(e.name, 0) + 1
+        elif e.kind == SPAN_END:
+            span_total[e.name] = span_total.get(e.name, 0.0) + e.value
+            span_n[e.name] = span_n.get(e.name, 0) + 1
+    lines: List[str] = []
+    if counters:
+        lines.append("counters (total over run):")
+        for name in sorted(counters):
+            lines.append(
+                f"  {name:<32} {counters[name]:>14g}  ({counter_n[name]} events)"
+            )
+    if gauges:
+        lines.append("gauges (final value):")
+        for name in sorted(gauges):
+            lines.append(f"  {name:<32} {gauges[name]:>14g}")
+    if hist_n:
+        lines.append("histograms:")
+        for name in sorted(hist_n):
+            mean = hist_sum[name] / hist_n[name]
+            lines.append(
+                f"  {name:<32} n={hist_n[name]}  mean={mean:g}  sum={hist_sum[name]:g}"
+            )
+    if span_n:
+        lines.append("spans (closed):")
+        for name in sorted(span_n):
+            mean = span_total[name] / span_n[name]
+            lines.append(
+                f"  {name:<32} n={span_n[name]}  mean_duration={mean:g} s"
+            )
+    return lines
+
+
+def summarise(events: Sequence[TelemetryEvent], width: int = 60) -> str:
+    """Full report text for an event log."""
+    parts = [render_timeline(events, width=width)]
+    agg = _aggregate_lines(events)
+    if agg:
+        parts.append("")
+        parts.extend(agg)
+    return "\n".join(parts)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report",
+        description="Summarise a repro.obs JSONL telemetry event log.",
+    )
+    parser.add_argument("log", help="path to the JSONL event log")
+    parser.add_argument(
+        "--width", type=int, default=60, help="timeline width in columns"
+    )
+    args = parser.parse_args(argv)
+    try:
+        events = read_jsonl(args.log)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(summarise(events, width=args.width))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

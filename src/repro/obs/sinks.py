@@ -1,0 +1,63 @@
+"""Event sinks: where emitted telemetry goes.
+
+A sink receives every :class:`~repro.obs.events.TelemetryEvent` the
+instruments emit.  The default :class:`NullSink` advertises
+``enabled = False`` so instruments skip even *building* the event —
+instrumentation left in place costs a single attribute check when
+telemetry is off.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List
+
+from repro.obs.events import TelemetryEvent
+
+__all__ = ["Sink", "NullSink", "MemorySink"]
+
+
+class Sink(abc.ABC):
+    """Receives telemetry events as they are emitted.
+
+    Attributes:
+        enabled: instruments consult this before constructing an
+            event; a ``False`` sink sees no traffic at all.
+    """
+
+    enabled: bool = True
+
+    @abc.abstractmethod
+    def emit(self, event: TelemetryEvent) -> None:
+        """Accept one event."""
+
+
+class NullSink(Sink):
+    """The free default: drops everything, reports itself disabled."""
+
+    enabled = False
+
+    def emit(self, event: TelemetryEvent) -> None:
+        """Discard the event."""
+
+
+class MemorySink(Sink):
+    """Collects the event log in order of emission.
+
+    Attributes:
+        events: every event emitted so far, oldest first.
+    """
+
+    def __init__(self) -> None:
+        self.events: List[TelemetryEvent] = []
+
+    def emit(self, event: TelemetryEvent) -> None:
+        """Append the event to the in-memory log."""
+        self.events.append(event)
+
+    def clear(self) -> None:
+        """Drop all collected events."""
+        self.events.clear()
+
+    def __len__(self) -> int:
+        return len(self.events)

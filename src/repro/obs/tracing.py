@@ -1,0 +1,136 @@
+"""Span-based tracing over the telemetry event log.
+
+A span brackets one logical operation in *simulation* time:
+
+    with tracer.span("scan_cycle", phone="alice"):
+        ...
+
+Entering emits a ``span_start`` event, leaving a ``span_end`` whose
+value is the sim-time duration.  Spans nest: each records its parent's
+id, so the flat event log replays into a tree.  Because the simulation
+clock only advances between engine callbacks, a span wholly inside one
+callback legitimately has zero duration — its value is the structure
+(who, what, when), not wall-clock profiling (see
+:mod:`repro.obs.profiling` for that).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional
+
+from repro.obs.events import SPAN_END, SPAN_START, TelemetryEvent
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["Span", "Tracer"]
+
+
+class Span:
+    """One traced operation; use as a context manager.
+
+    Attributes:
+        name: dotted span name (first component = source subsystem).
+        span_id: unique id within the tracer.
+        parent_id: enclosing span's id, or ``None`` at the root.
+        t_start: sim time at entry (``None`` before entry).
+        t_end: sim time at exit (``None`` while open).
+    """
+
+    def __init__(
+        self, tracer: "Tracer", name: str, span_id: int, **attrs: object
+    ) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.span_id = span_id
+        self.parent_id: Optional[int] = None
+        self.attrs = dict(attrs)
+        self.t_start: Optional[float] = None
+        self.t_end: Optional[float] = None
+
+    @property
+    def duration(self) -> Optional[float]:
+        """Sim-time duration, or ``None`` while the span is open."""
+        if self.t_start is None or self.t_end is None:
+            return None
+        return self.t_end - self.t_start
+
+    def __enter__(self) -> "Span":
+        self._tracer._open(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._tracer._close(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name!r}, id={self.span_id}, "
+            f"parent={self.parent_id}, duration={self.duration})"
+        )
+
+
+class Tracer:
+    """Creates spans and maintains the nesting stack.
+
+    Args:
+        registry: supplies the clock and the sink.
+    """
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self._registry = registry
+        self._ids = itertools.count(1)
+        self._stack: List[Span] = []
+
+    def span(self, name: str, **attrs: object) -> Span:
+        """Create a span; enter it with ``with`` to start the timer.
+
+        Raises:
+            ValueError: empty span name.
+        """
+        if not name:
+            raise ValueError("span name must not be empty")
+        return Span(self, name, next(self._ids), **attrs)
+
+    @property
+    def current(self) -> Optional[Span]:
+        """Innermost open span, or ``None``."""
+        return self._stack[-1] if self._stack else None
+
+    @property
+    def depth(self) -> int:
+        """Number of currently open spans."""
+        return len(self._stack)
+
+    # -- span lifecycle (called by Span) --------------------------------
+    def _open(self, span: Span) -> None:
+        span.parent_id = self._stack[-1].span_id if self._stack else None
+        span.t_start = self._registry.now()
+        self._stack.append(span)
+        self._emit(span, SPAN_START, float(span.span_id))
+
+    def _close(self, span: Span) -> None:
+        if not self._stack or self._stack[-1] is not span:
+            raise RuntimeError(
+                f"span {span.name!r} closed out of order "
+                f"(innermost open: {self.current!r})"
+            )
+        self._stack.pop()
+        span.t_end = self._registry.now()
+        self._emit(span, SPAN_END, span.duration or 0.0)
+
+    def _emit(self, span: Span, kind: str, value: float) -> None:
+        sink = self._registry.sink
+        if not sink.enabled:
+            return
+        attrs = dict(span.attrs)
+        attrs["span_id"] = span.span_id
+        if span.parent_id is not None:
+            attrs["parent_id"] = span.parent_id
+        sink.emit(
+            TelemetryEvent(
+                time=self._registry.now(),
+                kind=kind,
+                name=span.name,
+                value=value,
+                attrs=attrs,
+            )
+        )

@@ -14,6 +14,7 @@ from repro.ble.air import AirInterface
 from repro.ble.scanner_params import ScanSettings
 from repro.building.occupant import Occupant
 from repro.ibeacon.region import BeaconRegion
+from repro.obs.metrics import MetricsRegistry
 from repro.phone.app import OccupancyApp, SightingReport
 from repro.phone.scanner import AndroidScanner, IosScanner, Scanner
 from repro.sim.rng import RngStreams
@@ -33,6 +34,8 @@ class Smartphone:
             (the previous work's platform, for comparisons).
         streams: RNG family; the phone derives its own child streams.
         path_loss_exponent: ranging inversion exponent.
+        registry: telemetry registry threaded into the scanner; the
+            occupant's name labels the emitted events.
     """
 
     def __init__(
@@ -45,6 +48,7 @@ class Smartphone:
         platform: str = "android",
         streams: Optional[RngStreams] = None,
         path_loss_exponent: float = 2.2,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if platform not in ("android", "ios"):
             raise ValueError(f"platform must be 'android' or 'ios', got {platform!r}")
@@ -54,7 +58,12 @@ class Smartphone:
         self.occupant = occupant
         self.platform = platform
         self.scanner: Scanner = scanner_cls(
-            air, device=occupant.device, settings=settings, rng=rng
+            air,
+            device=occupant.device,
+            settings=settings,
+            rng=rng,
+            registry=registry,
+            label=occupant.name,
         )
         self.app = OccupancyApp(
             device_id=occupant.name,

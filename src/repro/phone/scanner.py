@@ -23,6 +23,7 @@ from repro.ble.air import AirInterface, PositionFn, Sighting
 from repro.ble.scanner_params import ScanSettings
 from repro.ble.sniffer import BeaconFormat, sniff
 from repro.ibeacon.packet import IBeaconPacket
+from repro.obs.metrics import MetricsRegistry
 from repro.radio.devices import DEVICE_PROFILES, DeviceRadioProfile
 
 __all__ = ["ScanCycle", "Scanner", "AndroidScanner", "IosScanner"]
@@ -82,6 +83,9 @@ class Scanner(abc.ABC):
         settings: scan period / duty cycle.
         rng: random stream for channel draws; one stream per scanner
             keeps phones statistically independent.
+        registry: telemetry registry; defaults to a no-op one.
+        label: value of the ``phone`` attribute on emitted telemetry
+            (the carrying device's id in the full system).
     """
 
     def __init__(
@@ -90,6 +94,8 @@ class Scanner(abc.ABC):
         device="s3_mini",
         settings: Optional[ScanSettings] = None,
         rng: Optional[np.random.Generator] = None,
+        registry: Optional[MetricsRegistry] = None,
+        label: str = "",
     ) -> None:
         if isinstance(device, str):
             device = DEVICE_PROFILES[device]
@@ -99,6 +105,13 @@ class Scanner(abc.ABC):
         self.device = device
         self.settings = settings if settings is not None else ScanSettings()
         self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.obs = registry if registry is not None else MetricsRegistry()
+        self._obs_label = label
+        self._c_cycles = self.obs.counter("phone.scan_cycles")
+        self._c_received = self.obs.counter("phone.adverts_received")
+        self._c_surfaced = self.obs.counter("phone.samples_surfaced")
+        self._c_filtered = self.obs.counter("phone.samples_filtered")
+        self._c_decode_drops = self.obs.counter("phone.decode_drops")
 
     def scan_cycle(self, position_fn: PositionFn, t_start: float) -> ScanCycle:
         """Run one scan cycle starting at ``t_start``.
@@ -112,11 +125,22 @@ class Scanner(abc.ABC):
         sightings = self.air.observe(
             position_fn, self.device, t_start, listen_end, self.rng
         )
-        samples = self._surface(sightings, t_start)
-        packets = self._decode_payloads(sightings, samples)
+        raw = self._surface(sightings, t_start)
+        packets = self._decode_payloads(sightings, raw)
         # Beacons whose payload did not decode are dropped entirely
         # (the stack cannot range what it cannot parse).
-        samples = {b: v for b, v in samples.items() if b in packets}
+        samples = {b: v for b, v in raw.items() if b in packets}
+        raw_count = sum(len(v) for v in raw.values())
+        surfaced = sum(len(v) for v in samples.values())
+        attrs = {"phone": self._obs_label} if self._obs_label else {}
+        self._c_cycles.inc(**attrs)
+        self._c_received.inc(len(sightings), **attrs)
+        self._c_surfaced.inc(surfaced, **attrs)
+        # Advertisements heard on the air but withheld from the app by
+        # the platform's sampling semantics (the Android-vs-iOS gap).
+        self._c_filtered.inc(len(sightings) - raw_count, **attrs)
+        if raw_count != surfaced:
+            self._c_decode_drops.inc(raw_count - surfaced, **attrs)
         return ScanCycle(
             t_start=t_start,
             t_end=t_end,

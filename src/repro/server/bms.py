@@ -23,6 +23,7 @@ from repro.ml.datasets import (
 from repro.ml.kernels import RbfKernel
 from repro.ml.scaling import StandardScaler
 from repro.ml.svm import SupportVectorClassifier
+from repro.obs.metrics import MetricsRegistry
 from repro.server.database import Database
 from repro.server.fingerprints import FingerprintStore
 from repro.server.history import OccupancyHistory
@@ -70,6 +71,7 @@ class BuildingManagementServer:
         device_timeout_s: drop devices silent for this long.
         svm_c: box constraint of the default SVM.
         svm_gamma: RBF gamma of the default SVM.
+        registry: telemetry registry; defaults to a no-op one.
     """
 
     def __init__(
@@ -81,6 +83,7 @@ class BuildingManagementServer:
         device_timeout_s: float = DEFAULT_DEVICE_TIMEOUT_S,
         svm_c: float = 10.0,
         svm_gamma: float = 0.5,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if not beacon_ids:
             raise ValueError("the building needs at least one beacon")
@@ -102,6 +105,11 @@ class BuildingManagementServer:
         self._device_rooms: Dict[str, str] = {}
         self._device_last_seen: Dict[str, float] = {}
         self._now = 0.0
+        self.obs = registry if registry is not None else MetricsRegistry()
+        self._c_sightings = self.obs.counter("server.sightings")
+        self._c_classifications = self.obs.counter("server.classifications")
+        self._c_expired = self.obs.counter("server.expired_devices")
+        self._g_devices = self.obs.gauge("server.tracked_devices")
         self.router = Router()
         self._register_routes()
 
@@ -170,8 +178,11 @@ class BuildingManagementServer:
             {"time": float(time), "device_id": device_id, "beacons": dict(beacons)}
         )
         room = self.classify(beacons)
+        self._c_sightings.inc(device=device_id)
+        self._c_classifications.inc(room=room)
         self._device_rooms[device_id] = room
         self._device_last_seen[device_id] = float(time)
+        self._g_devices.set(float(len(self._device_rooms)))
         self._now = max(self._now, float(time))
         return room
 
@@ -181,6 +192,7 @@ class BuildingManagementServer:
             if self._device_last_seen[device_id] < cutoff:
                 del self._device_last_seen[device_id]
                 del self._device_rooms[device_id]
+                self._c_expired.inc(device=device_id)
 
     def snapshot(self, now: Optional[float] = None) -> OccupancySnapshot:
         """Current occupancy estimate (devices silent too long dropped)."""

@@ -13,11 +13,17 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
+from repro.obs.metrics import MetricsRegistry
 from repro.sim.clock import Clock
 
 __all__ = ["Event", "Simulator"]
 
 EventCallback = Callable[["Simulator"], None]
+
+#: Purge cancelled events from the queue once there are more than this
+#: many of them *and* they outnumber the live events (see
+#: :meth:`Simulator._note_cancelled`).
+_PURGE_THRESHOLD = 64
 
 
 @dataclass(order=True)
@@ -35,10 +41,15 @@ class Event:
     callback: EventCallback = field(compare=False)
     label: str = field(compare=False, default="")
     cancelled: bool = field(compare=False, default=False)
+    owner: Optional["Simulator"] = field(compare=False, default=None, repr=False)
 
     def cancel(self) -> None:
         """Mark the event so the engine skips it when popped."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self.owner is not None:
+            self.owner._note_cancelled()
 
 
 class Simulator:
@@ -57,12 +68,23 @@ class Simulator:
         [0.0, 1.0, 2.0, 3.0]
     """
 
-    def __init__(self, clock: Optional[Clock] = None) -> None:
+    def __init__(
+        self,
+        clock: Optional[Clock] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
         self.clock = clock if clock is not None else Clock()
         self._queue: list[Event] = []
         self._sequence = itertools.count()
         self._events_processed = 0
+        self._cancelled_pending = 0
         self._running = False
+        self.obs = registry if registry is not None else MetricsRegistry()
+        # Whatever created instruments against this registry now
+        # timestamps with this simulation's clock.
+        self.obs.bind_clock(lambda: self.clock.now)
+        self._c_events = self.obs.counter("sim.events")
+        self._g_queue = self.obs.gauge("sim.queue_depth")
 
     @property
     def now(self) -> float:
@@ -76,8 +98,38 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of scheduled (possibly cancelled) events in the queue."""
+        """Raw queue length, *including* cancelled-but-unpurged events.
+
+        Cancelled events stay in the heap until popped or lazily
+        purged; use :attr:`pending_live` for the number of events that
+        will actually fire.
+        """
         return len(self._queue)
+
+    @property
+    def pending_live(self) -> int:
+        """Number of queued events that are not cancelled.
+
+        This is what the ``sim.queue_depth`` telemetry gauge reports —
+        cancelled events awaiting purge do not inflate it.
+        """
+        return len(self._queue) - self._cancelled_pending
+
+    def _note_cancelled(self) -> None:
+        """Bookkeeping hook called by :meth:`Event.cancel`.
+
+        When cancelled events outnumber live ones (beyond a small
+        floor) the heap is rebuilt without them, bounding both memory
+        and the pop-and-skip work in :meth:`run`.
+        """
+        self._cancelled_pending += 1
+        if (
+            self._cancelled_pending > _PURGE_THRESHOLD
+            and self._cancelled_pending * 2 > len(self._queue)
+        ):
+            self._queue = [e for e in self._queue if not e.cancelled]
+            heapq.heapify(self._queue)
+            self._cancelled_pending = 0
 
     def schedule_at(
         self,
@@ -102,6 +154,7 @@ class Simulator:
             sequence=next(self._sequence),
             callback=callback,
             label=label,
+            owner=self,
         )
         heapq.heappush(self._queue, event)
         return event
@@ -145,6 +198,7 @@ class Simulator:
                 event = self._queue[0]
                 if event.cancelled:
                     heapq.heappop(self._queue)
+                    self._cancelled_pending -= 1
                     continue
                 if until is not None and event.time > until:
                     break
@@ -153,6 +207,8 @@ class Simulator:
                 event.callback(self)
                 self._events_processed += 1
                 processed += 1
+                self._c_events.inc(label=event.label or "unlabelled")
+                self._g_queue.set(float(self.pending_live))
             if until is not None and until > self.clock.now:
                 self.clock.advance_to(until)
         finally:

@@ -1,0 +1,125 @@
+"""Integration: telemetry threaded through a full detection run.
+
+One small end-to-end scenario is run twice — once with a recording
+registry, once with the default no-op sink — asserting both the
+telemetry contract (sim-time-ordered events from every instrumented
+subsystem, one scan-cycle span per engine cycle) and behaviour
+neutrality (identical detection results either way).
+"""
+
+import pytest
+
+from repro.building import Occupant, RandomWaypoint
+from repro.building.presets import test_house as make_test_house
+from repro.core.config import SystemConfig
+from repro.core.system import OccupancyDetectionSystem
+from repro.obs import SPAN_END, SPAN_START, MemorySink, MetricsRegistry
+from repro.obs.report import summarise
+
+DURATION_S = 60.0
+
+
+def _run_system(registry):
+    plan = make_test_house()
+    system = OccupancyDetectionSystem(plan, SystemConfig(seed=7), registry=registry)
+    system.calibrate(duration_s=300.0)
+    system.train()
+    system.add_occupant(
+        Occupant("alice", RandomWaypoint(plan, seed=42), device="s3_mini")
+    )
+    return system.run(DURATION_S)
+
+
+@pytest.fixture(scope="module")
+def instrumented_run():
+    registry = MetricsRegistry(sink=MemorySink())
+    result = _run_system(registry)
+    return registry, result
+
+
+class TestEventLog:
+    def test_covers_every_instrumented_subsystem(self, instrumented_run):
+        registry, _ = instrumented_run
+        events = registry.events
+        assert events
+        sources = {e.source for e in events}
+        assert {"sim", "phone", "uplink", "server", "energy", "core"} <= sources
+
+    def test_timestamps_are_monotone_sim_time(self, instrumented_run):
+        registry, result = instrumented_run
+        times = [e.time for e in registry.events]
+        assert times == sorted(times)
+        assert times[0] >= 0.0
+        assert times[-1] <= result.duration_s
+
+    def test_one_scan_cycle_span_per_engine_cycle(self, instrumented_run):
+        registry, result = instrumented_run
+        n_cycles = int(DURATION_S / SystemConfig().scan_period_s)
+        starts = [
+            e
+            for e in registry.events
+            if e.kind == SPAN_START and e.name == "core.scan_cycle"
+        ]
+        ends = [
+            e
+            for e in registry.events
+            if e.kind == SPAN_END and e.name == "core.scan_cycle"
+        ]
+        assert len(starts) == len(ends) == n_cycles
+        assert all(e.attrs.get("phone") == "alice" for e in starts)
+
+    def test_aggregates_match_run_statistics(self, instrumented_run):
+        registry, result = instrumented_run
+        stats = result.delivery["alice"]
+        assert registry.counter("uplink.reports").value == stats.attempts
+        assert registry.counter("uplink.bytes").value == stats.bytes_sent
+        n_cycles = int(DURATION_S / SystemConfig().scan_period_s)
+        assert registry.counter("phone.scan_cycles").value == n_cycles
+        assert registry.counter("server.sightings").value == stats.delivered
+        assert registry.counter("energy.joules").value == pytest.approx(
+            result.energy["alice"].total_j
+        )
+
+    def test_run_exposes_telemetry(self, instrumented_run):
+        registry, result = instrumented_run
+        assert result.telemetry is registry
+        assert result.telemetry.events
+
+    def test_report_renders_real_run(self, instrumented_run):
+        registry, _ = instrumented_run
+        text = summarise(registry.events, width=40)
+        assert "core.scan_cycle" in text
+        assert "uplink.reports" in text
+
+
+class TestBehaviourNeutrality:
+    def test_default_null_sink_run_is_byte_identical(self, instrumented_run):
+        _, instrumented = instrumented_run
+        plain = _run_system(None)
+        assert plain.telemetry.events == []
+
+        def comparable(run):
+            return repr(
+                (
+                    run.duration_s,
+                    run.accuracy,
+                    run.predictions,
+                    {
+                        k: (v.duration_s, sorted(v.components_j.items()))
+                        for k, v in run.energy.items()
+                    },
+                    {
+                        k: (
+                            v.attempts,
+                            v.delivered,
+                            v.failed,
+                            v.retries,
+                            v.bytes_sent,
+                            v.energy_j,
+                        )
+                        for k, v in run.delivery.items()
+                    },
+                )
+            )
+
+        assert comparable(plain) == comparable(instrumented)

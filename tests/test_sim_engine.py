@@ -156,3 +156,76 @@ class TestReentrancy:
         sim.schedule_at(1.0, reenter)
         sim.run()
         assert errors and "re-entrant" in errors[0]
+
+
+class TestPendingSemantics:
+    def test_pending_includes_cancelled_until_purged(self):
+        sim = Simulator()
+        live = sim.schedule_at(1.0, lambda s: None)
+        dead = sim.schedule_at(2.0, lambda s: None)
+        dead.cancel()
+        assert live is not dead
+        assert sim.pending == 2
+        assert sim.pending_live == 1
+
+    def test_double_cancel_counts_once(self):
+        sim = Simulator()
+        sim.schedule_at(1.0, lambda s: None)
+        event = sim.schedule_at(2.0, lambda s: None)
+        event.cancel()
+        event.cancel()
+        assert sim.pending_live == 1
+
+    def test_popping_cancelled_event_restores_counts(self):
+        sim = Simulator()
+        event = sim.schedule_at(1.0, lambda s: None)
+        sim.schedule_at(2.0, lambda s: None)
+        event.cancel()
+        sim.run(until=1.5)
+        assert sim.pending == sim.pending_live == 1
+
+    def test_mass_cancellation_purges_lazily(self):
+        sim = Simulator()
+        events = [sim.schedule_at(float(i + 1), lambda s: None) for i in range(200)]
+        for event in events[:150]:
+            event.cancel()
+        # The purge threshold has been crossed: the heap no longer
+        # holds the cancelled events.
+        assert sim.pending_live == 50
+        assert sim.pending < 200
+        sim.run()
+        assert sim.events_processed == 50
+
+    def test_every_placeholder_cancel_is_harmless(self):
+        sim = Simulator()
+        placeholder = sim.every(1.0, lambda s: None, start=10.0, until=5.0)
+        placeholder.cancel()
+        assert sim.pending == sim.pending_live == 0
+
+
+class TestEngineTelemetry:
+    def test_dispatch_counts_and_queue_depth_gauge(self):
+        from repro.obs import MemorySink, MetricsRegistry
+
+        registry = MetricsRegistry(sink=MemorySink())
+        sim = Simulator(registry=registry)
+        sim.schedule_at(1.0, lambda s: None, label="tick")
+        sim.schedule_at(2.0, lambda s: None, label="tick")
+        sim.schedule_at(3.0, lambda s: None)
+        sim.run()
+        counter = registry.counter("sim.events")
+        assert counter.value == 3
+        assert counter.value_for(label="tick") == 2
+        assert counter.value_for(label="unlabelled") == 1
+        assert registry.gauge("sim.queue_depth").value == 0.0
+        # Events are stamped with the engine's simulation clock.
+        times = [e.time for e in registry.events]
+        assert times == sorted(times)
+        assert times[-1] == 3.0
+
+    def test_default_registry_records_nothing(self):
+        sim = Simulator()
+        sim.schedule_at(1.0, lambda s: None)
+        sim.run()
+        assert sim.obs.events == []
+        assert sim.obs.counter("sim.events").value == 1
