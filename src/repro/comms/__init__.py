@@ -11,11 +11,20 @@ The paper evaluates two ways to deliver sighting reports (Section VII):
   BLE stack bugs.
 
 Both uplinks deliver real :class:`~repro.server.rest.Request` objects
-to the BMS router and account their radio energy per message.
+to the BMS router and account their radio energy per message.  With a
+:class:`BatchPolicy` either uplink buffers reports and delivers them
+as one ``POST /sightings/batch`` request, paying the connection/wake
+energy once per batch.
 """
 
-from repro.comms.uplink import DeliveryStats, Uplink
+from repro.comms.uplink import BatchPolicy, DeliveryStats, Uplink
 from repro.comms.wifi import WifiUplink
 from repro.comms.bt_relay import BluetoothRelayUplink
 
-__all__ = ["DeliveryStats", "Uplink", "WifiUplink", "BluetoothRelayUplink"]
+__all__ = [
+    "BatchPolicy",
+    "DeliveryStats",
+    "Uplink",
+    "WifiUplink",
+    "BluetoothRelayUplink",
+]

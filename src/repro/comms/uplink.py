@@ -1,10 +1,25 @@
-"""Uplink base class: report delivery with energy and reliability accounting."""
+"""Uplink base class: report delivery with energy and reliability accounting.
+
+Two delivery modes:
+
+- :meth:`Uplink.send_report` posts one report per request (the paper's
+  original per-scan upload);
+- :meth:`Uplink.send_batch` posts many reports in a single
+  ``POST /sightings/batch`` request, paying the radio's per-burst
+  connection/wake energy **once per batch attempt** instead of once
+  per report — the amortisation that makes fleet-scale traffic viable.
+
+A :class:`BatchPolicy` turns an uplink into a store-and-forward queue:
+:meth:`Uplink.queue_report` buffers reports and flushes when the batch
+is full or the oldest buffered report has waited ``max_delay_s``
+simulation seconds.
+"""
 
 from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -12,7 +27,27 @@ from repro.obs.metrics import MetricsRegistry
 from repro.phone.app import SightingReport
 from repro.server.rest import Request, Response, Router
 
-__all__ = ["DeliveryStats", "Uplink"]
+__all__ = ["BatchPolicy", "DeliveryStats", "Uplink"]
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """Flush policy for batched report delivery.
+
+    Attributes:
+        max_size: flush as soon as this many reports are buffered.
+        max_delay_s: flush when the oldest buffered report has been
+            held for this long (simulation seconds).
+    """
+
+    max_size: int = 16
+    max_delay_s: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.max_size < 1:
+            raise ValueError(f"max_size must be >= 1, got {self.max_size}")
+        if self.max_delay_s < 0.0:
+            raise ValueError(f"max_delay_s must be >= 0, got {self.max_delay_s}")
 
 
 @dataclass
@@ -44,6 +79,10 @@ class Uplink(abc.ABC):
         registry: telemetry registry; defaults to a no-op one.  Emitted
             events carry ``transport`` (:attr:`TRANSPORT`) and
             ``device`` attributes.
+        batch_policy: when set, :meth:`queue_report` buffers reports
+            and delivers them in batches under this policy; when
+            ``None`` (the default), :meth:`queue_report` degenerates to
+            the per-report :meth:`send_report`.
     """
 
     #: Telemetry label for this channel type.
@@ -55,12 +94,16 @@ class Uplink(abc.ABC):
         rng: Optional[np.random.Generator] = None,
         max_retries: int = 1,
         registry: Optional[MetricsRegistry] = None,
+        batch_policy: Optional[BatchPolicy] = None,
     ) -> None:
         if max_retries < 0:
             raise ValueError(f"max_retries must be >= 0, got {max_retries}")
         self.router = router
         self.rng = rng if rng is not None else np.random.default_rng(0)
         self.max_retries = int(max_retries)
+        self.batch_policy = batch_policy
+        self._pending: List[SightingReport] = []
+        self._batch_opened_at: Optional[float] = None
         self.stats = DeliveryStats()
         self.obs = registry if registry is not None else MetricsRegistry()
         self._c_reports = self.obs.counter("uplink.reports")
@@ -126,6 +169,107 @@ class Uplink(abc.ABC):
             self._c_delivered.inc(**attrs)
             return response
         return None  # pragma: no cover - loop always returns
+
+    # -- batched delivery ----------------------------------------------
+    @staticmethod
+    def _batch_request(reports: Sequence[SightingReport]) -> Request:
+        """One ``POST /sightings/batch`` request carrying all reports."""
+        return Request(
+            method="POST",
+            path="/sightings/batch",
+            body={
+                "sightings": [
+                    {
+                        "device_id": r.device_id,
+                        "time": r.time,
+                        "beacons": r.distances(),
+                    }
+                    for r in reports
+                ]
+            },
+            time=max(r.time for r in reports),
+        )
+
+    def send_batch(self, reports: Sequence[SightingReport]) -> Optional[Response]:
+        """Deliver many reports in one request; ``None`` if all attempts fail.
+
+        The whole batch rides one radio burst, so the per-message
+        wake/connection energy is paid once per attempt rather than
+        once per report — only the marginal per-byte cost scales with
+        the batch.  All reports in the batch share one delivery fate.
+        """
+        reports = list(reports)
+        if not reports:
+            return None
+        request = self._batch_request(reports)
+        batch_attrs = {"transport": self.TRANSPORT, "batched": True}
+        self.stats.attempts += len(reports)
+        for report in reports:
+            self._c_reports.inc(**self._obs_attrs(report))
+        for attempt in range(self.max_retries + 1):
+            self.stats.bytes_sent += request.size_bytes
+            self._c_bytes.inc(request.size_bytes, **batch_attrs)
+            self.stats.energy_j += self.energy_per_message_j(request.size_bytes)
+            if self.rng.random() < self.loss_probability:
+                if attempt < self.max_retries:
+                    self.stats.retries += 1
+                    self._c_retries.inc(**batch_attrs)
+                    continue
+                self.stats.failed += len(reports)
+                for report in reports:
+                    self._c_failed.inc(**self._obs_attrs(report))
+                return None
+            response = self.router.dispatch(request)
+            self.stats.delivered += len(reports)
+            for report in reports:
+                self._c_delivered.inc(**self._obs_attrs(report))
+            return response
+        return None  # pragma: no cover - loop always returns
+
+    def queue_report(self, report: SightingReport) -> Optional[Response]:
+        """Buffer a report under the batch policy; deliver when due.
+
+        Without a :attr:`batch_policy` this is exactly
+        :meth:`send_report`.  With one, the report joins the pending
+        batch, which is flushed once it holds ``max_size`` reports or
+        the oldest buffered report is ``max_delay_s`` sim-seconds old.
+
+        Returns:
+            The flush's response when this call triggered one, else
+            ``None`` (buffered, or flush failed).
+        """
+        if self.batch_policy is None:
+            return self.send_report(report)
+        if not self._pending:
+            self._batch_opened_at = report.time
+        self._pending.append(report)
+        held_s = report.time - (self._batch_opened_at or 0.0)
+        if (
+            len(self._pending) >= self.batch_policy.max_size
+            or held_s >= self.batch_policy.max_delay_s
+        ):
+            return self.flush()
+        return None
+
+    def flush(self) -> Optional[Response]:
+        """Deliver any buffered reports now; ``None`` when idle/failed."""
+        if not self._pending:
+            return None
+        reports, self._pending = self._pending, []
+        self._batch_opened_at = None
+        return self.send_batch(reports)
+
+    @property
+    def pending_reports(self) -> int:
+        """Reports currently buffered awaiting a flush."""
+        return len(self._pending)
+
+    def discard_pending(self) -> int:
+        """Drop buffered reports without sending; returns the count."""
+        dropped = len(self._pending)
+        self._pending.clear()
+        self._batch_opened_at = None
+        return dropped
 
     def charge_idle(self, duration_s: float) -> float:
         """Account the channel's standing energy for ``duration_s``.

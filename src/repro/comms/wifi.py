@@ -18,6 +18,11 @@ __all__ = ["WifiUplink"]
 class WifiUplink(Uplink):
     """Direct HTTP over Wi-Fi.
 
+    Batched delivery (:meth:`~repro.comms.uplink.Uplink.send_batch`)
+    pays :attr:`WAKE_ENERGY_J` once per batch attempt — the radio wake
+    + tail dominates small sighting payloads, so batching N reports
+    costs roughly one burst instead of N.
+
     Attributes (class constants, overridable per instance):
         LOSS_PROBABILITY: per-attempt radio failure rate (Wi-Fi is the
             stable channel).

@@ -33,6 +33,12 @@ class SystemConfig:
         proximity_outside_threshold: proximity baseline's "too far ->
             outside" bound (metres in distance mode, dBm in RSSI mode).
         uplink: ``"wifi"`` or ``"bluetooth"``.
+        uplink_batch_size: reports per uplink batch; 1 (the paper's
+            behaviour) posts every report individually, larger values
+            buffer reports and flush them as one
+            ``POST /sightings/batch`` request.
+        uplink_batch_delay_s: maximum sim-seconds a buffered report may
+            wait before a flush is forced (only used when batching).
         path_loss_exponent: ranging inversion exponent.
         accel_gating: enable the accelerometer-gated sensing extension.
         gating_grace_s: grace period of the gate.
@@ -51,6 +57,8 @@ class SystemConfig:
     knn_k: int = 5
     proximity_outside_threshold: float = 16.0
     uplink: str = "bluetooth"
+    uplink_batch_size: int = 1
+    uplink_batch_delay_s: float = 10.0
     path_loss_exponent: float = 2.2
     accel_gating: bool = False
     gating_grace_s: float = 10.0
@@ -74,6 +82,14 @@ class SystemConfig:
             )
         if self.uplink not in ("wifi", "bluetooth"):
             raise ValueError(f"uplink must be wifi/bluetooth, got {self.uplink!r}")
+        if self.uplink_batch_size < 1:
+            raise ValueError(
+                f"uplink batch size must be >= 1, got {self.uplink_batch_size}"
+            )
+        if self.uplink_batch_delay_s < 0.0:
+            raise ValueError(
+                f"uplink batch delay must be >= 0, got {self.uplink_batch_delay_s}"
+            )
         if self.path_loss_exponent <= 0.0:
             raise ValueError(
                 f"path-loss exponent must be positive, got {self.path_loss_exponent}"

@@ -24,7 +24,7 @@ from repro.ble.scanner_params import ScanSettings
 from repro.building.floorplan import OUTSIDE, FloorPlan
 from repro.building.occupant import Occupant
 from repro.comms.bt_relay import BluetoothRelayUplink
-from repro.comms.uplink import Uplink
+from repro.comms.uplink import BatchPolicy, Uplink
 from repro.comms.wifi import WifiUplink
 from repro.core.calibration import run_calibration
 from repro.core.config import SystemConfig
@@ -239,7 +239,20 @@ class OccupancyDetectionSystem:
         )
         uplink_rng = self.streams.spawn(f"uplink:{occupant.name}").get("loss")
         uplink_cls = WifiUplink if self.config.uplink == "wifi" else BluetoothRelayUplink
-        uplink = uplink_cls(self.bms.router, rng=uplink_rng, registry=self.obs)
+        batch_policy = (
+            BatchPolicy(
+                max_size=self.config.uplink_batch_size,
+                max_delay_s=self.config.uplink_batch_delay_s,
+            )
+            if self.config.uplink_batch_size > 1
+            else None
+        )
+        uplink = uplink_cls(
+            self.bms.router,
+            rng=uplink_rng,
+            registry=self.obs,
+            batch_policy=batch_policy,
+        )
         profile = PHONE_ENERGY_PROFILES.get(
             occupant.device, PHONE_ENERGY_PROFILES["s3_mini"]
         )
@@ -287,6 +300,7 @@ class OccupancyDetectionSystem:
         for rt in self._runtimes.values():
             rt.predictions.clear()
             rt.uplink.stats = DeliveryStats()
+            rt.uplink.discard_pending()
             rt.meter.reset()
         # The run is driven by the discrete-event engine: one periodic
         # process per phone (scan -> filter -> uplink) plus the BMS
@@ -313,7 +327,10 @@ class OccupancyDetectionSystem:
             )
             sim.run()
         for rt in self._runtimes.values():
-            # Fold the uplink's accumulated radio energy into the meter.
+            # Deliver any reports still buffered under a batch policy,
+            # then fold the uplink's accumulated radio energy into the
+            # meter.
+            rt.uplink.flush()
             rt.meter.charge_energy("uplink_radio", rt.uplink.stats.energy_j)
 
         y_true: List[str] = []
@@ -364,7 +381,8 @@ class OccupancyDetectionSystem:
         rt.meter.charge_power("uplink_idle", rt.uplink.idle_power_w, period)
         report = rt.phone.run_cycle(t0)
         if report is not None:
-            rt.uplink.send_report(report)
+            # queue_report is send_report when no batch policy is set.
+            rt.uplink.queue_report(report)
         self._record_prediction(rt, t0 + period)
 
     def _record_prediction(self, rt: PhoneRuntime, now: float) -> None:

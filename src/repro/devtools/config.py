@@ -71,6 +71,7 @@ REPRO_LAYERS: Mapping[str, FrozenSet[str]] = _layers(
             "traces",
         ),
         "report": ("building", "core", "obs"),
+        "fleet": ("building", "comms", "core", "obs", "server", "sim"),
     }
 )
 

@@ -1,0 +1,18 @@
+"""Fleet-scale load generation against one BMS.
+
+The paper deploys a handful of phones; the ROADMAP's north star is
+heavy traffic from many devices.  This package drives M simulated
+devices (each a full :class:`~repro.core.system.OccupancyDetectionSystem`
+occupant: scanner, filter bank, uplink) against a single Building
+Management Server, using the batched ``POST /sightings/batch``
+ingestion path, and reports ingestion throughput through the
+:mod:`repro.obs` registry.
+
+Run a smoke load from the command line::
+
+    python -m repro.fleet --devices 8 --duration 120 --batch-size 16
+"""
+
+from repro.fleet.loadgen import FleetLoadGenerator, FleetReport
+
+__all__ = ["FleetLoadGenerator", "FleetReport"]

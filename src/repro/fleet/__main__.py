@@ -1,0 +1,73 @@
+"""CLI for the fleet load generator.
+
+Example::
+
+    PYTHONPATH=src python -m repro.fleet --devices 8 --duration 120
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+
+from repro.fleet.loadgen import FleetLoadGenerator
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fleet",
+        description="Drive M simulated devices against one BMS and "
+        "report batched-ingestion throughput.",
+    )
+    parser.add_argument("--devices", type=int, default=8, help="fleet size")
+    parser.add_argument(
+        "--duration", type=float, default=120.0, help="run span, sim seconds"
+    )
+    parser.add_argument(
+        "--batch-size", type=int, default=16,
+        help="uplink flush threshold (1 = per-report uploads)",
+    )
+    parser.add_argument(
+        "--batch-delay", type=float, default=10.0,
+        help="max holding delay of a buffered report, sim seconds",
+    )
+    parser.add_argument(
+        "--uplink", choices=("wifi", "bluetooth"), default="wifi"
+    )
+    parser.add_argument(
+        "--calibration", type=float, default=300.0,
+        help="operator calibration walk span, sim seconds",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+    args = parser.parse_args(argv)
+
+    generator = FleetLoadGenerator(
+        devices=args.devices,
+        duration_s=args.duration,
+        batch_size=args.batch_size,
+        batch_delay_s=args.batch_delay,
+        uplink=args.uplink,
+        calibration_s=args.calibration,
+        seed=args.seed,
+    )
+    report = generator.run()
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        return 0
+    print(f"fleet: {report.devices} devices, {report.duration_s:.0f}s sim")
+    print(f"  reports ingested   {report.reports_ingested}")
+    print(f"  batch requests     {report.batch_requests}")
+    print(f"  mean batch size    {report.mean_batch_size:.1f}")
+    print(f"  router requests    {report.requests_handled}")
+    print(f"  throughput         {report.throughput_rps:.2f} reports/sim-s")
+    print(f"  delivery ratio     {report.delivery_ratio:.1%}")
+    print(f"  accuracy           {report.accuracy:.1%}")
+    print(f"  fleet energy       {report.energy_j_total:.1f} J")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

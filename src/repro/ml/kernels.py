@@ -1,13 +1,17 @@
 """Kernel functions for the SVM.
 
 All kernels implement ``__call__(X, Y) -> K`` where ``X`` is (n, d),
-``Y`` is (m, d) and ``K`` is the (n, m) Gram matrix.
+``Y`` is (m, d) and ``K`` is the (n, m) Gram matrix.  Distance-based
+kernels additionally support precomputed row squared norms through
+:meth:`Kernel.gram`, so a fitted SVM can cache its support vectors'
+norms once and reuse them on every prediction batch.
 """
 
 from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
@@ -20,6 +24,31 @@ class Kernel(abc.ABC):
     @abc.abstractmethod
     def __call__(self, X: np.ndarray, Y: np.ndarray) -> np.ndarray:
         """Gram matrix between rows of ``X`` and rows of ``Y``."""
+
+    def row_sq_norms(self, X: np.ndarray) -> Optional[np.ndarray]:
+        """Per-row squared norms when this kernel can reuse them.
+
+        Returns ``None`` for kernels whose Gram computation does not
+        involve squared distances (nothing worth caching).
+        """
+        return None
+
+    def gram(
+        self,
+        X: np.ndarray,
+        Y: np.ndarray,
+        *,
+        x_sq: Optional[np.ndarray] = None,
+        y_sq: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Gram matrix, optionally reusing precomputed squared norms.
+
+        ``x_sq``/``y_sq`` must be the arrays :meth:`row_sq_norms`
+        returned for the same ``X``/``Y``; kernels that do not cache
+        norms ignore them.  The result is numerically identical to
+        ``self(X, Y)``.
+        """
+        return self(X, Y)
 
     @staticmethod
     def _as_2d(X: np.ndarray) -> np.ndarray:
@@ -74,9 +103,25 @@ class RbfKernel(Kernel):
             raise ValueError(f"gamma must be positive, got {self.gamma}")
 
     def __call__(self, X: np.ndarray, Y: np.ndarray) -> np.ndarray:
+        return self.gram(X, Y)
+
+    def row_sq_norms(self, X: np.ndarray) -> np.ndarray:
+        X = self._as_2d(X)
+        return np.sum(X * X, axis=1)
+
+    def gram(
+        self,
+        X: np.ndarray,
+        Y: np.ndarray,
+        *,
+        x_sq: Optional[np.ndarray] = None,
+        y_sq: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
         X, Y = self._as_2d(X), self._as_2d(Y)
         # ||x - y||^2 = ||x||^2 + ||y||^2 - 2 x.y, computed blockwise.
-        x_sq = np.sum(X * X, axis=1)[:, None]
-        y_sq = np.sum(Y * Y, axis=1)[None, :]
-        sq_dist = np.maximum(x_sq + y_sq - 2.0 * (X @ Y.T), 0.0)
+        if x_sq is None:
+            x_sq = self.row_sq_norms(X)
+        if y_sq is None:
+            y_sq = self.row_sq_norms(Y)
+        sq_dist = np.maximum(x_sq[:, None] + y_sq[None, :] - 2.0 * (X @ Y.T), 0.0)
         return np.exp(-self.gamma * sq_dist)

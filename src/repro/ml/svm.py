@@ -114,9 +114,14 @@ class BinarySVM:
 
         sv_mask = self._alpha > 1e-8
         self.support_vectors_ = X[sv_mask]
+        self.support_indices_ = np.flatnonzero(sv_mask)
         self.dual_coef_ = (self._alpha * y)[sv_mask]
         self.intercept_ = self._b
         self.n_support_ = int(np.count_nonzero(sv_mask))
+        # Cache the support vectors' squared norms once: every RBF-like
+        # Gram evaluation at predict time reuses them instead of
+        # recomputing per call (None for norm-free kernels).
+        self._sv_sq_norms = self.kernel.row_sq_norms(self.support_vectors_)
         self._fitted = True
         # Free the training caches.
         del self._K, self._errors
@@ -232,8 +237,22 @@ class BinarySVM:
             X = X.reshape(1, -1)
         if self.n_support_ == 0:
             return np.full(X.shape[0], -self.intercept_)
-        K = self.kernel(self.support_vectors_, X)
+        K = self.kernel.gram(
+            self.support_vectors_, X, x_sq=getattr(self, "_sv_sq_norms", None)
+        )
         return self.dual_coef_ @ K - self.intercept_
+
+    def decision_from_gram(self, K_sv_rows: np.ndarray) -> np.ndarray:
+        """Decision values from precomputed kernel rows.
+
+        Args:
+            K_sv_rows: ``(n_support, m)`` kernel evaluations between
+                this machine's support vectors (in training order) and
+                the query points.
+        """
+        if not self._fitted:
+            raise RuntimeError("BinarySVM is not fitted")
+        return self.dual_coef_ @ K_sv_rows - self.intercept_
 
     def predict(self, X: np.ndarray) -> np.ndarray:
         """Predicted labels in {-1, +1}."""
@@ -300,9 +319,11 @@ class SupportVectorClassifier:
         if len(self.classes_) < 2:
             raise ValueError("need at least two classes")
         self._machines = {}
+        sv_global: Dict[Tuple[int, int], np.ndarray] = {}
         for a in range(len(self.classes_)):
             for b in range(a + 1, len(self.classes_)):
                 mask = (y == self.classes_[a]) | (y == self.classes_[b])
+                pair_rows = np.flatnonzero(mask)
                 X_pair = X[mask]
                 y_pair = np.where(y[mask] == self.classes_[a], 1.0, -1.0)
                 machine = BinarySVM(
@@ -315,7 +336,28 @@ class SupportVectorClassifier:
                 )
                 machine.fit(X_pair, y_pair)
                 self._machines[(a, b)] = machine
+                sv_global[(a, b)] = pair_rows[machine.support_indices_]
+        self._build_sv_bank(X, sv_global)
         return self
+
+    def _build_sv_bank(
+        self, X: np.ndarray, sv_global: Dict[Tuple[int, int], np.ndarray]
+    ) -> None:
+        """Deduplicate support vectors across the pairwise machines.
+
+        A training row is often a support vector of several machines;
+        :meth:`predict` evaluates the kernel against the union once and
+        each machine slices out its own rows, so the whole one-vs-one
+        ensemble costs a single Gram computation per batch.
+        """
+        unique_rows = sorted({int(i) for rows in sv_global.values() for i in rows})
+        bank_index = {row: k for k, row in enumerate(unique_rows)}
+        self._sv_bank = X[unique_rows] if unique_rows else np.empty((0, X.shape[1]))
+        self._sv_bank_sq = self.kernel.row_sq_norms(self._sv_bank)
+        self._sv_bank_rows = {
+            pair: np.asarray([bank_index[int(i)] for i in rows], dtype=int)
+            for pair, rows in sv_global.items()
+        }
 
     def predict(self, X: np.ndarray) -> np.ndarray:
         """Majority vote across pairwise machines.
@@ -332,8 +374,24 @@ class SupportVectorClassifier:
         n_classes = len(self.classes_)
         votes = np.zeros((n, n_classes))
         scores = np.zeros((n, n_classes))
+        # One shared Gram against the deduplicated support-vector bank
+        # serves every pairwise machine (models fitted before the bank
+        # existed fall back to per-machine kernel evaluation).
+        bank = getattr(self, "_sv_bank", None)
+        K_bank = (
+            self.kernel.gram(bank, X, x_sq=self._sv_bank_sq)
+            if bank is not None and bank.shape[0]
+            else None
+        )
         for (a, b), machine in self._machines.items():
-            decision = machine.decision_function(X)
+            if bank is None:
+                decision = machine.decision_function(X)
+            else:
+                rows = self._sv_bank_rows[(a, b)]
+                if rows.size == 0:
+                    decision = np.full(n, -machine.intercept_)
+                else:
+                    decision = machine.decision_from_gram(K_bank[rows])
             winner_a = decision >= 0.0
             votes[winner_a, a] += 1
             votes[~winner_a, b] += 1

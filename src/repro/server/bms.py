@@ -11,7 +11,7 @@ models can deliver real requests.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional
+from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -109,6 +109,10 @@ class BuildingManagementServer:
         self._c_sightings = self.obs.counter("server.sightings")
         self._c_classifications = self.obs.counter("server.classifications")
         self._c_expired = self.obs.counter("server.expired_devices")
+        self._c_batches = self.obs.counter("server.batches")
+        self._h_batch_size = self.obs.histogram(
+            "server.batch_size", buckets=(1.0, 4.0, 16.0, 64.0, 256.0, 1024.0)
+        )
         self._g_devices = self.obs.gauge("server.tracked_devices")
         self.router = Router()
         self._register_routes()
@@ -164,6 +168,30 @@ class BuildingManagementServer:
             row = self.scaler.transform(row)
         return str(self.classifier.predict(row)[0])
 
+    def classify_batch(
+        self, beacons_batch: Sequence[Mapping[str, float]]
+    ) -> List[str]:
+        """Predict rooms for many fingerprints with one model call.
+
+        All fingerprints are vectorised into a single ``(N, d)``
+        matrix, scaled once, and pushed through a single
+        ``classifier.predict`` — the Gram matrix against the support
+        vectors is computed once for the whole batch instead of once
+        per row.  Predictions are identical to calling
+        :meth:`classify` per fingerprint.
+
+        Raises:
+            RuntimeError: the classifier has not been trained.
+        """
+        if not self.trained:
+            raise RuntimeError("BMS classifier is not trained; call train()")
+        if not beacons_batch:
+            return []
+        X = self.vectorizer.transform(beacons_batch)
+        if self._wants_scaling:
+            X = self.scaler.transform(X)
+        return [str(label) for label in self.classifier.predict(X)]
+
     def ingest_sighting(
         self, device_id: str, beacons: Mapping[str, float], time: float
     ) -> str:
@@ -185,6 +213,50 @@ class BuildingManagementServer:
         self._g_devices.set(float(len(self._device_rooms)))
         self._now = max(self._now, float(time))
         return room
+
+    def ingest_batch(self, sightings: Sequence[Mapping[str, Any]]) -> List[str]:
+        """Store many sighting reports and classify them in one pass.
+
+        Args:
+            sightings: mappings with ``device_id``, ``beacons`` and
+                ``time`` keys (one per report).  Reports are applied in
+                order, so a device appearing twice ends up where its
+                last report puts it — exactly as if each report had
+                been ingested individually.
+
+        Returns:
+            The estimated room labels, one per sighting, in order.
+
+        Raises:
+            ValueError: a sighting is missing its device id.
+            RuntimeError: the classifier has not been trained.
+        """
+        if not sightings:
+            return []
+        for sighting in sightings:
+            if not sighting.get("device_id"):
+                raise ValueError("device_id must not be empty")
+        rooms = self.classify_batch([s["beacons"] for s in sightings])
+        table = self.db.table("sightings")
+        for sighting, room in zip(sightings, rooms):
+            device_id = sighting["device_id"]
+            time = float(sighting.get("time", 0.0))
+            table.insert(
+                {
+                    "time": time,
+                    "device_id": device_id,
+                    "beacons": dict(sighting["beacons"]),
+                }
+            )
+            self._c_sightings.inc(device=device_id)
+            self._c_classifications.inc(room=room)
+            self._device_rooms[device_id] = room
+            self._device_last_seen[device_id] = time
+            self._now = max(self._now, time)
+        self._c_batches.inc()
+        self._h_batch_size.observe(float(len(sightings)))
+        self._g_devices.set(float(len(self._device_rooms)))
+        return rooms
 
     def _expire_devices(self, now: float) -> None:
         cutoff = now - self.device_timeout_s
@@ -260,6 +332,35 @@ class BuildingManagementServer:
             except RuntimeError as exc:
                 raise HttpError(409, str(exc))
             return {"room": room}
+
+        @self.router.route("POST", "/sightings/batch")
+        def post_sighting_batch(request: Request, params: Dict[str, str]):
+            body = request.body or {}
+            sightings = body.get("sightings")
+            if not isinstance(sightings, list) or not sightings:
+                raise HttpError(400, "batch needs a non-empty 'sightings' list")
+            normalised = []
+            for sighting in sightings:
+                if (
+                    not isinstance(sighting, dict)
+                    or "device_id" not in sighting
+                    or "beacons" not in sighting
+                ):
+                    raise HttpError(400, "each sighting needs device_id and beacons")
+                normalised.append(
+                    {
+                        "device_id": sighting["device_id"],
+                        "beacons": sighting["beacons"],
+                        "time": sighting.get("time", request.time),
+                    }
+                )
+            try:
+                rooms = self.ingest_batch(normalised)
+            except ValueError as exc:
+                raise HttpError(400, str(exc))
+            except RuntimeError as exc:
+                raise HttpError(409, str(exc))
+            return {"rooms": rooms, "count": len(rooms)}
 
         @self.router.route("GET", "/occupancy")
         def get_occupancy(request: Request, params: Dict[str, str]):

@@ -11,6 +11,7 @@ while staying in-process.
 
 from __future__ import annotations
 
+import json
 import re
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
@@ -44,8 +45,6 @@ class Request:
     @property
     def size_bytes(self) -> int:
         """Approximate on-wire size (for the energy/traffic models)."""
-        import json
-
         body = json.dumps(self.body) if self.body is not None else ""
         # Method + path + minimal headers ~ 120 bytes.
         return 120 + len(self.path) + len(body)
@@ -66,8 +65,6 @@ class Response:
     @property
     def size_bytes(self) -> int:
         """Approximate on-wire size."""
-        import json
-
         body = json.dumps(self.body) if self.body is not None else ""
         return 80 + len(body)
 
@@ -84,6 +81,23 @@ class HttpError(Exception):
 Handler = Callable[[Request, Dict[str, str]], Any]
 
 _PARAM_RE = re.compile(r"<([a-zA-Z_][a-zA-Z0-9_]*)>")
+
+
+def _compile_pattern(pattern: str) -> re.Pattern:
+    """Compile a route pattern to a regex.
+
+    Literal segments are escaped so metacharacters (``.``, ``+``, ...)
+    in a route match only themselves; ``<name>`` placeholders become
+    named groups matching one path segment.
+    """
+    parts: List[str] = []
+    position = 0
+    for placeholder in _PARAM_RE.finditer(pattern):
+        parts.append(re.escape(pattern[position : placeholder.start()]))
+        parts.append(f"(?P<{placeholder.group(1)}>[^/]+)")
+        position = placeholder.end()
+    parts.append(re.escape(pattern[position:]))
+    return re.compile("^" + "".join(parts) + "$")
 
 
 class Router:
@@ -107,9 +121,7 @@ class Router:
 
     def route(self, method: str, pattern: str) -> Callable[[Handler], Handler]:
         """Decorator registering a handler for ``method pattern``."""
-        regex = re.compile(
-            "^" + _PARAM_RE.sub(r"(?P<\1>[^/]+)", pattern) + "$"
-        )
+        regex = _compile_pattern(pattern)
 
         def decorator(handler: Handler) -> Handler:
             self._routes.append((method, regex, handler))
@@ -121,19 +133,27 @@ class Router:
         """Route a request to its handler and wrap the result.
 
         Handler return values become 200 responses; :class:`HttpError`
-        maps to its status; unmatched paths yield 404.
+        maps to its status; any other exception becomes a 500 (an
+        in-process server must not crash the whole simulation);
+        unmatched paths yield 404.  Every dispatched request — matched
+        or not — counts towards :attr:`requests_handled`.
         """
+        self.requests_handled += 1
         for method, regex, handler in self._routes:
             if method != request.method:
                 continue
             match = regex.match(request.path)
             if match is None:
                 continue
-            self.requests_handled += 1
             try:
                 result = handler(request, match.groupdict())
             except HttpError as exc:
                 return Response(status=exc.status, body={"error": exc.message})
+            except Exception as exc:  # noqa: BLE001 - server boundary
+                return Response(
+                    status=500,
+                    body={"error": f"internal error: {type(exc).__name__}: {exc}"},
+                )
             if isinstance(result, Response):
                 return result
             return Response(status=200, body=result)

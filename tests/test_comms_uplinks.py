@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.comms.bt_relay import BluetoothRelayUplink
+from repro.comms.uplink import BatchPolicy
 from repro.comms.wifi import WifiUplink
 from repro.phone.app import RangedBeacon, SightingReport
 from repro.server.rest import Router
@@ -116,3 +117,134 @@ class TestBluetoothRelayUplink:
             uplink.send_report(report(float(k)))
         # One retry on a 4 % loss channel: ~99.8 % delivery.
         assert uplink.stats.delivery_ratio > 0.97
+
+
+def reports(n, device="alice"):
+    return [
+        SightingReport(
+            device_id=device,
+            time=float(k),
+            beacons=[RangedBeacon("1-1", -60.0, 2.0, False)],
+        )
+        for k in range(n)
+    ]
+
+
+def batch_router():
+    """Router accepting both the single and the batch sighting routes."""
+    router = Router()
+
+    @router.route("POST", "/sightings")
+    def post(request, params):
+        return {"room": "kitchen"}
+
+    @router.route("POST", "/sightings/batch")
+    def post_batch(request, params):
+        sightings = request.body["sightings"]
+        return {"rooms": ["kitchen"] * len(sightings), "count": len(sightings)}
+
+    return router
+
+
+class TestSendBatch:
+    def test_batch_delivers_all_reports_in_one_request(self):
+        router = batch_router()
+        uplink = WifiUplink(router, rng=np.random.default_rng(0))
+        response = uplink.send_batch(reports(8))
+        assert response is not None and response.ok
+        assert response.body["count"] == 8
+        assert uplink.stats.delivered == 8
+        assert router.requests_handled == 1
+
+    def test_batch_energy_amortises_connection_cost(self):
+        """N batched reports must cost less than N individual sends:
+        the wake/connection energy is paid once per batch."""
+        n = 16
+        batched = WifiUplink(batch_router(), rng=np.random.default_rng(0))
+        batched.send_batch(reports(n))
+        individual = WifiUplink(batch_router(), rng=np.random.default_rng(0))
+        for r in reports(n):
+            individual.send_report(r)
+        assert batched.stats.energy_j < individual.stats.energy_j
+        # The saving is roughly (n - 1) wake energies.
+        saved = individual.stats.energy_j - batched.stats.energy_j
+        assert saved > (n - 2) * WifiUplink.WAKE_ENERGY_J * 0.5
+
+    def test_empty_batch_is_noop(self):
+        uplink = WifiUplink(batch_router())
+        assert uplink.send_batch([]) is None
+        assert uplink.stats.attempts == 0
+
+    def test_batch_loss_fails_all_reports(self):
+        uplink = WifiUplink(batch_router(), rng=np.random.default_rng(0))
+        uplink.LOSS_PROBABILITY = 1.0
+        assert uplink.send_batch(reports(5)) is None
+        assert uplink.stats.failed == 5
+        assert uplink.stats.retries == uplink.max_retries
+
+    def test_bt_relay_batch_uses_one_relay_request(self):
+        uplink = BluetoothRelayUplink(batch_router(), rng=np.random.default_rng(0))
+        response = uplink.send_batch(reports(6))
+        assert response is not None and response.ok
+        assert uplink.relay_requests == 1
+        assert uplink.stats.delivered == 6
+
+
+class TestBatchPolicy:
+    def test_queue_without_policy_sends_immediately(self):
+        uplink = WifiUplink(batch_router(), rng=np.random.default_rng(0))
+        response = uplink.queue_report(report())
+        assert response is not None and response.ok
+        assert uplink.pending_reports == 0
+
+    def test_flush_at_max_size(self):
+        uplink = WifiUplink(
+            batch_router(),
+            rng=np.random.default_rng(0),
+            batch_policy=BatchPolicy(max_size=3, max_delay_s=1000.0),
+        )
+        assert uplink.queue_report(report(0.0)) is None
+        assert uplink.queue_report(report(1.0)) is None
+        response = uplink.queue_report(report(2.0))
+        assert response is not None and response.body["count"] == 3
+        assert uplink.pending_reports == 0
+
+    def test_flush_at_max_delay(self):
+        uplink = WifiUplink(
+            batch_router(),
+            rng=np.random.default_rng(0),
+            batch_policy=BatchPolicy(max_size=100, max_delay_s=10.0),
+        )
+        assert uplink.queue_report(report(0.0)) is None
+        assert uplink.queue_report(report(5.0)) is None
+        response = uplink.queue_report(report(10.0))
+        assert response is not None and response.body["count"] == 3
+
+    def test_explicit_flush_drains_buffer(self):
+        uplink = WifiUplink(
+            batch_router(),
+            rng=np.random.default_rng(0),
+            batch_policy=BatchPolicy(max_size=100, max_delay_s=1000.0),
+        )
+        uplink.queue_report(report(0.0))
+        uplink.queue_report(report(1.0))
+        assert uplink.pending_reports == 2
+        response = uplink.flush()
+        assert response is not None and response.body["count"] == 2
+        assert uplink.flush() is None  # idle flush is a no-op
+
+    def test_discard_pending(self):
+        uplink = WifiUplink(
+            batch_router(),
+            batch_policy=BatchPolicy(max_size=100, max_delay_s=1000.0),
+        )
+        uplink.queue_report(report(0.0))
+        assert uplink.discard_pending() == 1
+        assert uplink.pending_reports == 0
+        assert uplink.stats.attempts == 0
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            BatchPolicy(max_size=0)
+        with pytest.raises(ValueError):
+            BatchPolicy(max_delay_s=-1.0)

@@ -122,3 +122,65 @@ class TestIndependence:
             tracker.update(measurements)
             recent = set().union(*history[-2:])
             assert set(tracker.live_beacons) <= recent
+
+
+class TestEvictionEdgeCases:
+    def test_single_loss_evicts_with_threshold_one(self):
+        """max_consecutive_losses=1: no hold-through at all — the very
+        first missed scan evicts the beacon."""
+        tracker = BeaconTracker(max_consecutive_losses=1)
+        tracker.update({"1-1": -60.0})
+        assert tracker.update({}) == {}
+        assert tracker.live_beacons == []
+
+    def test_threshold_one_never_reports_held_values(self):
+        tracker = BeaconTracker(max_consecutive_losses=1)
+        for _ in range(3):
+            estimates = tracker.update({"1-1": -60.0})
+            assert not estimates["1-1"].held
+            assert tracker.update({}) == {}
+
+    def test_reappearance_on_the_would_be_eviction_scan(self):
+        """A beacon seen again on exactly the scan that would evict it
+        must survive with its loss counter reset."""
+        tracker = BeaconTracker(prototype=RawFilter(), max_consecutive_losses=2)
+        tracker.update({"1-1": -60.0})
+        tracker.update({})  # loss 1 of 2: held
+        estimates = tracker.update({"1-1": -50.0})  # would-be eviction scan
+        assert estimates["1-1"].consecutive_losses == 0
+        assert not estimates["1-1"].held
+        assert estimates["1-1"].value == -50.0
+        # The reprieve is complete: the full loss budget is available.
+        assert tracker.update({})["1-1"].held
+        assert tracker.update({}) == {}
+
+    def test_loss_recover_loss_sequence_estimates(self):
+        """held/consecutive_losses across loss -> recover -> loss."""
+        tracker = BeaconTracker(prototype=RawFilter(), max_consecutive_losses=3)
+        tracker.update({"1-1": -60.0})
+
+        lost_once = tracker.update({})["1-1"]
+        assert (lost_once.consecutive_losses, lost_once.held) == (1, True)
+        assert lost_once.value == -60.0
+
+        recovered = tracker.update({"1-1": -40.0})["1-1"]
+        assert (recovered.consecutive_losses, recovered.held) == (0, False)
+        assert recovered.value == -40.0
+
+        lost_again = tracker.update({})["1-1"]
+        assert (lost_again.consecutive_losses, lost_again.held) == (1, True)
+        assert lost_again.value == -40.0
+
+        lost_twice = tracker.update({})["1-1"]
+        assert (lost_twice.consecutive_losses, lost_twice.held) == (2, True)
+
+        assert tracker.update({}) == {}  # third consecutive loss evicts
+
+    def test_estimates_view_is_consistent_between_updates(self):
+        tracker = BeaconTracker(prototype=RawFilter(), max_consecutive_losses=2)
+        tracker.update({"a": 1.0, "b": 2.0})
+        tracker.update({"a": 3.0})
+        estimates = tracker.estimates()
+        assert estimates["a"].consecutive_losses == 0
+        assert estimates["b"].consecutive_losses == 1
+        assert estimates["b"].held and not estimates["a"].held

@@ -1,0 +1,88 @@
+"""Tests for the fleet load generator (batched fleet-scale ingestion)."""
+
+import pytest
+
+from repro.building.presets import two_room_corridor
+from repro.fleet import FleetLoadGenerator, FleetReport
+from repro.obs import MemorySink, MetricsRegistry
+
+
+def small_fleet(**kwargs):
+    defaults = dict(
+        devices=2,
+        duration_s=30.0,
+        batch_size=4,
+        batch_delay_s=8.0,
+        calibration_s=120.0,
+        seed=1,
+        plan=two_room_corridor(),
+    )
+    defaults.update(kwargs)
+    return FleetLoadGenerator(**defaults)
+
+
+@pytest.fixture(scope="module")
+def fleet_report():
+    return small_fleet().run()
+
+
+class TestFleetLoadGenerator:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FleetLoadGenerator(devices=0)
+        with pytest.raises(ValueError):
+            FleetLoadGenerator(duration_s=0.0)
+
+    def test_run_produces_report(self, fleet_report):
+        assert isinstance(fleet_report, FleetReport)
+        assert fleet_report.devices == 2
+        assert fleet_report.reports_ingested > 0
+        assert fleet_report.throughput_rps > 0.0
+        assert 0.0 <= fleet_report.delivery_ratio <= 1.0
+        assert fleet_report.energy_j_total > 0.0
+
+    def test_batched_path_is_used(self, fleet_report):
+        """The fleet must ingest through /sightings/batch: strictly
+        fewer requests than reports."""
+        assert fleet_report.batch_requests > 0
+        assert fleet_report.requests_handled < fleet_report.reports_ingested
+        assert fleet_report.mean_batch_size > 1.0
+
+    def test_deterministic_given_seed(self, fleet_report):
+        again = small_fleet().run()
+        assert again == fleet_report
+
+    def test_throughput_published_to_registry(self):
+        registry = MetricsRegistry(sink=MemorySink())
+        report = small_fleet(registry=registry).run()
+        assert registry.gauge("fleet.devices").value == 2.0
+        assert registry.gauge("fleet.throughput_rps").value == pytest.approx(
+            report.throughput_rps
+        )
+        assert registry.gauge("fleet.reports_ingested").value == float(
+            report.reports_ingested
+        )
+
+    def test_report_to_dict_roundtrips(self, fleet_report):
+        payload = fleet_report.to_dict()
+        assert payload["devices"] == fleet_report.devices
+        assert payload["throughput_rps"] == fleet_report.throughput_rps
+        assert set(payload) == {
+            "devices",
+            "duration_s",
+            "reports_ingested",
+            "batch_requests",
+            "requests_handled",
+            "throughput_rps",
+            "mean_batch_size",
+            "accuracy",
+            "delivery_ratio",
+            "energy_j_total",
+        }
+
+    def test_unbatched_fleet_posts_per_report(self):
+        report = small_fleet(batch_size=1, seed=2).run()
+        assert report.batch_requests == 0
+        # One /sightings request per ingested report (plus none lost
+        # here would still keep handled >= ingested).
+        assert report.requests_handled >= report.reports_ingested

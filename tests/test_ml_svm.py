@@ -2,6 +2,7 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.ml.kernels import LinearKernel, RbfKernel
 from repro.ml.svm import BinarySVM, SupportVectorClassifier
@@ -190,3 +191,71 @@ class TestMulticlassSVC:
         X, y = blobs(rng, [(0.0, 0.0), (4.0, 0.0)])
         model = SupportVectorClassifier().fit(X, y)
         assert model.n_support_total > 0
+
+
+class TestBatchedPrediction:
+    """The shared-Gram batch path must agree with per-row prediction."""
+
+    @staticmethod
+    def _fingerprint_model(n_classes=3, seed=0):
+        rng = np.random.default_rng(seed)
+        centers = [tuple(rng.uniform(0.0, 8.0, size=4)) for _ in range(n_classes)]
+        X, y = blobs(rng, centers, n_per=25, spread=0.8)
+        labels = np.array([f"room-{int(k)}" for k in y])
+        return SupportVectorClassifier(c=10.0, kernel=RbfKernel(0.5)).fit(X, labels)
+
+    @given(st.integers(min_value=0, max_value=40))
+    @settings(max_examples=25, deadline=None)
+    def test_batch_equals_per_row_over_random_fingerprints(self, query_seed):
+        model = self._fingerprint_model()
+        rng = np.random.default_rng(query_seed)
+        X = rng.uniform(-2.0, 10.0, size=(17, 4))
+        batched = model.predict(X)
+        per_row = np.asarray(
+            [model.predict(row.reshape(1, -1))[0] for row in X]
+        )
+        np.testing.assert_array_equal(batched, per_row)
+
+    def test_sv_bank_deduplicates_shared_support_vectors(self):
+        model = self._fingerprint_model(n_classes=4, seed=3)
+        bank_rows = model._sv_bank.shape[0]
+        total_sv = model.n_support_total
+        assert 0 < bank_rows <= total_sv
+        for pair, machine in model._machines.items():
+            assert len(model._sv_bank_rows[pair]) == machine.n_support_
+            np.testing.assert_allclose(
+                model._sv_bank[model._sv_bank_rows[pair]],
+                machine.support_vectors_,
+            )
+
+    def test_sv_sq_norms_cached_per_machine(self):
+        model = self._fingerprint_model()
+        for machine in model._machines.values():
+            np.testing.assert_allclose(
+                machine._sv_sq_norms,
+                np.sum(machine.support_vectors_ ** 2, axis=1),
+            )
+
+    def test_batch_path_matches_per_machine_decision_functions(self):
+        """Predictions from the shared Gram equal the legacy per-machine
+        path (the bank is an optimisation, not a semantic change)."""
+        model = self._fingerprint_model(seed=7)
+        rng = np.random.default_rng(11)
+        X = rng.uniform(0.0, 8.0, size=(32, 4))
+        batched = model.predict(X)
+        # Recompute the vote with the unshared decision functions.
+        n = X.shape[0]
+        votes = np.zeros((n, len(model.classes_)))
+        scores = np.zeros((n, len(model.classes_)))
+        for (a, b), machine in model._machines.items():
+            decision = machine.decision_function(X)
+            winner_a = decision >= 0.0
+            votes[winner_a, a] += 1
+            votes[~winner_a, b] += 1
+            scores[:, a] += decision
+            scores[:, b] -= decision
+        ranking = votes + 1e-9 * np.tanh(scores)
+        expected = np.asarray(
+            [model.classes_[w] for w in np.argmax(ranking, axis=1)]
+        )
+        np.testing.assert_array_equal(batched, expected)

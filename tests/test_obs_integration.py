@@ -123,3 +123,65 @@ class TestBehaviourNeutrality:
             )
 
         assert comparable(plain) == comparable(instrumented)
+
+
+class TestUplinkFailureLegLabels:
+    """Both relay legs must report failures under one ``uplink.failed``
+    counter, split only by a uniform ``leg`` label (regression: the
+    relay leg used to emit a different label set, forking the series).
+    """
+
+    @staticmethod
+    def _failing_uplink(bt_loss, relay_loss):
+        import numpy as np
+
+        from repro.comms.bt_relay import BluetoothRelayUplink
+        from repro.phone.app import RangedBeacon, SightingReport
+        from repro.server.rest import Router
+
+        router = Router()
+
+        @router.route("POST", "/sightings")
+        def post(request, params):
+            return {"room": "lab"}
+
+        registry = MetricsRegistry(sink=MemorySink())
+        uplink = BluetoothRelayUplink(
+            router, rng=np.random.default_rng(0), registry=registry
+        )
+        uplink.__dict__["LOSS_PROBABILITY"] = bt_loss
+        uplink.__dict__["RELAY_LOSS_PROBABILITY"] = relay_loss
+        report = SightingReport(
+            device_id="alice",
+            time=1.0,
+            beacons=[RangedBeacon("1-1", -60.0, 2.0, False)],
+        )
+        uplink.send_report(report)
+        return registry
+
+    def test_bt_leg_failure_has_leg_label(self):
+        registry = self._failing_uplink(bt_loss=1.0, relay_loss=0.0)
+        failed = registry.counter("uplink.failed")
+        assert failed.value == 1.0
+        assert failed.value_for(
+            leg="bt", transport="bt_relay", device="alice"
+        ) == 1.0
+
+    def test_relay_leg_failure_has_same_label_set(self):
+        registry = self._failing_uplink(bt_loss=0.0, relay_loss=1.0)
+        failed = registry.counter("uplink.failed")
+        assert failed.value == 1.0
+        assert failed.value_for(
+            leg="relay", transport="bt_relay", device="alice"
+        ) == 1.0
+
+    def test_leg_series_share_one_attribute_schema(self):
+        """Every uplink.failed series carries the same attribute keys,
+        so the two legs aggregate instead of forking."""
+        for kwargs in ({"bt_loss": 1.0, "relay_loss": 0.0},
+                       {"bt_loss": 0.0, "relay_loss": 1.0}):
+            registry = self._failing_uplink(**kwargs)
+            for attr_key in registry.counter("uplink.failed").series:
+                assert sorted(k for k, _ in attr_key) == [
+                    "device", "leg", "transport",
+                ]

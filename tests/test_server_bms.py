@@ -174,3 +174,131 @@ class TestRestApi:
         bms = trained_bms()
         response = bms.router.dispatch(Request("GET", "/devices/ghost/location"))
         assert response.status == 404
+
+
+def _random_fingerprints(n, seed=0):
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    return [
+        {"1-1": float(rng.uniform(0.5, 9.0)), "1-2": float(rng.uniform(0.5, 9.0))}
+        for _ in range(n)
+    ]
+
+
+class TestBatchIngestion:
+    def test_classify_batch_matches_per_row(self):
+        bms = trained_bms()
+        fingerprints = _random_fingerprints(40, seed=1)
+        batched = bms.classify_batch(fingerprints)
+        per_row = [bms.classify(fp) for fp in fingerprints]
+        assert batched == per_row
+
+    def test_classify_batch_empty(self):
+        assert trained_bms().classify_batch([]) == []
+
+    def test_classify_batch_untrained_raises(self):
+        with pytest.raises(RuntimeError):
+            BuildingManagementServer(["1-1"]).classify_batch([{"1-1": 1.0}])
+
+    def test_ingest_batch_equivalent_to_sequential_ingest(self):
+        batch_bms, seq_bms = trained_bms(), trained_bms()
+        fingerprints = _random_fingerprints(20, seed=2)
+        sightings = [
+            {"device_id": f"dev-{i % 7}", "beacons": fp, "time": float(i)}
+            for i, fp in enumerate(fingerprints)
+        ]
+        batch_rooms = batch_bms.ingest_batch(sightings)
+        seq_rooms = [
+            seq_bms.ingest_sighting(s["device_id"], s["beacons"], s["time"])
+            for s in sightings
+        ]
+        assert batch_rooms == seq_rooms
+        assert batch_bms.sighting_count == seq_bms.sighting_count == 20
+        assert batch_bms.snapshot(19.0).devices == seq_bms.snapshot(19.0).devices
+
+    def test_ingest_batch_last_report_wins_per_device(self):
+        bms = trained_bms()
+        rooms = bms.ingest_batch(
+            [
+                {"device_id": "a", "beacons": {"1-1": 1.0, "1-2": 8.0}, "time": 1.0},
+                {"device_id": "a", "beacons": {"1-1": 8.0, "1-2": 1.0}, "time": 2.0},
+            ]
+        )
+        assert rooms == ["kitchen", "living"]
+        assert bms.device_room("a") == "living"
+
+    def test_ingest_batch_rejects_empty_device_id(self):
+        bms = trained_bms()
+        with pytest.raises(ValueError):
+            bms.ingest_batch([{"device_id": "", "beacons": {"1-1": 1.0}, "time": 0.0}])
+
+    def test_batch_metrics_counted(self):
+        bms = trained_bms()
+        bms.ingest_batch(
+            [
+                {"device_id": "a", "beacons": {"1-1": 1.0, "1-2": 8.0}, "time": 0.0},
+                {"device_id": "b", "beacons": {"1-1": 8.0, "1-2": 1.0}, "time": 0.0},
+            ]
+        )
+        assert bms.obs.counter("server.batches").value == 1.0
+        assert bms.obs.counter("server.sightings").value == 2.0
+        assert bms.obs.histogram("server.batch_size").mean == pytest.approx(2.0)
+
+
+class TestBatchRestRoute:
+    def test_batch_route_matches_per_report_route(self):
+        batch_bms, seq_bms = trained_bms(), trained_bms()
+        fingerprints = _random_fingerprints(16, seed=3)
+        sightings = [
+            {"device_id": f"dev-{i}", "beacons": fp, "time": float(i)}
+            for i, fp in enumerate(fingerprints)
+        ]
+        batch_response = batch_bms.router.dispatch(
+            Request("POST", "/sightings/batch", body={"sightings": sightings})
+        )
+        assert batch_response.ok
+        seq_rooms = []
+        for s in sightings:
+            response = seq_bms.router.dispatch(
+                Request("POST", "/sightings", body=s, time=s["time"])
+            )
+            assert response.ok
+            seq_rooms.append(response.body["room"])
+        assert batch_response.body["rooms"] == seq_rooms
+        assert batch_response.body["count"] == 16
+
+    def test_batch_route_empty_list_400(self):
+        response = trained_bms().router.dispatch(
+            Request("POST", "/sightings/batch", body={"sightings": []})
+        )
+        assert response.status == 400
+
+    def test_batch_route_missing_fields_400(self):
+        response = trained_bms().router.dispatch(
+            Request("POST", "/sightings/batch", body={"sightings": [{"x": 1}]})
+        )
+        assert response.status == 400
+
+    def test_batch_route_untrained_409(self):
+        bms = BuildingManagementServer(["1-1"])
+        response = bms.router.dispatch(
+            Request(
+                "POST",
+                "/sightings/batch",
+                body={"sightings": [{"device_id": "a", "beacons": {"1-1": 1.0}}]},
+            )
+        )
+        assert response.status == 409
+
+    def test_batch_route_default_time_from_request(self):
+        bms = trained_bms()
+        bms.router.dispatch(
+            Request(
+                "POST",
+                "/sightings/batch",
+                body={"sightings": [{"device_id": "a", "beacons": {"1-1": 1.0, "1-2": 8.0}}]},
+                time=42.0,
+            )
+        )
+        assert bms.snapshot(42.0).devices == {"a": "kitchen"}

@@ -80,9 +80,45 @@ class TestRouter:
 
         assert router.dispatch(Request("GET", "/custom")).status == 201
 
-    def test_request_counter(self):
+    def test_request_counter_includes_404s(self):
         router = self.make_router()
         router.dispatch(Request("GET", "/rooms/a"))
         router.dispatch(Request("GET", "/rooms/b"))
         router.dispatch(Request("GET", "/missing"))
-        assert router.requests_handled == 2
+        assert router.requests_handled == 3
+
+    def test_literal_dot_is_not_a_wildcard(self):
+        """Regression: ``.`` in a route pattern must match only ``.``."""
+        router = Router()
+
+        @router.route("GET", "/metrics.json")
+        def metrics(request, params):
+            return {"ok": True}
+
+        assert router.dispatch(Request("GET", "/metrics.json")).status == 200
+        assert router.dispatch(Request("GET", "/metricsXjson")).status == 404
+
+    def test_literal_metacharacters_survive_with_params(self):
+        """Escaping applies to the literals around ``<param>`` holes."""
+        router = Router()
+
+        @router.route("GET", "/v1.0/rooms/<room>/stats+raw")
+        def stats(request, params):
+            return {"room": params["room"]}
+
+        ok = router.dispatch(Request("GET", "/v1.0/rooms/lab/stats+raw"))
+        assert ok.status == 200 and ok.body == {"room": "lab"}
+        assert router.dispatch(Request("GET", "/v1X0/rooms/lab/statsraw")).status == 404
+
+    def test_unexpected_handler_exception_maps_to_500(self):
+        """Regression: a buggy handler must not crash the server."""
+        router = Router()
+
+        @router.route("GET", "/boom")
+        def boom(request, params):
+            raise KeyError("beacons")
+
+        response = router.dispatch(Request("GET", "/boom"))
+        assert response.status == 500
+        assert "KeyError" in response.body["error"]
+        assert router.requests_handled == 1
