@@ -4,27 +4,42 @@ The paper contrasts 2 s and 5 s; this sweep maps the whole dial,
 including the latency cost the paper warns about ("increasing the scan
 period, the estimation phase takes a longer time, causing the
 application to be less reactive").
+
+The (period, seed) grid fans out through :func:`repro.parallel.sweep`:
+each point carries its own seed, so the result is identical at any
+worker count and the sweep parallelises for free on multi-core hosts.
 """
 
 import numpy as np
 from conftest import print_table, run_once
 
 from repro.core.experiments import static_signal_experiment
+from repro.parallel import available_workers, sweep
 
 PERIODS = (1.0, 2.0, 5.0, 10.0)
 SEEDS = (0, 1, 2, 3)
 
 
+def _evaluate_point(point):
+    """Sweep worker: std of the static 2 m link at one (period, seed)."""
+    period, seed = point
+    return static_signal_experiment(
+        scan_period_s=period, distance_m=2.0, duration_s=120.0, seed=seed
+    ).std_m
+
+
 def _sweep():
+    points = [(period, seed) for period in PERIODS for seed in SEEDS]
+    stds = sweep(
+        _evaluate_point,
+        points,
+        workers=min(4, available_workers()),
+        name="scan-period",
+    )
     out = {}
     for period in PERIODS:
-        stds = [
-            static_signal_experiment(
-                scan_period_s=period, distance_m=2.0, duration_s=120.0, seed=s
-            ).std_m
-            for s in SEEDS
-        ]
-        out[period] = float(np.mean(stds))
+        values = [s for (p, _), s in zip(points, stds) if p == period]
+        out[period] = float(np.mean(values))
     return out
 
 

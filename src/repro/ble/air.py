@@ -96,32 +96,46 @@ class AirInterface:
 
         Returns:
             Sightings sorted by reception time.
+
+        The window's advertisements are gathered beacon-major (every
+        advertiser's schedule in turn) and pushed through one
+        :meth:`~repro.radio.channel.ChannelModel.link_budget_many`
+        call, so the whole window costs a single numpy pass instead of
+        one Python-level budget per advertisement.
         """
-        sightings: List[Sighting] = []
+        times: List[float] = []
+        tx_ids: List[str] = []
+        tx_positions: List[tuple] = []
+        rx_positions: List[tuple] = []
+        tx_powers: List[float] = []
+        placements = []
         for adv in self.advertisers:
             placement = adv.placement
             tx_pos = placement.position.as_tuple()
             for t in adv.times_in(t_start, t_end):
-                rx_point = position_fn(t)
-                budget = self.channel.link_budget(
-                    tx_id=placement.beacon_id,
-                    tx_pos=tx_pos,
-                    rx_pos=rx_point.as_tuple(),
-                    tx_power_dbm=placement.effective_radiated_power_dbm,
-                    device=device,
-                    rng=rng,
+                times.append(t)
+                tx_ids.append(placement.beacon_id)
+                tx_positions.append(tx_pos)
+                rx_positions.append(position_fn(t).as_tuple())
+                tx_powers.append(placement.effective_radiated_power_dbm)
+                placements.append(placement)
+        if not times:
+            return []
+        batch = self.channel.link_budget_many(
+            tx_ids, tx_positions, rx_positions, tx_powers, device, rng
+        )
+        sightings: List[Sighting] = []
+        for i in np.flatnonzero(batch.received):
+            placement = placements[i]
+            sightings.append(
+                Sighting(
+                    time=times[i],
+                    beacon_id=placement.beacon_id,
+                    packet=placement.packet,
+                    rssi=float(batch.rssi[i]),
+                    true_distance_m=float(batch.distance_m[i]),
+                    payload=self._payloads[placement.beacon_id],
                 )
-                if not budget.received:
-                    continue
-                sightings.append(
-                    Sighting(
-                        time=t,
-                        beacon_id=placement.beacon_id,
-                        packet=placement.packet,
-                        rssi=budget.rssi,
-                        true_distance_m=budget.distance_m,
-                        payload=self._payloads[placement.beacon_id],
-                    )
-                )
+            )
         sightings.sort(key=lambda s: s.time)
         return sightings

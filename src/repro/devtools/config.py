@@ -27,13 +27,15 @@ REPRO_LAYERS: Mapping[str, FrozenSet[str]] = _layers(
         "obs": (),
         "filters": (),
         "ibeacon": (),
-        "ml": (),
         "hvac": (),
         "tracking": (),
         "devtools": (),
         # Instrumented infrastructure leaves: only telemetry below them.
         "sim": ("obs",),
         "energy": ("obs",),
+        # Deterministic process-pool execution (seeds come from sim.rng).
+        "parallel": ("sim",),
+        "ml": ("parallel",),
         # Physical modelling.
         "radio": ("sim",),
         "building": ("ibeacon", "radio", "sim"),
@@ -71,7 +73,7 @@ REPRO_LAYERS: Mapping[str, FrozenSet[str]] = _layers(
             "traces",
         ),
         "report": ("building", "core", "obs"),
-        "fleet": ("building", "comms", "core", "obs", "server", "sim"),
+        "fleet": ("building", "comms", "core", "obs", "parallel", "server", "sim"),
     }
 )
 
@@ -79,7 +81,7 @@ REPRO_LAYERS: Mapping[str, FrozenSet[str]] = _layers(
 #: randomness.  ``obs`` is included because telemetry must be stamped
 #: with the injected simulation clock, never the process clock.
 SIM_DOMAIN_PACKAGES: FrozenSet[str] = frozenset(
-    {"sim", "ble", "traces", "energy", "building", "obs"}
+    {"sim", "ble", "traces", "energy", "building", "obs", "parallel"}
 )
 
 #: Modules allowed to touch the primitives the determinism rule bans —

@@ -40,6 +40,15 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
+        "--workers", type=int, default=1,
+        help="process-pool size; affects wall clock only, never the result",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=None,
+        help="independent sub-fleets to split the devices into "
+        "(default: one per worker; pin this when comparing worker counts)",
+    )
+    parser.add_argument(
         "--json", action="store_true", help="emit the report as JSON"
     )
     args = parser.parse_args(argv)
@@ -52,6 +61,8 @@ def main(argv=None) -> int:
         uplink=args.uplink,
         calibration_s=args.calibration,
         seed=args.seed,
+        shards=args.shards,
+        workers=args.workers,
     )
     report = generator.run()
     if args.json:

@@ -8,12 +8,23 @@ are read back from the system's :class:`~repro.obs.metrics.MetricsRegistry`
 (the ``server.sightings`` / ``server.batches`` counters the BMS
 maintains) and re-published as ``fleet.*`` gauges so exporters see
 them alongside the rest of the telemetry.
+
+Fleet runs also shard: with ``shards > 1`` the M devices are split
+into independent sub-fleets — each with its own BMS, channel and RNG
+streams seeded from the master seed through the
+:class:`~repro.parallel.engine.ShardPlan` derivation — executed on a
+process pool (``workers``) and folded back into one merged
+:class:`FleetReport` plus one merged telemetry registry.  The shard
+*plan* fixes the decomposition, so the merged result is worker-count
+invariant: ``workers=1`` and ``workers=8`` produce identical reports
+from the same master seed.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional, Tuple
 
 from repro.building.floorplan import FloorPlan
 from repro.building.mobility import RandomWaypoint
@@ -22,6 +33,7 @@ from repro.building.presets import test_house
 from repro.core.config import SystemConfig
 from repro.core.system import OccupancyDetectionSystem
 from repro.obs.metrics import MetricsRegistry
+from repro.parallel.engine import ShardPlan, ShardResult, ShardSpec, run_shards
 from repro.sim.rng import derive_seed
 
 __all__ = ["FleetLoadGenerator", "FleetReport"]
@@ -71,6 +83,32 @@ class FleetReport:
         }
 
 
+@dataclass(frozen=True)
+class _ShardStats:
+    """Raw per-shard tallies the merge needs beyond the report."""
+
+    report: FleetReport
+    eval_points: int
+    attempts: int
+    delivered: int
+
+
+def _run_fleet_shard(spec: ShardSpec) -> ShardResult:
+    """Process-pool worker: drive one sub-fleet and return its stats.
+
+    The payload is the constructor-argument dict built by
+    :meth:`FleetLoadGenerator._shard_plan`; the sub-fleet's seed is the
+    shard seed, so the result depends only on the spec.
+    """
+    payload = dict(spec.payload)
+    registry = MetricsRegistry()
+    generator = FleetLoadGenerator(
+        seed=spec.seed, registry=registry, shards=1, **payload
+    )
+    report, stats = generator._run_single()
+    return ShardResult(index=spec.index, value=stats, metrics=registry.state())
+
+
 class FleetLoadGenerator:
     """Drives a fleet of simulated devices through one BMS.
 
@@ -86,6 +124,17 @@ class FleetLoadGenerator:
             derived from it, so runs are replayable.
         plan: floor plan; defaults to the paper's five-room test house.
         registry: telemetry registry; defaults to a fresh no-op one.
+        shards: number of independent sub-fleets to split the devices
+            into.  ``None`` mirrors ``workers``; ``1`` (the unsharded
+            default) preserves the single-system run exactly.  The
+            shard count — not the worker count — defines the
+            decomposition, so pin ``shards`` when comparing different
+            worker counts.
+        workers: process-pool size executing the shards; only the
+            wall clock depends on it, never the result.
+        device_offset: global index of this generator's first device
+            (sub-fleets use it to keep ``dev-NNNN`` ids and telemetry
+            labels unique across shards).
     """
 
     def __init__(
@@ -100,11 +149,20 @@ class FleetLoadGenerator:
         seed: int = 0,
         plan: Optional[FloorPlan] = None,
         registry: Optional[MetricsRegistry] = None,
+        shards: Optional[int] = None,
+        workers: int = 1,
+        device_offset: int = 0,
     ) -> None:
         if devices < 1:
             raise ValueError(f"fleet needs >= 1 device, got {devices}")
         if duration_s <= 0.0:
             raise ValueError(f"duration must be positive, got {duration_s}")
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if shards is not None and shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        if device_offset < 0:
+            raise ValueError(f"device_offset must be >= 0, got {device_offset}")
         self.devices = int(devices)
         self.duration_s = float(duration_s)
         self.batch_size = int(batch_size)
@@ -114,9 +172,27 @@ class FleetLoadGenerator:
         self.seed = int(seed)
         self.plan = plan if plan is not None else test_house()
         self.obs = registry if registry is not None else MetricsRegistry()
+        self.workers = int(workers)
+        resolved = self.workers if shards is None else int(shards)
+        self.shards = min(resolved, self.devices)
+        self.device_offset = int(device_offset)
 
     def run(self) -> FleetReport:
-        """Calibrate, train, drive the fleet, and summarise the run."""
+        """Calibrate, train, drive the fleet, and summarise the run.
+
+        With ``shards > 1`` the sub-fleets execute on the process pool
+        and their reports and telemetry merge into one; otherwise the
+        whole fleet runs in a single system in-process.
+        """
+        if self.shards <= 1:
+            report, _ = self._run_single()
+            return report
+        return self._run_sharded()
+
+    # ------------------------------------------------------------------
+    # Single-system path (one BMS, all devices)
+    # ------------------------------------------------------------------
+    def _run_single(self) -> Tuple[FleetReport, _ShardStats]:
         config = SystemConfig(
             seed=self.seed,
             uplink=self.uplink,
@@ -127,10 +203,11 @@ class FleetLoadGenerator:
         system.calibrate(duration_s=self.calibration_s)
         system.train()
         for i in range(self.devices):
+            index = self.device_offset + i
             mobility = RandomWaypoint(
-                self.plan, seed=derive_seed(self.seed, f"fleet:{i}")
+                self.plan, seed=derive_seed(self.seed, f"fleet:{index}")
             )
-            system.add_occupant(Occupant(f"dev-{i:04d}", mobility))
+            system.add_occupant(Occupant(f"dev-{index:04d}", mobility))
         run = system.run(self.duration_s)
 
         ingested = int(self.obs.counter("server.sightings").value)
@@ -140,6 +217,94 @@ class FleetLoadGenerator:
         attempts = sum(s.attempts for s in run.delivery.values())
         delivered = sum(s.delivered for s in run.delivery.values())
         energy = sum(b.total_j for b in run.energy.values())
+        eval_points = sum(len(p) for p in run.predictions.values())
+
+        self.obs.gauge("fleet.devices").set(float(self.devices))
+        self.obs.gauge("fleet.throughput_rps").set(throughput)
+        self.obs.gauge("fleet.reports_ingested").set(float(ingested))
+        self.obs.gauge("fleet.delivery_ratio").set(
+            delivered / attempts if attempts else 1.0
+        )
+        report = FleetReport(
+            devices=self.devices,
+            duration_s=self.duration_s,
+            reports_ingested=ingested,
+            batch_requests=batches,
+            requests_handled=system.bms.router.requests_handled,
+            throughput_rps=throughput,
+            mean_batch_size=batch_hist.mean,
+            accuracy=run.accuracy,
+            delivery_ratio=delivered / attempts if attempts else 1.0,
+            energy_j_total=energy,
+        )
+        stats = _ShardStats(
+            report=report,
+            eval_points=eval_points,
+            attempts=attempts,
+            delivered=delivered,
+        )
+        return report, stats
+
+    # ------------------------------------------------------------------
+    # Sharded path (independent sub-fleets on the process pool)
+    # ------------------------------------------------------------------
+    def _shard_plan(self) -> ShardPlan:
+        """The deterministic sub-fleet decomposition of this run."""
+        base, extra = divmod(self.devices, self.shards)
+        payloads = []
+        offset = self.device_offset
+        for i in range(self.shards):
+            count = base + (1 if i < extra else 0)
+            payloads.append(
+                {
+                    "devices": count,
+                    "duration_s": self.duration_s,
+                    "batch_size": self.batch_size,
+                    "batch_delay_s": self.batch_delay_s,
+                    "uplink": self.uplink,
+                    "calibration_s": self.calibration_s,
+                    "plan": self.plan,
+                    "device_offset": offset,
+                }
+            )
+            offset += count
+        return ShardPlan.create("fleet", self.seed, payloads)
+
+    def _run_sharded(self) -> FleetReport:
+        plan = self._shard_plan()
+        results: List[ShardResult] = run_shards(
+            _run_fleet_shard, plan, workers=self.workers
+        )
+        # Fold shard telemetry in index order so the merged registry is
+        # identical at every worker count.
+        for result in sorted(results, key=lambda r: r.index):
+            self.obs.merge(result.metrics)
+        stats = [r.value for r in sorted(results, key=lambda r: r.index)]
+
+        ingested = sum(s.report.reports_ingested for s in stats)
+        batches = sum(s.report.batch_requests for s in stats)
+        requests = sum(s.report.requests_handled for s in stats)
+        attempts = sum(s.attempts for s in stats)
+        delivered = sum(s.delivered for s in stats)
+        energy = sum(s.report.energy_j_total for s in stats)
+        throughput = ingested / self.duration_s
+        weighted = [
+            (s.report.accuracy, s.eval_points)
+            for s in stats
+            if s.eval_points > 0 and not math.isnan(s.report.accuracy)
+        ]
+        total_eval = sum(n for _, n in weighted)
+        accuracy = (
+            sum(a * n for a, n in weighted) / total_eval
+            if total_eval
+            else float("nan")
+        )
+        mean_batch = 0.0
+        if batches:
+            mean_batch = (
+                sum(s.report.mean_batch_size * s.report.batch_requests for s in stats)
+                / batches
+            )
 
         self.obs.gauge("fleet.devices").set(float(self.devices))
         self.obs.gauge("fleet.throughput_rps").set(throughput)
@@ -152,10 +317,10 @@ class FleetLoadGenerator:
             duration_s=self.duration_s,
             reports_ingested=ingested,
             batch_requests=batches,
-            requests_handled=system.bms.router.requests_handled,
+            requests_handled=requests,
             throughput_rps=throughput,
-            mean_batch_size=batch_hist.mean,
-            accuracy=run.accuracy,
+            mean_batch_size=mean_batch,
+            accuracy=accuracy,
             delivery_ratio=delivered / attempts if attempts else 1.0,
             energy_j_total=energy,
         )

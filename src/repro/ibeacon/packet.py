@@ -88,14 +88,24 @@ class IBeaconPacket:
         return (self.uuid, self.major, self.minor)
 
     def encode(self) -> bytes:
-        """Serialise to the 30-byte on-air advertisement payload."""
-        return (
-            IBEACON_PREFIX
-            + self.uuid.bytes
-            + self.major.to_bytes(2, "big")
-            + self.minor.to_bytes(2, "big")
-            + self.tx_power.to_bytes(1, "big", signed=True)
-        )
+        """Serialise to the 30-byte on-air advertisement payload.
+
+        The payload is memoised on first call: a beacon transmits the
+        same bytes for life, and the simulator encodes each packet once
+        per advertisement, so caching turns the hot path into a single
+        attribute read.  Safe because the dataclass is frozen.
+        """
+        cached = getattr(self, "_encoded", None)
+        if cached is None:
+            cached = (
+                IBEACON_PREFIX
+                + self.uuid.bytes
+                + self.major.to_bytes(2, "big")
+                + self.minor.to_bytes(2, "big")
+                + self.tx_power.to_bytes(1, "big", signed=True)
+            )
+            object.__setattr__(self, "_encoded", cached)
+        return cached
 
     def __str__(self) -> str:
         return (

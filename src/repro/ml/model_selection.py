@@ -15,7 +15,25 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.parallel.engine import ShardPlan, ShardSpec, run_shards
+
 __all__ = ["train_test_split", "KFold", "cross_val_score", "GridSearch"]
+
+
+def _fit_score_fold(spec: ShardSpec) -> float:
+    """Process-pool worker: fit a clone on one fold and score it."""
+    estimator, X, y, train_idx, test_idx = spec.payload
+    model = estimator.clone()
+    model.fit(X[train_idx], y[train_idx])
+    return float(model.score(X[test_idx], y[test_idx]))
+
+
+def _evaluate_candidate(spec: ShardSpec) -> Tuple[dict, float]:
+    """Process-pool worker: cross-validate one parameter combination."""
+    factory, params, X, y, n_splits, seed = spec.payload
+    estimator = factory(params)
+    scores = cross_val_score(estimator, X, y, n_splits=n_splits, seed=seed)
+    return params, float(np.mean(scores))
 
 
 def train_test_split(
@@ -111,16 +129,28 @@ def cross_val_score(
     *,
     n_splits: int = 5,
     seed: int = 0,
+    n_jobs: int = 1,
 ) -> np.ndarray:
     """Per-fold accuracy of a cloneable estimator.
 
     The estimator must expose ``clone()``, ``fit(X, y)`` and
-    ``score(X, y)`` (all classifiers in this package do).
+    ``score(X, y)`` (all classifiers in this package do).  With
+    ``n_jobs > 1`` the folds are fitted on a process pool; the fold
+    split comes from the seed alone, so the scores array is identical
+    at every ``n_jobs``.
     """
     X = np.asarray(X)
     y = np.asarray(y)
+    folds = list(KFold(n_splits=n_splits, seed=seed).split(X.shape[0]))
+    if n_jobs > 1:
+        plan = ShardPlan.create(
+            "cross-val",
+            seed,
+            [(estimator, X, y, train_idx, test_idx) for train_idx, test_idx in folds],
+        )
+        return np.asarray(run_shards(_fit_score_fold, plan, workers=n_jobs))
     scores = []
-    for train_idx, test_idx in KFold(n_splits=n_splits, seed=seed).split(X.shape[0]):
+    for train_idx, test_idx in folds:
         model = estimator.clone()
         model.fit(X[train_idx], y[train_idx])
         scores.append(model.score(X[test_idx], y[test_idx]))
@@ -136,6 +166,11 @@ class GridSearch:
         param_grid: parameter name -> list of candidate values.
         n_splits: CV folds per candidate.
         seed: CV shuffling seed.
+        n_jobs: process-pool size evaluating candidates; each
+            combination's cross-validation is independently seeded,
+            so ``best_params_`` and ``results_`` are identical at
+            every ``n_jobs`` (a lambda factory cannot cross the
+            process boundary and falls back to serial evaluation).
 
     Example:
         >>> from repro.ml.svm import SupportVectorClassifier
@@ -154,28 +189,64 @@ class GridSearch:
         *,
         n_splits: int = 3,
         seed: int = 0,
+        n_jobs: int = 1,
     ) -> None:
         if not param_grid:
             raise ValueError("param_grid must not be empty")
+        if n_jobs < 1:
+            raise ValueError(f"n_jobs must be >= 1, got {n_jobs}")
         self.factory = factory
         self.param_grid = {k: list(v) for k, v in param_grid.items()}
         self.n_splits = n_splits
         self.seed = seed
+        self.n_jobs = n_jobs
         self.results_: List[Tuple[dict, float]] = []
         self.best_params_: Optional[dict] = None
         self.best_score_: float = -np.inf
 
-    def fit(self, X: np.ndarray, y: Sequence) -> "GridSearch":
-        """Evaluate every parameter combination; keep the best."""
+    def _candidates(self) -> List[dict]:
+        """All parameter combinations, in deterministic grid order."""
         keys = sorted(self.param_grid)
-        self.results_ = []
-        for values in itertools.product(*(self.param_grid[k] for k in keys)):
-            params = dict(zip(keys, values))
-            estimator = self.factory(params)
-            scores = cross_val_score(
-                estimator, X, y, n_splits=self.n_splits, seed=self.seed
+        return [
+            dict(zip(keys, values))
+            for values in itertools.product(*(self.param_grid[k] for k in keys))
+        ]
+
+    def fit(self, X: np.ndarray, y: Sequence) -> "GridSearch":
+        """Evaluate every parameter combination; keep the best.
+
+        Candidates are scored in grid order regardless of which
+        worker finished first, so ties keep resolving to the earliest
+        combination exactly as in the serial loop.
+        """
+        X = np.asarray(X)
+        y = np.asarray(y)
+        candidates = self._candidates()
+        if self.n_jobs > 1:
+            plan = ShardPlan.create(
+                "grid-search",
+                self.seed,
+                [
+                    (self.factory, params, X, y, self.n_splits, self.seed)
+                    for params in candidates
+                ],
             )
-            mean_score = float(np.mean(scores))
+            scored = run_shards(_evaluate_candidate, plan, workers=self.n_jobs)
+        else:
+            scored = [
+                _evaluate_candidate(
+                    ShardSpec(
+                        index=i,
+                        seed=self.seed,
+                        payload=(
+                            self.factory, params, X, y, self.n_splits, self.seed
+                        ),
+                    )
+                )
+                for i, params in enumerate(candidates)
+            ]
+        self.results_ = []
+        for params, mean_score in scored:
             self.results_.append((params, mean_score))
             if mean_score > self.best_score_:
                 self.best_score_ = mean_score

@@ -31,6 +31,17 @@ def _attr_key(attrs: Mapping[str, object]) -> AttrKey:
     return tuple(sorted(attrs.items()))
 
 
+def _gauge_write_wins(incoming, current) -> bool:
+    """Whether a merged ``(value, time)`` write supersedes the current.
+
+    Last write by sim time; equal-time writes fall back to the larger
+    value so that gauge merging stays commutative and associative.
+    """
+    if current[0] is None:
+        return True
+    return (incoming[1], incoming[0]) > (current[1], current[0])
+
+
 class _Instrument:
     """Shared plumbing: name, registry backref, event emission."""
 
@@ -101,20 +112,28 @@ class Counter(_Instrument):
 
 
 class Gauge(_Instrument):
-    """Last-written value, optionally split by attributes."""
+    """Last-written value, optionally split by attributes.
+
+    Every write is stamped with the registry clock so that gauges from
+    independent shard registries can be merged with last-write-by-sim-
+    time semantics (see :meth:`MetricsRegistry.merge`).
+    """
 
     kind = GAUGE
 
     def __init__(self, name: str, registry: "MetricsRegistry") -> None:
         super().__init__(name, registry)
         self._value: Optional[float] = None
-        self._by_attrs: Dict[AttrKey, float] = {}
+        self._updated_at: Optional[float] = None
+        self._by_attrs: Dict[AttrKey, Tuple[float, float]] = {}
 
     def set(self, value: float, **attrs: object) -> None:
         """Record the current level of the observed quantity."""
+        now = self._registry.now()
         self._value = float(value)
+        self._updated_at = now
         if attrs:
-            self._by_attrs[_attr_key(attrs)] = float(value)
+            self._by_attrs[_attr_key(attrs)] = (float(value), now)
         self._emit(value, attrs)
 
     @property
@@ -122,9 +141,15 @@ class Gauge(_Instrument):
         """Most recent value, or ``None`` if never set."""
         return self._value
 
+    @property
+    def updated_at(self) -> Optional[float]:
+        """Sim time of the most recent write, or ``None`` if unset."""
+        return self._updated_at
+
     def value_for(self, **attrs: object) -> Optional[float]:
         """Most recent value written under this attribute set."""
-        return self._by_attrs.get(_attr_key(attrs))
+        entry = self._by_attrs.get(_attr_key(attrs))
+        return entry[0] if entry is not None else None
 
 
 class Histogram(_Instrument):
@@ -307,3 +332,107 @@ class MetricsRegistry:
                 "buckets": h.bucket_counts(),
             }
         return out
+
+    # -- mergeable state (the shard-to-parent transport) ----------------
+    def state(self) -> Dict[str, object]:
+        """Full mergeable state of the registry, picklable.
+
+        Unlike :meth:`snapshot` (a lossy human/exporter view), the
+        state keeps everything :meth:`merge` needs to fold one
+        registry into another losslessly: per-attribute counter
+        series, gauge write timestamps, raw histogram bucket counts,
+        and — when the sink records one — the event log.  This is the
+        object a shard worker returns across the process boundary.
+        """
+        counters = {
+            name: {"total": c._total, "series": dict(c._by_attrs)}
+            for name, c in self._counters.items()
+        }
+        gauges = {
+            name: {
+                "value": g._value,
+                "updated_at": g._updated_at,
+                "series": dict(g._by_attrs),
+            }
+            for name, g in self._gauges.items()
+        }
+        histograms = {
+            name: {
+                "bounds": h.bounds,
+                "counts": list(h._counts),
+                "sum": h._sum,
+                "count": h._count,
+            }
+            for name, h in self._histograms.items()
+        }
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+            "events": self.events,
+        }
+
+    def merge(self, other: object) -> "MetricsRegistry":
+        """Fold another registry (or its :meth:`state`) into this one.
+
+        Merge semantics per instrument family:
+
+        - **counters** sum — the grand total and every per-attribute
+          series;
+        - **gauges** keep the last write by sim time (ties broken by
+          the larger value, which keeps the merge commutative);
+        - **histograms** add bucket-wise; both sides must share bucket
+          bounds.
+
+        Events are appended to this registry's sink when it keeps a
+        log (a :class:`~repro.obs.sinks.MemorySink`) and re-sorted by
+        time, so a merged timeline reads like one serial run.  Merging
+        mutates aggregates directly and emits no new instrument
+        events.
+
+        Args:
+            other: a :class:`MetricsRegistry` or a :meth:`state` dict.
+
+        Returns:
+            ``self``, for chaining over shard results.
+
+        Raises:
+            ValueError: a histogram exists on both sides with
+                different bucket bounds.
+        """
+        state = other.state() if isinstance(other, MetricsRegistry) else other
+        if not isinstance(state, Mapping):
+            raise TypeError(
+                f"merge() needs a MetricsRegistry or state dict, got {other!r}"
+            )
+        for name, payload in state.get("counters", {}).items():
+            counter = self.counter(name)
+            counter._total += payload["total"]
+            for key, value in payload["series"].items():
+                counter._by_attrs[key] = counter._by_attrs.get(key, 0.0) + value
+        for name, payload in state.get("gauges", {}).items():
+            gauge = self.gauge(name)
+            if payload["value"] is not None:
+                incoming = (payload["value"], payload["updated_at"])
+                if _gauge_write_wins(incoming, (gauge._value, gauge._updated_at)):
+                    gauge._value, gauge._updated_at = incoming
+            for key, entry in payload["series"].items():
+                current = gauge._by_attrs.get(key)
+                if current is None or _gauge_write_wins(entry, current):
+                    gauge._by_attrs[key] = entry
+        for name, payload in state.get("histograms", {}).items():
+            hist = self.histogram(name, buckets=payload["bounds"])
+            if hist.bounds != tuple(payload["bounds"]):
+                raise ValueError(
+                    f"histogram {name!r} bucket bounds differ: "
+                    f"{hist.bounds} vs {tuple(payload['bounds'])}"
+                )
+            for i, n in enumerate(payload["counts"]):
+                hist._counts[i] += n
+            hist._sum += payload["sum"]
+            hist._count += payload["count"]
+        events = state.get("events") or []
+        if events and isinstance(self.sink, MemorySink):
+            self.sink.events.extend(events)
+            self.sink.events.sort(key=lambda e: e.time)
+        return self

@@ -1,0 +1,37 @@
+"""Deterministic parallel execution: shard plans over a process pool.
+
+The package turns embarrassingly parallel workloads — fleet load runs,
+grid searches, ablation sweeps — into explicit :class:`ShardPlan`
+objects whose per-shard seeds are derived from the master seed via
+:func:`repro.sim.rng.derive_seed`.  Because the *plan* (not the worker
+count) fixes the decomposition, results are worker-count invariant:
+the same plan executed at ``workers=1`` and ``workers=8`` yields
+byte-identical outputs, merely faster.
+
+Entry points:
+
+- :func:`run_shards` — execute a plan on a
+  :class:`~concurrent.futures.ProcessPoolExecutor` (serial in-process
+  fallback for ``workers=1``, unpicklable work, or platforms without
+  usable multiprocessing);
+- :func:`~repro.parallel.sweep.sweep` — fan a parameter sweep out and
+  collect results in point order.
+"""
+
+from repro.parallel.engine import (
+    ShardPlan,
+    ShardResult,
+    ShardSpec,
+    available_workers,
+    run_shards,
+)
+from repro.parallel.sweep import sweep
+
+__all__ = [
+    "ShardPlan",
+    "ShardResult",
+    "ShardSpec",
+    "available_workers",
+    "run_shards",
+    "sweep",
+]

@@ -1,0 +1,242 @@
+"""The work-sharded runner and its plan/result protocol.
+
+A :class:`ShardPlan` is a deterministic decomposition of one job into
+independent shards.  Each :class:`ShardSpec` carries its own RNG seed,
+derived from the plan's master seed and the shard index through
+:func:`repro.sim.rng.derive_seed` — exactly the mechanism the rest of
+the simulation uses for named streams — so a shard's randomness never
+depends on which worker process executes it, in what order, or how
+many workers there are.
+
+:func:`run_shards` executes a plan.  The contract is strict:
+
+- the worker is called once per shard and must depend only on the
+  :class:`ShardSpec` it receives (never on process-global state);
+- results are returned in shard-index order regardless of completion
+  order;
+- ``workers=1`` runs serially in-process, and any plan that cannot
+  cross a process boundary (unpicklable worker or payload, broken
+  pool, missing multiprocessing support) silently degrades to the
+  same serial path — the *answer* never changes, only the wall clock.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.sim.rng import derive_seed
+
+__all__ = [
+    "ShardSpec",
+    "ShardPlan",
+    "ShardResult",
+    "available_workers",
+    "run_shards",
+]
+
+#: A worker: maps one shard spec to its (picklable) result.
+ShardWorker = Callable[["ShardSpec"], Any]
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One independent unit of work inside a plan.
+
+    Attributes:
+        index: position of the shard in the plan, 0-based.
+        seed: this shard's RNG seed, derived from the plan's master
+            seed and the shard index (worker-count invariant).
+        payload: picklable work description (items to process,
+            parameter points, sub-fleet size, ...).
+    """
+
+    index: int
+    seed: int
+    payload: Any = None
+
+
+@dataclass(frozen=True)
+class ShardResult:
+    """A worker return value that carries mergeable telemetry.
+
+    Workers are free to return any picklable object; those that also
+    collected per-shard metrics wrap them in a ``ShardResult`` so the
+    caller can fold every shard's registry state into one via
+    :meth:`repro.obs.metrics.MetricsRegistry.merge` (in shard-index
+    order, for determinism).
+
+    Attributes:
+        index: the shard index this result belongs to.
+        value: the worker's payload result.
+        metrics: a :meth:`~repro.obs.metrics.MetricsRegistry.state`
+            snapshot of the shard's registry, or ``None``.
+    """
+
+    index: int
+    value: Any
+    metrics: Optional[dict] = None
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """A deterministic decomposition of one job into shards.
+
+    The plan — its name, master seed and shard payloads — fully
+    determines the result of :func:`run_shards`; the worker count is
+    pure scheduling.  Construct plans through :meth:`create` or
+    :meth:`split` so every shard's seed comes out of the canonical
+    derivation ``derive_seed(master_seed, f"{name}:shard:{index}")``.
+
+    Attributes:
+        name: seed namespace of the job (e.g. ``"fleet"``).
+        master_seed: the job's master seed.
+        shards: the shard specs, in index order.
+    """
+
+    name: str
+    master_seed: int
+    shards: Tuple[ShardSpec, ...]
+
+    @classmethod
+    def create(
+        cls, name: str, master_seed: int, payloads: Sequence[Any]
+    ) -> "ShardPlan":
+        """One shard per payload, seeds derived from the master seed."""
+        shards = tuple(
+            ShardSpec(
+                index=i,
+                seed=derive_seed(master_seed, f"{name}:shard:{i}"),
+                payload=payload,
+            )
+            for i, payload in enumerate(payloads)
+        )
+        return cls(name=name, master_seed=int(master_seed), shards=shards)
+
+    @classmethod
+    def split(
+        cls, name: str, master_seed: int, items: Sequence[Any], n_shards: int
+    ) -> "ShardPlan":
+        """Partition ``items`` into ``n_shards`` contiguous chunks.
+
+        Chunk sizes are balanced (they differ by at most one item, the
+        larger chunks first), empty chunks are dropped, and the chunk
+        boundaries depend only on ``len(items)`` and ``n_shards`` — so
+        the decomposition is stable across runs and worker counts.
+
+        Raises:
+            ValueError: ``n_shards < 1``.
+        """
+        if n_shards < 1:
+            raise ValueError(f"need >= 1 shard, got {n_shards}")
+        items = list(items)
+        n_shards = min(n_shards, len(items)) or 1
+        base, extra = divmod(len(items), n_shards)
+        chunks: List[tuple] = []
+        start = 0
+        for i in range(n_shards):
+            size = base + (1 if i < extra else 0)
+            chunks.append(tuple(items[start : start + size]))
+            start += size
+        return cls.create(name, master_seed, chunks)
+
+    def __len__(self) -> int:
+        return len(self.shards)
+
+
+def available_workers() -> int:
+    """Number of CPUs usable by this process (>= 1)."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return max(1, os.cpu_count() or 1)
+
+
+def _run_serial(worker: ShardWorker, plan: ShardPlan) -> List[Any]:
+    return [worker(spec) for spec in plan.shards]
+
+
+def _pool_context():
+    """The multiprocessing context to use, or ``None`` when no start
+    method is usable on this platform."""
+    import multiprocessing
+
+    try:
+        methods = multiprocessing.get_all_start_methods()
+    except Exception:  # pragma: no cover - exotic platforms
+        return None
+    # Prefer fork: cheapest start-up and the child inherits imported
+    # modules, so even workers defined in scripts resolve.
+    for method in ("fork", "spawn"):
+        if method in methods:
+            return multiprocessing.get_context(method)
+    return None  # pragma: no cover - no usable start method
+
+
+def _crosses_process_boundary(worker: ShardWorker, plan: ShardPlan) -> bool:
+    """Whether worker and payloads survive pickling to a child."""
+    try:
+        pickle.dumps(worker)
+        pickle.dumps(plan.shards)
+    except Exception:
+        return False
+    return True
+
+
+def run_shards(
+    worker: ShardWorker, plan: ShardPlan, *, workers: int = 1
+) -> List[Any]:
+    """Execute ``worker`` over every shard of ``plan``.
+
+    Args:
+        worker: module-level callable mapping a :class:`ShardSpec` to
+            a picklable result.  It must be a pure function of the
+            spec for worker-count invariance to hold.
+        plan: the deterministic decomposition to execute.
+        workers: process-pool size; ``1`` runs serially in-process.
+
+    Returns:
+        One result per shard, in shard-index order — identical for
+        every ``workers`` value.
+
+    Raises:
+        ValueError: ``workers < 1``.
+        Exception: the first failing shard's exception, in shard
+            order, when a worker raises.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if workers == 1 or len(plan.shards) <= 1:
+        return _run_serial(worker, plan)
+    context = _pool_context()
+    if context is None or not _crosses_process_boundary(worker, plan):
+        warnings.warn(
+            f"plan {plan.name!r} cannot cross a process boundary; "
+            "running shards serially in-process",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return _run_serial(worker, plan)
+    max_workers = min(workers, len(plan.shards))
+    try:
+        with ProcessPoolExecutor(
+            max_workers=max_workers, mp_context=context
+        ) as pool:
+            futures = [pool.submit(worker, spec) for spec in plan.shards]
+            return [f.result() for f in futures]
+    except BrokenProcessPool:
+        # A child died (commonly: the worker unpickles in the parent
+        # but not in a spawn child).  The serial path computes the
+        # identical answer, so fall back rather than fail.
+        warnings.warn(
+            f"process pool for plan {plan.name!r} broke; "
+            "re-running shards serially in-process",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return _run_serial(worker, plan)

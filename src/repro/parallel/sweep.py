@@ -1,0 +1,49 @@
+"""Parameter-sweep fan-out on top of the shard engine.
+
+The ablation benchmarks (and any experiment shaped like "evaluate
+``fn`` at each point of a grid") are embarrassingly parallel: every
+point is independent and carries its own seed.  :func:`sweep` wraps
+that shape — one shard per point, results in point order, identical
+for every worker count.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Sequence
+
+from repro.parallel.engine import ShardPlan, ShardSpec, run_shards
+
+__all__ = ["sweep"]
+
+
+def _evaluate_point(spec: ShardSpec) -> Any:
+    """Worker: unpack ``(fn, point)`` and evaluate."""
+    fn, point = spec.payload
+    return fn(point)
+
+
+def sweep(
+    fn: Callable[[Any], Any],
+    points: Sequence[Any],
+    *,
+    workers: int = 1,
+    master_seed: int = 0,
+    name: str = "sweep",
+) -> List[Any]:
+    """Evaluate ``fn`` at every point, fanning out across processes.
+
+    Args:
+        fn: module-level callable evaluated once per point.  Seeds
+            belong *in the points*: a point that carries its own seed
+            stays reproducible no matter where it runs.
+        points: the parameter points, in result order.
+        workers: process-pool size; ``1`` evaluates serially.
+        master_seed: namespace seed for the underlying shard plan
+            (only relevant to workers that read ``spec.seed``).
+        name: plan name, for diagnostics.
+
+    Returns:
+        ``[fn(p) for p in points]`` — same values at any worker count.
+    """
+    plan = ShardPlan.create(name, master_seed, [(fn, p) for p in points])
+    return run_shards(_evaluate_point, plan, workers=workers)

@@ -21,7 +21,7 @@ filter design (Section V) exists to tolerate them.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -32,7 +32,7 @@ from repro.radio.pathloss import LogDistancePathLoss
 from repro.radio.shadowing import ShadowingField
 from repro.sim.rng import derive_seed
 
-__all__ = ["LinkBudget", "ChannelModel"]
+__all__ = ["LinkBudget", "LinkBudgetBatch", "ChannelModel"]
 
 Position = Tuple[float, float]
 
@@ -60,6 +60,49 @@ class LinkBudget:
     noise_db: float
     rssi: float
     received: bool
+
+
+@dataclass(frozen=True)
+class LinkBudgetBatch:
+    """Column-wise link budgets for a batch of samples.
+
+    The vectorised counterpart of :class:`LinkBudget`: every attribute
+    is an array over the batch, in input order.  ``budgets()`` expands
+    back to per-sample :class:`LinkBudget` rows when object form is
+    more convenient (tests, diagnostics).
+    """
+
+    distance_m: np.ndarray
+    tx_power_dbm: np.ndarray
+    path_loss_db: np.ndarray
+    wall_loss_db: np.ndarray
+    shadowing_db: np.ndarray
+    fading_db: np.ndarray
+    rx_gain_db: float
+    noise_db: np.ndarray
+    rssi: np.ndarray
+    received: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.rssi)
+
+    def budgets(self) -> List[LinkBudget]:
+        """Per-sample :class:`LinkBudget` rows, in batch order."""
+        return [
+            LinkBudget(
+                distance_m=float(self.distance_m[i]),
+                tx_power_dbm=float(self.tx_power_dbm[i]),
+                path_loss_db=float(self.path_loss_db[i]),
+                wall_loss_db=float(self.wall_loss_db[i]),
+                shadowing_db=float(self.shadowing_db[i]),
+                fading_db=float(self.fading_db[i]),
+                rx_gain_db=self.rx_gain_db,
+                noise_db=float(self.noise_db[i]),
+                rssi=float(self.rssi[i]),
+                received=bool(self.received[i]),
+            )
+            for i in range(len(self.rssi))
+        ]
 
 
 class ChannelModel:
@@ -117,6 +160,27 @@ class ChannelModel:
             )
         return self._shadow_fields[tx_id]
 
+    def _deterministic_parts(
+        self, tx_id: str, tx_pos: Position, rx_pos: Position, tx_power_dbm: float
+    ) -> Tuple[float, float, float, float]:
+        """The seed-free budget components of one link.
+
+        Returns:
+            ``(distance_m, path_loss_db, wall_loss_db, shadowing_db)``
+            — everything the budget needs that does not consume the
+            random stream (shadowing is deterministic per position).
+        """
+        dx = rx_pos[0] - tx_pos[0]
+        dy = rx_pos[1] - tx_pos[1]
+        distance = float(np.hypot(dx, dy))
+        mean_rssi = self.path_loss.rssi(max(distance, 1e-6), tx_power_dbm)
+        path_loss = tx_power_dbm - mean_rssi
+        walls = 0.0
+        if self.wall_oracle is not None:
+            walls = wall_loss_db(self.wall_oracle(tx_pos, rx_pos))
+        shadow = self._shadow_field(tx_id).sample(rx_pos[0], rx_pos[1])
+        return distance, path_loss, walls, shadow
+
     def link_budget(
         self,
         tx_id: str,
@@ -127,17 +191,9 @@ class ChannelModel:
         rng: np.random.Generator,
     ) -> LinkBudget:
         """Draw one RSSI sample and return its full decomposition."""
-        dx = rx_pos[0] - tx_pos[0]
-        dy = rx_pos[1] - tx_pos[1]
-        distance = float(np.hypot(dx, dy))
-        mean_rssi = self.path_loss.rssi(max(distance, 1e-6), tx_power_dbm)
-        path_loss = tx_power_dbm - mean_rssi
-
-        walls = 0.0
-        if self.wall_oracle is not None:
-            walls = wall_loss_db(self.wall_oracle(tx_pos, rx_pos))
-
-        shadow = self._shadow_field(tx_id).sample(rx_pos[0], rx_pos[1])
+        distance, path_loss, walls, shadow = self._deterministic_parts(
+            tx_id, tx_pos, rx_pos, tx_power_dbm
+        )
         fade = self.fading.sample_db(rng) if self.fading is not None else 0.0
         noise = (
             float(rng.normal(0.0, device.rssi_noise_db))
@@ -165,6 +221,107 @@ class ChannelModel:
         return LinkBudget(
             distance_m=distance,
             tx_power_dbm=tx_power_dbm,
+            path_loss_db=path_loss,
+            wall_loss_db=walls,
+            shadowing_db=shadow,
+            fading_db=fade,
+            rx_gain_db=device.rx_gain_db,
+            noise_db=noise,
+            rssi=rssi,
+            received=received,
+        )
+
+    def link_budget_many(
+        self,
+        tx_ids: Sequence[str],
+        tx_positions: Sequence[Position],
+        rx_positions: Sequence[Position],
+        tx_powers_dbm: Sequence[float],
+        device: DeviceRadioProfile,
+        rng: np.random.Generator,
+    ) -> LinkBudgetBatch:
+        """Vectorised link budgets for a whole scan's worth of samples.
+
+        Path loss, shadowing and fading for all ``n`` samples are
+        computed in single numpy passes instead of ``n`` Python-level
+        calls — this is the hot path of every scan cycle.  The
+        deterministic components (distance, path loss, wall loss,
+        shadowing) are **identical** to ``n`` scalar
+        :meth:`link_budget` calls; the stochastic components consume
+        ``rng`` in a fixed batch order (all fading draws, then all
+        noise draws, then collision uniforms, then stack-loss
+        uniforms), so a batched run is deterministic per seed but
+        realises a different sample path than the per-sample loop.
+        Loss uniforms are drawn for every sample — not only the ones
+        above sensitivity — which keeps stream consumption a function
+        of the batch size alone.
+
+        Args:
+            tx_ids: transmitter id per sample (shadowing-field key).
+            tx_positions: transmitter position per sample.
+            rx_positions: receiver position per sample.
+            tx_powers_dbm: effective radiated power per sample.
+            device: receiver radio profile (shared by the batch —
+                one phone scans at a time).
+            rng: random stream for fading/noise/loss draws.
+        """
+        n = len(tx_ids)
+        tx_xy = np.asarray(tx_positions, dtype=float).reshape(n, 2)
+        rx_xy = np.asarray(rx_positions, dtype=float).reshape(n, 2)
+        tx_powers = np.asarray(tx_powers_dbm, dtype=float)
+
+        distance = np.hypot(
+            rx_xy[:, 0] - tx_xy[:, 0], rx_xy[:, 1] - tx_xy[:, 1]
+        )
+        mean_rssi = self.path_loss.rssi(np.maximum(distance, 1e-6), tx_powers)
+        path_loss = tx_powers - mean_rssi
+
+        walls = np.zeros(n)
+        if self.wall_oracle is not None:
+            for i in range(n):
+                walls[i] = wall_loss_db(
+                    self.wall_oracle(tuple(tx_xy[i]), tuple(rx_xy[i]))
+                )
+
+        shadow = np.empty(n)
+        tx_id_arr = np.asarray(tx_ids, dtype=object)
+        for tx_id in dict.fromkeys(tx_ids):  # unique, first-seen order
+            mask = tx_id_arr == tx_id
+            shadow[mask] = self._shadow_field(tx_id).sample_many(
+                rx_xy[mask, 0], rx_xy[mask, 1]
+            )
+
+        fade = (
+            self.fading.sample_db(rng, size=n)
+            if self.fading is not None
+            else np.zeros(n)
+        )
+        noise = (
+            rng.normal(0.0, device.rssi_noise_db, size=n)
+            if device.rssi_noise_db > 0.0
+            else np.zeros(n)
+        )
+
+        raw = (
+            tx_powers
+            - path_loss
+            - walls
+            + shadow
+            + fade
+            + device.rx_gain_db
+            + noise
+        )
+        rssi = device.quantise(raw)
+
+        received = rssi >= device.sensitivity_dbm
+        if self.collision_loss_prob > 0.0:
+            received &= rng.random(size=n) >= self.collision_loss_prob
+        if device.extra_loss_prob > 0.0:
+            received &= rng.random(size=n) >= device.extra_loss_prob
+
+        return LinkBudgetBatch(
+            distance_m=distance,
+            tx_power_dbm=tx_powers,
             path_loss_db=path_loss,
             wall_loss_db=walls,
             shadowing_db=shadow,

@@ -14,6 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping
 
+import numpy as np
+
 __all__ = ["DeviceRadioProfile", "DEVICE_PROFILES"]
 
 
@@ -55,11 +57,17 @@ class DeviceRadioProfile:
                 f"rssi_quantisation_db must be >= 0, got {self.rssi_quantisation_db}"
             )
 
-    def quantise(self, rssi_dbm: float) -> float:
-        """Apply the device's RSSI reporting granularity."""
+    def quantise(self, rssi_dbm):
+        """Apply the device's RSSI reporting granularity.
+
+        Accepts a scalar or an array; both use round-half-to-even, so
+        the vectorised result matches the scalar path exactly.
+        """
         if self.rssi_quantisation_db == 0.0:
             return rssi_dbm
         q = self.rssi_quantisation_db
+        if isinstance(rssi_dbm, np.ndarray):
+            return np.rint(rssi_dbm / q) * q
         return round(rssi_dbm / q) * q
 
 

@@ -127,3 +127,30 @@ class TestRoundtripProperty:
         other = make_packet(major=minor, minor=major).encode()
         if (major, minor) != (minor, major):
             assert base != other
+
+
+class TestEncodeCache:
+    """encode() memoises the payload on the frozen dataclass."""
+
+    def test_repeated_encode_returns_same_object(self):
+        packet = make_packet()
+        assert packet.encode() is packet.encode()
+
+    def test_cached_payload_still_roundtrips(self):
+        packet = make_packet()
+        packet.encode()  # prime the cache
+        assert decode_packet(packet.encode()) == packet
+
+    def test_cache_does_not_leak_across_instances(self):
+        a = make_packet(major=1)
+        a.encode()
+        b = make_packet(major=2)
+        assert a.encode() != b.encode()
+        assert decode_packet(b.encode()).major == 2
+
+    def test_equality_and_hash_unaffected_by_cache(self):
+        a = make_packet()
+        b = make_packet()
+        a.encode()  # only a carries the cached payload
+        assert a == b
+        assert hash(a) == hash(b)

@@ -1,0 +1,215 @@
+"""Tests for the deterministic parallel execution engine.
+
+The load-bearing property throughout: the shard *plan* fixes the
+decomposition and the per-shard seeds, so results are identical at
+every worker count — parallelism buys wall clock, never a different
+answer.
+"""
+
+import numpy as np
+import pytest
+
+from repro.building.presets import two_room_corridor
+from repro.fleet import FleetLoadGenerator
+from repro.ml.knn import KNeighborsClassifier
+from repro.ml.model_selection import GridSearch, cross_val_score
+from repro.obs import MemorySink, MetricsRegistry
+from repro.parallel import (
+    ShardPlan,
+    ShardSpec,
+    available_workers,
+    run_shards,
+    sweep,
+)
+from repro.sim.rng import derive_seed
+
+
+def seeded_square(spec: ShardSpec):
+    """Module-level worker: picklable, depends only on the spec."""
+    rng = np.random.default_rng(spec.seed)
+    return (spec.payload ** 2, float(rng.random()))
+
+
+def failing_worker(spec: ShardSpec):
+    """Module-level worker that fails on shard 1."""
+    if spec.index == 1:
+        raise RuntimeError("shard 1 exploded")
+    return spec.payload
+
+
+def double_point(point):
+    """Module-level sweep function."""
+    return point * 2
+
+
+def knn_factory(params):
+    """Module-level estimator factory (crosses the process boundary)."""
+    return KNeighborsClassifier(k=params["k"])
+
+
+def dataset(n_per=30, seed=0):
+    rng = np.random.default_rng(seed)
+    X = np.vstack(
+        [rng.normal((0, 0), 0.5, (n_per, 2)), rng.normal((4, 0), 0.5, (n_per, 2))]
+    )
+    y = np.array(["a"] * n_per + ["b"] * n_per)
+    return X, y
+
+
+class TestShardPlan:
+    def test_create_derives_canonical_seeds(self):
+        plan = ShardPlan.create("job", 42, ["a", "b", "c"])
+        assert len(plan) == 3
+        for i, spec in enumerate(plan.shards):
+            assert spec.index == i
+            assert spec.seed == derive_seed(42, f"job:shard:{i}")
+        assert [s.payload for s in plan.shards] == ["a", "b", "c"]
+
+    def test_seeds_differ_between_shards_and_plans(self):
+        plan = ShardPlan.create("job", 0, [None, None])
+        other = ShardPlan.create("other", 0, [None, None])
+        seeds = {s.seed for s in plan.shards} | {s.seed for s in other.shards}
+        assert len(seeds) == 4
+
+    def test_split_balances_contiguously(self):
+        plan = ShardPlan.split("job", 0, list(range(10)), 3)
+        chunks = [s.payload for s in plan.shards]
+        assert chunks == [(0, 1, 2, 3), (4, 5, 6), (7, 8, 9)]
+
+    def test_split_caps_shards_at_item_count(self):
+        plan = ShardPlan.split("job", 0, [1, 2], 8)
+        assert len(plan) == 2
+        assert [s.payload for s in plan.shards] == [(1,), (2,)]
+
+    def test_split_rejects_bad_shard_count(self):
+        with pytest.raises(ValueError):
+            ShardPlan.split("job", 0, [1], 0)
+
+    def test_split_empty_items_yields_one_empty_shard(self):
+        plan = ShardPlan.split("job", 0, [], 4)
+        assert len(plan) == 1
+        assert plan.shards[0].payload == ()
+
+
+class TestRunShards:
+    def test_rejects_bad_worker_count(self):
+        plan = ShardPlan.create("job", 0, [1])
+        with pytest.raises(ValueError):
+            run_shards(seeded_square, plan, workers=0)
+
+    def test_serial_results_in_shard_order(self):
+        plan = ShardPlan.create("job", 7, [2, 3, 4])
+        results = run_shards(seeded_square, plan, workers=1)
+        assert [r[0] for r in results] == [4, 9, 16]
+
+    def test_parallel_equals_serial(self):
+        plan = ShardPlan.create("job", 7, [2, 3, 4, 5])
+        assert run_shards(seeded_square, plan, workers=1) == run_shards(
+            seeded_square, plan, workers=3
+        )
+
+    def test_worker_exception_propagates(self):
+        plan = ShardPlan.create("job", 0, ["a", "b"])
+        with pytest.raises(RuntimeError, match="shard 1 exploded"):
+            run_shards(failing_worker, plan, workers=1)
+        with pytest.raises(RuntimeError, match="shard 1 exploded"):
+            run_shards(failing_worker, plan, workers=2)
+
+    def test_unpicklable_worker_falls_back_serially(self):
+        plan = ShardPlan.create("job", 0, [1, 2, 3])
+        with pytest.warns(RuntimeWarning, match="cannot cross a process"):
+            results = run_shards(lambda spec: spec.payload * 10, plan, workers=2)
+        assert results == [10, 20, 30]
+
+    def test_available_workers_is_positive(self):
+        assert available_workers() >= 1
+
+
+class TestSweep:
+    def test_matches_direct_evaluation(self):
+        points = [1, 2, 5, 9]
+        assert sweep(double_point, points) == [p * 2 for p in points]
+
+    def test_worker_count_invariant(self):
+        points = list(range(8))
+        serial = sweep(double_point, points, workers=1)
+        parallel = sweep(double_point, points, workers=2)
+        assert serial == parallel
+
+
+class TestFleetInvariance:
+    """The acceptance property: identical FleetReport at any workers."""
+
+    @staticmethod
+    def _sharded_fleet(workers):
+        registry = MetricsRegistry(sink=MemorySink())
+        generator = FleetLoadGenerator(
+            devices=2,
+            duration_s=30.0,
+            batch_size=4,
+            batch_delay_s=8.0,
+            calibration_s=120.0,
+            seed=1,
+            plan=two_room_corridor(),
+            registry=registry,
+            shards=2,
+            workers=workers,
+        )
+        return generator.run(), registry
+
+    def test_workers_do_not_change_the_report_or_telemetry(self):
+        serial_report, serial_registry = self._sharded_fleet(workers=1)
+        pooled_report, pooled_registry = self._sharded_fleet(workers=2)
+        assert serial_report == pooled_report
+        assert serial_registry.snapshot() == pooled_registry.snapshot()
+        assert serial_registry.events == pooled_registry.events
+
+    def test_sharded_report_aggregates_whole_fleet(self):
+        report, _ = self._sharded_fleet(workers=2)
+        assert report.devices == 2
+        assert report.reports_ingested > 0
+        assert 0.0 <= report.delivery_ratio <= 1.0
+        assert report.energy_j_total > 0.0
+
+    def test_shards_default_to_workers_and_cap_at_devices(self):
+        generator = FleetLoadGenerator(devices=2, workers=8)
+        assert generator.shards == 2
+        pinned = FleetLoadGenerator(devices=8, workers=4, shards=2)
+        assert pinned.shards == 2
+
+
+class TestModelSelectionJobs:
+    def test_cross_val_score_n_jobs_invariant(self):
+        X, y = dataset()
+        estimator = KNeighborsClassifier(k=3)
+        serial = cross_val_score(estimator, X, y, n_splits=4, seed=5, n_jobs=1)
+        pooled = cross_val_score(estimator, X, y, n_splits=4, seed=5, n_jobs=2)
+        np.testing.assert_array_equal(serial, pooled)
+
+    def test_grid_search_n_jobs_invariant(self):
+        X, y = dataset()
+        grid = {"k": [1, 3, 5]}
+        serial = GridSearch(knn_factory, grid, n_splits=3, seed=2).fit(X, y)
+        pooled = GridSearch(knn_factory, grid, n_splits=3, seed=2, n_jobs=2).fit(X, y)
+        assert pooled.best_params_ == serial.best_params_
+        assert pooled.best_score_ == serial.best_score_
+        assert pooled.results_ == serial.results_
+
+    def test_grid_search_rejects_bad_n_jobs(self):
+        with pytest.raises(ValueError):
+            GridSearch(knn_factory, {"k": [1]}, n_jobs=0)
+
+    def test_lambda_factory_degrades_to_serial_same_answer(self):
+        X, y = dataset()
+        grid = {"k": [1, 3]}
+        serial = GridSearch(knn_factory, grid, n_splits=3, seed=2).fit(X, y)
+        with pytest.warns(RuntimeWarning, match="cannot cross a process"):
+            pooled = GridSearch(
+                lambda p: KNeighborsClassifier(k=p["k"]),
+                grid,
+                n_splits=3,
+                seed=2,
+                n_jobs=2,
+            ).fit(X, y)
+        assert pooled.best_params_ == serial.best_params_
+        assert pooled.results_ == serial.results_

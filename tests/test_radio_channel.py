@@ -116,3 +116,101 @@ class TestSampleRssi:
     def test_rejects_bad_collision_prob(self):
         with pytest.raises(ValueError):
             ChannelModel(collision_loss_prob=1.5)
+
+
+class TestLinkBudgetMany:
+    """The vectorised batch path pinned against the scalar budget."""
+
+    POSITIONS = [(2.0, 0.0), (3.0, 4.0), (0.5, 0.5), (7.0, 1.0), (1.0, 6.0)]
+
+    def _batch_inputs(self, n=None):
+        rx = self.POSITIONS if n is None else self.POSITIONS[:n]
+        k = len(rx)
+        tx_ids = ["b1", "b2", "b1", "b3", "b2"][:k]
+        tx_pos = [(0.0, 0.0)] * k
+        powers = [-59.0, -59.0, -56.0, -59.0, -62.0][:k]
+        return tx_ids, tx_pos, rx, powers
+
+    def test_quiet_channel_matches_scalar_path_exactly(self, rng):
+        channel = quiet_channel()
+        tx_ids, tx_pos, rx, powers = self._batch_inputs()
+        batch = channel.link_budget_many(tx_ids, tx_pos, rx, powers, IDEAL, rng)
+        for i, budget in enumerate(batch.budgets()):
+            scalar = channel.link_budget(
+                tx_ids[i], tx_pos[i], rx[i], powers[i], IDEAL, rng
+            )
+            assert budget == scalar
+
+    def test_deterministic_components_match_scalar_path(self, rng):
+        channel = ChannelModel(
+            shadowing_sigma_db=4.0,
+            fading=RicianFading(k_factor=6.0),
+            wall_oracle=lambda a, b: ["drywall"] if a[0] < b[0] else [],
+            collision_loss_prob=0.05,
+            seed=3,
+        )
+        tx_ids, tx_pos, rx, powers = self._batch_inputs()
+        batch = channel.link_budget_many(tx_ids, tx_pos, rx, powers, S3, rng)
+        for i in range(len(batch)):
+            scalar = channel.link_budget(
+                tx_ids[i], tx_pos[i], rx[i], powers[i], S3, rng
+            )
+            assert batch.distance_m[i] == scalar.distance_m
+            assert batch.path_loss_db[i] == scalar.path_loss_db
+            assert batch.wall_loss_db[i] == scalar.wall_loss_db
+            assert batch.shadowing_db[i] == scalar.shadowing_db
+
+    def test_same_seed_reproduces_batch(self):
+        channel = ChannelModel(shadowing_sigma_db=4.0, seed=3)
+        tx_ids, tx_pos, rx, powers = self._batch_inputs()
+        first = channel.link_budget_many(
+            tx_ids, tx_pos, rx, powers, S3, np.random.default_rng(11)
+        )
+        second = channel.link_budget_many(
+            tx_ids, tx_pos, rx, powers, S3, np.random.default_rng(11)
+        )
+        assert np.array_equal(first.rssi, second.rssi)
+        assert np.array_equal(first.received, second.received)
+
+    def test_noise_draw_order_is_component_major(self):
+        # With fading disabled, the first rng consumption is the noise
+        # vector: one normal(0, sigma) draw per sample, batch-sized.
+        channel = quiet_channel()
+        tx_ids, tx_pos, rx, powers = self._batch_inputs()
+        profile = IDEAL.__class__(
+            name="noisy", rx_gain_db=0.0, rssi_noise_db=2.0,
+            sensitivity_dbm=-120.0, rssi_quantisation_db=0.0, extra_loss_prob=0.0,
+        )
+        batch = channel.link_budget_many(
+            tx_ids, tx_pos, rx, powers, profile, np.random.default_rng(5)
+        )
+        expected = np.random.default_rng(5).normal(0.0, 2.0, size=len(tx_ids))
+        assert np.array_equal(batch.noise_db, expected)
+
+    def test_quantisation_applied_to_batch(self, rng):
+        channel = quiet_channel()
+        tx_ids, tx_pos, rx, powers = self._batch_inputs()
+        batch = channel.link_budget_many(tx_ids, tx_pos, rx, powers, S3, rng)
+        q = S3.rssi_quantisation_db
+        assert np.array_equal(batch.rssi, np.rint(batch.rssi / q) * q)
+
+    def test_collision_probability_one_loses_everything(self, rng):
+        channel = quiet_channel(collision_loss_prob=1.0)
+        tx_ids, tx_pos, rx, powers = self._batch_inputs()
+        batch = channel.link_budget_many(tx_ids, tx_pos, rx, powers, IDEAL, rng)
+        assert not batch.received.any()
+
+    def test_empty_batch(self, rng):
+        channel = quiet_channel()
+        batch = channel.link_budget_many([], [], [], [], IDEAL, rng)
+        assert len(batch) == 0
+        assert batch.budgets() == []
+
+    def test_loss_rate_roughly_matches_probability(self):
+        channel = quiet_channel(collision_loss_prob=0.3)
+        rng = np.random.default_rng(7)
+        n = 2000
+        batch = channel.link_budget_many(
+            ["b1"] * n, [(0, 0)] * n, [(2, 0)] * n, [-59.0] * n, IDEAL, rng
+        )
+        assert 0.62 < batch.received.mean() < 0.78
