@@ -81,7 +81,7 @@ REPRO_LAYERS: Mapping[str, FrozenSet[str]] = _layers(
 #: randomness.  ``obs`` is included because telemetry must be stamped
 #: with the injected simulation clock, never the process clock.
 SIM_DOMAIN_PACKAGES: FrozenSet[str] = frozenset(
-    {"sim", "ble", "traces", "energy", "building", "obs", "parallel"}
+    {"sim", "ble", "traces", "energy", "building", "obs", "parallel", "ml"}
 )
 
 #: Modules allowed to touch the primitives the determinism rule bans —

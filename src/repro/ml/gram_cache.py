@@ -1,0 +1,198 @@
+"""Shared full-dataset Gram cache: the training-side fast path.
+
+Training repeatedly evaluates the same kernel over row subsets of the
+same dataset: one-vs-one fits one Gram per class pair, one-vs-rest one
+per class, cross-validation one per fold, and grid search multiplies
+all of that by the number of candidates sharing a kernel.  Every one
+of those Grams is a submatrix of the *full-dataset* Gram, and because
+all kernels in :mod:`repro.ml.kernels` are slice-stable (see
+:func:`repro.ml.kernels.stable_dot`), slicing the full Gram is
+bit-identical to computing the submatrix directly.
+
+:class:`GramCache` computes the full Gram once per ``(kernel,
+dataset)`` pair — keyed by kernel value and a content digest of the
+data, so equal-parameter kernels and identical matrices share an entry
+across estimator clones and process-pool workers — and hands out
+row/column-sliced copies.  Models fitted through the cache are
+byte-identical to models fitted without it; only the wall clock
+changes.  :func:`training_fast_path_disabled` switches every consumer
+back to the legacy compute-per-fit path (and the reference SMO scan
+loop), which is what the benchmarks and the byte-identity property
+tests compare against.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.ml.kernels import Kernel
+
+__all__ = [
+    "GramCache",
+    "default_cache",
+    "fast_path_enabled",
+    "shared_kernel",
+    "training_fast_path_disabled",
+]
+
+
+def _dataset_digest(X: np.ndarray) -> Tuple[str, Tuple[int, ...]]:
+    """Content key for a feature matrix: shape plus a byte digest.
+
+    Hashing the bytes (rather than keying on ``id``) lets equal
+    matrices share an entry across estimator clones, CV folds of
+    different candidates, and pickled copies in pool workers.
+    """
+    data = np.ascontiguousarray(X)
+    digest = hashlib.sha1(data.tobytes()).hexdigest()
+    return digest, data.shape
+
+
+class GramCache:
+    """LRU cache of full-dataset Gram matrices.
+
+    Args:
+        max_entries: Gram matrices kept before the least recently used
+            entry is evicted (each entry is ``n x n`` floats, so the
+            bound is a memory guard, not a tuning knob).
+    """
+
+    def __init__(self, max_entries: int = 8) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = int(max_entries)
+        self._entries: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
+        self._slices: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        """Drop every entry and reset the hit/miss counters."""
+        self._entries.clear()
+        self._slices.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def full(self, kernel: Kernel, X: np.ndarray) -> np.ndarray:
+        """The full Gram ``kernel(X, X)``, computed once per key.
+
+        The returned array is marked read-only: callers (and the SMO
+        solver) only ever read it, and a silent in-place edit would
+        poison every later fit sharing the entry.
+        """
+        X = np.asarray(X, dtype=float)
+        try:
+            key = (kernel, *_dataset_digest(X))
+        except TypeError:  # unhashable kernel: compute, don't cache
+            return kernel(X, X)
+        cached = self._entries.get(key)
+        if cached is not None:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return cached
+        self.misses += 1
+        gram = np.asarray(kernel(X, X), dtype=float)
+        gram.flags.writeable = False
+        self._entries[key] = gram
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+        return gram
+
+    def sliced(
+        self, kernel: Kernel, X: np.ndarray, rows: np.ndarray
+    ) -> np.ndarray:
+        """``kernel(X[rows], X[rows])`` as a slice of the cached full Gram.
+
+        Bit-identical to the direct computation because the kernels
+        are slice-stable.  The extracted submatrix is itself cached
+        (keyed by the row selection), so e.g. every grid-search
+        candidate visiting the same CV fold reuses one copy instead of
+        re-gathering an ``r x r`` block per candidate; like the full
+        Gram it is therefore handed out read-only.
+        """
+        X = np.asarray(X, dtype=float)
+        rows = np.asarray(rows, dtype=int)
+        try:
+            key = (kernel, *_dataset_digest(X), rows.tobytes())
+        except TypeError:  # unhashable kernel: compute, don't cache
+            return kernel(X, X)[np.ix_(rows, rows)]
+        cached = self._slices.get(key)
+        if cached is not None:
+            self.hits += 1
+            self._slices.move_to_end(key)
+            return cached
+        sub = self.full(kernel, X)[np.ix_(rows, rows)]
+        sub.flags.writeable = False
+        self._slices[key] = sub
+        while len(self._slices) > 4 * self.max_entries:
+            self._slices.popitem(last=False)
+        return sub
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss/entry counters (for tests and benchmarks)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": len(self._entries),
+        }
+
+
+#: Per-process default cache: serial fits, CV folds, grid-search
+#: candidates and pool workers all share it (each worker process gets
+#: its own copy, warmed by the candidates it is handed).
+_DEFAULT_CACHE = GramCache()
+
+#: When False, every consumer takes the legacy compute-per-fit path
+#: and :class:`repro.ml.svm.BinarySVM` runs the reference per-row SMO
+#: scan — the before-state the benchmarks and identity tests pin.
+_FAST_PATH = True
+
+
+def default_cache() -> GramCache:
+    """The process-wide cache the training paths consult."""
+    return _DEFAULT_CACHE
+
+
+def fast_path_enabled() -> bool:
+    """Whether the shared-Gram / vectorised-scan fast path is active."""
+    return _FAST_PATH
+
+
+@contextmanager
+def training_fast_path_disabled() -> Iterator[None]:
+    """Run the enclosed block on the legacy training path.
+
+    Disables full-Gram sharing *and* the vectorised KKT scan so the
+    block reproduces the pre-fast-path implementation exactly; fitted
+    models must nevertheless come out byte-identical, which is what
+    the property tests assert.
+    """
+    global _FAST_PATH
+    previous = _FAST_PATH
+    _FAST_PATH = False
+    try:
+        yield
+    finally:
+        _FAST_PATH = previous
+
+
+def shared_kernel(estimator) -> Optional[Kernel]:
+    """The kernel a precomputed-Gram fit of ``estimator`` would use.
+
+    Estimators advertise gram-awareness by exposing ``gram_kernel()``
+    (returning their kernel, or ``None`` when machines disagree);
+    anything else — kNN, naive Bayes, proximity — opts out and is
+    fitted through the ordinary path.
+    """
+    probe = getattr(estimator, "gram_kernel", None)
+    if probe is None:
+        return None
+    return probe()

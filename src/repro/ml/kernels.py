@@ -5,6 +5,13 @@ All kernels implement ``__call__(X, Y) -> K`` where ``X`` is (n, d),
 kernels additionally support precomputed row squared norms through
 :meth:`Kernel.gram`, so a fitted SVM can cache its support vectors'
 norms once and reuse them on every prediction batch.
+
+Every kernel here is *slice-stable*: the Gram of any row subset equals
+the corresponding submatrix of the full Gram bit for bit.  The
+training-side Gram cache (``repro.ml.gram_cache``) depends on this to
+hand out sliced views that are byte-identical to a direct computation,
+which in turn keeps SMO trajectories — and therefore fitted models —
+unchanged whether or not the cache is used.
 """
 
 from __future__ import annotations
@@ -15,7 +22,29 @@ from typing import Optional
 
 import numpy as np
 
-__all__ = ["Kernel", "LinearKernel", "PolynomialKernel", "RbfKernel"]
+__all__ = [
+    "Kernel",
+    "LinearKernel",
+    "PolynomialKernel",
+    "RbfKernel",
+    "stable_dot",
+]
+
+
+def stable_dot(X: np.ndarray, Y: np.ndarray) -> np.ndarray:
+    """``X @ Y.T`` computed so each element is independent of the shapes.
+
+    BLAS ``dgemm`` picks blocking and SIMD micro-kernels by matrix
+    dimensions, so ``(X @ X.T)[ix]`` and ``X[rows] @ X[rows].T`` can
+    differ in the last bits — enough to send an SMO trajectory down a
+    different path.  ``np.einsum`` (unoptimised) reduces over the
+    feature axis per output element in a fixed order, making every
+    entry a pure function of its own two rows; submatrix slicing is
+    then bit-identical to direct computation.  Feature dimensions in
+    the fingerprint workloads are small, so the BLAS throughput loss
+    is negligible next to the reuse it unlocks.
+    """
+    return np.einsum("ik,jk->ij", X, Y)
 
 
 class Kernel(abc.ABC):
@@ -66,7 +95,7 @@ class LinearKernel(Kernel):
 
     def __call__(self, X: np.ndarray, Y: np.ndarray) -> np.ndarray:
         X, Y = self._as_2d(X), self._as_2d(Y)
-        return X @ Y.T
+        return stable_dot(X, Y)
 
 
 @dataclass(frozen=True)
@@ -85,7 +114,7 @@ class PolynomialKernel(Kernel):
 
     def __call__(self, X: np.ndarray, Y: np.ndarray) -> np.ndarray:
         X, Y = self._as_2d(X), self._as_2d(Y)
-        return (self.gamma * (X @ Y.T) + self.coef0) ** self.degree
+        return (self.gamma * stable_dot(X, Y) + self.coef0) ** self.degree
 
 
 @dataclass(frozen=True)
@@ -123,5 +152,7 @@ class RbfKernel(Kernel):
             x_sq = self.row_sq_norms(X)
         if y_sq is None:
             y_sq = self.row_sq_norms(Y)
-        sq_dist = np.maximum(x_sq[:, None] + y_sq[None, :] - 2.0 * (X @ Y.T), 0.0)
+        sq_dist = np.maximum(
+            x_sq[:, None] + y_sq[None, :] - 2.0 * stable_dot(X, Y), 0.0
+        )
         return np.exp(-self.gamma * sq_dist)

@@ -15,17 +15,59 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.ml import gram_cache
 from repro.parallel.engine import ShardPlan, ShardSpec, run_shards
 
 __all__ = ["train_test_split", "KFold", "cross_val_score", "GridSearch"]
+
+
+def _fit_fold(model, X: np.ndarray, y: np.ndarray, train_idx: np.ndarray):
+    """Fit ``model`` on one fold, reusing the shared full-dataset Gram.
+
+    Every fold's training Gram is a submatrix of ``kernel(X, X)``, so
+    gram-aware estimators (those exposing ``gram_kernel()``) receive a
+    slice of the process-wide cached full Gram instead of recomputing
+    the fold Gram — once per (kernel, dataset) across *all* folds and
+    all grid-search candidates sharing the kernel.  Slice-stable
+    kernels keep the fitted model byte-identical to the ordinary path.
+    """
+    kernel = gram_cache.shared_kernel(model)
+    if kernel is not None and gram_cache.fast_path_enabled():
+        fold_gram = gram_cache.default_cache().sliced(kernel, X, train_idx)
+        return model.fit(X[train_idx], y[train_idx], gram=fold_gram)
+    return model.fit(X[train_idx], y[train_idx])
+
+
+def _score_fold(model, X, y, train_idx, test_idx) -> float:
+    """Score a fold-fitted model, slicing its bank Gram if possible.
+
+    A fitted model's support-vector bank consists of training rows,
+    and the held-out fold consists of other dataset rows — so the
+    ``kernel(bank, X_test)`` Gram that prediction needs is a
+    row/column block of the same cached full-dataset Gram the fit
+    used.  Slice-stable kernels make the sliced predictions identical
+    to the compute-here path.
+    """
+    kernel = gram_cache.shared_kernel(model)
+    bank_rows = getattr(model, "sv_bank_indices_", None)
+    if (
+        kernel is not None
+        and bank_rows is not None
+        and len(bank_rows)
+        and gram_cache.fast_path_enabled()
+    ):
+        full = gram_cache.default_cache().full(kernel, X)
+        bank_gram = full[np.ix_(train_idx[bank_rows], test_idx)]
+        return float(model.score(X[test_idx], y[test_idx], bank_gram=bank_gram))
+    return float(model.score(X[test_idx], y[test_idx]))
 
 
 def _fit_score_fold(spec: ShardSpec) -> float:
     """Process-pool worker: fit a clone on one fold and score it."""
     estimator, X, y, train_idx, test_idx = spec.payload
     model = estimator.clone()
-    model.fit(X[train_idx], y[train_idx])
-    return float(model.score(X[test_idx], y[test_idx]))
+    _fit_fold(model, X, y, train_idx)
+    return _score_fold(model, X, y, train_idx, test_idx)
 
 
 def _evaluate_candidate(spec: ShardSpec) -> Tuple[dict, float]:
@@ -134,10 +176,14 @@ def cross_val_score(
     """Per-fold accuracy of a cloneable estimator.
 
     The estimator must expose ``clone()``, ``fit(X, y)`` and
-    ``score(X, y)`` (all classifiers in this package do).  With
-    ``n_jobs > 1`` the folds are fitted on a process pool; the fold
-    split comes from the seed alone, so the scores array is identical
-    at every ``n_jobs``.
+    ``score(X, y)`` (all classifiers in this package do).  Gram-aware
+    estimators additionally have their fold Grams sliced from one
+    shared full-dataset Gram (see :mod:`repro.ml.gram_cache`), reused
+    across folds and across grid-search candidates with the same
+    kernel.  With ``n_jobs > 1`` the folds are fitted on a process
+    pool; the fold split comes from the seed alone and the Gram reuse
+    is byte-transparent, so the scores array is identical at every
+    ``n_jobs``.
     """
     X = np.asarray(X)
     y = np.asarray(y)
@@ -152,8 +198,8 @@ def cross_val_score(
     scores = []
     for train_idx, test_idx in folds:
         model = estimator.clone()
-        model.fit(X[train_idx], y[train_idx])
-        scores.append(model.score(X[test_idx], y[test_idx]))
+        _fit_fold(model, X, y, train_idx)
+        scores.append(_score_fold(model, X, y, train_idx, test_idx))
     return np.asarray(scores)
 
 
@@ -171,6 +217,12 @@ class GridSearch:
             so ``best_params_`` and ``results_`` are identical at
             every ``n_jobs`` (a lambda factory cannot cross the
             process boundary and falls back to serial evaluation).
+
+    Candidates that share a kernel also share one full-dataset Gram
+    through the process-wide :class:`repro.ml.gram_cache.GramCache`
+    (each pool worker keeps its own, warmed by the candidates it is
+    handed), so e.g. a sweep over ``C`` computes the kernel exactly
+    once per fold layout instead of once per candidate.
 
     Example:
         >>> from repro.ml.svm import SupportVectorClassifier

@@ -8,10 +8,12 @@ the occupancy problem.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.ml import gram_cache
+from repro.ml.kernels import Kernel
 from repro.ml.svm import BinarySVM
 
 __all__ = ["OneVsRestClassifier"]
@@ -34,10 +36,11 @@ class OneVsRestClassifier:
             kernel.
     """
 
-    def __init__(self, factory: BinaryFactory = None) -> None:
+    def __init__(self, factory: Optional[BinaryFactory] = None) -> None:
         self.factory = factory if factory is not None else BinarySVM
         self.classes_: List = []
         self._machines: Dict = {}
+        self._bank_kernel: Optional[Kernel] = None
 
     def get_params(self) -> dict:
         """Constructor parameters (for grid search cloning)."""
@@ -47,8 +50,39 @@ class OneVsRestClassifier:
         """An unfitted copy with the same factory."""
         return OneVsRestClassifier(self.factory)
 
-    def fit(self, X: np.ndarray, y: Sequence) -> "OneVsRestClassifier":
-        """Train one class-vs-rest machine per label."""
+    def gram_kernel(self) -> Optional[Kernel]:
+        """Kernel shared by this factory's machines, if Gram-reusable.
+
+        Every one-vs-rest machine trains on the *same* rows (all of
+        ``X``), so a single full-dataset Gram serves all of them —
+        but only when the factory builds :class:`BinarySVM` instances,
+        whose ``fit`` accepts a precomputed Gram.  Exotic factories
+        return ``None`` and take the ordinary per-machine path.
+        """
+        probe = self.factory()
+        if not isinstance(probe, BinarySVM):
+            return None
+        return probe.kernel
+
+    def fit(
+        self,
+        X: np.ndarray,
+        y: Sequence,
+        *,
+        gram: Optional[np.ndarray] = None,
+    ) -> "OneVsRestClassifier":
+        """Train one class-vs-rest machine per label.
+
+        All machines share one ``kernel(X, X)`` Gram — passed in via
+        ``gram`` or fetched from the process-wide cache — instead of
+        each computing its own; the fitted machines are byte-identical
+        either way.
+
+        Args:
+            X: feature matrix.
+            y: class labels.
+            gram: optional precomputed full-dataset Gram.
+        """
         X = np.asarray(X, dtype=float)
         y = np.asarray(y)
         if X.shape[0] != y.shape[0]:
@@ -58,31 +92,139 @@ class OneVsRestClassifier:
         self.classes_ = sorted(set(y.tolist()))
         if len(self.classes_) < 2:
             raise ValueError("need at least two classes")
+        kernel = self.gram_kernel()
+        n = X.shape[0]
+        if gram is not None:
+            gram = np.asarray(gram, dtype=float)
+            if gram.shape != (n, n):
+                raise ValueError(
+                    f"gram must have shape {(n, n)}, got {gram.shape}"
+                )
+        elif kernel is not None and gram_cache.fast_path_enabled():
+            gram = gram_cache.default_cache().full(kernel, X)
         self._machines = {}
         for cls in self.classes_:
             labels = np.where(y == cls, 1.0, -1.0)
             machine = self.factory()
-            machine.fit(X, labels)
+            # Only hand the shared Gram to machines that declared the
+            # same kernel; a factory alternating kernels falls back.
+            if (
+                gram is not None
+                and isinstance(machine, BinarySVM)
+                and machine.kernel == kernel
+            ):
+                machine.fit(X, labels, gram=gram)
+            else:
+                machine.fit(X, labels)
             self._machines[cls] = machine
+        self._build_sv_bank(X, kernel)
         return self
 
-    def decision_matrix(self, X: np.ndarray) -> np.ndarray:
-        """Per-class decision values, shape ``(n, n_classes)``."""
+    def _build_sv_bank(self, X: np.ndarray, kernel: Optional[Kernel]) -> None:
+        """Deduplicate support vectors across the per-class machines.
+
+        The machines all train on the full ``X``, so their support
+        indices address the same rows; :meth:`decision_matrix`
+        evaluates the kernel against the union once and each machine
+        slices out its own rows — one Gram per batch instead of one
+        per class (mirroring the one-vs-one bank in
+        :class:`repro.ml.svm.SupportVectorClassifier`).
+        """
+        self._bank_kernel = None
+        machines = [self._machines[cls] for cls in self.classes_]
+        if kernel is None or not all(
+            isinstance(m, BinarySVM) and m.kernel == kernel for m in machines
+        ):
+            return
+        unique_rows = sorted(
+            {int(i) for m in machines for i in m.support_indices_}
+        )
+        bank_index = {row: k for k, row in enumerate(unique_rows)}
+        #: Training-set row of each bank vector (see the matching
+        #: attribute on SupportVectorClassifier).
+        self.sv_bank_indices_ = np.asarray(unique_rows, dtype=int)
+        self._sv_bank = (
+            X[unique_rows] if unique_rows else np.empty((0, X.shape[1]))
+        )
+        self._sv_bank_sq = kernel.row_sq_norms(self._sv_bank)
+        self._sv_bank_rows = {
+            cls: np.asarray(
+                [bank_index[int(i)] for i in m.support_indices_], dtype=int
+            )
+            for cls, m in self._machines.items()
+        }
+        self._bank_kernel = kernel
+
+    def decision_matrix(
+        self,
+        X: np.ndarray,
+        *,
+        bank_gram: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Per-class decision values, shape ``(n, n_classes)``.
+
+        ``bank_gram`` optionally supplies a precomputed
+        ``kernel(bank, X)`` (e.g. sliced from a cached full-dataset
+        Gram); slice-stable kernels make the output identical.
+        """
         if not self._machines:
             raise RuntimeError("OneVsRestClassifier is not fitted")
         X = np.asarray(X, dtype=float)
         if X.ndim == 1:
             X = X.reshape(1, -1)
-        scores = np.column_stack(
-            [self._machines[cls].decision_function(X) for cls in self.classes_]
-        )
-        return scores
+        bank = getattr(self, "_sv_bank", None)
+        if self._bank_kernel is None or bank is None:
+            # Heterogeneous machines: one Gram per class machine.
+            return np.column_stack(
+                [
+                    self._machines[cls].decision_function(X)
+                    for cls in self.classes_
+                ]
+            )
+        if bank_gram is not None and bank.shape[0]:
+            bank_gram = np.asarray(bank_gram, dtype=float)
+            if bank_gram.shape != (bank.shape[0], X.shape[0]):
+                raise ValueError(
+                    f"bank_gram must have shape "
+                    f"{(bank.shape[0], X.shape[0])}, got {bank_gram.shape}"
+                )
+            K_bank = bank_gram
+        else:
+            K_bank = (
+                self._bank_kernel.gram(bank, X, x_sq=self._sv_bank_sq)
+                if bank.shape[0]
+                else None
+            )
+        columns = []
+        for cls in self.classes_:
+            machine = self._machines[cls]
+            rows = self._sv_bank_rows[cls]
+            if K_bank is None or rows.size == 0:
+                columns.append(np.full(X.shape[0], -machine.intercept_))
+            else:
+                columns.append(machine.decision_from_gram(K_bank[rows]))
+        return np.column_stack(columns)
 
-    def predict(self, X: np.ndarray) -> np.ndarray:
+    def predict(
+        self,
+        X: np.ndarray,
+        *,
+        bank_gram: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
         """Class with the largest decision value per row."""
-        winners = np.argmax(self.decision_matrix(X), axis=1)
+        winners = np.argmax(
+            self.decision_matrix(X, bank_gram=bank_gram), axis=1
+        )
         return np.asarray([self.classes_[w] for w in winners])
 
-    def score(self, X: np.ndarray, y: Sequence) -> float:
-        """Mean accuracy on ``(X, y)``."""
-        return float(np.mean(self.predict(X) == np.asarray(y)))
+    def score(
+        self,
+        X: np.ndarray,
+        y: Sequence,
+        *,
+        bank_gram: Optional[np.ndarray] = None,
+    ) -> float:
+        """Mean accuracy on ``(X, y)`` (``bank_gram`` as in predict)."""
+        return float(
+            np.mean(self.predict(X, bank_gram=bank_gram) == np.asarray(y))
+        )

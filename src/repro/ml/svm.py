@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.ml import gram_cache
 from repro.ml.kernels import Kernel, RbfKernel
 
 __all__ = ["BinarySVM", "SupportVectorClassifier"]
@@ -61,8 +62,27 @@ class BinarySVM:
     # ------------------------------------------------------------------
     # Training (Platt SMO)
     # ------------------------------------------------------------------
-    def fit(self, X: np.ndarray, y: np.ndarray) -> "BinarySVM":
-        """Train on ``X`` (n, d) with labels ``y`` in {-1, +1}."""
+    def fit(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        *,
+        gram: Optional[np.ndarray] = None,
+    ) -> "BinarySVM":
+        """Train on ``X`` (n, d) with labels ``y`` in {-1, +1}.
+
+        Args:
+            X: feature matrix.
+            y: labels in {-1, +1}.
+            gram: precomputed ``self.kernel(X, X)`` — typically a
+                submatrix sliced out of a shared full-dataset Gram
+                (see :mod:`repro.ml.gram_cache`).  Must be the
+                (symmetric) Gram of ``X`` under ``self.kernel``; the
+                solver only reads it, so a read-only cached array is
+                accepted.  Because all kernels here are slice-stable,
+                fitting with a sliced Gram is byte-identical to
+                fitting without one.
+        """
         X = np.asarray(X, dtype=float)
         y = np.asarray(y, dtype=float).ravel()
         if X.ndim != 2:
@@ -80,29 +100,46 @@ class BinarySVM:
         n = X.shape[0]
         self._X = X
         self._y = y
-        self._K = self.kernel(X, X)
+        if gram is not None:
+            gram = np.asarray(gram, dtype=float)
+            if gram.shape != (n, n):
+                raise ValueError(
+                    f"gram must have shape {(n, n)}, got {gram.shape}"
+                )
+            self._K = gram
+        else:
+            self._K = self.kernel(X, X)
+        # The diagonal is read on every optimisation step; a contiguous
+        # copy avoids the strided diagonal gather in the hot loop.
+        self._K_diag = np.ascontiguousarray(self._K.diagonal())
         self._alpha = np.zeros(n)
+        # alpha_i * y_i, maintained incrementally as steps are taken.
+        self._ay = self._alpha * y
+        # Scratch buffers for the per-step error-cache update.
+        self._ebuf = np.empty(n)
+        self._ebuf2 = np.empty(n)
+        # Non-bound mask (0 < alpha < c), maintained incrementally in
+        # _take_step: alphas only move there, two entries at a time.
+        self._nb_mask = np.zeros(n, dtype=bool)
         self._b = 0.0
         # Error cache: E_i = f(x_i) - y_i.  With alpha = 0, f = b = 0.
         self._errors = -y.copy()
         self._rng = np.random.default_rng(self.seed)
 
+        fast_scan = gram_cache.fast_path_enabled()
+        self._vector_heuristics = fast_scan
         iterations = 0
         examine_all = True
         passes_without_change = 0
         while passes_without_change < self.max_passes and iterations < self.max_iter:
-            changed = 0
             if examine_all:
-                indices = range(n)
+                indices = np.arange(n)
             else:
-                indices = np.flatnonzero(
-                    (self._alpha > 0.0) & (self._alpha < self.c)
-                )
-            for i in indices:
-                changed += self._examine(i)
-                iterations += 1
-                if iterations >= self.max_iter:
-                    break
+                indices = self._nb_mask.nonzero()[0]
+            if fast_scan:
+                changed, iterations = self._scan_fast(indices, iterations)
+            else:
+                changed, iterations = self._scan_reference(indices, iterations)
             if examine_all:
                 examine_all = False
                 if changed == 0:
@@ -124,8 +161,105 @@ class BinarySVM:
         self._sv_sq_norms = self.kernel.row_sq_norms(self.support_vectors_)
         self._fitted = True
         # Free the training caches.
-        del self._K, self._errors
+        del self._K, self._K_diag, self._ay, self._errors
+        del self._ebuf, self._ebuf2, self._nb_mask
         return self
+
+    def _scan_reference(
+        self, indices: np.ndarray, iterations: int
+    ) -> Tuple[int, int]:
+        """Reference working-set pass: one Python examine per index.
+
+        Kept as the before-state the fast scan must reproduce; the
+        byte-identity property tests and the training benchmark run it
+        via :func:`repro.ml.gram_cache.training_fast_path_disabled`.
+        """
+        changed = 0
+        for i in indices:
+            changed += self._examine(int(i))
+            iterations += 1
+            if iterations >= self.max_iter:
+                break
+        return changed, iterations
+
+    #: Fruitless examines tolerated before :meth:`_scan_fast` switches
+    #: from the scalar walk to a vectorised jump over non-violators.
+    _SCAN_RUN = 16
+
+    def _scan_fast(
+        self, indices: np.ndarray, iterations: int
+    ) -> Tuple[int, int]:
+        """Working-set pass that skips KKT non-violators in bulk.
+
+        The KKT check at the top of :meth:`_examine` is side-effect-
+        free (no state mutation, no RNG draw), so a non-violating
+        index contributes nothing but its examine count — skipping it
+        is invisible to the optimisation trajectory.  The scan walks
+        indices scalar-wise exactly like :meth:`_scan_reference`
+        while steps are landing, but after :attr:`_SCAN_RUN`
+        consecutive fruitless examines (the signature of a converged
+        region, where whole passes are non-violators) it evaluates the
+        violation mask over the remaining tail in one vector operation
+        and jumps straight to the next violator.  The mask is used
+        immediately after it is computed, with no intervening state
+        change, so every skipped index is one the reference loop would
+        also have no-opped; skipped indices are counted against
+        ``max_iter`` exactly as the per-row loop counts them.
+        """
+        changed = 0
+        m = len(indices)
+        pos = 0  # invariant: `iterations` accounts for indices[:pos]
+        fruitless = 0
+        # Violator positions computed by the last vector scan.  They
+        # stay valid until a step lands (examines and cascades that
+        # fail mutate nothing), letting the scan hop violator to
+        # violator instead of re-walking or re-scanning in between.
+        viol: Optional[np.ndarray] = None
+        vp = 0
+        alpha, errors, y = self._alpha, self._errors, self._y
+        tol, c = self.tol, self.c
+        while pos < m and iterations < self.max_iter:
+            if viol is not None or fruitless >= self._SCAN_RUN:
+                if viol is None:
+                    tail = indices[pos:]
+                    r = errors[tail] * y[tail]
+                    a = alpha[tail]
+                    violating = ((r < -tol) & (a < c)) | (
+                        (r > tol) & (a > 0.0)
+                    )
+                    viol = pos + violating.nonzero()[0]
+                    vp = 0
+                while vp < len(viol) and viol[vp] < pos:
+                    vp += 1
+                if vp == len(viol):
+                    iterations += m - pos
+                    pos = m
+                    break
+                nxt = int(viol[vp])
+                iterations += nxt - pos  # consume skipped non-violators
+                pos = nxt
+                if iterations >= self.max_iter:
+                    break
+            i = int(indices[pos])
+            # Inline KKT pre-check: non-violators are no-ops in
+            # _examine, so skip the call (identical outcome, no state
+            # or RNG touched either way).
+            e2 = errors.item(i)
+            r2 = e2 * y.item(i)
+            a2 = alpha.item(i)
+            if (r2 < -tol and a2 < c) or (r2 > tol and a2 > 0.0):
+                result = self._examine(int(i))
+            else:
+                result = 0
+            changed += result
+            iterations += 1
+            pos += 1
+            if result:
+                fruitless = 0
+                viol = None  # the step moved state; mask is stale
+            else:
+                fruitless += 1
+        return changed, iterations
 
     def _examine(self, i2: int) -> int:
         """Platt's examineExample: try to improve alpha[i2]."""
@@ -135,28 +269,122 @@ class BinarySVM:
         r2 = e2 * y2
         if not ((r2 < -self.tol and alpha2 < self.c) or (r2 > self.tol and alpha2 > 0)):
             return 0
-        non_bound = np.flatnonzero((self._alpha > 0.0) & (self._alpha < self.c))
+        non_bound = self._nb_mask.nonzero()[0]
         # Heuristic 1: maximise |E1 - E2| over non-bound examples.
         if len(non_bound) > 1:
             deltas = np.abs(self._errors[non_bound] - e2)
-            i1 = int(non_bound[np.argmax(deltas)])
+            i1 = int(non_bound[deltas.argmax()])
             if i1 != i2 and self._take_step(i1, i2):
                 return 1
+        if self._vector_heuristics:
+            return self._examine_rest_bulk(i2, e2, non_bound)
         # Heuristic 2: all non-bound examples in random order.
         for i1 in self._rng.permutation(non_bound):
             if i1 != i2 and self._take_step(int(i1), i2):
                 return 1
-        # Heuristic 3: everything else in random order.
+        # Heuristic 3: everything else in random order.  Heuristic 2
+        # already tried every non-bound index and _take_step mutates
+        # nothing when it fails, so retrying them here cannot succeed;
+        # skip them without changing the RNG draw (the permutation is
+        # still taken over the full index range).
+        is_non_bound = np.zeros(len(self._alpha), dtype=bool)
+        is_non_bound[non_bound] = True
         for i1 in self._rng.permutation(len(self._alpha)):
-            if i1 != i2 and self._take_step(int(i1), i2):
+            if (
+                i1 != i2
+                and not is_non_bound[i1]
+                and self._take_step(int(i1), i2)
+            ):
                 return 1
         return 0
 
+    def _examine_rest_bulk(
+        self, i2: int, e2: float, non_bound: np.ndarray
+    ) -> int:
+        """Heuristics 2 and 3 with known-failing partners skipped in bulk.
+
+        :meth:`_take_step` mutates no state when it returns False, and
+        both heuristic loops stop at the first success — so until that
+        success the solver state is frozen, and a partner-viability
+        mask computed once up front stays valid for the whole cascade.
+        The mask (:meth:`_viable_partners`) replays the exact failure
+        conditions of the non-degenerate step, so every skipped index
+        is one whose scalar call provably would have returned False;
+        the surviving candidates are tried in the same permutation
+        order, with the same RNG draws, as the reference loops.
+        Heuristic 3 additionally drops non-bound indices, which
+        heuristic 2 has already proven hopeless (same reasoning as the
+        reference path).
+        """
+        # Short cascades (a partner found within a few tries) are the
+        # common case and the scalar walk is cheapest for them; the
+        # mask pays for itself only on long all-failing cascades, so —
+        # like the scan — walk scalar first and vectorise the rest.
+        perm = self._rng.permutation(non_bound)
+        head = perm[: self._SCAN_RUN]
+        for i1 in head:
+            if i1 != i2 and self._take_step(int(i1), i2):
+                return 1
+        viable = self._viable_partners(i2, e2)
+        tail = perm[self._SCAN_RUN:]
+        for i1 in tail[viable[tail]]:
+            if self._take_step(int(i1), i2):
+                return 1
+        is_non_bound = np.zeros(len(self._alpha), dtype=bool)
+        is_non_bound[non_bound] = True
+        perm = self._rng.permutation(len(self._alpha))
+        for i1 in perm[viable[perm] & ~is_non_bound[perm]]:
+            if self._take_step(int(i1), i2):
+                return 1
+        return 0
+
+    def _viable_partners(self, i2: int, e2: float) -> np.ndarray:
+        """Mask of partners ``i1`` whose step with ``i2`` might succeed.
+
+        Vectorised replay of :meth:`_take_step`'s early-return checks
+        — identical expressions evaluated elementwise, so each entry
+        matches the scalar control flow bit for bit: the clip-gap test
+        and, on the non-degenerate branch (``eta > 1e-12``), the
+        minimum-progress test on the clipped ``a2``.  Degenerate-
+        ``eta`` partners keep ``True`` (the objective comparison is
+        left to the scalar code), making the mask conservative: it
+        never rules out a step the reference loop would have taken.
+        """
+        alpha = self._alpha
+        alpha2 = float(alpha[i2])
+        y2 = float(self._y[i2])
+        c = self.c
+        s = self._y * y2
+        total = alpha + alpha2
+        low = np.where(
+            s > 0,
+            np.maximum(0.0, total - c),
+            np.maximum(0.0, alpha2 - alpha),
+        )
+        high = np.where(
+            s > 0,
+            np.minimum(c, total),
+            np.minimum(c, (c + alpha2) - alpha),
+        )
+        gap_ok = (high - low) >= 1e-12
+        K2 = self._K[i2]
+        eta = (self._K_diag + float(self._K_diag[i2])) - 2.0 * K2
+        nondegenerate = eta > 1e-12
+        with np.errstate(divide="ignore", invalid="ignore"):
+            a2 = alpha2 + y2 * (self._errors - e2) / eta
+        a2 = np.minimum(np.maximum(a2, low), high)
+        moved = np.abs(a2 - alpha2) >= 1e-12 * (a2 + alpha2 + 1e-12)
+        viable = gap_ok & np.where(nondegenerate, moved, True)
+        viable[i2] = False  # the loops never pair an index with itself
+        return viable
+
     def _take_step(self, i1: int, i2: int) -> bool:
         """Jointly optimise alpha[i1], alpha[i2]; True on progress."""
-        alpha1, alpha2 = self._alpha[i1], self._alpha[i2]
-        y1, y2 = self._y[i1], self._y[i2]
-        e1, e2 = self._errors[i1], self._errors[i2]
+        # Plain-float scalars: bit-identical IEEE arithmetic, without
+        # the numpy scalar dispatch overhead in the hot loop.
+        alpha1, alpha2 = self._alpha.item(i1), self._alpha.item(i2)
+        y1, y2 = self._y.item(i1), self._y.item(i2)
+        e1, e2 = self._errors.item(i1), self._errors.item(i2)
         s = y1 * y2
         if s > 0:
             low = max(0.0, alpha1 + alpha2 - self.c)
@@ -166,7 +394,12 @@ class BinarySVM:
             high = min(self.c, self.c + alpha2 - alpha1)
         if high - low < 1e-12:
             return False
-        k11, k12, k22 = self._K[i1, i1], self._K[i1, i2], self._K[i2, i2]
+        K1, K2 = self._K[i1], self._K[i2]
+        k11, k12, k22 = (
+            self._K_diag.item(i1),
+            K1.item(i2),
+            self._K_diag.item(i2),
+        )
         eta = k11 + k22 - 2.0 * k12
         if eta > 1e-12:
             a2 = alpha2 + y2 * (e1 - e2) / eta
@@ -210,20 +443,31 @@ class BinarySVM:
         else:
             new_b = (b1 + b2) / 2.0
 
-        # Error cache update for all points.
+        # Error cache update for all points: the same expression as
+        # ``errors += d1*K1 + d2*K2 - (new_b - b)`` evaluated into
+        # preallocated buffers (identical operation order, so identical
+        # bits — just no per-step temporaries).
         delta1 = y1 * (a1 - alpha1)
         delta2 = y2 * (a2 - alpha2)
-        self._errors += (
-            delta1 * self._K[i1, :] + delta2 * self._K[i2, :] - (new_b - self._b)
-        )
+        buf, buf2 = self._ebuf, self._ebuf2
+        np.multiply(delta1, K1, out=buf)
+        np.multiply(delta2, K2, out=buf2)
+        np.add(buf, buf2, out=buf)
+        np.subtract(buf, new_b - self._b, out=buf)
+        np.add(self._errors, buf, out=self._errors)
         self._alpha[i1], self._alpha[i2] = a1, a2
+        self._ay[i1], self._ay[i2] = a1 * y1, a2 * y2
+        self._nb_mask[i1] = 0.0 < a1 < self.c
+        self._nb_mask[i2] = 0.0 < a2 < self.c
         self._b = new_b
         self._errors[i1] = self._decision_cached(i1) - y1
         self._errors[i2] = self._decision_cached(i2) - y2
         return True
 
     def _decision_cached(self, i: int) -> float:
-        return float((self._alpha * self._y) @ self._K[:, i] - self._b)
+        # The Gram is bitwise symmetric (stable_dot Grams are), so the
+        # contiguous row stands in for the strided column read.
+        return float(self._ay @ self._K[i]) - self._b
 
     # ------------------------------------------------------------------
     # Inference
@@ -307,8 +551,38 @@ class SupportVectorClassifier:
         """An unfitted copy with the same parameters."""
         return SupportVectorClassifier(**self.get_params())
 
-    def fit(self, X: np.ndarray, y: Sequence) -> "SupportVectorClassifier":
-        """Train one binary machine per unordered class pair."""
+    def gram_kernel(self) -> Kernel:
+        """Kernel a precomputed-Gram ``fit`` would consume.
+
+        Exposing this method is the gram-aware protocol: callers such
+        as :func:`repro.ml.model_selection.cross_val_score` use it to
+        slice fold Grams out of a shared full-dataset Gram and hand
+        them to ``fit(..., gram=...)``.
+        """
+        return self.kernel
+
+    def fit(
+        self,
+        X: np.ndarray,
+        y: Sequence,
+        *,
+        gram: Optional[np.ndarray] = None,
+    ) -> "SupportVectorClassifier":
+        """Train one binary machine per unordered class pair.
+
+        All C(k, 2) pairwise Grams are submatrices of the full-dataset
+        Gram, so one shared ``kernel(X, X)`` — taken from ``gram``, or
+        from the process-wide :class:`repro.ml.gram_cache.GramCache`
+        — is computed and each machine receives its pair's slice.
+        Slice-stable kernels make the resulting models byte-identical
+        to per-pair computation (the legacy path, still taken under
+        :func:`repro.ml.gram_cache.training_fast_path_disabled`).
+
+        Args:
+            X: feature matrix.
+            y: class labels (any hashable values).
+            gram: optional precomputed ``self.kernel(X, X)``.
+        """
         X = np.asarray(X, dtype=float)
         y = np.asarray(y)
         if X.shape[0] != y.shape[0]:
@@ -318,6 +592,15 @@ class SupportVectorClassifier:
         self.classes_ = sorted(set(y.tolist()))
         if len(self.classes_) < 2:
             raise ValueError("need at least two classes")
+        n = X.shape[0]
+        if gram is not None:
+            gram = np.asarray(gram, dtype=float)
+            if gram.shape != (n, n):
+                raise ValueError(
+                    f"gram must have shape {(n, n)}, got {gram.shape}"
+                )
+        elif gram_cache.fast_path_enabled():
+            gram = gram_cache.default_cache().full(self.kernel, X)
         self._machines = {}
         sv_global: Dict[Tuple[int, int], np.ndarray] = {}
         for a in range(len(self.classes_)):
@@ -334,7 +617,14 @@ class SupportVectorClassifier:
                     max_iter=self.max_iter,
                     seed=self.seed,
                 )
-                machine.fit(X_pair, y_pair)
+                if gram is not None:
+                    machine.fit(
+                        X_pair,
+                        y_pair,
+                        gram=gram[np.ix_(pair_rows, pair_rows)],
+                    )
+                else:
+                    machine.fit(X_pair, y_pair)
                 self._machines[(a, b)] = machine
                 sv_global[(a, b)] = pair_rows[machine.support_indices_]
         self._build_sv_bank(X, sv_global)
@@ -352,6 +642,11 @@ class SupportVectorClassifier:
         """
         unique_rows = sorted({int(i) for rows in sv_global.values() for i in rows})
         bank_index = {row: k for k, row in enumerate(unique_rows)}
+        #: Training-set row of each bank vector, in bank order — lets
+        #: callers that know where the training rows sit inside a
+        #: larger cached dataset slice the bank Gram instead of
+        #: recomputing it (see model_selection._score_fold).
+        self.sv_bank_indices_ = np.asarray(unique_rows, dtype=int)
         self._sv_bank = X[unique_rows] if unique_rows else np.empty((0, X.shape[1]))
         self._sv_bank_sq = self.kernel.row_sq_norms(self._sv_bank)
         self._sv_bank_rows = {
@@ -359,11 +654,23 @@ class SupportVectorClassifier:
             for pair, rows in sv_global.items()
         }
 
-    def predict(self, X: np.ndarray) -> np.ndarray:
+    def predict(
+        self,
+        X: np.ndarray,
+        *,
+        bank_gram: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
         """Majority vote across pairwise machines.
 
         Ties are broken by the summed absolute decision values, then by
         class order (deterministic).
+
+        Args:
+            X: query points.
+            bank_gram: optional precomputed ``kernel(bank, X)`` for the
+                support-vector bank, e.g. sliced out of a cached
+                full-dataset Gram; slice-stable kernels make the
+                predictions identical to the compute-here path.
         """
         if not self._machines:
             raise RuntimeError("SupportVectorClassifier is not fitted")
@@ -378,11 +685,20 @@ class SupportVectorClassifier:
         # serves every pairwise machine (models fitted before the bank
         # existed fall back to per-machine kernel evaluation).
         bank = getattr(self, "_sv_bank", None)
-        K_bank = (
-            self.kernel.gram(bank, X, x_sq=self._sv_bank_sq)
-            if bank is not None and bank.shape[0]
-            else None
-        )
+        if bank_gram is not None and bank is not None and bank.shape[0]:
+            bank_gram = np.asarray(bank_gram, dtype=float)
+            if bank_gram.shape != (bank.shape[0], n):
+                raise ValueError(
+                    f"bank_gram must have shape {(bank.shape[0], n)}, "
+                    f"got {bank_gram.shape}"
+                )
+            K_bank = bank_gram
+        else:
+            K_bank = (
+                self.kernel.gram(bank, X, x_sq=self._sv_bank_sq)
+                if bank is not None and bank.shape[0]
+                else None
+            )
         for (a, b), machine in self._machines.items():
             if bank is None:
                 decision = machine.decision_function(X)
@@ -402,10 +718,16 @@ class SupportVectorClassifier:
         winners = np.argmax(ranking, axis=1)
         return np.asarray([self.classes_[w] for w in winners])
 
-    def score(self, X: np.ndarray, y: Sequence) -> float:
-        """Mean accuracy on ``(X, y)``."""
+    def score(
+        self,
+        X: np.ndarray,
+        y: Sequence,
+        *,
+        bank_gram: Optional[np.ndarray] = None,
+    ) -> float:
+        """Mean accuracy on ``(X, y)`` (``bank_gram`` as in predict)."""
         y = np.asarray(y)
-        return float(np.mean(self.predict(X) == y))
+        return float(np.mean(self.predict(X, bank_gram=bank_gram) == y))
 
     @property
     def n_support_total(self) -> int:
