@@ -2,7 +2,7 @@
 
 A pure-AST linter — it never imports the code under analysis, so it
 keeps working even when the source tree is too broken to import (the
-exact failure mode it exists to catch).  Three rule families:
+exact failure mode it exists to catch).  Five rule families:
 
 - **import integrity** (:mod:`repro.devtools.imports`): every
   first-party ``import``/``from ... import`` must resolve to an
@@ -11,14 +11,28 @@ exact failure mode it exists to catch).  Three rule families:
   must follow the declared architecture DAG, and the module import
   graph must be cycle-free;
 - **determinism** (:mod:`repro.devtools.determinism`): simulation-domain
-  packages must not call wall clocks or unseeded random generators.
+  packages must not call wall clocks or global/unseeded random
+  generators (stdlib ``random`` *and* ``np.random``);
+- **shard purity** (:mod:`repro.devtools.shard_purity`): worker
+  callables reaching ``repro.parallel`` must not touch shared mutable
+  state, must be picklable, and nobody may mutate a read-only Gram
+  cache handout;
+- **numeric determinism** (:mod:`repro.devtools.numeric`): no float
+  reductions over unordered containers, no ``os.environ`` branches in
+  replayable code.
 
-Run it as ``python -m repro.devtools.lint --format=json|text``.
+The framework around the families: a rule registry with severities
+(:mod:`repro.devtools.findings`), inline ``# repro: noqa[rule-id]``
+suppressions with enforced justifications
+(:mod:`repro.devtools.suppressions`), a ratcheting baseline
+(:mod:`repro.devtools.baseline`), and text/JSON/SARIF output.
+
+Run it as ``python -m repro.devtools.lint --format=json|text|sarif``.
 """
 
 from __future__ import annotations
 
 from repro.devtools.config import REPRO_LAYERS, LintConfig
-from repro.devtools.findings import Finding
+from repro.devtools.findings import RULE_REGISTRY, Finding, Rule
 
-__all__ = ["Finding", "LintConfig", "REPRO_LAYERS"]
+__all__ = ["Finding", "LintConfig", "REPRO_LAYERS", "Rule", "RULE_REGISTRY"]

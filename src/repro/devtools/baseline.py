@@ -1,0 +1,109 @@
+"""The ratcheting baseline: known findings pass, new findings fail.
+
+A baseline file records the findings a tree is *known* to have, as
+``(path, rule, message)`` fingerprints (no line numbers — those drift
+with every unrelated edit).  A lint run against a baseline only fails
+on findings that are not in it, so a large rule-family landing does
+not require fixing the world in one PR; ``--update-baseline`` rewrites
+the file from the current findings, which is the only way entries get
+in — and the way they ratchet *out* once fixed, enforced by the stale
+check (a baseline entry matching no current finding).
+
+Matching is multiset-aware: a fingerprint baselined twice admits at
+most two current findings; a third identical one is new.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+from repro.devtools.findings import Finding
+
+__all__ = [
+    "BASELINE_VERSION",
+    "fingerprint",
+    "load_baseline",
+    "write_baseline",
+    "apply_baseline",
+]
+
+BASELINE_VERSION = 1
+
+#: A baseline entry: the line-independent identity of a finding.
+Fingerprint = Tuple[str, str, str]
+
+
+def fingerprint(finding: Finding) -> Fingerprint:
+    """The line-independent identity of a finding."""
+    return (finding.path, finding.rule, finding.message)
+
+
+def load_baseline(path: Path) -> List[Fingerprint]:
+    """Entries of a baseline file; a missing file is an empty baseline.
+
+    Raises:
+        ValueError: the file exists but is not a valid baseline.
+    """
+    if not path.exists():
+        return []
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as error:
+        raise ValueError(f"baseline {path} is not valid JSON: {error}") from error
+    if (
+        not isinstance(payload, dict)
+        or payload.get("version") != BASELINE_VERSION
+        or not isinstance(payload.get("entries"), list)
+    ):
+        raise ValueError(
+            f"baseline {path} is not a version-{BASELINE_VERSION} baseline file"
+        )
+    entries: List[Fingerprint] = []
+    for entry in payload["entries"]:
+        try:
+            entries.append((entry["path"], entry["rule"], entry["message"]))
+        except (TypeError, KeyError) as error:
+            raise ValueError(f"malformed baseline entry {entry!r}") from error
+    return entries
+
+
+def write_baseline(path: Path, findings: Iterable[Finding]) -> int:
+    """Write the baseline for ``findings``; returns the entry count."""
+    entries = sorted(fingerprint(f) for f in findings)
+    payload = {
+        "version": BASELINE_VERSION,
+        "entries": [
+            {"path": p, "rule": r, "message": m} for p, r, m in entries
+        ],
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return len(entries)
+
+
+def apply_baseline(
+    findings: Iterable[Finding], entries: Iterable[Fingerprint]
+) -> Tuple[List[Finding], List[Finding], List[Fingerprint]]:
+    """Partition findings against a baseline.
+
+    Returns:
+        ``(new, known, stale)``: findings not covered by the baseline,
+        findings the baseline absorbs, and baseline entries matching
+        no current finding (the ratchet debt to clean up with
+        ``--update-baseline``).
+    """
+    budget = Counter(entries)
+    new: List[Finding] = []
+    known: List[Finding] = []
+    for finding in findings:
+        key = fingerprint(finding)
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            known.append(finding)
+        else:
+            new.append(finding)
+    stale = sorted(budget.elements())
+    return new, known, stale

@@ -12,7 +12,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import FrozenSet, Mapping
 
-__all__ = ["REPRO_LAYERS", "SIM_DOMAIN_PACKAGES", "DETERMINISM_EXEMPT", "LintConfig"]
+__all__ = [
+    "REPRO_LAYERS",
+    "SIM_DOMAIN_PACKAGES",
+    "DETERMINISM_EXEMPT",
+    "GRAM_PARAM_NAMES",
+    "LintConfig",
+]
 
 
 def _layers(mapping: Mapping[str, tuple]) -> Mapping[str, FrozenSet[str]]:
@@ -78,10 +84,27 @@ REPRO_LAYERS: Mapping[str, FrozenSet[str]] = _layers(
 )
 
 #: Packages whose code must be replayable: no wall clocks, no unseeded
-#: randomness.  ``obs`` is included because telemetry must be stamped
-#: with the injected simulation clock, never the process clock.
+#: randomness, no order-unstable float reductions.  ``obs`` is included
+#: because telemetry must be stamped with the injected simulation
+#: clock, never the process clock.  The runtime packages ``server``,
+#: ``fleet`` and ``comms`` are registered too: the BMS, the load
+#: generator and the uplinks all sit on the replayed path (fleet runs
+#: are pinned worker-count invariant), so they carry the same
+#: determinism obligations as the simulation core.
 SIM_DOMAIN_PACKAGES: FrozenSet[str] = frozenset(
-    {"sim", "ble", "traces", "energy", "building", "obs", "parallel", "ml"}
+    {
+        "sim",
+        "ble",
+        "traces",
+        "energy",
+        "building",
+        "obs",
+        "parallel",
+        "ml",
+        "server",
+        "fleet",
+        "comms",
+    }
 )
 
 #: Modules allowed to touch the primitives the determinism rule bans —
@@ -91,6 +114,10 @@ DETERMINISM_EXEMPT: FrozenSet[str] = frozenset(
     {"repro.sim.rng", "repro.sim.clock", "repro.obs.profiling"}
 )
 
+#: Parameter names that (by convention, enforced here) always carry a
+#: shared read-only Gram handout — see :mod:`repro.ml.gram_cache`.
+GRAM_PARAM_NAMES: FrozenSet[str] = frozenset({"gram", "bank_gram"})
+
 
 @dataclass(frozen=True)
 class LintConfig:
@@ -98,9 +125,12 @@ class LintConfig:
 
     Attributes:
         layers: package-dependency allowlist (see :data:`REPRO_LAYERS`).
-        sim_domain_packages: packages the determinism rule applies to.
-        determinism_exempt: dotted module names the determinism rule
-            skips entirely.
+        sim_domain_packages: packages the determinism and numeric rules
+            apply to.
+        determinism_exempt: dotted module names the determinism and
+            numeric rules skip entirely.
+        gram_param_names: parameter names the shard-purity family
+            treats as read-only Gram cache handouts.
     """
 
     layers: Mapping[str, FrozenSet[str]] = field(
@@ -108,3 +138,4 @@ class LintConfig:
     )
     sim_domain_packages: FrozenSet[str] = SIM_DOMAIN_PACKAGES
     determinism_exempt: FrozenSet[str] = DETERMINISM_EXEMPT
+    gram_param_names: FrozenSet[str] = GRAM_PARAM_NAMES

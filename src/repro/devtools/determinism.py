@@ -2,27 +2,45 @@
 
 Simulation-domain packages must be replayable: the same seed must
 produce the same trace.  This rule flags calls into the process wall
-clock (``time.time``, ``datetime.now``, ...) and into the global or
-unseeded :mod:`random` machinery, steering authors to the seeded
-primitives in ``repro.sim.rng`` and the simulated ``repro.sim.clock``.
+clock (``time.time``, ``datetime.now``, the timezone-dependent
+``datetime.fromtimestamp``, ...) and into global or unseeded random
+machinery — both the stdlib :mod:`random` module and numpy's global
+``np.random.*`` state — steering authors to the seeded primitives in
+``repro.sim.rng`` and the simulated ``repro.sim.clock``.
+
+Alias tracking covers the forms that slipped through earlier versions:
+``import datetime as dt; dt.datetime.fromtimestamp(...)``,
+``from datetime import datetime as DT; DT.now()``,
+``import numpy as np; np.random.shuffle(...)``, and
+``from numpy.random import seed``.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.devtools.config import LintConfig
-from repro.devtools.findings import Finding
+from repro.devtools.findings import Finding, register_rule
 from repro.devtools.modules import ModuleInfo
 
 __all__ = ["WALL_CLOCK", "UNSEEDED_RNG", "check_determinism"]
 
 #: Rule id: reading the process wall clock.
-WALL_CLOCK = "determinism-wall-clock"
+WALL_CLOCK = register_rule(
+    "determinism-wall-clock",
+    "determinism",
+    "error",
+    "simulation-domain code reads the process wall clock",
+)
 
-#: Rule id: drawing from the global or an unseeded ``random`` generator.
-UNSEEDED_RNG = "determinism-unseeded-rng"
+#: Rule id: drawing from global or unseeded random machinery.
+UNSEEDED_RNG = register_rule(
+    "determinism-unseeded-rng",
+    "determinism",
+    "error",
+    "simulation-domain code uses global or unseeded randomness",
+)
 
 #: Wall-clock functions of the ``time`` module.
 _TIME_FUNCS = {
@@ -36,8 +54,16 @@ _TIME_FUNCS = {
     "gmtime",
 }
 
-#: Wall-clock constructors of the ``datetime`` classes.
-_DATETIME_FUNCS = {"now", "utcnow", "today"}
+#: Wall-clock constructors of the ``datetime`` classes.  ``now``/
+#: ``utcnow``/``today`` read the clock outright; ``fromtimestamp``
+#: (without an explicit ``tz``) converts through the *local timezone*,
+#: so the same input produces different datetimes on different hosts.
+_DATETIME_FUNCS = {"now", "utcnow", "today", "fromtimestamp"}
+
+#: ``np.random`` names that are *constructors*: fine when seeded,
+#: flagged when called with no arguments.
+_NP_SEEDABLE = {"default_rng", "RandomState", "SeedSequence", "Generator",
+                "PCG64", "PCG64DXSM", "MT19937", "Philox", "SFC64"}
 
 
 def _call_path(func: ast.expr) -> Optional[List[str]]:
@@ -53,30 +79,47 @@ def _call_path(func: ast.expr) -> Optional[List[str]]:
     return None
 
 
+def _has_tz_argument(node: ast.Call) -> bool:
+    """Whether a ``fromtimestamp`` call pins an explicit timezone."""
+    if len(node.args) >= 2:
+        return True
+    return any(keyword.arg == "tz" for keyword in node.keywords)
+
+
 class _DeterminismVisitor(ast.NodeVisitor):
-    """Tracks stdlib aliasing and flags nondeterministic call sites."""
+    """Tracks stdlib/numpy aliasing and flags nondeterministic call sites."""
+
+    _TRACKED_MODULES = {"time", "datetime", "random", "numpy", "numpy.random"}
 
     def __init__(self, info: ModuleInfo) -> None:
         self.info = info
         self.findings: List[Finding] = []
-        # Aliases of the three relevant stdlib modules in this file.
+        # Aliases of the relevant modules in this file (asname -> module).
         self._module_aliases: Dict[str, str] = {}
         # Names imported directly out of those modules: name -> (module, attr).
-        self._member_aliases: Dict[str, tuple] = {}
+        self._member_aliases: Dict[str, Tuple[str, str]] = {}
 
     def visit_Import(self, node: ast.Import) -> None:
         for alias in node.names:
-            if alias.name in {"time", "datetime", "random"}:
+            if alias.name in self._TRACKED_MODULES:
                 self._module_aliases[alias.asname or alias.name] = alias.name
         self.generic_visit(node)
 
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
-        if node.module in {"time", "datetime", "random"}:
+        if node.module in {"time", "datetime", "random", "numpy.random"}:
             for alias in node.names:
                 if alias.name != "*":
                     self._member_aliases[alias.asname or alias.name] = (
                         node.module,
                         alias.name,
+                    )
+        elif node.module == "numpy":
+            for alias in node.names:
+                if alias.name == "random":
+                    # `from numpy import random [as npr]` aliases the
+                    # numpy.random *module*.
+                    self._module_aliases[alias.asname or "random"] = (
+                        "numpy.random"
                     )
         self.generic_visit(node)
 
@@ -91,6 +134,25 @@ class _DeterminismVisitor(ast.NodeVisitor):
             )
         )
 
+    def _check_np_random(self, node: ast.Call, attr: str) -> None:
+        if attr in _NP_SEEDABLE:
+            if not node.args and not node.keywords:
+                self._flag(
+                    node,
+                    UNSEEDED_RNG,
+                    f"unseeded np.random.{attr}()",
+                    "derive a seed via repro.sim.rng.derive_seed",
+                )
+        elif attr[:1].islower():
+            # Every lowercase np.random function draws from (or seeds)
+            # the shared global RandomState.
+            self._flag(
+                node,
+                UNSEEDED_RNG,
+                f"call to global np.random.{attr}()",
+                "use a seeded np.random.Generator from repro.sim.rng",
+            )
+
     def _check_member_call(self, node: ast.Call, module: str, attr: str) -> None:
         if module == "time" and attr in _TIME_FUNCS:
             self._flag(
@@ -100,11 +162,16 @@ class _DeterminismVisitor(ast.NodeVisitor):
                 "use the simulation clock (repro.sim.clock)",
             )
         elif module == "datetime" and attr in _DATETIME_FUNCS:
+            if attr == "fromtimestamp" and _has_tz_argument(node):
+                return  # explicit tz pins the conversion
             self._flag(
                 node,
                 WALL_CLOCK,
                 f"call to datetime {attr}()",
-                "use the simulation clock (repro.sim.clock)",
+                "use the simulation clock (repro.sim.clock)"
+                if attr != "fromtimestamp"
+                else "pass an explicit tz= or keep epoch floats "
+                "from the simulation clock",
             )
         elif module == "random":
             if attr in {"Random", "SystemRandom"}:
@@ -122,6 +189,8 @@ class _DeterminismVisitor(ast.NodeVisitor):
                     f"call to random.{attr}()",
                     "use a seeded generator from repro.sim.rng",
                 )
+        elif module == "numpy.random":
+            self._check_np_random(node, attr)
 
     def visit_Call(self, node: ast.Call) -> None:
         path = _call_path(node.func)
@@ -129,9 +198,14 @@ class _DeterminismVisitor(ast.NodeVisitor):
             head = path[0]
             if len(path) >= 2 and head in self._module_aliases:
                 module = self._module_aliases[head]
-                # datetime.datetime.now() and datetime.now() both land
-                # on the final attribute.
-                self._check_member_call(node, module, path[-1])
+                if module == "numpy":
+                    # np.random.<attr>(...) — three components deep.
+                    if len(path) >= 3 and path[1] == "random":
+                        self._check_np_random(node, path[-1])
+                else:
+                    # datetime.datetime.now() and datetime.now() both
+                    # land on the final attribute.
+                    self._check_member_call(node, module, path[-1])
             elif len(path) == 1 and head in self._member_aliases:
                 module, attr = self._member_aliases[head]
                 self._check_member_call(node, module, attr)
@@ -140,7 +214,7 @@ class _DeterminismVisitor(ast.NodeVisitor):
                 and head in self._member_aliases
                 and self._member_aliases[head][0] == "datetime"
             ):
-                # from datetime import datetime; datetime.now(...)
+                # from datetime import datetime [as DT]; DT.now(...)
                 self._check_member_call(node, "datetime", path[-1])
         self.generic_visit(node)
 

@@ -1,14 +1,84 @@
-"""The linter's result type.
+"""The linter's result type and the rule registry.
 
-Every rule reports :class:`Finding` instances; the CLI serialises them
-to text or JSON, and the test gate asserts the list is empty.
+Every rule family registers its rule ids here (with a family, a
+severity, and a one-line summary) via :func:`register_rule`, reports
+violations as :class:`Finding` instances, and lets the CLI serialise
+them to text, JSON or SARIF.  The registry is what SARIF output and
+the severity column are generated from, so a rule id that is not
+registered is a programming error, not a configuration choice.
 """
 
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass
+from typing import Dict, Tuple
 
-__all__ = ["Finding"]
+__all__ = [
+    "SEVERITIES",
+    "Rule",
+    "RULE_REGISTRY",
+    "register_rule",
+    "rules_in_family",
+    "Finding",
+]
+
+#: Severity levels, ordered most to least severe.  They map 1:1 onto
+#: SARIF result levels.
+SEVERITIES: Tuple[str, ...] = ("error", "warning", "note")
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered rule id.
+
+    Attributes:
+        id: stable identifier (e.g. ``shard-global-write``); this is
+            what ``# repro: noqa[...]`` suppressions and baseline
+            entries refer to.
+        family: the selectable rule family the id belongs to (one of
+            :data:`repro.devtools.lint.RULE_FAMILIES`).
+        severity: ``error`` findings gate CI, ``warning`` findings are
+            reported with reduced severity in SARIF, ``note`` is
+            informational.  All levels fail the lint exit status —
+            severity is reporting metadata, not a bypass.
+        summary: one-line description, surfaced in SARIF rule metadata.
+    """
+
+    id: str
+    family: str
+    severity: str
+    summary: str
+
+
+#: All registered rules, keyed by id.  Populated at import time by the
+#: rule-family modules.
+RULE_REGISTRY: Dict[str, Rule] = {}
+
+
+def register_rule(rule_id: str, family: str, severity: str, summary: str) -> str:
+    """Register a rule id and return it (for module-level constants).
+
+    Raises:
+        ValueError: unknown severity, or the id is already registered
+            with different metadata.
+    """
+    if severity not in SEVERITIES:
+        raise ValueError(
+            f"severity {severity!r} for rule {rule_id!r} not in {SEVERITIES}"
+        )
+    rule = Rule(id=rule_id, family=family, severity=severity, summary=summary)
+    existing = RULE_REGISTRY.get(rule_id)
+    if existing is not None and existing != rule:
+        raise ValueError(f"rule {rule_id!r} already registered as {existing}")
+    RULE_REGISTRY[rule_id] = rule
+    return rule_id
+
+
+def rules_in_family(family: str) -> Tuple[Rule, ...]:
+    """All registered rules of one family, in id order."""
+    return tuple(
+        rule for _, rule in sorted(RULE_REGISTRY.items()) if rule.family == family
+    )
 
 
 @dataclass(frozen=True, order=True)
@@ -21,6 +91,8 @@ class Finding:
         rule: stable rule identifier (e.g. ``import-missing-module``).
         module: dotted name of the module containing the violation.
         message: human-readable explanation.
+        severity: the registered severity of ``rule`` (filled in by
+            ``run_lint``; defaults to ``error`` for direct construction).
     """
 
     path: str
@@ -28,6 +100,7 @@ class Finding:
     rule: str
     module: str
     message: str
+    severity: str = "error"
 
     def to_dict(self) -> dict:
         """Plain-dict form for JSON output."""

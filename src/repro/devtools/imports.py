@@ -11,16 +11,26 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-from repro.devtools.findings import Finding
+from repro.devtools.findings import Finding, register_rule
 from repro.devtools.modules import ImportRecord, ModuleInfo
 
 __all__ = ["MISSING_MODULE", "MISSING_NAME", "check_imports"]
 
 #: Rule id: the imported module does not exist.
-MISSING_MODULE = "import-missing-module"
+MISSING_MODULE = register_rule(
+    "import-missing-module",
+    "imports",
+    "error",
+    "a first-party import names a module that does not exist",
+)
 
 #: Rule id: the module exists but does not define the imported name.
-MISSING_NAME = "import-missing-name"
+MISSING_NAME = register_rule(
+    "import-missing-name",
+    "imports",
+    "error",
+    "a first-party import names a top-level name the module lacks",
+)
 
 
 def _name_resolves(record: ImportRecord, target: ModuleInfo, modules) -> bool:

@@ -16,16 +16,26 @@ from __future__ import annotations
 from typing import Dict, Iterable, List
 
 from repro.devtools.config import LintConfig
-from repro.devtools.findings import Finding
+from repro.devtools.findings import Finding, register_rule
 from repro.devtools.modules import ModuleInfo
 
 __all__ = ["LAYER_VIOLATION", "IMPORT_CYCLE", "check_layering"]
 
 #: Rule id: an import crosses the layer DAG against the arrows.
-LAYER_VIOLATION = "layer-violation"
+LAYER_VIOLATION = register_rule(
+    "layer-violation",
+    "layering",
+    "error",
+    "an import crosses the declared package DAG against the arrows",
+)
 
 #: Rule id: a set of modules import each other in a cycle.
-IMPORT_CYCLE = "import-cycle"
+IMPORT_CYCLE = register_rule(
+    "import-cycle",
+    "layering",
+    "error",
+    "a set of modules import each other at module level",
+)
 
 
 def _package_of(module_name: str) -> str:

@@ -63,6 +63,7 @@ class ModuleInfo:
     has_star_import: bool = False
     imports: List[ImportRecord] = field(default_factory=list)
     tree: Optional[ast.AST] = None
+    source: str = ""
 
     @property
     def package(self) -> str:
@@ -218,10 +219,12 @@ def discover_modules(root: Path) -> Dict[str, ModuleInfo]:
         name = _module_name(root, path)
         if name is None:
             continue
-        tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
         info = ModuleInfo(
             name=name, path=path, is_package=path.name == "__init__.py"
         )
+        info.source = source
         info.tree = tree
         _Collector(info).visit(tree)
         modules[name] = info

@@ -1,0 +1,619 @@
+"""Shard-purity rules: what a process-pool worker may touch.
+
+:func:`repro.parallel.engine.run_shards` promises worker-count
+invariance, and :class:`repro.ml.gram_cache.GramCache` hands the same
+read-only Gram to every consumer.  Both contracts die silently the
+moment a worker leans on shared mutable state, so this family enforces
+them statically:
+
+- ``shard-global-write``: a worker callable (anything reaching
+  ``run_shards``/``sweep`` directly, by alias, through
+  ``functools.partial`` or a cross-module import) writes or mutates a
+  module-level global — results would depend on which process ran
+  which shard.
+- ``shard-closure-mutation``: a worker mutates enclosing-scope state
+  (``nonlocal`` writes, in-place ops on closed-over names) — invisible
+  across process boundaries, so serial and pooled runs diverge.
+- ``shard-unpicklable-worker``: a lambda or function-local ``def`` is
+  passed as the worker; it cannot cross a process boundary, silently
+  demoting every pooled run to the serial path.
+- ``shard-gram-mutation``: in-place mutation (``+=``, ``sort()``,
+  ``fill()``, slice-assignment, ``np.fill_diagonal`` ...) of a Gram
+  handout — a ``gram=``/``bank_gram=`` parameter or an array obtained
+  from ``default_cache().full()/.sliced()`` — which is shared by every
+  later fit keyed to the same (kernel, dataset).
+
+The analysis is dataflow-aware at the level the codebase needs: worker
+references are resolved through per-module symbol tables (aliases,
+imports, ``partial``), and handout/set tracking follows simple
+``name = expr`` assignments in statement order.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.devtools.config import LintConfig
+from repro.devtools.findings import Finding, register_rule
+from repro.devtools.modules import ModuleInfo
+from repro.devtools.symbols import (
+    FunctionSymbol,
+    ModuleSymbols,
+    SymbolIndex,
+    call_path,
+)
+
+__all__ = [
+    "GLOBAL_WRITE",
+    "CLOSURE_MUTATION",
+    "UNPICKLABLE_WORKER",
+    "GRAM_MUTATION",
+    "check_shard_purity",
+]
+
+GLOBAL_WRITE = register_rule(
+    "shard-global-write",
+    "shard-purity",
+    "error",
+    "a shard worker writes module-level global state",
+)
+
+CLOSURE_MUTATION = register_rule(
+    "shard-closure-mutation",
+    "shard-purity",
+    "error",
+    "a shard worker mutates enclosing-scope state",
+)
+
+UNPICKLABLE_WORKER = register_rule(
+    "shard-unpicklable-worker",
+    "shard-purity",
+    "error",
+    "a lambda or function-local def is passed as a shard worker",
+)
+
+GRAM_MUTATION = register_rule(
+    "shard-gram-mutation",
+    "shard-purity",
+    "error",
+    "in-place mutation of a read-only Gram cache handout",
+)
+
+#: Entry points that receive a worker callable: dotted origin suffix
+#: (resolved through the import tables) -> (positional index, keyword).
+_SINKS: Dict[str, Tuple[int, str]] = {
+    "repro.parallel.engine.run_shards": (0, "worker"),
+    "repro.parallel.run_shards": (0, "worker"),
+    "repro.parallel.sweep.sweep": (0, "fn"),
+    "repro.parallel.sweep": (0, "fn"),
+}
+
+#: Method names that mutate common containers / ndarrays in place.
+_MUTATOR_METHODS = frozenset(
+    {
+        "append", "extend", "insert", "remove", "pop", "popitem", "clear",
+        "add", "discard", "update", "setdefault", "reverse", "sort",
+        "fill", "put", "partition", "itemset", "setfield", "setflags",
+        "resize", "byteswap", "write", "writelines",
+    }
+)
+
+#: ndarray-specific in-place methods (subset relevant to Gram handouts).
+_NDARRAY_MUTATORS = frozenset(
+    {"sort", "fill", "put", "partition", "itemset", "setfield", "setflags",
+     "resize", "byteswap"}
+)
+
+#: numpy module-level functions that mutate their first argument.
+_NP_FIRST_ARG_MUTATORS = frozenset(
+    {"fill_diagonal", "copyto", "put", "place", "putmask"}
+)
+
+_BUILTIN_NAMES = frozenset(dir(builtins))
+
+_FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda]
+
+
+def _store_roots(target: ast.expr) -> Iterable[Tuple[str, str]]:
+    """``(root_name, kind)`` pairs for one assignment target.
+
+    Kind is ``"name"`` for a plain rebind, ``"item"`` for subscript
+    stores and ``"attr"`` for attribute stores (the two mutations).
+    """
+    if isinstance(target, ast.Name):
+        yield target.id, "name"
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from _store_roots(element)
+    elif isinstance(target, ast.Starred):
+        yield from _store_roots(target.value)
+    elif isinstance(target, (ast.Subscript, ast.Attribute)):
+        kind = "item" if isinstance(target, ast.Subscript) else "attr"
+        node = target.value
+        while isinstance(node, (ast.Subscript, ast.Attribute)):
+            node = node.value
+        if isinstance(node, ast.Name):
+            yield node.id, kind
+
+
+def _function_locals(node: _FunctionNode) -> Tuple[Set[str], Set[str], Set[str]]:
+    """``(locals, global_decls, nonlocal_decls)`` of a function body.
+
+    Locals cover parameters plus every plainly-assigned name anywhere
+    in the body (including nested scopes — a deliberately conservative
+    union that keeps the mutation checks from flagging local work).
+    """
+    args = node.args
+    local: Set[str] = {
+        a.arg
+        for a in [*args.posonlyargs, *args.args, *args.kwonlyargs]
+    }
+    if args.vararg:
+        local.add(args.vararg.arg)
+    if args.kwarg:
+        local.add(args.kwarg.arg)
+    global_decls: Set[str] = set()
+    nonlocal_decls: Set[str] = set()
+    body = node.body if isinstance(node.body, list) else [node.body]
+    for stmt in body:
+        for child in ast.walk(stmt):
+            if isinstance(child, ast.Global):
+                global_decls.update(child.names)
+            elif isinstance(child, ast.Nonlocal):
+                nonlocal_decls.update(child.names)
+            elif isinstance(child, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                targets = (
+                    child.targets
+                    if isinstance(child, ast.Assign)
+                    else [child.target]
+                )
+                for target in targets:
+                    for name, kind in _store_roots(target):
+                        if kind == "name":
+                            local.add(name)
+            elif isinstance(child, (ast.For, ast.AsyncFor)):
+                for name, kind in _store_roots(child.target):
+                    if kind == "name":
+                        local.add(name)
+            elif isinstance(child, ast.comprehension):
+                for name, kind in _store_roots(child.target):
+                    if kind == "name":
+                        local.add(name)
+            elif isinstance(child, (ast.With, ast.AsyncWith)):
+                for item in child.items:
+                    if item.optional_vars is not None:
+                        for name, kind in _store_roots(item.optional_vars):
+                            if kind == "name":
+                                local.add(name)
+            elif isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                local.add(child.name)
+            elif isinstance(child, ast.ExceptHandler) and child.name:
+                local.add(child.name)
+    local -= global_decls
+    local -= nonlocal_decls
+    return local, global_decls, nonlocal_decls
+
+
+def _analyze_worker(
+    symbol: FunctionSymbol, symbols: ModuleSymbols
+) -> List[Finding]:
+    """Purity findings for one resolved worker function body."""
+    info = symbols.info
+    module_globals = set(info.bindings)
+    local, global_decls, nonlocal_decls = _function_locals(symbol.node)
+    findings: List[Finding] = []
+
+    def flag(node: ast.AST, rule: str, message: str) -> None:
+        findings.append(
+            Finding(
+                path=str(info.path),
+                line=node.lineno,
+                rule=rule,
+                module=info.name,
+                message=message,
+            )
+        )
+
+    def classify_write(node: ast.AST, name: str, how: str) -> None:
+        if name in global_decls or (
+            name not in local
+            and name not in nonlocal_decls
+            and name in module_globals
+        ):
+            flag(
+                node,
+                GLOBAL_WRITE,
+                f"worker {symbol.name!r} {how} module global {name!r}; "
+                "shard results must depend only on the ShardSpec",
+            )
+        elif name in nonlocal_decls or (
+            name not in local
+            and name not in module_globals
+            and name not in _BUILTIN_NAMES
+        ):
+            flag(
+                node,
+                CLOSURE_MUTATION,
+                f"worker {symbol.name!r} {how} enclosing-scope name "
+                f"{name!r}; closures do not cross process boundaries",
+            )
+
+    body = symbol.node.body
+    for stmt in body if isinstance(body, list) else [ast.Expr(body)]:
+        for child in ast.walk(stmt):
+            if isinstance(child, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                targets = (
+                    child.targets
+                    if isinstance(child, ast.Assign)
+                    else [child.target]
+                )
+                for target in targets:
+                    for name, kind in _store_roots(target):
+                        if kind == "name":
+                            if name in global_decls or name in nonlocal_decls:
+                                classify_write(child, name, "assigns to")
+                        else:
+                            classify_write(
+                                child,
+                                name,
+                                "assigns into" if kind == "item" else
+                                "sets an attribute on",
+                            )
+            elif isinstance(child, ast.Call):
+                func = child.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in _MUTATOR_METHODS
+                    and isinstance(func.value, ast.Name)
+                ):
+                    classify_write(
+                        child, func.value.id, f"calls .{func.attr}() on"
+                    )
+            elif isinstance(child, ast.Delete):
+                for target in child.targets:
+                    for name, kind in _store_roots(target):
+                        if kind != "name":
+                            classify_write(child, name, "deletes from")
+                        elif name in global_decls or name in nonlocal_decls:
+                            classify_write(child, name, "deletes")
+    return findings
+
+
+class _SinkVisitor(ast.NodeVisitor):
+    """Finds worker callables handed to the shard-execution sinks."""
+
+    def __init__(
+        self,
+        symbols: ModuleSymbols,
+        index: SymbolIndex,
+    ) -> None:
+        self.symbols = symbols
+        self.index = index
+        #: (worker FunctionSymbol, defining-module symbols) to analyse.
+        self.workers: List[Tuple[FunctionSymbol, ModuleSymbols]] = []
+        self.findings: List[Finding] = []
+        # Scope stack mirroring the symbol table's qualnames: a scope
+        # entered from inside a *function* gets a `<locals>` segment.
+        self._scope: List[Tuple[str, str]] = []
+
+    # -- scope bookkeeping ------------------------------------------------
+    def _push(self, name: str, kind: str) -> None:
+        if not self._scope:
+            qual = name
+        else:
+            parent_qual, parent_kind = self._scope[-1]
+            sep = ".<locals>." if parent_kind == "function" else "."
+            qual = f"{parent_qual}{sep}{name}"
+        self._scope.append((qual, kind))
+
+    def _current_function(self) -> Optional[str]:
+        for qual, kind in reversed(self._scope):
+            if kind == "function":
+                return qual
+        return None
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._push(node.name, "function")
+        self.generic_visit(node)
+        self._scope.pop()
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._push(node.name, "class")
+        self.generic_visit(node)
+        self._scope.pop()
+
+    # -- sink detection ---------------------------------------------------
+    def _origin_of(self, func: ast.expr) -> Optional[str]:
+        path = call_path(func)
+        if path is None:
+            return None
+        table = self.symbols
+        if len(path) == 1:
+            return table.dotted_origin(path) or path[0]
+        return table.dotted_origin(path) or ".".join(path)
+
+    def _sink_slot(self, node: ast.Call) -> Optional[Tuple[int, str]]:
+        origin = self._origin_of(node.func)
+        if origin is None:
+            return None
+        return _SINKS.get(origin)
+
+    def _flag_unpicklable(self, node: ast.AST, what: str) -> None:
+        info = self.symbols.info
+        self.findings.append(
+            Finding(
+                path=str(info.path),
+                line=node.lineno,
+                rule=UNPICKLABLE_WORKER,
+                module=info.name,
+                message=(
+                    f"{what} cannot be pickled to a pool worker; "
+                    "the run silently degrades to the serial path — "
+                    "use a module-level function"
+                ),
+            )
+        )
+
+    def _resolve_worker(self, expr: ast.expr, depth: int = 0) -> None:
+        if depth > 4:
+            return
+        if isinstance(expr, ast.Lambda):
+            self._flag_unpicklable(expr, "a lambda worker")
+            return
+        if isinstance(expr, ast.Call):
+            origin = self._origin_of(expr.func)
+            if origin in {"functools.partial", "partial"}:
+                inner: Optional[ast.expr] = None
+                if expr.args:
+                    inner = expr.args[0]
+                else:
+                    for keyword in expr.keywords:
+                        if keyword.arg == "func":
+                            inner = keyword.value
+                if inner is not None:
+                    self._resolve_worker(inner, depth + 1)
+            return
+        if isinstance(expr, ast.Name):
+            scope = self._current_function()
+            symbol = self.symbols.local_function(expr.id, scope)
+            if symbol is not None:
+                self._record(symbol, self.symbols)
+                return
+            origin = self.symbols.dotted_origin([expr.id])
+            if origin is not None:
+                self._resolve_origin(origin)
+            return
+        if isinstance(expr, ast.Attribute):
+            path = call_path(expr)
+            if path is not None:
+                origin = self.symbols.dotted_origin(path)
+                if origin is not None:
+                    self._resolve_origin(origin)
+
+    def _resolve_origin(self, origin: str) -> None:
+        symbol = self.index.resolve_origin(origin)
+        if symbol is None:
+            return
+        table = self.index.table(symbol.module)
+        if table is not None:
+            self._record(symbol, table)
+
+    def _record(self, symbol: FunctionSymbol, table: ModuleSymbols) -> None:
+        if symbol.is_lambda:
+            self._flag_unpicklable(
+                symbol.node, f"lambda worker {symbol.name!r}"
+            )
+            return
+        if symbol.is_nested:
+            self._flag_unpicklable(
+                symbol.node,
+                f"function-local worker {symbol.qualname!r}",
+            )
+            return
+        self.workers.append((symbol, table))
+
+    def visit_Call(self, node: ast.Call) -> None:
+        slot = self._sink_slot(node)
+        if slot is not None:
+            position, keyword_name = slot
+            worker_expr: Optional[ast.expr] = None
+            if len(node.args) > position:
+                worker_expr = node.args[position]
+            else:
+                for keyword in node.keywords:
+                    if keyword.arg == keyword_name:
+                        worker_expr = keyword.value
+            if worker_expr is not None:
+                self._resolve_worker(worker_expr)
+        self.generic_visit(node)
+
+
+class _GramVisitor(ast.NodeVisitor):
+    """Flags in-place mutation of Gram-cache handouts, per function."""
+
+    def __init__(self, symbols: ModuleSymbols, param_names: Sequence[str]) -> None:
+        self.symbols = symbols
+        self.param_names = frozenset(param_names)
+        self.findings: List[Finding] = []
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_function(node)
+        self.generic_visit(node)
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def _is_handout_call(self, expr: ast.expr, cache_names: Set[str]) -> bool:
+        """``default_cache().full(...)``-shaped expressions (and via a
+        cached ``cache = default_cache()`` local)."""
+        if not isinstance(expr, ast.Call):
+            return False
+        func = expr.func
+        if not isinstance(func, ast.Attribute) or func.attr not in {
+            "full",
+            "sliced",
+        }:
+            return False
+        receiver = func.value
+        if isinstance(receiver, ast.Call):
+            receiver_path = call_path(receiver.func)
+            return receiver_path is not None and receiver_path[-1] == "default_cache"
+        if isinstance(receiver, ast.Name):
+            return receiver.id in cache_names
+        return False
+
+    def _is_cache_call(self, expr: ast.expr) -> bool:
+        if not isinstance(expr, ast.Call):
+            return False
+        path = call_path(expr.func)
+        return path is not None and path[-1] == "default_cache"
+
+    def _flag(self, node: ast.AST, name: str, how: str) -> None:
+        info = self.symbols.info
+        self.findings.append(
+            Finding(
+                path=str(info.path),
+                line=node.lineno,
+                rule=GRAM_MUTATION,
+                module=info.name,
+                message=(
+                    f"{how} Gram handout {name!r}; cache handouts are "
+                    "read-only and shared across fits — operate on a copy"
+                ),
+            )
+        )
+
+    def _check_function(self, node: Union[ast.FunctionDef, ast.AsyncFunctionDef]) -> None:
+        args = node.args
+        handouts: Set[str] = {
+            a.arg
+            for a in [*args.posonlyargs, *args.args, *args.kwonlyargs]
+            if a.arg in self.param_names
+        }
+        cache_names: Set[str] = set()
+        self._walk_statements(node.body, handouts, cache_names)
+
+    def _walk_statements(
+        self, statements: List[ast.stmt], handouts: Set[str], cache_names: Set[str]
+    ) -> None:
+        for stmt in statements:
+            self._process(stmt, handouts, cache_names)
+
+    def _process(
+        self, stmt: ast.stmt, handouts: Set[str], cache_names: Set[str]
+    ) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return  # handled by its own visit
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target = stmt.targets[0]
+            if isinstance(target, ast.Name):
+                name = target.id
+                if self._is_handout_call(stmt.value, cache_names):
+                    handouts.add(name)
+                elif self._is_cache_call(stmt.value):
+                    cache_names.add(name)
+                elif (
+                    isinstance(stmt.value, ast.Name)
+                    and stmt.value.id in handouts
+                ):
+                    handouts.add(name)
+                else:
+                    handouts.discard(name)
+                    cache_names.discard(name)
+                return
+        # Mutations inside any statement (incl. compound bodies).
+        for child in ast.walk(stmt):
+            if isinstance(child, ast.AugAssign):
+                for name, kind in _store_roots(child.target):
+                    if name in handouts:
+                        self._flag(
+                            child,
+                            name,
+                            "augmented assignment mutates"
+                            if kind == "name"
+                            else "in-place element update mutates",
+                        )
+            elif isinstance(child, (ast.Assign, ast.AnnAssign)):
+                targets = (
+                    child.targets
+                    if isinstance(child, ast.Assign)
+                    else [child.target]
+                )
+                for target in targets:
+                    for name, kind in _store_roots(target):
+                        if kind != "name" and name in handouts:
+                            self._flag(
+                                child,
+                                name,
+                                "slice assignment into"
+                                if kind == "item"
+                                else "attribute write on",
+                            )
+            elif isinstance(child, ast.Call):
+                func = child.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in _NDARRAY_MUTATORS
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id in handouts
+                ):
+                    self._flag(child, func.value.id, f".{func.attr}() mutates")
+                else:
+                    path = call_path(func)
+                    if (
+                        path is not None
+                        and path[-1] in _NP_FIRST_ARG_MUTATORS
+                        and child.args
+                        and isinstance(child.args[0], ast.Name)
+                        and child.args[0].id in handouts
+                    ):
+                        self._flag(
+                            child,
+                            child.args[0].id,
+                            f"{path[-1]}() mutates",
+                        )
+            # Track nested simple assignments in statement order too.
+            if child is not stmt and isinstance(child, ast.Assign):
+                if len(child.targets) == 1 and isinstance(
+                    child.targets[0], ast.Name
+                ):
+                    name = child.targets[0].id
+                    if self._is_handout_call(child.value, cache_names):
+                        handouts.add(name)
+                    elif self._is_cache_call(child.value):
+                        cache_names.add(name)
+
+
+def check_shard_purity(
+    modules: Dict[str, ModuleInfo], config: LintConfig
+) -> List[Finding]:
+    """Run the shard-purity family over every discovered module."""
+    index = SymbolIndex(modules)
+    findings: List[Finding] = []
+    analysed: Set[Tuple[str, str]] = set()
+    for name in sorted(modules):
+        info = modules[name]
+        if info.tree is None:
+            continue
+        table = index.table(name)
+        if table is None:
+            continue
+        sink_visitor = _SinkVisitor(table, index)
+        sink_visitor.visit(info.tree)
+        findings.extend(sink_visitor.findings)
+        for symbol, symbol_table in sink_visitor.workers:
+            key = (symbol.module, symbol.qualname)
+            if key in analysed:
+                continue
+            analysed.add(key)
+            findings.extend(_analyze_worker(symbol, symbol_table))
+        gram_visitor = _GramVisitor(table, sorted(config.gram_param_names))
+        gram_visitor.visit(info.tree)
+        findings.extend(gram_visitor.findings)
+    # The same worker reached from several modules reports once.
+    return sorted(set(findings))

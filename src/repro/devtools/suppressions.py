@@ -1,0 +1,247 @@
+"""Inline suppressions: ``# repro: noqa[rule-id] justification``.
+
+A finding is suppressed when the offending line (or the line a
+multi-line statement starts on) carries a ``repro: noqa`` comment
+naming the finding's rule id::
+
+    TOTALS[room] += count  # repro: noqa[shard-global-write] merged serially
+
+``# repro: noqa`` with no bracket suppresses every rule on that line.
+Two hygiene rules keep the mechanism honest: a suppression without a
+trailing justification is flagged (``suppression-unjustified``), and —
+when every rule family runs — a suppression that no longer suppresses
+anything is flagged as stale (``suppression-unused``), the same
+ratchet-down contract the baseline file follows.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.devtools.findings import Finding, register_rule
+from repro.devtools.modules import ModuleInfo
+
+__all__ = [
+    "SUPPRESSION_UNJUSTIFIED",
+    "SUPPRESSION_UNUSED",
+    "Suppression",
+    "scan_suppressions",
+    "apply_suppressions",
+    "check_suppressions",
+]
+
+#: Rule id: a ``repro: noqa`` comment with no justification text.
+SUPPRESSION_UNJUSTIFIED = register_rule(
+    "suppression-unjustified",
+    "suppressions",
+    "warning",
+    "every `# repro: noqa[...]` must carry a justification after the bracket",
+)
+
+#: Rule id: a ``repro: noqa`` comment that suppresses no finding.
+SUPPRESSION_UNUSED = register_rule(
+    "suppression-unused",
+    "suppressions",
+    "warning",
+    "a `# repro: noqa[...]` that no longer suppresses anything is stale",
+)
+
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<rules>[^\]]*)\])?(?P<rest>[^#]*)",
+    re.IGNORECASE,
+)
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One inline suppression comment.
+
+    Attributes:
+        line: 1-based line the comment sits on.
+        rules: suppressed rule ids, or ``None`` for a blanket ``noqa``.
+        justification: free text following the bracket.
+    """
+
+    line: int
+    rules: Optional[FrozenSet[str]]
+    justification: str
+
+    def matches(self, rule: str) -> bool:
+        return self.rules is None or rule in self.rules
+
+
+def _tokenize_lines(
+    source: str,
+) -> Tuple[List[Tuple[int, str, bool]], List[int]]:
+    """Comment tokens and code lines of a source file.
+
+    Returns ``(comments, code_lines)`` where each comment is
+    ``(line, text, standalone)`` — standalone meaning nothing but
+    whitespace precedes it on its line — and ``code_lines`` is the
+    sorted list of lines where real code tokens start.  Only real
+    comment *tokens* count, so strings that merely mention the noqa
+    syntax (docstring examples) never suppress anything.
+    """
+    comments: List[Tuple[int, str, bool]] = []
+    code_lines: List[int] = []
+    structural = {
+        tokenize.COMMENT,
+        tokenize.NL,
+        tokenize.NEWLINE,
+        tokenize.INDENT,
+        tokenize.DEDENT,
+        tokenize.ENCODING,
+        tokenize.ENDMARKER,
+    }
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(source).readline):
+            if token.type == tokenize.COMMENT:
+                standalone = not token.line[: token.start[1]].strip()
+                comments.append((token.start[0], token.string, standalone))
+            elif token.type not in structural:
+                code_lines.append(token.start[0])
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # A tree that does not tokenize is reported by the parser
+        # elsewhere; suppressions simply do not apply.
+        return [], []
+    return comments, sorted(set(code_lines))
+
+
+def scan_suppressions(source: str) -> Dict[int, Suppression]:
+    """All ``repro: noqa`` comments in ``source``, keyed by the line
+    they *suppress*: their own line for trailing comments, the next
+    code line for standalone comment blocks::
+
+        total = sum(parts.values())  # repro: noqa[rule-id] why
+
+        # repro: noqa[rule-id] a justification too long to trail
+        # (continuation lines are plain comments)
+        total = sum(parts.values())
+    """
+    comments, code_lines = _tokenize_lines(source)
+    found: Dict[int, Suppression] = {}
+    for lineno, text, standalone in comments:
+        match = _NOQA_RE.search(text)
+        if match is None:
+            continue
+        raw_rules = match.group("rules")
+        rules = (
+            None
+            if raw_rules is None
+            else frozenset(r.strip() for r in raw_rules.split(",") if r.strip())
+        )
+        target = lineno
+        if standalone:
+            following = [line for line in code_lines if line > lineno]
+            if not following:
+                continue  # trailing comment block at EOF suppresses nothing
+            target = following[0]
+        entry = Suppression(
+            line=target,
+            rules=rules,
+            justification=match.group("rest").strip(" -—\t"),
+        )
+        previous = found.get(target)
+        if previous is not None:
+            merged_rules = (
+                None
+                if previous.rules is None or entry.rules is None
+                else previous.rules | entry.rules
+            )
+            entry = Suppression(
+                line=target,
+                rules=merged_rules,
+                justification=(
+                    f"{previous.justification} {entry.justification}".strip()
+                ),
+            )
+        found[target] = entry
+    return found
+
+
+def _suppression_tables(
+    modules: Dict[str, ModuleInfo],
+) -> Dict[str, Dict[int, Suppression]]:
+    tables: Dict[str, Dict[int, Suppression]] = {}
+    for info in modules.values():
+        if info.source:
+            table = scan_suppressions(info.source)
+            if table:
+                tables[str(info.path)] = table
+    return tables
+
+
+def apply_suppressions(
+    findings: Iterable[Finding], modules: Dict[str, ModuleInfo]
+) -> Tuple[List[Finding], List[Finding]]:
+    """Split findings into (kept, suppressed) using inline comments."""
+    tables = _suppression_tables(modules)
+    kept: List[Finding] = []
+    suppressed: List[Finding] = []
+    for finding in findings:
+        entry = tables.get(finding.path, {}).get(finding.line)
+        if entry is not None and entry.matches(finding.rule):
+            suppressed.append(finding)
+        else:
+            kept.append(finding)
+    return kept, suppressed
+
+
+def check_suppressions(
+    modules: Dict[str, ModuleInfo],
+    suppressed: Iterable[Finding],
+    *,
+    check_unused: bool,
+) -> List[Finding]:
+    """The hygiene findings for every suppression comment in the tree.
+
+    Args:
+        modules: the discovered tree.
+        suppressed: findings that inline comments suppressed in this
+            run (used to decide which comments earned their keep).
+        check_unused: only flag stale comments when the caller ran
+            every rule family — a partial ``--rules`` run cannot tell
+            a stale suppression from one aimed at an unselected family.
+    """
+    used = {(finding.path, finding.line) for finding in suppressed}
+    findings: List[Finding] = []
+    for info in modules.values():
+        if not info.source:
+            continue
+        for suppression in scan_suppressions(info.source).values():
+            if not suppression.justification:
+                findings.append(
+                    Finding(
+                        path=str(info.path),
+                        line=suppression.line,
+                        rule=SUPPRESSION_UNJUSTIFIED,
+                        module=info.name,
+                        message=(
+                            "suppression has no justification; write "
+                            "`# repro: noqa[rule-id] <why this is safe>`"
+                        ),
+                    )
+                )
+            if check_unused and (str(info.path), suppression.line) not in used:
+                names = (
+                    ", ".join(sorted(suppression.rules))
+                    if suppression.rules
+                    else "any rule"
+                )
+                findings.append(
+                    Finding(
+                        path=str(info.path),
+                        line=suppression.line,
+                        rule=SUPPRESSION_UNUSED,
+                        module=info.name,
+                        message=(
+                            f"suppression for {names} no longer matches any "
+                            "finding; delete the stale comment"
+                        ),
+                    )
+                )
+    return findings

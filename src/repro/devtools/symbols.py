@@ -1,0 +1,295 @@
+"""Per-module symbol tables for the dataflow-aware rule families.
+
+:func:`build_symbols` walks one module's AST and records everything the
+shard-purity and numeric-determinism families need to resolve *names*
+back to *definitions* without importing the code:
+
+- every function definition (including nested defs and lambdas bound
+  to a name), with its scope chain, so a worker reference can be
+  traced to its body;
+- module-scope aliases (``w = my_worker``) and the local names each
+  import statement binds, so ``from repro.parallel.engine import
+  run_shards as rs`` still resolves ``rs(...)`` to the real sink;
+- cross-module resolution through :class:`SymbolIndex`, so a worker
+  imported from a sibling module is analysed in *its* defining module.
+
+Everything here is a static approximation: the tables track simple
+``name = name`` aliases and import bindings, not arbitrary dataflow.
+That is exactly the level the rules need — worker callables in this
+codebase are module-level functions passed by name, by alias, or
+wrapped in ``functools.partial``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.devtools.modules import ModuleInfo
+
+__all__ = [
+    "FunctionSymbol",
+    "ModuleSymbols",
+    "SymbolIndex",
+    "build_symbols",
+    "call_path",
+]
+
+
+def call_path(func: ast.expr) -> Optional[List[str]]:
+    """Dotted attribute path of an expression, e.g. ``["np", "random", "seed"]``."""
+    parts: List[str] = []
+    node = func
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return list(reversed(parts))
+    return None
+
+
+@dataclass(frozen=True)
+class FunctionSymbol:
+    """One function (or named lambda) definition in a module.
+
+    Attributes:
+        name: the simple name the definition binds (lambdas bound via
+            assignment report the assigned name; anonymous lambdas use
+            ``"<lambda>"``).
+        qualname: dotted path within the module, e.g.
+            ``"Plan.split"`` or ``"make_worker.<locals>.worker"``.
+        module: dotted module name the definition lives in.
+        lineno: 1-based definition line.
+        node: the ``FunctionDef``/``AsyncFunctionDef``/``Lambda`` node.
+        parent: qualname of the enclosing *function*, or ``None`` for
+            module/class scope — non-``None`` means the function is a
+            local, hence unpicklable across a process boundary.
+        in_class: defined directly inside a class body.
+    """
+
+    name: str
+    qualname: str
+    module: str
+    lineno: int
+    node: Union[ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda]
+    parent: Optional[str] = None
+    in_class: bool = False
+
+    @property
+    def is_nested(self) -> bool:
+        """Defined inside another function (so it cannot be pickled)."""
+        return self.parent is not None
+
+    @property
+    def is_lambda(self) -> bool:
+        return isinstance(self.node, ast.Lambda)
+
+
+@dataclass
+class ModuleSymbols:
+    """The symbol table of one module.
+
+    Attributes:
+        info: the underlying :class:`~repro.devtools.modules.ModuleInfo`.
+        functions: every function definition, keyed by qualname.
+        top_level: module-scope functions by simple name.
+        aliases: module-scope ``name = other_name`` simple aliases.
+        imported: local name -> absolute dotted origin, from import
+            statements (``import a.b as c`` maps ``c -> "a.b"``;
+            ``from a.b import f`` maps ``f -> "a.b.f"``).
+    """
+
+    info: ModuleInfo
+    functions: Dict[str, FunctionSymbol] = field(default_factory=dict)
+    top_level: Dict[str, FunctionSymbol] = field(default_factory=dict)
+    aliases: Dict[str, str] = field(default_factory=dict)
+    imported: Dict[str, str] = field(default_factory=dict)
+
+    def local_function(
+        self, name: str, scope: Optional[str]
+    ) -> Optional[FunctionSymbol]:
+        """Resolve ``name`` seen inside function ``scope`` (a qualname).
+
+        Searches the enclosing function scopes innermost-first, then
+        module scope, following module-scope aliases one hop.
+        """
+        qual = scope
+        while qual:
+            symbol = self.functions.get(f"{qual}.<locals>.{name}")
+            if symbol is not None:
+                return symbol
+            parent = self.functions.get(qual)
+            qual = parent.parent if parent is not None else None
+        target = self.aliases.get(name, name)
+        return self.top_level.get(target)
+
+    def dotted_origin(self, path: List[str]) -> Optional[str]:
+        """Absolute dotted origin of a name path, via the import table.
+
+        ``["eng", "run_shards"]`` with ``import repro.parallel.engine
+        as eng`` resolves to ``"repro.parallel.engine.run_shards"``.
+        """
+        head = self.aliases.get(path[0], path[0])
+        origin = self.imported.get(head)
+        if origin is None:
+            return None
+        return ".".join([origin, *path[1:]])
+
+
+class _SymbolVisitor(ast.NodeVisitor):
+    """Collects function definitions and module-scope aliases."""
+
+    def __init__(self, symbols: ModuleSymbols) -> None:
+        self.symbols = symbols
+        # Stack of (qualname, kind) scopes; kind is "function"|"class".
+        self._scopes: List[Tuple[str, str]] = []
+
+    def _enclosing_function(self) -> Optional[str]:
+        for qual, kind in reversed(self._scopes):
+            if kind == "function":
+                return qual
+        return None
+
+    def _qualname(self, name: str) -> str:
+        parts: List[str] = []
+        previous_kind = None
+        for qual, kind in self._scopes:
+            simple = qual.rsplit(".", 1)[-1]
+            if previous_kind == "function":
+                parts.append("<locals>")
+            parts.append(simple)
+            previous_kind = kind
+        if previous_kind == "function":
+            parts.append("<locals>")
+        parts.append(name)
+        return ".".join(parts)
+
+    def _add_function(
+        self,
+        name: str,
+        node: Union[ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda],
+    ) -> None:
+        qualname = self._qualname(name)
+        symbol = FunctionSymbol(
+            name=name,
+            qualname=qualname,
+            module=self.symbols.info.name,
+            lineno=node.lineno,
+            node=node,
+            parent=self._enclosing_function(),
+            in_class=bool(self._scopes) and self._scopes[-1][1] == "class",
+        )
+        self.symbols.functions[qualname] = symbol
+        if not self._scopes:
+            self.symbols.top_level[name] = symbol
+
+    def _visit_function(
+        self, node: Union[ast.FunctionDef, ast.AsyncFunctionDef], name: str
+    ) -> None:
+        self._add_function(name, node)
+        self._scopes.append((self._qualname(name), "function"))
+        self.generic_visit(node)
+        self._scopes.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node, node.name)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node, node.name)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._scopes.append((self._qualname(node.name), "class"))
+        self.generic_visit(node)
+        self._scopes.pop()
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        # `w = lambda ...` binds a (named) lambda; `w = other` records
+        # a simple alias at module scope.
+        if len(node.targets) == 1 and isinstance(node.targets[0], ast.Name):
+            name = node.targets[0].id
+            if isinstance(node.value, ast.Lambda):
+                self._add_function(name, node.value)
+                return  # do not descend: the lambda is already recorded
+            if not self._scopes and isinstance(node.value, ast.Name):
+                self.symbols.aliases[name] = node.value.id
+        self.generic_visit(node)
+
+
+def _importfrom_base(info: ModuleInfo, node: ast.ImportFrom) -> Optional[str]:
+    """Absolute dotted module an ``ImportFrom`` reads from."""
+    if not node.level:
+        return node.module
+    parts = info.package.split(".") if info.package else []
+    if node.level - 1 > len(parts):
+        return None
+    base = parts[: len(parts) - (node.level - 1)]
+    if node.module:
+        base += node.module.split(".")
+    return ".".join(base) if base else None
+
+
+def build_symbols(info: ModuleInfo) -> ModuleSymbols:
+    """Build the symbol table of one parsed module."""
+    symbols = ModuleSymbols(info=info)
+    if info.tree is None:
+        return symbols
+    # Import bindings come from the AST (not ImportRecord) because the
+    # *bound* name is the asname, which the records do not keep.
+    for node in ast.walk(info.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                bound = alias.asname or alias.name.split(".")[0]
+                target = alias.name if alias.asname else alias.name.split(".")[0]
+                symbols.imported.setdefault(bound, target)
+        elif isinstance(node, ast.ImportFrom):
+            base = _importfrom_base(info, node)
+            if base is None:
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                symbols.imported.setdefault(
+                    alias.asname or alias.name, f"{base}.{alias.name}"
+                )
+    _SymbolVisitor(symbols).visit(info.tree)
+    return symbols
+
+
+class SymbolIndex:
+    """Cross-module symbol resolution over a discovered tree."""
+
+    def __init__(self, modules: Dict[str, ModuleInfo]) -> None:
+        self._modules = modules
+        self._tables: Dict[str, ModuleSymbols] = {}
+
+    def table(self, module_name: str) -> Optional[ModuleSymbols]:
+        """The (lazily built) symbol table of ``module_name``."""
+        if module_name not in self._modules:
+            return None
+        if module_name not in self._tables:
+            self._tables[module_name] = build_symbols(self._modules[module_name])
+        return self._tables[module_name]
+
+    def resolve_origin(self, origin: str) -> Optional[FunctionSymbol]:
+        """A top-level function for an absolute dotted origin.
+
+        ``"repro.parallel.sweep._evaluate_point"`` finds the function
+        in its defining module; re-exports through a package
+        ``__init__`` (``"repro.parallel.run_shards"``) are followed one
+        import hop.
+        """
+        module_name, _, attr = origin.rpartition(".")
+        if not module_name:
+            return None
+        table = self.table(module_name)
+        if table is None:
+            return None
+        symbol = table.top_level.get(table.aliases.get(attr, attr))
+        if symbol is not None:
+            return symbol
+        forwarded = table.imported.get(attr)
+        if forwarded is not None and forwarded != origin:
+            return self.resolve_origin(forwarded)
+        return None

@@ -214,10 +214,10 @@ class FleetLoadGenerator:
         batches = int(self.obs.counter("server.batches").value)
         batch_hist = self.obs.histogram("server.batch_size")
         throughput = ingested / self.duration_s
-        attempts = sum(s.attempts for s in run.delivery.values())
-        delivered = sum(s.delivered for s in run.delivery.values())
-        energy = sum(b.total_j for b in run.energy.values())
-        eval_points = sum(len(p) for p in run.predictions.values())
+        attempts = sum(s.attempts for s in run.delivery.values())  # repro: noqa[numeric-dict-reduction] integer counts, order-free
+        delivered = sum(s.delivered for s in run.delivery.values())  # repro: noqa[numeric-dict-reduction] integer counts, order-free
+        energy = sum(b.total_j for b in run.energy.values())  # repro: noqa[numeric-dict-reduction] keyed by device id, inserted in fixed add_occupant order
+        eval_points = sum(len(p) for p in run.predictions.values())  # repro: noqa[numeric-dict-reduction] integer counts, order-free
 
         self.obs.gauge("fleet.devices").set(float(self.devices))
         self.obs.gauge("fleet.throughput_rps").set(throughput)

@@ -92,7 +92,9 @@ class GramCache:
         try:
             key = (kernel, *_dataset_digest(X))
         except TypeError:  # unhashable kernel: compute, don't cache
-            return kernel(X, X)
+            gram = np.asarray(kernel(X, X), dtype=float)
+            gram.flags.writeable = False
+            return gram
         cached = self._entries.get(key)
         if cached is not None:
             self.hits += 1
@@ -123,7 +125,9 @@ class GramCache:
         try:
             key = (kernel, *_dataset_digest(X), rows.tobytes())
         except TypeError:  # unhashable kernel: compute, don't cache
-            return kernel(X, X)[np.ix_(rows, rows)]
+            sub = np.asarray(kernel(X, X), dtype=float)[np.ix_(rows, rows)]
+            sub.flags.writeable = False
+            return sub
         cached = self._slices.get(key)
         if cached is not None:
             self.hits += 1

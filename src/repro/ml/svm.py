@@ -699,6 +699,8 @@ class SupportVectorClassifier:
                 if bank is not None and bank.shape[0]
                 else None
             )
+        # repro: noqa[numeric-dict-reduction] _machines is built in a fixed
+        # nested loop over sorted class pairs, so iteration order replays
         for (a, b), machine in self._machines.items():
             if bank is None:
                 decision = machine.decision_function(X)
@@ -732,4 +734,4 @@ class SupportVectorClassifier:
     @property
     def n_support_total(self) -> int:
         """Total support vectors across all pairwise machines."""
-        return sum(m.n_support_ for m in self._machines.values())
+        return sum(m.n_support_ for m in self._machines.values())  # repro: noqa[numeric-dict-reduction] integer counts, order-free

@@ -405,6 +405,8 @@ class MetricsRegistry:
             raise TypeError(
                 f"merge() needs a MetricsRegistry or state dict, got {other!r}"
             )
+        # repro: noqa[numeric-dict-reduction] each counter accumulates
+        # independently per name; callers merge shards in index order
         for name, payload in state.get("counters", {}).items():
             counter = self.counter(name)
             counter._total += payload["total"]
@@ -420,6 +422,8 @@ class MetricsRegistry:
                 current = gauge._by_attrs.get(key)
                 if current is None or _gauge_write_wins(entry, current):
                     gauge._by_attrs[key] = entry
+        # repro: noqa[numeric-dict-reduction] each histogram accumulates
+        # independently per name; callers merge shards in index order
         for name, payload in state.get("histograms", {}).items():
             hist = self.histogram(name, buckets=payload["bounds"])
             if hist.bounds != tuple(payload["bounds"]):

@@ -1,0 +1,16 @@
+"""Stub of the shared Gram cache (fixture)."""
+
+
+class GramCache:
+    def full(self, kernel, X):
+        return kernel(X, X)
+
+    def sliced(self, kernel, X, rows):
+        return kernel(X, X)
+
+
+_CACHE = GramCache()
+
+
+def default_cache():
+    return _CACHE

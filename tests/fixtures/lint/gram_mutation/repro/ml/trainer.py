@@ -1,0 +1,9 @@
+"""A fit that centres the shared Gram handout in place."""
+
+from repro.ml.gram_cache import default_cache
+
+
+def fit(kernel, X):
+    gram = default_cache().full(kernel, X)
+    gram += 1.0
+    return gram

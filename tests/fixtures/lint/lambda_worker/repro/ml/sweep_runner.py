@@ -1,0 +1,7 @@
+"""Passes a lambda as the pool worker (fixture)."""
+
+from repro.parallel.engine import run_shards
+
+
+def run(shards):
+    return run_shards(lambda shard: shard + 1, shards)

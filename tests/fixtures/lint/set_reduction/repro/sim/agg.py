@@ -1,0 +1,6 @@
+"""Sums float residuals straight out of a set (fixture)."""
+
+
+def total_residual(values):
+    residuals = {round(v, 6) for v in values}
+    return sum(residuals)

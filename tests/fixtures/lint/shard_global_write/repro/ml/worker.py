@@ -1,0 +1,14 @@
+"""A shard worker that leaks its results into a module global."""
+
+from repro.parallel.engine import run_shards
+
+TOTALS = {}
+
+
+def _tally(shard):
+    TOTALS[shard.index] = shard.size
+    return shard.size
+
+
+def run(shards):
+    return run_shards(_tally, shards)

@@ -1,0 +1,5 @@
+"""Stub of the shard execution engine (fixture)."""
+
+
+def run_shards(worker, shards, n_jobs=None):
+    return [worker(shard) for shard in shards]

@@ -1,0 +1,730 @@
+"""Framework tests for `repro.devtools`: the rule registry, inline
+suppressions, the ratcheting baseline, SARIF output, and the dataflow
+edges of the shard-purity / numeric / determinism families that the
+planted fixture trees do not cover."""
+
+import json
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.devtools.baseline import (
+    apply_baseline,
+    fingerprint,
+    load_baseline,
+    write_baseline,
+)
+from repro.devtools.determinism import UNSEEDED_RNG, WALL_CLOCK
+from repro.devtools.findings import (
+    RULE_REGISTRY,
+    SEVERITIES,
+    Finding,
+    register_rule,
+    rules_in_family,
+)
+from repro.devtools.lint import RULE_FAMILIES, run_lint
+from repro.devtools.numeric import DICT_REDUCTION, ENV_BRANCH, SET_REDUCTION
+from repro.devtools.shard_purity import (
+    CLOSURE_MUTATION,
+    GLOBAL_WRITE,
+    GRAM_MUTATION,
+    UNPICKLABLE_WORKER,
+)
+from repro.devtools.suppressions import (
+    SUPPRESSION_UNJUSTIFIED,
+    SUPPRESSION_UNUSED,
+    scan_suppressions,
+)
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+FIXTURES = REPO / "tests" / "fixtures" / "lint"
+
+#: Stub of the pool entry point, shared by the synthetic shard trees.
+ENGINE_STUB = (
+    '"""Stub engine."""\n\n\n'
+    "def run_shards(worker, shards, n_jobs=None):\n"
+    "    return [worker(shard) for shard in shards]\n"
+)
+
+#: Stub of the Gram cache, shared by the synthetic handout trees.
+GRAM_STUB = (
+    '"""Stub cache."""\n\n\n'
+    "class GramCache:\n"
+    "    def full(self, kernel, X):\n"
+    "        return kernel(X, X)\n\n"
+    "    def sliced(self, kernel, X, rows):\n"
+    "        return kernel(X, X)\n\n\n"
+    "_CACHE = GramCache()\n\n\n"
+    "def default_cache():\n"
+    "    return _CACHE\n"
+)
+
+
+def _tree(tmp_path, files):
+    for relpath, body in files.items():
+        target = tmp_path / relpath
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(body, encoding="utf-8")
+    return tmp_path
+
+
+def _shard_tree(tmp_path, worker_body):
+    return _tree(
+        tmp_path,
+        {
+            "repro/__init__.py": "",
+            "repro/parallel/__init__.py": "",
+            "repro/parallel/engine.py": ENGINE_STUB,
+            "repro/ml/__init__.py": "",
+            "repro/ml/runner.py": worker_body,
+        },
+    )
+
+
+def _rules(findings):
+    return [f.rule for f in findings]
+
+
+class TestRuleRegistry:
+    """Every rule id is registered with a family and a valid severity."""
+
+    def test_every_family_has_registered_rules(self):
+        for family in RULE_FAMILIES:
+            assert rules_in_family(family), family
+
+    def test_severities_are_valid(self):
+        for rule in RULE_REGISTRY.values():
+            assert rule.severity in SEVERITIES, rule
+
+    def test_known_severity_assignments(self):
+        assert RULE_REGISTRY[GLOBAL_WRITE].severity == "error"
+        assert RULE_REGISTRY[DICT_REDUCTION].severity == "warning"
+        assert RULE_REGISTRY[SUPPRESSION_UNUSED].severity == "warning"
+
+    def test_reregistering_identical_metadata_is_idempotent(self):
+        rule = RULE_REGISTRY[WALL_CLOCK]
+        assert (
+            register_rule(rule.id, rule.family, rule.severity, rule.summary)
+            == rule.id
+        )
+
+    def test_conflicting_reregistration_rejected(self):
+        rule = RULE_REGISTRY[WALL_CLOCK]
+        with pytest.raises(ValueError, match="already registered"):
+            register_rule(rule.id, rule.family, rule.severity, "different")
+
+    def test_unknown_severity_rejected(self):
+        with pytest.raises(ValueError, match="severity"):
+            register_rule("bogus-rule", "imports", "fatal", "nope")
+        assert "bogus-rule" not in RULE_REGISTRY
+
+
+class TestSuppressions:
+    """Inline `# repro: noqa[...]` behaviour through the full pipeline."""
+
+    def _sim_tree(self, tmp_path, body):
+        return _tree(
+            tmp_path,
+            {
+                "repro/__init__.py": "",
+                "repro/sim/__init__.py": "",
+                "repro/sim/mod.py": body,
+            },
+        )
+
+    def test_trailing_suppression_absorbs_the_finding(self, tmp_path):
+        root = self._sim_tree(
+            tmp_path,
+            "import time\n\n\ndef stamp():\n"
+            "    return time.time()  "
+            "# repro: noqa[determinism-wall-clock] fixture wants wall time\n",
+        )
+        assert run_lint(root) == []
+
+    def test_wrong_rule_id_does_not_suppress(self, tmp_path):
+        root = self._sim_tree(
+            tmp_path,
+            "import time\n\n\ndef stamp():\n"
+            "    return time.time()  "
+            "# repro: noqa[numeric-set-reduction] aimed at the wrong rule\n",
+        )
+        assert sorted(_rules(run_lint(root))) == sorted(
+            [WALL_CLOCK, SUPPRESSION_UNUSED]
+        )
+
+    def test_blanket_suppression_covers_any_rule(self, tmp_path):
+        root = self._sim_tree(
+            tmp_path,
+            "import time\n\n\ndef stamp():\n"
+            "    return time.time()  # repro: noqa grandfathered call\n",
+        )
+        assert run_lint(root) == []
+
+    def test_standalone_comment_suppresses_the_next_code_line(self, tmp_path):
+        root = self._sim_tree(
+            tmp_path,
+            "import time\n\n\ndef stamp():\n"
+            "    # repro: noqa[determinism-wall-clock] justification that\n"
+            "    # is too long to trail the statement itself\n"
+            "    return time.time()\n",
+        )
+        assert run_lint(root) == []
+
+    def test_docstring_mentioning_noqa_is_not_a_suppression(self, tmp_path):
+        root = self._sim_tree(
+            tmp_path,
+            '"""Docs show `# repro: noqa[determinism-wall-clock]` usage."""\n'
+            "X = 1\n",
+        )
+        assert run_lint(root) == []
+
+    def test_unjustified_suppression_flagged(self, tmp_path):
+        root = self._sim_tree(
+            tmp_path,
+            "import time\n\n\ndef stamp():\n"
+            "    return time.time()  # repro: noqa[determinism-wall-clock]\n",
+        )
+        findings = run_lint(root)
+        assert _rules(findings) == [SUPPRESSION_UNJUSTIFIED]
+        assert findings[0].severity == "warning"
+
+    def test_unused_suppression_flagged_on_full_run_only(self, tmp_path):
+        root = self._sim_tree(
+            tmp_path,
+            "X = 1  # repro: noqa[numeric-set-reduction] long since fixed\n",
+        )
+        assert _rules(run_lint(root)) == [SUPPRESSION_UNUSED]
+        # A partial run cannot tell stale from out-of-scope.
+        assert run_lint(root, rules=["determinism", "suppressions"]) == []
+
+    def test_scan_maps_standalone_blocks_to_following_code(self):
+        table = scan_suppressions(
+            "x = 1\n"
+            "# repro: noqa[rule-a] block comment\n"
+            "# plain continuation\n"
+            "y = 2\n"
+        )
+        assert set(table) == {4}
+        assert table[4].rules == frozenset({"rule-a"})
+        assert table[4].justification == "block comment"
+
+    def test_scan_ignores_trailing_block_at_eof(self):
+        assert scan_suppressions("x = 1\n# repro: noqa[rule-a] dangling\n") == {}
+
+
+class TestShardPurityEdges:
+    """Worker resolution beyond the fixture trees: partials, aliases,
+    cross-module imports, and the Gram handout dataflow."""
+
+    def test_pure_worker_is_clean(self, tmp_path):
+        root = _shard_tree(
+            tmp_path,
+            "from repro.parallel.engine import run_shards\n\n\n"
+            "def _pure(shard):\n"
+            "    total = 0.0\n"
+            "    for value in shard:\n"
+            "        total += value\n"
+            "    return total\n\n\n"
+            "def run(shards):\n"
+            "    return run_shards(_pure, shards)\n",
+        )
+        assert run_lint(root) == []
+
+    def test_partial_wrapped_worker_resolved(self, tmp_path):
+        root = _shard_tree(
+            tmp_path,
+            "from functools import partial\n\n"
+            "from repro.parallel.engine import run_shards\n\n"
+            "COUNTS = {}\n\n\n"
+            "def _fit(alpha, shard):\n"
+            "    COUNTS[shard] = alpha\n"
+            "    return alpha\n\n\n"
+            "def run(shards):\n"
+            "    return run_shards(partial(_fit, 0.5), shards)\n",
+        )
+        findings = run_lint(root)
+        assert _rules(findings) == [GLOBAL_WRITE]
+        assert findings[0].line == 9
+
+    def test_worker_imported_from_another_module(self, tmp_path):
+        root = _tree(
+            tmp_path,
+            {
+                "repro/__init__.py": "",
+                "repro/parallel/__init__.py": "",
+                "repro/parallel/engine.py": ENGINE_STUB,
+                "repro/ml/__init__.py": "",
+                "repro/ml/workers.py": (
+                    "STATE = []\n\n\n"
+                    "def fit(shard):\n"
+                    "    STATE.append(shard)\n"
+                    "    return shard\n"
+                ),
+                "repro/ml/runner.py": (
+                    "from repro.ml.workers import fit\n"
+                    "from repro.parallel.engine import run_shards\n\n\n"
+                    "def run(shards):\n"
+                    "    return run_shards(fit, shards)\n"
+                ),
+            },
+        )
+        findings = run_lint(root)
+        assert _rules(findings) == [GLOBAL_WRITE]
+        assert findings[0].module == "repro.ml.workers"
+        assert findings[0].line == 5
+
+    def test_mutation_of_unresolvable_name_is_closure_mutation(self, tmp_path):
+        root = _shard_tree(
+            tmp_path,
+            "from repro.parallel.engine import run_shards\n\n\n"
+            "def _collect(shard):\n"
+            "    results.append(shard)\n"
+            "    return shard\n\n\n"
+            "def run(shards):\n"
+            "    return run_shards(_collect, shards)\n",
+        )
+        findings = run_lint(root)
+        assert _rules(findings) == [CLOSURE_MUTATION]
+        assert findings[0].line == 5
+
+    def test_nested_def_worker_is_unpicklable(self, tmp_path):
+        root = _shard_tree(
+            tmp_path,
+            "from repro.parallel.engine import run_shards\n\n\n"
+            "def run(shards):\n"
+            "    def _inner(shard):\n"
+            "        return shard\n\n"
+            "    return run_shards(_inner, shards)\n",
+        )
+        assert _rules(run_lint(root)) == [UNPICKLABLE_WORKER]
+
+    def test_keyword_worker_argument_resolved(self, tmp_path):
+        root = _shard_tree(
+            tmp_path,
+            "from repro.parallel.engine import run_shards\n\n"
+            "SEEN = set()\n\n\n"
+            "def _mark(shard):\n"
+            "    SEEN.add(shard)\n"
+            "    return shard\n\n\n"
+            "def run(shards):\n"
+            "    return run_shards(worker=_mark, shards=shards)\n",
+        )
+        assert _rules(run_lint(root)) == [GLOBAL_WRITE]
+
+    def test_gram_param_fill_diagonal_flagged(self, tmp_path):
+        root = _tree(
+            tmp_path,
+            {
+                "repro/__init__.py": "",
+                "repro/ml/__init__.py": "",
+                "repro/ml/fit.py": (
+                    "import numpy as np\n\n\n"
+                    "def fit(gram):\n"
+                    "    np.fill_diagonal(gram, 0.0)\n"
+                    "    return gram\n"
+                ),
+            },
+        )
+        findings = run_lint(root)
+        assert _rules(findings) == [GRAM_MUTATION]
+        assert findings[0].line == 5
+
+    def test_gram_copy_then_mutate_is_clean(self, tmp_path):
+        root = _tree(
+            tmp_path,
+            {
+                "repro/__init__.py": "",
+                "repro/ml/__init__.py": "",
+                "repro/ml/fit.py": (
+                    "def fit(gram):\n"
+                    "    work = gram.copy()\n"
+                    "    work += 1.0\n"
+                    "    return work\n"
+                ),
+            },
+        )
+        assert run_lint(root) == []
+
+    def test_gram_rebind_discards_handout_tracking(self, tmp_path):
+        root = _tree(
+            tmp_path,
+            {
+                "repro/__init__.py": "",
+                "repro/ml/__init__.py": "",
+                "repro/ml/gram_cache.py": GRAM_STUB,
+                "repro/ml/fit.py": (
+                    "from repro.ml.gram_cache import default_cache\n\n\n"
+                    "def fit(kernel, X):\n"
+                    "    gram = default_cache().full(kernel, X)\n"
+                    "    gram = gram * 2.0\n"
+                    "    gram += 1.0\n"
+                    "    return gram\n"
+                ),
+            },
+        )
+        assert run_lint(root) == []
+
+    def test_sliced_handout_via_cache_local_flagged(self, tmp_path):
+        root = _tree(
+            tmp_path,
+            {
+                "repro/__init__.py": "",
+                "repro/ml/__init__.py": "",
+                "repro/ml/gram_cache.py": GRAM_STUB,
+                "repro/ml/fit.py": (
+                    "from repro.ml.gram_cache import default_cache\n\n\n"
+                    "def fit(kernel, X, rows):\n"
+                    "    cache = default_cache()\n"
+                    "    sub = cache.sliced(kernel, X, rows)\n"
+                    "    sub[0, 0] = 1.0\n"
+                    "    return sub\n"
+                ),
+            },
+        )
+        findings = run_lint(root)
+        assert _rules(findings) == [GRAM_MUTATION]
+        assert findings[0].line == 7
+
+
+class TestNumericEdges:
+    """Reduction-order and environment hazards beyond the fixture."""
+
+    def _sim_tree(self, tmp_path, body, package="sim"):
+        return _tree(
+            tmp_path,
+            {
+                "repro/__init__.py": "",
+                f"repro/{package}/__init__.py": "",
+                f"repro/{package}/mod.py": body,
+            },
+        )
+
+    def test_dict_values_reduction_is_a_warning(self, tmp_path):
+        root = self._sim_tree(
+            tmp_path,
+            "def total(parts):\n    return sum(parts.values())\n",
+            package="server",
+        )
+        findings = run_lint(root)
+        assert _rules(findings) == [DICT_REDUCTION]
+        assert findings[0].severity == "warning"
+
+    def test_math_fsum_over_set_name_flagged(self, tmp_path):
+        root = self._sim_tree(
+            tmp_path,
+            "import math\n\n\ndef total(values):\n"
+            "    pending = set(values)\n"
+            "    return math.fsum(pending)\n",
+        )
+        assert _rules(run_lint(root)) == [SET_REDUCTION]
+
+    def test_np_add_reduce_over_set_flagged(self, tmp_path):
+        root = self._sim_tree(
+            tmp_path,
+            "import numpy as np\n\n\ndef total(values):\n"
+            "    return np.add.reduce(set(values))\n",
+        )
+        assert _rules(run_lint(root)) == [SET_REDUCTION]
+
+    def test_loop_accumulation_over_set_algebra_flagged(self, tmp_path):
+        root = self._sim_tree(
+            tmp_path,
+            "def total(a, b):\n"
+            "    seen = set(a)\n"
+            "    total = 0.0\n"
+            "    for value in seen | set(b):\n"
+            "        total += value\n"
+            "    return total\n",
+        )
+        assert _rules(run_lint(root)) == [SET_REDUCTION]
+
+    def test_sorted_reduction_is_clean(self, tmp_path):
+        root = self._sim_tree(
+            tmp_path,
+            "def total(values):\n"
+            "    return sum(sorted(set(values)))\n",
+        )
+        assert run_lint(root) == []
+
+    def test_environ_branch_flagged(self, tmp_path):
+        root = self._sim_tree(
+            tmp_path,
+            "import os\n\n\ndef mode():\n"
+            "    if os.environ.get('REPRO_DEBUG'):\n"
+            "        return 1\n"
+            "    return 0\n",
+        )
+        findings = run_lint(root)
+        assert _rules(findings) == [ENV_BRANCH]
+        assert findings[0].line == 5
+
+    def test_getenv_member_import_branch_flagged(self, tmp_path):
+        root = self._sim_tree(
+            tmp_path,
+            "from os import getenv\n\n\ndef mode():\n"
+            "    return 1 if getenv('REPRO_DEBUG') else 0\n",
+        )
+        assert _rules(run_lint(root)) == [ENV_BRANCH]
+
+    def test_non_sim_packages_exempt(self, tmp_path):
+        root = self._sim_tree(
+            tmp_path,
+            "def total(values):\n    return sum(set(values))\n",
+            package="report",
+        )
+        assert run_lint(root) == []
+
+
+class TestDeterminismRegressions:
+    """The aliased-import and np.random gaps closed in this family."""
+
+    def _sim_tree(self, tmp_path, body):
+        return _tree(
+            tmp_path,
+            {
+                "repro/__init__.py": "",
+                "repro/sim/__init__.py": "",
+                "repro/sim/mod.py": body,
+            },
+        )
+
+    def test_aliased_datetime_fromtimestamp_flagged(self, tmp_path):
+        root = self._sim_tree(
+            tmp_path,
+            "from datetime import datetime as DT\n\n\n"
+            "def when(ts):\n    return DT.fromtimestamp(ts)\n",
+        )
+        findings = run_lint(root)
+        assert _rules(findings) == [WALL_CLOCK]
+        assert "fromtimestamp" in findings[0].message
+
+    def test_fromtimestamp_with_explicit_tz_allowed(self, tmp_path):
+        root = self._sim_tree(
+            tmp_path,
+            "from datetime import datetime as DT, timezone\n\n\n"
+            "def when(ts):\n"
+            "    return DT.fromtimestamp(ts, tz=timezone.utc)\n",
+        )
+        assert run_lint(root) == []
+
+    def test_module_aliased_fromtimestamp_flagged(self, tmp_path):
+        root = self._sim_tree(
+            tmp_path,
+            "import datetime as dt\n\n\n"
+            "def when(ts):\n    return dt.datetime.fromtimestamp(ts)\n",
+        )
+        assert _rules(run_lint(root)) == [WALL_CLOCK]
+
+    def test_global_np_random_flagged(self, tmp_path):
+        root = self._sim_tree(
+            tmp_path,
+            "import numpy as np\n\n\n"
+            "def draw(n):\n    return np.random.rand(n)\n",
+        )
+        findings = run_lint(root)
+        assert _rules(findings) == [UNSEEDED_RNG]
+        assert "np.random.rand" in findings[0].message
+
+    def test_seeded_default_rng_allowed(self, tmp_path):
+        root = self._sim_tree(
+            tmp_path,
+            "import numpy as np\n\n\n"
+            "def make(seed):\n    return np.random.default_rng(seed)\n",
+        )
+        assert run_lint(root) == []
+
+    def test_argless_default_rng_flagged(self, tmp_path):
+        root = self._sim_tree(
+            tmp_path,
+            "import numpy as np\n\n\n"
+            "def make():\n    return np.random.default_rng()\n",
+        )
+        assert _rules(run_lint(root)) == [UNSEEDED_RNG]
+
+    def test_member_import_from_np_random_flagged(self, tmp_path):
+        root = self._sim_tree(
+            tmp_path,
+            "from numpy.random import shuffle\n\n\n"
+            "def mix(x):\n    shuffle(x)\n    return x\n",
+        )
+        assert _rules(run_lint(root)) == [UNSEEDED_RNG]
+
+    def test_numpy_random_module_alias_flagged(self, tmp_path):
+        root = self._sim_tree(
+            tmp_path,
+            "from numpy import random as npr\n\n\n"
+            "def draw():\n    return npr.normal()\n",
+        )
+        assert _rules(run_lint(root)) == [UNSEEDED_RNG]
+
+
+class TestBaseline:
+    """The ratchet: known findings pass, new fail, stale is debt."""
+
+    def _finding(self, message, path="src/a.py", line=3):
+        return Finding(
+            path=path,
+            line=line,
+            rule="determinism-wall-clock",
+            module="repro.a",
+            message=message,
+        )
+
+    def test_round_trip(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        findings = [self._finding("one"), self._finding("two")]
+        assert write_baseline(target, findings) == 2
+        assert load_baseline(target) == sorted(fingerprint(f) for f in findings)
+
+    def test_missing_file_is_empty_baseline(self, tmp_path):
+        assert load_baseline(tmp_path / "absent.json") == []
+
+    def test_invalid_file_rejected(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        target.write_text('{"version": 99}', encoding="utf-8")
+        with pytest.raises(ValueError, match="version"):
+            load_baseline(target)
+
+    def test_partition_is_multiset_aware(self):
+        known_f = self._finding("dup")
+        extra_f = self._finding("dup", line=9)
+        entries = [fingerprint(known_f), fingerprint(self._finding("gone"))]
+        new, known, stale = apply_baseline([known_f, extra_f], entries)
+        # One budget slot for "dup": first match absorbed, second is new.
+        assert known == [known_f]
+        assert new == [extra_f]
+        assert stale == [fingerprint(self._finding("gone"))]
+
+    def test_fingerprint_ignores_line_numbers(self):
+        a = self._finding("same", line=3)
+        b = self._finding("same", line=77)
+        assert fingerprint(a) == fingerprint(b)
+
+
+class TestCliFramework:
+    """CLI behaviour of --rules, --baseline and --format sarif."""
+
+    def _run(self, *args, cwd=REPO):
+        return subprocess.run(
+            [sys.executable, "-m", "repro.devtools.lint", *args],
+            capture_output=True,
+            text=True,
+            cwd=cwd,
+            env={"PYTHONPATH": str(SRC), "PATH": "/usr/bin:/bin"},
+        )
+
+    def test_rules_selection_skips_other_families(self):
+        result = self._run(
+            "--root", str(FIXTURES / "wall_clock"), "--rules", "imports"
+        )
+        assert result.returncode == 0, result.stderr
+
+    def test_rules_selection_runs_the_selected_family(self):
+        result = self._run(
+            "--root",
+            str(FIXTURES / "shard_global_write"),
+            "--rules",
+            "shard-purity,numeric",
+            "--format",
+            "json",
+        )
+        assert result.returncode == 1
+        payload = json.loads(result.stdout)
+        assert payload["count"] == 1
+        assert payload["findings"][0]["rule"] == "shard-global-write"
+
+    def test_update_baseline_without_baseline_is_usage_error(self):
+        result = self._run("--root", "src", "--update-baseline")
+        assert result.returncode == 2
+        assert "--baseline" in result.stderr
+
+    def test_baseline_ratchet_cycle(self, tmp_path):
+        scratch = tmp_path / "tree"
+        shutil.copytree(FIXTURES / "wall_clock", scratch)
+        baseline = tmp_path / "baseline.json"
+        # Dirty tree without a baseline fails ...
+        assert self._run("--root", str(scratch)).returncode == 1
+        # ... --update-baseline records the debt and exits clean ...
+        update = self._run(
+            "--root", str(scratch), "--baseline", str(baseline),
+            "--update-baseline",
+        )
+        assert update.returncode == 0, update.stderr
+        assert load_baseline(baseline)
+        # ... after which the same findings are absorbed ...
+        absorbed = self._run(
+            "--root", str(scratch), "--baseline", str(baseline)
+        )
+        assert absorbed.returncode == 0, absorbed.stdout
+        assert "known finding(s) suppressed" in absorbed.stderr
+        # ... but a brand-new finding still fails ...
+        extra = scratch / "repro" / "sim" / "extra.py"
+        extra.write_text(
+            "import time\n\n\ndef stamp():\n    return time.time()\n",
+            encoding="utf-8",
+        )
+        dirty = self._run(
+            "--root", str(scratch), "--baseline", str(baseline),
+            "--format", "json",
+        )
+        assert dirty.returncode == 1
+        payload = json.loads(dirty.stdout)
+        assert payload["count"] == 1
+        assert payload["findings"][0]["path"].endswith("extra.py")
+        # ... and once everything is fixed the baseline is stale debt:
+        # reported on a normal run, fatal under --check-baseline.
+        extra.unlink()
+        (scratch / "repro" / "sim" / "jitter.py").write_text(
+            "def jitter():\n    return 0.0\n", encoding="utf-8"
+        )
+        stale = self._run(
+            "--root", str(scratch), "--baseline", str(baseline)
+        )
+        assert stale.returncode == 0
+        assert "stale" in stale.stderr
+        checked = self._run(
+            "--root", str(scratch), "--baseline", str(baseline),
+            "--check-baseline",
+        )
+        assert checked.returncode == 1
+        # --update-baseline ratchets the debt away again.
+        self._run(
+            "--root", str(scratch), "--baseline", str(baseline),
+            "--update-baseline",
+        )
+        assert load_baseline(baseline) == []
+
+    def test_checked_in_baseline_is_empty_and_not_stale(self):
+        entries = load_baseline(REPO / "devtools" / "baseline.json")
+        assert entries == []
+
+    def test_sarif_output_is_schema_shaped(self):
+        result = self._run(
+            "--root", str(FIXTURES / "wall_clock"), "--format", "sarif"
+        )
+        assert result.returncode == 1
+        document = json.loads(result.stdout)
+        assert document["version"] == "2.1.0"
+        run = document["runs"][0]
+        rules = run["tool"]["driver"]["rules"]
+        rule_ids = [rule["id"] for rule in rules]
+        assert sorted(rule_ids) == sorted(RULE_REGISTRY)
+        for rule in rules:
+            assert rule["defaultConfiguration"]["level"] in SEVERITIES
+        (finding,) = run["results"]
+        assert finding["ruleId"] == "determinism-wall-clock"
+        assert rules[finding["ruleIndex"]]["id"] == finding["ruleId"]
+        assert finding["level"] == "error"
+        location = finding["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"].endswith("jitter.py")
+        assert location["region"]["startLine"] == 10
+
+    def test_sarif_clean_tree_has_no_results(self):
+        result = self._run("--root", "src", "--format", "sarif")
+        assert result.returncode == 0, result.stdout
+        document = json.loads(result.stdout)
+        assert document["runs"][0]["results"] == []

@@ -19,6 +19,12 @@ from repro.devtools.imports import MISSING_MODULE, MISSING_NAME
 from repro.devtools.layering import IMPORT_CYCLE, LAYER_VIOLATION
 from repro.devtools.lint import RULE_FAMILIES, run_lint
 from repro.devtools.modules import discover_modules
+from repro.devtools.numeric import SET_REDUCTION
+from repro.devtools.shard_purity import (
+    GLOBAL_WRITE,
+    GRAM_MUTATION,
+    UNPICKLABLE_WORKER,
+)
 
 REPO = Path(__file__).resolve().parent.parent
 SRC = REPO / "src"
@@ -87,6 +93,39 @@ class TestFixtures:
         assert finding.path.endswith("repro/sim/jitter.py")
         assert finding.line == 10
         assert "time.time" in finding.message
+
+    def test_shard_global_write(self):
+        finding = self._single_finding("shard_global_write")
+        assert finding.rule == GLOBAL_WRITE
+        assert finding.module == "repro.ml.worker"
+        assert finding.path.endswith("repro/ml/worker.py")
+        assert finding.line == 9
+        assert "'TOTALS'" in finding.message
+        assert finding.severity == "error"
+
+    def test_gram_mutation(self):
+        finding = self._single_finding("gram_mutation")
+        assert finding.rule == GRAM_MUTATION
+        assert finding.module == "repro.ml.trainer"
+        assert finding.path.endswith("repro/ml/trainer.py")
+        assert finding.line == 8
+        assert "'gram'" in finding.message
+
+    def test_lambda_worker(self):
+        finding = self._single_finding("lambda_worker")
+        assert finding.rule == UNPICKLABLE_WORKER
+        assert finding.module == "repro.ml.sweep_runner"
+        assert finding.path.endswith("repro/ml/sweep_runner.py")
+        assert finding.line == 7
+        assert "lambda" in finding.message
+
+    def test_set_reduction(self):
+        finding = self._single_finding("set_reduction")
+        assert finding.rule == SET_REDUCTION
+        assert finding.module == "repro.sim.agg"
+        assert finding.path.endswith("repro/sim/agg.py")
+        assert finding.line == 6
+        assert "hash order" in finding.message
 
 
 class TestRuleBehaviour:
@@ -231,6 +270,10 @@ class TestCli:
             ("layer_violation", LAYER_VIOLATION),
             ("import_cycle", IMPORT_CYCLE),
             ("wall_clock", WALL_CLOCK),
+            ("shard_global_write", GLOBAL_WRITE),
+            ("gram_mutation", GRAM_MUTATION),
+            ("lambda_worker", UNPICKLABLE_WORKER),
+            ("set_reduction", SET_REDUCTION),
         ],
     )
     def test_fixture_trees_exit_nonzero_with_structured_findings(self, tree, rule):
