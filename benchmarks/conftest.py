@@ -69,22 +69,46 @@ def pytest_runtest_logreport(report):
         _outcomes[report.nodeid] = report.outcome
 
 
+def _check_row(row):
+    """Validate one result row against the persistence schema.
+
+    The perf-regression gate (:mod:`repro.obs.bench`) consumes these
+    rows, so a malformed row must fail the benchmark session loudly
+    here rather than silently corrupting the history it gates on.
+    """
+    for key in ("test", "title", "label", "paper", "measured"):
+        value = row.get(key)
+        if not isinstance(value, str) or not value.strip():
+            raise ValueError(
+                f"benchmark result row has invalid {key!r}: {value!r} (row: {row})"
+            )
+    if not isinstance(row.get("passed"), bool):
+        raise ValueError(f"benchmark result row has non-bool 'passed': {row}")
+
+
 def pytest_sessionfinish(session, exitstatus):
-    """Append this session's captured tables to ``BENCH_results.json``."""
+    """Append this session's captured tables to ``BENCH_results.json``.
+
+    Each appended session entry carries a ``run_id`` (its position in
+    the history) so downstream tooling can identify the latest run
+    without relying on list order alone.
+    """
     if not _tables:
         return
     results = []
     for nodeid, rows in sorted(_tables.items()):
         passed = _outcomes.get(nodeid) == "passed"
         for row in rows:
-            results.append({"test": nodeid, "passed": passed, **row})
+            result = {"test": nodeid, "passed": passed, **row}
+            _check_row(result)
+            results.append(result)
     try:
         history = json.loads(RESULTS_PATH.read_text(encoding="utf-8"))
         if not isinstance(history, list):
             history = []
     except (OSError, json.JSONDecodeError):
         history = []
-    history.append({"results": results})
+    history.append({"run_id": len(history), "results": results})
     RESULTS_PATH.write_text(
         json.dumps(history, indent=2, sort_keys=True) + "\n", encoding="utf-8"
     )

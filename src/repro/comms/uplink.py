@@ -24,6 +24,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import TRACEPARENT_HEADER
 from repro.phone.app import SightingReport
 from repro.server.rest import Request, Response, Router
 
@@ -116,6 +117,19 @@ class Uplink(abc.ABC):
         """Telemetry attributes for one report's events."""
         return {"transport": self.TRANSPORT, "device": report.device_id}
 
+    def _trace_headers(self) -> dict:
+        """Request headers propagating the current trace context.
+
+        Empty until the registry's tracer has joined a trace — and
+        always behaviour-neutral: headers never count towards
+        :attr:`~repro.server.rest.Request.size_bytes`, so traced and
+        untraced runs burn identical energy.
+        """
+        context = self.obs.tracer.context()
+        if context is None:
+            return {}
+        return {TRACEPARENT_HEADER: context.to_header()}
+
     # -- channel characteristics, provided by subclasses ---------------
     @property
     @abc.abstractmethod
@@ -148,6 +162,7 @@ class Uplink(abc.ABC):
                 "beacons": report.distances(),
             },
             time=report.time,
+            headers=self._trace_headers(),
         )
         attrs = self._obs_attrs(report)
         self.stats.attempts += 1
@@ -171,8 +186,7 @@ class Uplink(abc.ABC):
         return None  # pragma: no cover - loop always returns
 
     # -- batched delivery ----------------------------------------------
-    @staticmethod
-    def _batch_request(reports: Sequence[SightingReport]) -> Request:
+    def _batch_request(self, reports: Sequence[SightingReport]) -> Request:
         """One ``POST /sightings/batch`` request carrying all reports."""
         return Request(
             method="POST",
@@ -188,6 +202,7 @@ class Uplink(abc.ABC):
                 ]
             },
             time=max(r.time for r in reports),
+            headers=self._trace_headers(),
         )
 
     def send_batch(self, reports: Sequence[SightingReport]) -> Optional[Response]:

@@ -39,11 +39,12 @@ REPRO_LAYERS: Mapping[str, FrozenSet[str]] = _layers(
         # Instrumented infrastructure leaves: only telemetry below them.
         "sim": ("obs",),
         "energy": ("obs",),
-        # Deterministic process-pool execution (seeds come from sim.rng).
-        "parallel": ("sim",),
-        "ml": ("parallel",),
+        # Deterministic process-pool execution (seeds come from sim.rng);
+        # obs supplies trace propagation and hot-path profiling.
+        "parallel": ("obs", "sim"),
+        "ml": ("obs", "parallel"),
         # Physical modelling.
-        "radio": ("sim",),
+        "radio": ("obs", "sim"),
         "building": ("ibeacon", "radio", "sim"),
         "positioning": ("building",),
         "ble": ("building", "ibeacon", "obs", "radio", "sim"),

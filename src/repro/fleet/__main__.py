@@ -9,8 +9,12 @@ from __future__ import annotations
 
 import argparse
 import json
+import sys
 
 from repro.fleet.loadgen import FleetLoadGenerator
+from repro.obs.export import write_jsonl
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.sinks import MemorySink
 
 
 def main(argv=None) -> int:
@@ -51,8 +55,19 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--json", action="store_true", help="emit the report as JSON"
     )
+    parser.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="record telemetry and write the merged event log (JSONL) "
+        "here; render it with `python -m repro.obs.report PATH --flame`",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="collect a wall-clock profile of the hot paths and print "
+        "the per-phase table (never affects the simulated result)",
+    )
     args = parser.parse_args(argv)
 
+    registry = MetricsRegistry(sink=MemorySink()) if args.trace else None
     generator = FleetLoadGenerator(
         devices=args.devices,
         duration_s=args.duration,
@@ -61,12 +76,19 @@ def main(argv=None) -> int:
         uplink=args.uplink,
         calibration_s=args.calibration,
         seed=args.seed,
+        registry=registry,
         shards=args.shards,
         workers=args.workers,
+        profile=args.profile,
     )
     report = generator.run()
+    if args.trace:
+        write_jsonl(registry.events, args.trace)
     if args.json:
         print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        if args.profile:
+            # Keep stdout pure JSON for piped consumers.
+            print(report.profile_table(), file=sys.stderr)
         return 0
     print(f"fleet: {report.devices} devices, {report.duration_s:.0f}s sim")
     print(f"  reports ingested   {report.reports_ingested}")
@@ -77,6 +99,11 @@ def main(argv=None) -> int:
     print(f"  delivery ratio     {report.delivery_ratio:.1%}")
     print(f"  accuracy           {report.accuracy:.1%}")
     print(f"  fleet energy       {report.energy_j_total:.1f} J")
+    if args.profile:
+        print()
+        print(report.profile_table())
+    if args.trace:
+        print(f"trace written to {args.trace}")
     return 0
 
 

@@ -23,7 +23,7 @@ from the same master seed.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
 from typing import List, Optional, Tuple
 
 from repro.building.floorplan import FloorPlan
@@ -32,7 +32,11 @@ from repro.building.occupant import Occupant
 from repro.building.presets import test_house
 from repro.core.config import SystemConfig
 from repro.core.system import OccupancyDetectionSystem
+from repro.obs import profiling
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.profiling import WallClockProfiler, render_profile
+from repro.obs.sinks import MemorySink
+from repro.obs.tracing import TraceContext
 from repro.parallel.engine import ShardPlan, ShardResult, ShardSpec, run_shards
 from repro.sim.rng import derive_seed
 
@@ -54,6 +58,12 @@ class FleetReport:
         accuracy: room-level accuracy over the run's ground truth.
         delivery_ratio: delivered / attempted reports across the fleet.
         energy_j_total: radio + platform energy burned by the fleet.
+        profile: merged wall-clock profile of the run (a
+            :meth:`~repro.obs.profiling.WallClockProfiler.state` dict)
+            when profiling was requested, else ``None``.  Excluded
+            from equality and :meth:`to_dict`: wall time varies run to
+            run, and the report's deterministic fields must stay
+            byte-identical across worker counts.
     """
 
     devices: int
@@ -66,9 +76,19 @@ class FleetReport:
     accuracy: float
     delivery_ratio: float
     energy_j_total: float
+    profile: Optional[dict] = field(default=None, compare=False, repr=False)
+
+    def profile_table(self) -> str:
+        """Aligned per-phase wall-clock table (empty-run text when
+        the run was not profiled)."""
+        return render_profile(self.profile or {})
 
     def to_dict(self) -> dict:
-        """JSON-friendly view (for CLIs and exporters)."""
+        """JSON-friendly view (for CLIs and exporters).
+
+        Deliberately omits :attr:`profile`: the dict is the
+        worker-count-invariant payload the CI smoke diffs.
+        """
         return {
             "devices": self.devices,
             "duration_s": self.duration_s,
@@ -98,15 +118,47 @@ def _run_fleet_shard(spec: ShardSpec) -> ShardResult:
 
     The payload is the constructor-argument dict built by
     :meth:`FleetLoadGenerator._shard_plan`; the sub-fleet's seed is the
-    shard seed, so the result depends only on the spec.
+    shard seed, so the result depends only on the spec.  When the
+    coordinator records events, the shard runs on a
+    :class:`~repro.obs.sinks.MemorySink` registry whose tracer adopts
+    the coordinator's :class:`~repro.obs.tracing.TraceContext` under
+    the ``shard<i>`` namespace — the shard's whole span tree travels
+    home inside ``ShardResult.metrics`` and stitches under the
+    coordinator's root span.  A requested wall-clock profile travels
+    separately in ``ShardResult.profile`` (never inside the metrics,
+    which must stay deterministic).
     """
     payload = dict(spec.payload)
-    registry = MetricsRegistry()
+    record_events = payload.pop("record_events", False)
+    profile = payload.pop("profile", False)
+    registry = (
+        MetricsRegistry(sink=MemorySink()) if record_events else MetricsRegistry()
+    )
+    if spec.trace is not None:
+        registry.tracer.adopt(spec.trace, namespace=f"shard{spec.index}")
     generator = FleetLoadGenerator(
         seed=spec.seed, registry=registry, shards=1, **payload
     )
-    report, stats = generator._run_single()
-    return ShardResult(index=spec.index, value=stats, metrics=registry.state())
+    profiler = WallClockProfiler() if profile else None
+
+    def drive() -> Tuple[FleetReport, _ShardStats]:
+        with registry.tracer.span(
+            "fleet.shard", shard=spec.index, devices=payload["devices"]
+        ):
+            return generator._run_single()
+
+    if profiler is not None:
+        with profiling.activated(profiler):
+            with profiler.measure("fleet.shard_run"):
+                report, stats = drive()
+    else:
+        report, stats = drive()
+    return ShardResult(
+        index=spec.index,
+        value=stats,
+        metrics=registry.state(),
+        profile=profiler.state() if profiler is not None else None,
+    )
 
 
 class FleetLoadGenerator:
@@ -135,6 +187,11 @@ class FleetLoadGenerator:
         device_offset: global index of this generator's first device
             (sub-fleets use it to keep ``dev-NNNN`` ids and telemetry
             labels unique across shards).
+        profile: collect a wall-clock profile of the run's hot paths
+            (SMO fit, Gram cache, batched predict, link budgets,
+            per-shard drive) into :attr:`FleetReport.profile`.
+            Purely presentational — the deterministic report fields
+            and telemetry are identical with and without it.
     """
 
     def __init__(
@@ -152,6 +209,7 @@ class FleetLoadGenerator:
         shards: Optional[int] = None,
         workers: int = 1,
         device_offset: int = 0,
+        profile: bool = False,
     ) -> None:
         if devices < 1:
             raise ValueError(f"fleet needs >= 1 device, got {devices}")
@@ -176,6 +234,7 @@ class FleetLoadGenerator:
         resolved = self.workers if shards is None else int(shards)
         self.shards = min(resolved, self.devices)
         self.device_offset = int(device_offset)
+        self.profile = bool(profile)
 
     def run(self) -> FleetReport:
         """Calibrate, train, drive the fleet, and summarise the run.
@@ -184,10 +243,16 @@ class FleetLoadGenerator:
         and their reports and telemetry merge into one; otherwise the
         whole fleet runs in a single system in-process.
         """
-        if self.shards <= 1:
+        if self.shards > 1:
+            return self._run_sharded()
+        if not self.profile:
             report, _ = self._run_single()
             return report
-        return self._run_sharded()
+        profiler = WallClockProfiler()
+        with profiling.activated(profiler):
+            with profiler.measure("fleet.shard_run"):
+                report, _ = self._run_single()
+        return replace(report, profile=profiler.state())
 
     # ------------------------------------------------------------------
     # Single-system path (one BMS, all devices)
@@ -200,15 +265,18 @@ class FleetLoadGenerator:
             uplink_batch_delay_s=self.batch_delay_s,
         )
         system = OccupancyDetectionSystem(self.plan, config, registry=self.obs)
-        system.calibrate(duration_s=self.calibration_s)
-        system.train()
+        with profiling.measure("fleet.calibrate"):
+            system.calibrate(duration_s=self.calibration_s)
+        with profiling.measure("fleet.train"):
+            system.train()
         for i in range(self.devices):
             index = self.device_offset + i
             mobility = RandomWaypoint(
                 self.plan, seed=derive_seed(self.seed, f"fleet:{index}")
             )
             system.add_occupant(Occupant(f"dev-{index:04d}", mobility))
-        run = system.run(self.duration_s)
+        with profiling.measure("fleet.drive"):
+            run = system.run(self.duration_s)
 
         ingested = int(self.obs.counter("server.sightings").value)
         batches = int(self.obs.counter("server.batches").value)
@@ -248,8 +316,14 @@ class FleetLoadGenerator:
     # ------------------------------------------------------------------
     # Sharded path (independent sub-fleets on the process pool)
     # ------------------------------------------------------------------
-    def _shard_plan(self) -> ShardPlan:
-        """The deterministic sub-fleet decomposition of this run."""
+    def _shard_plan(self, trace: Optional[TraceContext] = None) -> ShardPlan:
+        """The deterministic sub-fleet decomposition of this run.
+
+        The trace context and the record/profile flags ride in the
+        plan, but none of them reaches the simulation: shard seeds
+        depend only on the plan name, master seed and index, so a
+        traced or profiled run produces byte-identical reports.
+        """
         base, extra = divmod(self.devices, self.shards)
         payloads = []
         offset = self.device_offset
@@ -265,20 +339,36 @@ class FleetLoadGenerator:
                     "calibration_s": self.calibration_s,
                     "plan": self.plan,
                     "device_offset": offset,
+                    "record_events": isinstance(self.obs.sink, MemorySink),
+                    "profile": self.profile,
                 }
             )
             offset += count
-        return ShardPlan.create("fleet", self.seed, payloads)
+        return ShardPlan.create("fleet", self.seed, payloads, trace=trace)
 
     def _run_sharded(self) -> FleetReport:
-        plan = self._shard_plan()
-        results: List[ShardResult] = run_shards(
-            _run_fleet_shard, plan, workers=self.workers
-        )
+        # The coordinator opens the distributed trace: one root span
+        # every shard's tree hangs off via the propagated context.
+        tracer = self.obs.tracer
+        tracer.adopt(TraceContext(f"fleet-{self.seed}"))
+        with tracer.span(
+            "fleet.run", devices=self.devices, shards=self.shards
+        ):
+            plan = self._shard_plan(trace=tracer.context())
+            results: List[ShardResult] = run_shards(
+                _run_fleet_shard, plan, workers=self.workers
+            )
         # Fold shard telemetry in index order so the merged registry is
         # identical at every worker count.
         for result in sorted(results, key=lambda r: r.index):
             self.obs.merge(result.metrics)
+        profile: Optional[dict] = None
+        if self.profile:
+            profiler = WallClockProfiler()
+            for result in sorted(results, key=lambda r: r.index):
+                if result.profile:
+                    profiler.merge(result.profile)
+            profile = profiler.state()
         stats = [r.value for r in sorted(results, key=lambda r: r.index)]
 
         ingested = sum(s.report.reports_ingested for s in stats)
@@ -323,4 +413,5 @@ class FleetLoadGenerator:
             accuracy=accuracy,
             delivery_ratio=delivered / attempts if attempts else 1.0,
             energy_j_total=energy,
+            profile=profile,
         )

@@ -31,6 +31,7 @@ from typing import Dict, Iterator, Optional, Tuple
 import numpy as np
 
 from repro.ml.kernels import Kernel
+from repro.obs import profiling
 
 __all__ = [
     "GramCache",
@@ -98,10 +99,12 @@ class GramCache:
         cached = self._entries.get(key)
         if cached is not None:
             self.hits += 1
+            profiling.tick("ml.gram.full_hit")
             self._entries.move_to_end(key)
             return cached
         self.misses += 1
-        gram = np.asarray(kernel(X, X), dtype=float)
+        with profiling.measure("ml.gram.full_miss"):
+            gram = np.asarray(kernel(X, X), dtype=float)
         gram.flags.writeable = False
         self._entries[key] = gram
         while len(self._entries) > self.max_entries:
@@ -131,9 +134,11 @@ class GramCache:
         cached = self._slices.get(key)
         if cached is not None:
             self.hits += 1
+            profiling.tick("ml.gram.slice_hit")
             self._slices.move_to_end(key)
             return cached
-        sub = self.full(kernel, X)[np.ix_(rows, rows)]
+        with profiling.measure("ml.gram.slice_miss"):
+            sub = self.full(kernel, X)[np.ix_(rows, rows)]
         sub.flags.writeable = False
         self._slices[key] = sub
         while len(self._slices) > 4 * self.max_entries:

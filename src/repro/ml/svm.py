@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.ml import gram_cache
 from repro.ml.kernels import Kernel, RbfKernel
+from repro.obs import profiling
 
 __all__ = ["BinarySVM", "SupportVectorClassifier"]
 
@@ -131,23 +132,29 @@ class BinarySVM:
         iterations = 0
         examine_all = True
         passes_without_change = 0
-        while passes_without_change < self.max_passes and iterations < self.max_iter:
-            if examine_all:
-                indices = np.arange(n)
-            else:
-                indices = self._nb_mask.nonzero()[0]
-            if fast_scan:
-                changed, iterations = self._scan_fast(indices, iterations)
-            else:
-                changed, iterations = self._scan_reference(indices, iterations)
-            if examine_all:
-                examine_all = False
-                if changed == 0:
-                    passes_without_change += 1
+        with profiling.measure("ml.svm.smo_fit"):
+            while (
+                passes_without_change < self.max_passes
+                and iterations < self.max_iter
+            ):
+                if examine_all:
+                    indices = np.arange(n)
                 else:
-                    passes_without_change = 0
-            elif changed == 0:
-                examine_all = True
+                    indices = self._nb_mask.nonzero()[0]
+                if fast_scan:
+                    changed, iterations = self._scan_fast(indices, iterations)
+                else:
+                    changed, iterations = self._scan_reference(
+                        indices, iterations
+                    )
+                if examine_all:
+                    examine_all = False
+                    if changed == 0:
+                        passes_without_change += 1
+                    else:
+                        passes_without_change = 0
+                elif changed == 0:
+                    examine_all = True
 
         sv_mask = self._alpha > 1e-8
         self.support_vectors_ = X[sv_mask]
@@ -674,51 +681,53 @@ class SupportVectorClassifier:
         """
         if not self._machines:
             raise RuntimeError("SupportVectorClassifier is not fitted")
-        X = np.asarray(X, dtype=float)
-        if X.ndim == 1:
-            X = X.reshape(1, -1)
-        n = X.shape[0]
-        n_classes = len(self.classes_)
-        votes = np.zeros((n, n_classes))
-        scores = np.zeros((n, n_classes))
-        # One shared Gram against the deduplicated support-vector bank
-        # serves every pairwise machine (models fitted before the bank
-        # existed fall back to per-machine kernel evaluation).
-        bank = getattr(self, "_sv_bank", None)
-        if bank_gram is not None and bank is not None and bank.shape[0]:
-            bank_gram = np.asarray(bank_gram, dtype=float)
-            if bank_gram.shape != (bank.shape[0], n):
-                raise ValueError(
-                    f"bank_gram must have shape {(bank.shape[0], n)}, "
-                    f"got {bank_gram.shape}"
-                )
-            K_bank = bank_gram
-        else:
-            K_bank = (
-                self.kernel.gram(bank, X, x_sq=self._sv_bank_sq)
-                if bank is not None and bank.shape[0]
-                else None
-            )
-        # repro: noqa[numeric-dict-reduction] _machines is built in a fixed
-        # nested loop over sorted class pairs, so iteration order replays
-        for (a, b), machine in self._machines.items():
-            if bank is None:
-                decision = machine.decision_function(X)
+        with profiling.measure("ml.svm.predict"):
+            X = np.asarray(X, dtype=float)
+            if X.ndim == 1:
+                X = X.reshape(1, -1)
+            n = X.shape[0]
+            n_classes = len(self.classes_)
+            votes = np.zeros((n, n_classes))
+            scores = np.zeros((n, n_classes))
+            # One shared Gram against the deduplicated support-vector
+            # bank serves every pairwise machine (models fitted before
+            # the bank existed fall back to per-machine evaluation).
+            bank = getattr(self, "_sv_bank", None)
+            if bank_gram is not None and bank is not None and bank.shape[0]:
+                bank_gram = np.asarray(bank_gram, dtype=float)
+                if bank_gram.shape != (bank.shape[0], n):
+                    raise ValueError(
+                        f"bank_gram must have shape {(bank.shape[0], n)}, "
+                        f"got {bank_gram.shape}"
+                    )
+                K_bank = bank_gram
             else:
-                rows = self._sv_bank_rows[(a, b)]
-                if rows.size == 0:
-                    decision = np.full(n, -machine.intercept_)
+                K_bank = (
+                    self.kernel.gram(bank, X, x_sq=self._sv_bank_sq)
+                    if bank is not None and bank.shape[0]
+                    else None
+                )
+            # repro: noqa[numeric-dict-reduction] _machines is built in a
+            # fixed nested loop over sorted class pairs, so iteration
+            # order replays
+            for (a, b), machine in self._machines.items():
+                if bank is None:
+                    decision = machine.decision_function(X)
                 else:
-                    decision = machine.decision_from_gram(K_bank[rows])
-            winner_a = decision >= 0.0
-            votes[winner_a, a] += 1
-            votes[~winner_a, b] += 1
-            scores[:, a] += decision
-            scores[:, b] -= decision
-        # Lexicographic: votes first, aggregate score as tiebreak.
-        ranking = votes + 1e-9 * np.tanh(scores)
-        winners = np.argmax(ranking, axis=1)
-        return np.asarray([self.classes_[w] for w in winners])
+                    rows = self._sv_bank_rows[(a, b)]
+                    if rows.size == 0:
+                        decision = np.full(n, -machine.intercept_)
+                    else:
+                        decision = machine.decision_from_gram(K_bank[rows])
+                winner_a = decision >= 0.0
+                votes[winner_a, a] += 1
+                votes[~winner_a, b] += 1
+                scores[:, a] += decision
+                scores[:, b] -= decision
+            # Lexicographic: votes first, aggregate score as tiebreak.
+            ranking = votes + 1e-9 * np.tanh(scores)
+            winners = np.argmax(ranking, axis=1)
+            return np.asarray([self.classes_[w] for w in winners])
 
     def score(
         self,

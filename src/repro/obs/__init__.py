@@ -36,8 +36,10 @@ from repro.obs.export import (
     write_jsonl,
 )
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.profiling import WallClockProfiler
 from repro.obs.sinks import MemorySink, NullSink, Sink
-from repro.obs.tracing import Span, Tracer
+from repro.obs.trace_tree import SpanNode, TraceTree, build_tree, critical_path
+from repro.obs.tracing import Span, TraceContext, Tracer
 
 __all__ = [
     "COUNTER",
@@ -54,7 +56,13 @@ __all__ = [
     "NullSink",
     "Sink",
     "Span",
+    "SpanNode",
+    "TraceContext",
+    "TraceTree",
     "Tracer",
+    "WallClockProfiler",
+    "build_tree",
+    "critical_path",
     "read_jsonl",
     "render_prometheus",
     "render_timeline",

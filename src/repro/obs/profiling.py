@@ -7,15 +7,35 @@ however, needs real elapsed time; this module wraps
 ``repro.devtools.config.DETERMINISM_EXEMPT`` so the determinism lint
 stays clean.  Profiling results must never feed back into simulation
 behaviour — they are for humans reading performance numbers only.
+
+Hot paths do not hold a profiler reference; they call the module-level
+:func:`measure` / :func:`tick`, which are free no-ops unless a caller
+has installed a profiler with :func:`activated`::
+
+    profiler = WallClockProfiler()
+    with activated(profiler):
+        run_the_workload()          # ml/radio/fleet hot paths record
+    print(render_profile(profiler.state()))
+
+Profiles cross process boundaries as plain :meth:`WallClockProfiler.state`
+dicts (shard workers return them in ``ShardResult.profile``) and fold
+together with :meth:`WallClockProfiler.merge`.
 """
 
 from __future__ import annotations
 
 import time
-from contextlib import contextmanager
-from typing import Dict, Iterator
+from contextlib import contextmanager, nullcontext
+from typing import ContextManager, Dict, Iterator, Optional
 
-__all__ = ["WallClockProfiler"]
+__all__ = [
+    "WallClockProfiler",
+    "activated",
+    "active",
+    "measure",
+    "render_profile",
+    "tick",
+]
 
 
 class WallClockProfiler:
@@ -49,23 +69,109 @@ class WallClockProfiler:
             self._totals[label] = self._totals.get(label, 0.0) + elapsed
             self._counts[label] = self._counts.get(label, 0) + 1
 
+    def tick(self, label: str) -> None:
+        """Count an occurrence of ``label`` without timing it.
+
+        For events too cheap to bracket (cache hits): the count is the
+        signal, a ``perf_counter`` pair would dominate the cost.
+
+        Raises:
+            ValueError: empty label.
+        """
+        if not label:
+            raise ValueError("profile label must not be empty")
+        self._counts[label] = self._counts.get(label, 0) + 1
+
     def totals(self) -> Dict[str, float]:
         """label -> accumulated wall seconds (copy)."""
         return dict(self._totals)
 
     def count(self, label: str) -> int:
-        """Number of measured sections under ``label``."""
+        """Number of measured/ticked sections under ``label``."""
         return self._counts.get(label, 0)
 
+    def state(self) -> Dict[str, dict]:
+        """Picklable snapshot: the cross-process transport format."""
+        return {"totals": dict(self._totals), "counts": dict(self._counts)}
+
+    def merge(self, state: Dict[str, dict]) -> "WallClockProfiler":
+        """Fold a :meth:`state` snapshot (e.g. a shard's) into this one."""
+        for label, total in state.get("totals", {}).items():
+            self._totals[label] = self._totals.get(label, 0.0) + float(total)
+        for label, n in state.get("counts", {}).items():
+            self._counts[label] = self._counts.get(label, 0) + int(n)
+        return self
+
     def to_text(self) -> str:
-        """Aligned table of the accumulated timings."""
-        if not self._totals:
-            return "(no sections profiled)"
-        width = max(len(label) for label in self._totals)
-        lines = [f"{'section':<{width}}  {'calls':>6}  {'total s':>10}"]
-        for label in sorted(self._totals, key=self._totals.get, reverse=True):
+        """Aligned table of the accumulated timings and counts."""
+        return render_profile(self.state())
+
+
+def render_profile(state: Dict[str, dict]) -> str:
+    """Aligned per-section table for a profiler :meth:`~WallClockProfiler.state`.
+
+    Timed sections sort by total descending; count-only sections
+    (ticks) follow, alphabetically, with a blank time column.
+    """
+    totals = state.get("totals", {})
+    counts = state.get("counts", {})
+    labels = set(totals) | set(counts)
+    if not labels:
+        return "(no sections profiled)"
+    width = max(len(label) for label in labels)
+    ordered = sorted(
+        labels, key=lambda lbl: (-totals.get(lbl, -1.0), lbl)
+    )
+    lines = [f"{'section':<{width}}  {'calls':>8}  {'total s':>10}"]
+    for label in ordered:
+        calls = counts.get(label, 0)
+        if label in totals:
             lines.append(
-                f"{label:<{width}}  {self._counts[label]:>6}"
-                f"  {self._totals[label]:>10.4f}"
+                f"{label:<{width}}  {calls:>8}  {totals[label]:>10.4f}"
             )
-        return "\n".join(lines)
+        else:
+            lines.append(f"{label:<{width}}  {calls:>8}  {'-':>10}")
+    return "\n".join(lines)
+
+
+#: The installed profiler; ``None`` keeps every hot-path hook a no-op.
+_ACTIVE: Optional[WallClockProfiler] = None
+
+#: Shared do-nothing context returned while no profiler is installed
+#: (``nullcontext`` is stateless, so one instance serves every site).
+_INACTIVE: ContextManager[None] = nullcontext()
+
+
+def active() -> Optional[WallClockProfiler]:
+    """The currently installed profiler, or ``None``."""
+    return _ACTIVE
+
+
+@contextmanager
+def activated(profiler: WallClockProfiler) -> Iterator[WallClockProfiler]:
+    """Install ``profiler`` as the hot-path collector for the block.
+
+    Nested activations stack: the previous profiler is restored on
+    exit.  Results must stay presentational — nothing downstream of a
+    measurement may branch on them.
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = profiler
+    try:
+        yield profiler
+    finally:
+        _ACTIVE = previous
+
+
+def measure(label: str) -> ContextManager[None]:
+    """Hot-path hook: time a block iff a profiler is installed."""
+    if _ACTIVE is None:
+        return _INACTIVE
+    return _ACTIVE.measure(label)
+
+
+def tick(label: str) -> None:
+    """Hot-path hook: count an occurrence iff a profiler is installed."""
+    if _ACTIVE is not None:
+        _ACTIVE.tick(label)

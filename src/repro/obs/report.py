@@ -7,8 +7,11 @@ Usage::
 Reads a JSON-lines event log (see :func:`repro.obs.export.write_jsonl`),
 prints the ASCII timeline, then reconstructs and prints the aggregate
 view: counter totals, final gauge values, histogram summaries and
-per-name span statistics.  Everything is derived from the log alone —
-the report is the proof that the event stream is replayable.
+per-name span statistics.  ``--flame`` instead rebuilds the trace tree
+(:mod:`repro.obs.trace_tree`) and renders the ASCII flamegraph plus
+the critical path; ``--tree`` prints the indented span tree.
+Everything is derived from the log alone — the report is the proof
+that the event stream is replayable.
 """
 
 from __future__ import annotations
@@ -25,8 +28,14 @@ from repro.obs.events import (
     TelemetryEvent,
 )
 from repro.obs.export import read_jsonl, render_timeline
+from repro.obs.trace_tree import (
+    build_tree,
+    critical_path,
+    render_flame,
+    render_tree,
+)
 
-__all__ = ["summarise", "main"]
+__all__ = ["summarise", "trace_report", "main"]
 
 
 def _aggregate_lines(events: Sequence[TelemetryEvent]) -> List[str]:
@@ -87,6 +96,25 @@ def summarise(events: Sequence[TelemetryEvent], width: int = 60) -> str:
     return "\n".join(parts)
 
 
+def trace_report(
+    events: Sequence[TelemetryEvent], width: int = 60, flame: bool = True
+) -> str:
+    """Flamegraph (or tree) plus critical path for an event log."""
+    tree = build_tree(events)
+    if not tree.roots:
+        return "(no spans in log)"
+    parts = [render_flame(tree, width=width) if flame else render_tree(tree)]
+    path = critical_path(tree)
+    parts.append("")
+    parts.append("critical path:")
+    for node in path:
+        parts.append(
+            f"  {node.name} [{node.span_id}]"
+            f"  t={node.t_start:g}..{node.t_end:g}  ({node.duration:g}s)"
+        )
+    return "\n".join(parts)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit status."""
     parser = argparse.ArgumentParser(
@@ -97,9 +125,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "--width", type=int, default=60, help="timeline width in columns"
     )
+    parser.add_argument(
+        "--flame",
+        action="store_true",
+        help="render the trace tree as an ASCII flamegraph instead of "
+        "the timeline/aggregate report",
+    )
+    parser.add_argument(
+        "--tree",
+        action="store_true",
+        help="render the indented span tree instead of the "
+        "timeline/aggregate report",
+    )
     args = parser.parse_args(argv)
     try:
         events = read_jsonl(args.log)
+        if args.flame or args.tree:
+            print(trace_report(events, width=args.width, flame=args.flame))
+            return 0
     except (OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -1,0 +1,274 @@
+"""Rebuild one distributed trace tree from a merged event log.
+
+A traced run — even one fanned out over process-pool shards — leaves a
+flat stream of ``span_start`` / ``span_end`` events whose attributes
+carry qualified span ids (``"shard0:3"``; raw ints for the
+coordinator's own tracer) and parent links, including the cross-process
+links written by :meth:`repro.obs.tracing.Tracer.adopt`.  This module
+turns that stream back into structure:
+
+- :func:`build_tree` — the span forest, children in deterministic
+  ``(t_start, span_id)`` order, duplicate ids rejected loudly (a
+  duplicate means two tracers emitted into one log *without*
+  namespacing — exactly the collision shard namespacing exists to
+  prevent);
+- :func:`critical_path` — the root-to-leaf chain that bounds the
+  run's sim-time extent;
+- :func:`render_tree` / :func:`render_flame` — indented tree and
+  ASCII flamegraph views, wired into ``python -m repro.obs.report``.
+
+Everything here is a pure function of the event list, so a tree built
+from a ``workers=8`` fleet run is byte-identical to the ``workers=1``
+tree — the property the CI trace smoke pins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from repro.obs.events import SPAN_END, SPAN_START, TelemetryEvent
+
+__all__ = [
+    "SpanNode",
+    "TraceTree",
+    "build_tree",
+    "critical_path",
+    "render_flame",
+    "render_tree",
+]
+
+#: Attribute keys the tracer reserves; everything else is user attrs.
+_RESERVED_ATTRS = ("span_id", "parent_id", "trace_id")
+
+
+@dataclass
+class SpanNode:
+    """One reconstructed span.
+
+    Attributes:
+        span_id: qualified id, always a string (``"shard0:3"``, ``"1"``).
+        name: dotted span name.
+        parent_id: qualified parent id, or ``None`` at a root.
+        trace_id: trace the span belongs to, or ``None``.
+        t_start: sim time of the ``span_start`` event.
+        t_end: sim time of the ``span_end`` event (``t_start`` for
+            spans the log never closes).
+        attrs: user attributes from the span (reserved keys stripped).
+        children: child spans, sorted by ``(t_start, span_id)``.
+    """
+
+    span_id: str
+    name: str
+    parent_id: Optional[str]
+    trace_id: Optional[str]
+    t_start: float
+    t_end: float
+    attrs: Dict[str, object] = field(default_factory=dict)
+    children: List["SpanNode"] = field(default_factory=list)
+
+    @property
+    def duration(self) -> float:
+        """Sim-time extent of the span."""
+        return self.t_end - self.t_start
+
+    def to_dict(self) -> dict:
+        """Recursive JSON-friendly view (stable across worker counts)."""
+        return {
+            "span_id": self.span_id,
+            "name": self.name,
+            "parent_id": self.parent_id,
+            "trace_id": self.trace_id,
+            "t_start": self.t_start,
+            "t_end": self.t_end,
+            "attrs": dict(self.attrs),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+
+@dataclass
+class TraceTree:
+    """The reconstructed span forest of one event log.
+
+    Attributes:
+        roots: top-level spans (no parent, or parent absent from the
+            log), sorted by ``(t_start, span_id)``.
+        nodes: every span, keyed by qualified id.
+    """
+
+    roots: List[SpanNode]
+    nodes: Dict[str, SpanNode]
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def walk(self) -> Iterator[SpanNode]:
+        """Depth-first pre-order over every root."""
+        stack = list(reversed(self.roots))
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    @property
+    def extent(self) -> float:
+        """Sim-time width of the whole forest (0.0 when empty)."""
+        if not self.nodes:
+            return 0.0
+        t0 = min(n.t_start for n in self.nodes.values())
+        t1 = max(n.t_end for n in self.nodes.values())
+        return t1 - t0
+
+    def find(self, name: str) -> List[SpanNode]:
+        """All spans with ``name``, in walk order."""
+        return [node for node in self.walk() if node.name == name]
+
+    def to_dict(self) -> dict:
+        """JSON-friendly view of the forest."""
+        return {"roots": [root.to_dict() for root in self.roots]}
+
+
+def _sort_key(node: SpanNode):
+    return (node.t_start, node.span_id)
+
+
+def build_tree(events: Sequence[TelemetryEvent]) -> TraceTree:
+    """Reconstruct the span forest from a (possibly merged) event log.
+
+    Raises:
+        ValueError: a span id occurs in two ``span_start`` events —
+            colliding tracers merged without namespacing.
+    """
+    nodes: Dict[str, SpanNode] = {}
+    for event in events:
+        if event.kind == SPAN_START:
+            span_id = str(event.attrs["span_id"])
+            if span_id in nodes:
+                raise ValueError(
+                    f"span id {span_id!r} emitted twice — merged logs "
+                    "from multiple tracers need namespaces "
+                    "(Tracer.adopt(context, namespace=...))"
+                )
+            parent = event.attrs.get("parent_id")
+            trace = event.attrs.get("trace_id")
+            nodes[span_id] = SpanNode(
+                span_id=span_id,
+                name=event.name,
+                parent_id=str(parent) if parent is not None else None,
+                trace_id=str(trace) if trace is not None else None,
+                t_start=event.time,
+                t_end=event.time,
+                attrs={
+                    k: v
+                    for k, v in event.attrs.items()
+                    if k not in _RESERVED_ATTRS
+                },
+            )
+        elif event.kind == SPAN_END:
+            span_id = str(event.attrs["span_id"])
+            node = nodes.get(span_id)
+            if node is not None:
+                node.t_end = event.time
+                # Attributes set while the span was open (e.g. the
+                # response status) only appear on the end event.
+                node.attrs.update(
+                    {
+                        k: v
+                        for k, v in event.attrs.items()
+                        if k not in _RESERVED_ATTRS
+                    }
+                )
+    roots: List[SpanNode] = []
+    for node in nodes.values():
+        parent = nodes.get(node.parent_id) if node.parent_id else None
+        if parent is None:
+            roots.append(node)
+        else:
+            parent.children.append(node)
+    for node in nodes.values():
+        node.children.sort(key=_sort_key)
+    roots.sort(key=_sort_key)
+    return TraceTree(roots=roots, nodes=nodes)
+
+
+def critical_path(tree: TraceTree) -> List[SpanNode]:
+    """The chain of spans bounding the run's end time.
+
+    Starts at the root that finishes last and repeatedly descends into
+    the child with the latest ``t_end`` (ties: longer duration, then
+    smaller span id — all deterministic), so "where did the run's time
+    go" reads straight down the returned list.
+    """
+    if not tree.roots:
+        return []
+
+    def pick(candidates: List[SpanNode]) -> SpanNode:
+        best = candidates[0]
+        for node in candidates[1:]:
+            node_key = (node.t_end, node.duration)
+            best_key = (best.t_end, best.duration)
+            if node_key > best_key or (
+                node_key == best_key and node.span_id < best.span_id
+            ):
+                best = node
+        return best
+
+    path = [pick(tree.roots)]
+    while path[-1].children:
+        path.append(pick(path[-1].children))
+    return path
+
+
+def _label(node: SpanNode) -> str:
+    return f"{node.name} [{node.span_id}] {node.duration:g}s"
+
+
+def render_tree(tree: TraceTree) -> str:
+    """Indented text view of the span forest."""
+    if not tree.roots:
+        return "(no spans)"
+    lines: List[str] = []
+
+    def visit(node: SpanNode, depth: int) -> None:
+        lines.append("  " * depth + _label(node))
+        for child in node.children:
+            visit(child, depth + 1)
+
+    for root in tree.roots:
+        visit(root, 0)
+    return "\n".join(lines)
+
+
+def render_flame(tree: TraceTree, width: int = 72) -> str:
+    """ASCII flamegraph: one bar per span, positioned on sim time.
+
+    Bars are scaled to the forest's full extent (not any single span's
+    duration — the coordinator's root span legitimately has zero
+    sim-time width when its clock never advances), every span gets at
+    least one ``#``, and rows follow depth-first order with two-space
+    indentation, so parent/child containment reads top-to-bottom.
+
+    Raises:
+        ValueError: ``width < 8``.
+    """
+    if width < 8:
+        raise ValueError(f"width must be >= 8, got {width}")
+    if not tree.roots:
+        return "(no spans)"
+    t0 = min(n.t_start for n in tree.nodes.values())
+    extent = tree.extent
+    scale = (width - 1) / extent if extent > 0.0 else 0.0
+    lines: List[str] = []
+
+    def visit(node: SpanNode, depth: int) -> None:
+        offset = int(round((node.t_start - t0) * scale))
+        length = max(1, int(round(node.duration * scale)))
+        length = min(length, width - offset)
+        bar = " " * offset + "#" * length
+        lines.append(f"|{bar:<{width}}| " + "  " * depth + _label(node))
+        for child in node.children:
+            visit(child, depth + 1)
+
+    for root in tree.roots:
+        visit(root, 0)
+    return "\n".join(lines)

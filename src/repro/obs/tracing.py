@@ -12,17 +12,68 @@ clock only advances between engine callbacks, a span wholly inside one
 callback legitimately has zero duration — its value is the structure
 (who, what, when), not wall-clock profiling (see
 :mod:`repro.obs.profiling` for that).
+
+Traces also cross process and request boundaries.  A
+:class:`TraceContext` is the picklable, header-encodable capsule that
+travels: the coordinating run's trace id plus the span the remote work
+should hang off.  A worker-side tracer :meth:`~Tracer.adopt`\\ s the
+context under a *namespace* (e.g. ``"shard0"``), which prefixes every
+span id it emits — so event logs merged from many shards keep globally
+unique ``(shard, span)`` ids and rebuild into one tree (see
+:mod:`repro.obs.trace_tree`).  An un-namespaced tracer emits its raw
+integer ids, so single-process traces look exactly like before.
 """
 
 from __future__ import annotations
 
 import itertools
-from typing import List, Optional
+from dataclasses import dataclass
+from typing import List, Optional, Union
 
 from repro.obs.events import SPAN_END, SPAN_START, TelemetryEvent
 from repro.obs.metrics import MetricsRegistry
 
-__all__ = ["Span", "Tracer"]
+__all__ = ["Span", "TraceContext", "Tracer", "TRACEPARENT_HEADER"]
+
+#: Request-header name carrying an encoded :class:`TraceContext`.
+TRACEPARENT_HEADER = "traceparent"
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """What crosses a process or request boundary: trace id + parent.
+
+    Attributes:
+        trace_id: identifier of the whole distributed trace (one per
+            coordinating run, e.g. ``"fleet-17"``).
+        parent_span_id: qualified id of the span the remote work
+            should be parented to, or ``None`` for a detached root.
+    """
+
+    trace_id: str
+    parent_span_id: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.trace_id:
+            raise ValueError("trace_id must not be empty")
+        if ";" in self.trace_id:
+            raise ValueError(f"trace_id must not contain ';': {self.trace_id!r}")
+
+    def to_header(self) -> str:
+        """Encode for transport as a request header value."""
+        return f"{self.trace_id};{self.parent_span_id or ''}"
+
+    @classmethod
+    def from_header(cls, value: str) -> "TraceContext":
+        """Decode a :meth:`to_header` value.
+
+        Raises:
+            ValueError: malformed header.
+        """
+        trace_id, sep, parent = value.partition(";")
+        if not sep:
+            raise ValueError(f"malformed traceparent header: {value!r}")
+        return cls(trace_id=trace_id, parent_span_id=parent or None)
 
 
 class Span:
@@ -37,12 +88,18 @@ class Span:
     """
 
     def __init__(
-        self, tracer: "Tracer", name: str, span_id: int, **attrs: object
+        self,
+        tracer: "Tracer",
+        name: str,
+        span_id: int,
+        remote_parent: Optional[str] = None,
+        **attrs: object,
     ) -> None:
         self._tracer = tracer
         self.name = name
         self.span_id = span_id
         self.parent_id: Optional[int] = None
+        self.remote_parent = remote_parent
         self.attrs = dict(attrs)
         self.t_start: Optional[float] = None
         self.t_end: Optional[float] = None
@@ -73,22 +130,82 @@ class Tracer:
 
     Args:
         registry: supplies the clock and the sink.
+        namespace: optional prefix qualifying every emitted span id
+            (``"shard0"`` turns id ``3`` into ``"shard0:3"``).  Leave
+            ``None`` for single-process traces: ids stay raw integers.
     """
 
-    def __init__(self, registry: MetricsRegistry) -> None:
+    def __init__(
+        self, registry: MetricsRegistry, namespace: Optional[str] = None
+    ) -> None:
         self._registry = registry
         self._ids = itertools.count(1)
         self._stack: List[Span] = []
+        self.namespace = namespace
+        self.trace_id: Optional[str] = None
+        self._remote_parent: Optional[str] = None
 
-    def span(self, name: str, **attrs: object) -> Span:
+    def span(
+        self,
+        name: str,
+        *,
+        remote_parent: Optional[str] = None,
+        **attrs: object,
+    ) -> Span:
         """Create a span; enter it with ``with`` to start the timer.
+
+        Args:
+            name: dotted span name.
+            remote_parent: qualified parent span id from *another*
+                process/tracer; used only when the span has no local
+                parent (the nesting stack always wins).
+            **attrs: free-form span attributes.
 
         Raises:
             ValueError: empty span name.
         """
         if not name:
             raise ValueError("span name must not be empty")
-        return Span(self, name, next(self._ids), **attrs)
+        return Span(
+            self, name, next(self._ids), remote_parent=remote_parent, **attrs
+        )
+
+    # -- distributed-trace plumbing --------------------------------------
+    def qualify(self, span_id: int) -> Union[int, str]:
+        """A span id as emitted: namespaced string, or the raw int."""
+        if self.namespace is None:
+            return span_id
+        return f"{self.namespace}:{span_id}"
+
+    def adopt(
+        self, context: TraceContext, namespace: Optional[str] = None
+    ) -> None:
+        """Join a distributed trace started elsewhere.
+
+        After adopting, every emitted event carries the trace id,
+        span ids are qualified by ``namespace`` (when given), and
+        root-level spans — those with no locally enclosing span — are
+        parented to the context's ``parent_span_id``, stitching this
+        tracer's whole tree under the remote coordinator span.
+        """
+        self.trace_id = context.trace_id
+        self._remote_parent = context.parent_span_id
+        if namespace is not None:
+            self.namespace = namespace
+
+    def context(self) -> Optional[TraceContext]:
+        """The :class:`TraceContext` to hand to remote work, or ``None``.
+
+        ``None`` until the tracer has a trace id (set via
+        :meth:`adopt`).  The parent is the innermost open span when one
+        exists, else the adopted remote parent.
+        """
+        if self.trace_id is None:
+            return None
+        current = self.current
+        if current is not None:
+            return TraceContext(self.trace_id, str(self.qualify(current.span_id)))
+        return TraceContext(self.trace_id, self._remote_parent)
 
     @property
     def current(self) -> Optional[Span]:
@@ -122,9 +239,15 @@ class Tracer:
         if not sink.enabled:
             return
         attrs = dict(span.attrs)
-        attrs["span_id"] = span.span_id
+        attrs["span_id"] = self.qualify(span.span_id)
         if span.parent_id is not None:
-            attrs["parent_id"] = span.parent_id
+            attrs["parent_id"] = self.qualify(span.parent_id)
+        elif span.remote_parent is not None:
+            attrs["parent_id"] = span.remote_parent
+        elif self._remote_parent is not None:
+            attrs["parent_id"] = self._remote_parent
+        if self.trace_id is not None:
+            attrs["trace_id"] = self.trace_id
         sink.emit(
             TelemetryEvent(
                 time=self._registry.now(),

@@ -30,6 +30,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
+from repro.obs.tracing import TraceContext
 from repro.sim.rng import derive_seed
 
 __all__ = [
@@ -54,11 +55,17 @@ class ShardSpec:
             seed and the shard index (worker-count invariant).
         payload: picklable work description (items to process,
             parameter points, sub-fleet size, ...).
+        trace: coordinator trace context, or ``None`` for untraced
+            plans.  A worker that emits telemetry adopts it under a
+            shard namespace (``tracer.adopt(spec.trace,
+            namespace=f"shard{spec.index}")``) so its span ids stay
+            globally unique in the merged event log.
     """
 
     index: int
     seed: int
     payload: Any = None
+    trace: Optional[TraceContext] = None
 
 
 @dataclass(frozen=True)
@@ -76,11 +83,17 @@ class ShardResult:
         value: the worker's payload result.
         metrics: a :meth:`~repro.obs.metrics.MetricsRegistry.state`
             snapshot of the shard's registry, or ``None``.
+        profile: a :meth:`~repro.obs.profiling.WallClockProfiler.state`
+            snapshot of the shard's wall-clock profile, or ``None``.
+            Profiles ride *outside* the metrics state on purpose: wall
+            time differs run to run, and must never leak into the
+            deterministic merged telemetry.
     """
 
     index: int
     value: Any
     metrics: Optional[dict] = None
+    profile: Optional[dict] = None
 
 
 @dataclass(frozen=True)
@@ -105,14 +118,24 @@ class ShardPlan:
 
     @classmethod
     def create(
-        cls, name: str, master_seed: int, payloads: Sequence[Any]
+        cls,
+        name: str,
+        master_seed: int,
+        payloads: Sequence[Any],
+        *,
+        trace: Optional[TraceContext] = None,
     ) -> "ShardPlan":
-        """One shard per payload, seeds derived from the master seed."""
+        """One shard per payload, seeds derived from the master seed.
+
+        ``trace`` (when given) is stamped onto every shard spec so
+        workers can join the coordinator's distributed trace.
+        """
         shards = tuple(
             ShardSpec(
                 index=i,
                 seed=derive_seed(master_seed, f"{name}:shard:{i}"),
                 payload=payload,
+                trace=trace,
             )
             for i, payload in enumerate(payloads)
         )
@@ -120,7 +143,13 @@ class ShardPlan:
 
     @classmethod
     def split(
-        cls, name: str, master_seed: int, items: Sequence[Any], n_shards: int
+        cls,
+        name: str,
+        master_seed: int,
+        items: Sequence[Any],
+        n_shards: int,
+        *,
+        trace: Optional[TraceContext] = None,
     ) -> "ShardPlan":
         """Partition ``items`` into ``n_shards`` contiguous chunks.
 
@@ -143,7 +172,7 @@ class ShardPlan:
             size = base + (1 if i < extra else 0)
             chunks.append(tuple(items[start : start + size]))
             start += size
-        return cls.create(name, master_seed, chunks)
+        return cls.create(name, master_seed, chunks, trace=trace)
 
     def __len__(self) -> int:
         return len(self.shards)

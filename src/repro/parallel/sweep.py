@@ -9,8 +9,9 @@ for every worker count.
 
 from __future__ import annotations
 
-from typing import Any, Callable, List, Sequence
+from typing import Any, Callable, List, Optional, Sequence
 
+from repro.obs.tracing import TraceContext
 from repro.parallel.engine import ShardPlan, ShardSpec, run_shards
 
 __all__ = ["sweep"]
@@ -29,6 +30,7 @@ def sweep(
     workers: int = 1,
     master_seed: int = 0,
     name: str = "sweep",
+    trace: Optional[TraceContext] = None,
 ) -> List[Any]:
     """Evaluate ``fn`` at every point, fanning out across processes.
 
@@ -41,9 +43,13 @@ def sweep(
         master_seed: namespace seed for the underlying shard plan
             (only relevant to workers that read ``spec.seed``).
         name: plan name, for diagnostics.
+        trace: coordinator trace context stamped onto every point's
+            shard spec (workers that emit telemetry adopt it).
 
     Returns:
         ``[fn(p) for p in points]`` — same values at any worker count.
     """
-    plan = ShardPlan.create(name, master_seed, [(fn, p) for p in points])
+    plan = ShardPlan.create(
+        name, master_seed, [(fn, p) for p in points], trace=trace
+    )
     return run_shards(_evaluate_point, plan, workers=workers)

@@ -25,6 +25,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.obs import profiling
 from repro.radio.devices import DeviceRadioProfile
 from repro.radio.fading import RicianFading
 from repro.radio.materials import wall_loss_db
@@ -265,72 +266,73 @@ class ChannelModel:
                 one phone scans at a time).
             rng: random stream for fading/noise/loss draws.
         """
-        n = len(tx_ids)
-        tx_xy = np.asarray(tx_positions, dtype=float).reshape(n, 2)
-        rx_xy = np.asarray(rx_positions, dtype=float).reshape(n, 2)
-        tx_powers = np.asarray(tx_powers_dbm, dtype=float)
+        with profiling.measure("radio.link_budget_many"):
+            n = len(tx_ids)
+            tx_xy = np.asarray(tx_positions, dtype=float).reshape(n, 2)
+            rx_xy = np.asarray(rx_positions, dtype=float).reshape(n, 2)
+            tx_powers = np.asarray(tx_powers_dbm, dtype=float)
 
-        distance = np.hypot(
-            rx_xy[:, 0] - tx_xy[:, 0], rx_xy[:, 1] - tx_xy[:, 1]
-        )
-        mean_rssi = self.path_loss.rssi(np.maximum(distance, 1e-6), tx_powers)
-        path_loss = tx_powers - mean_rssi
+            distance = np.hypot(
+                rx_xy[:, 0] - tx_xy[:, 0], rx_xy[:, 1] - tx_xy[:, 1]
+            )
+            mean_rssi = self.path_loss.rssi(np.maximum(distance, 1e-6), tx_powers)
+            path_loss = tx_powers - mean_rssi
 
-        walls = np.zeros(n)
-        if self.wall_oracle is not None:
-            for i in range(n):
-                walls[i] = wall_loss_db(
-                    self.wall_oracle(tuple(tx_xy[i]), tuple(rx_xy[i]))
+            walls = np.zeros(n)
+            if self.wall_oracle is not None:
+                for i in range(n):
+                    walls[i] = wall_loss_db(
+                        self.wall_oracle(tuple(tx_xy[i]), tuple(rx_xy[i]))
+                    )
+
+            shadow = np.empty(n)
+            tx_id_arr = np.asarray(tx_ids, dtype=object)
+            for tx_id in dict.fromkeys(tx_ids):  # unique, first-seen order
+                mask = tx_id_arr == tx_id
+                shadow[mask] = self._shadow_field(tx_id).sample_many(
+                    rx_xy[mask, 0], rx_xy[mask, 1]
                 )
 
-        shadow = np.empty(n)
-        tx_id_arr = np.asarray(tx_ids, dtype=object)
-        for tx_id in dict.fromkeys(tx_ids):  # unique, first-seen order
-            mask = tx_id_arr == tx_id
-            shadow[mask] = self._shadow_field(tx_id).sample_many(
-                rx_xy[mask, 0], rx_xy[mask, 1]
+            fade = (
+                self.fading.sample_db(rng, size=n)
+                if self.fading is not None
+                else np.zeros(n)
+            )
+            noise = (
+                rng.normal(0.0, device.rssi_noise_db, size=n)
+                if device.rssi_noise_db > 0.0
+                else np.zeros(n)
             )
 
-        fade = (
-            self.fading.sample_db(rng, size=n)
-            if self.fading is not None
-            else np.zeros(n)
-        )
-        noise = (
-            rng.normal(0.0, device.rssi_noise_db, size=n)
-            if device.rssi_noise_db > 0.0
-            else np.zeros(n)
-        )
+            raw = (
+                tx_powers
+                - path_loss
+                - walls
+                + shadow
+                + fade
+                + device.rx_gain_db
+                + noise
+            )
+            rssi = device.quantise(raw)
 
-        raw = (
-            tx_powers
-            - path_loss
-            - walls
-            + shadow
-            + fade
-            + device.rx_gain_db
-            + noise
-        )
-        rssi = device.quantise(raw)
+            received = rssi >= device.sensitivity_dbm
+            if self.collision_loss_prob > 0.0:
+                received &= rng.random(size=n) >= self.collision_loss_prob
+            if device.extra_loss_prob > 0.0:
+                received &= rng.random(size=n) >= device.extra_loss_prob
 
-        received = rssi >= device.sensitivity_dbm
-        if self.collision_loss_prob > 0.0:
-            received &= rng.random(size=n) >= self.collision_loss_prob
-        if device.extra_loss_prob > 0.0:
-            received &= rng.random(size=n) >= device.extra_loss_prob
-
-        return LinkBudgetBatch(
-            distance_m=distance,
-            tx_power_dbm=tx_powers,
-            path_loss_db=path_loss,
-            wall_loss_db=walls,
-            shadowing_db=shadow,
-            fading_db=fade,
-            rx_gain_db=device.rx_gain_db,
-            noise_db=noise,
-            rssi=rssi,
-            received=received,
-        )
+            return LinkBudgetBatch(
+                distance_m=distance,
+                tx_power_dbm=tx_powers,
+                path_loss_db=path_loss,
+                wall_loss_db=walls,
+                shadowing_db=shadow,
+                fading_db=fade,
+                rx_gain_db=device.rx_gain_db,
+                noise_db=noise,
+                rssi=rssi,
+                received=received,
+            )
 
     def sample_rssi(
         self,

@@ -115,6 +115,9 @@ class BuildingManagementServer:
         )
         self._g_devices = self.obs.gauge("server.tracked_devices")
         self.router = Router()
+        # Request-level tracing: dispatches run in server.request spans
+        # on the BMS registry's tracer (silent under a NullSink).
+        self.router.tracer = self.obs.tracer
         self._register_routes()
 
     # ------------------------------------------------------------------

@@ -16,6 +16,8 @@ import re
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro.obs.tracing import TRACEPARENT_HEADER, TraceContext, Tracer
+
 __all__ = ["Request", "Response", "HttpError", "Router"]
 
 
@@ -29,18 +31,39 @@ class Request:
         body: JSON-like payload.
         time: client send time (simulation seconds), for latency
             accounting.
+        headers: transport metadata (notably the ``traceparent``
+            header carrying an encoded
+            :class:`~repro.obs.tracing.TraceContext`).  Headers are
+            observability-only: they are deliberately folded into the
+            nominal fixed overhead of :attr:`size_bytes`, so tracing a
+            run never changes its energy or traffic accounting.
     """
 
     method: str
     path: str
     body: Optional[Dict[str, Any]] = None
     time: float = 0.0
+    headers: Dict[str, str] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.method not in ("GET", "POST", "PUT", "DELETE"):
             raise ValueError(f"unsupported method {self.method!r}")
         if not self.path.startswith("/"):
             raise ValueError(f"path must start with '/', got {self.path!r}")
+
+    def trace_context(self) -> Optional[TraceContext]:
+        """The decoded ``traceparent`` header, or ``None``.
+
+        Malformed headers decode to ``None`` rather than raising: a
+        bad trace header must never fail a request.
+        """
+        value = self.headers.get(TRACEPARENT_HEADER)
+        if not value:
+            return None
+        try:
+            return TraceContext.from_header(value)
+        except ValueError:
+            return None
 
     @property
     def size_bytes(self) -> int:
@@ -118,6 +141,11 @@ class Router:
     def __init__(self) -> None:
         self._routes: List[Tuple[str, re.Pattern, Handler]] = []
         self.requests_handled = 0
+        #: When set (the BMS attaches its registry's tracer), every
+        #: dispatch runs inside a ``server.request`` span, parented to
+        #: the request's ``traceparent`` context when it arrives from
+        #: another tracer.
+        self.tracer: Optional[Tracer] = None
 
     def route(self, method: str, pattern: str) -> Callable[[Handler], Handler]:
         """Decorator registering a handler for ``method pattern``."""
@@ -137,7 +165,26 @@ class Router:
         in-process server must not crash the whole simulation);
         unmatched paths yield 404.  Every dispatched request — matched
         or not — counts towards :attr:`requests_handled`.
+
+        With a :attr:`tracer` attached, the dispatch is bracketed by a
+        ``server.request`` span carrying method, path and the response
+        status; a ``traceparent`` header parents the span into the
+        caller's trace when no local span is open.
         """
+        if self.tracer is None:
+            return self._dispatch(request)
+        context = request.trace_context()
+        with self.tracer.span(
+            "server.request",
+            remote_parent=context.parent_span_id if context else None,
+            method=request.method,
+            path=request.path,
+        ) as span:
+            response = self._dispatch(request)
+            span.attrs["status"] = response.status
+        return response
+
+    def _dispatch(self, request: Request) -> Response:
         self.requests_handled += 1
         for method, regex, handler in self._routes:
             if method != request.method:

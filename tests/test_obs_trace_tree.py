@@ -1,0 +1,319 @@
+"""Tests for distributed-trace reconstruction (repro.obs.trace_tree).
+
+Unit tests drive :func:`build_tree` / :func:`critical_path` / the
+renderers from hand-built tracers; the integration tests run a real
+sharded fleet and assert the merged event log rebuilds into a single
+tree rooted at the coordinator — byte-identically across worker
+counts, which is the property the CI trace smoke pins.
+"""
+
+import json
+
+import pytest
+
+from repro.fleet import FleetLoadGenerator
+from repro.obs import (
+    MemorySink,
+    MetricsRegistry,
+    TraceContext,
+    build_tree,
+    critical_path,
+    read_jsonl,
+    to_jsonl,
+)
+from repro.obs.trace_tree import render_flame, render_tree
+from repro.obs.tracing import TRACEPARENT_HEADER
+
+
+def recording_registry(t0=0.0):
+    clock = {"t": t0}
+    registry = MetricsRegistry(sink=MemorySink(), clock=lambda: clock["t"])
+    return registry, clock
+
+
+class TestTraceContext:
+    def test_header_round_trip(self):
+        context = TraceContext("fleet-7", "shard0:3")
+        assert TraceContext.from_header(context.to_header()) == context
+
+    def test_header_round_trip_without_parent(self):
+        context = TraceContext("fleet-7")
+        decoded = TraceContext.from_header(context.to_header())
+        assert decoded.trace_id == "fleet-7"
+        assert decoded.parent_span_id is None
+
+    def test_rejects_empty_trace_id(self):
+        with pytest.raises(ValueError):
+            TraceContext("")
+
+    def test_rejects_separator_in_trace_id(self):
+        with pytest.raises(ValueError):
+            TraceContext("a;b")
+
+    def test_rejects_malformed_header(self):
+        with pytest.raises(ValueError):
+            TraceContext.from_header("no-separator")
+
+
+class TestAdoption:
+    def test_namespaced_ids_and_remote_parent(self):
+        registry, clock = recording_registry()
+        registry.tracer.adopt(
+            TraceContext("trace-1", "99"), namespace="shard0"
+        )
+        with registry.tracer.span("work"):
+            clock["t"] = 2.0
+        start = registry.sink.events[0]
+        assert start.attrs["span_id"] == "shard0:1"
+        assert start.attrs["parent_id"] == "99"
+        assert start.attrs["trace_id"] == "trace-1"
+
+    def test_local_stack_beats_remote_parent(self):
+        registry, _ = recording_registry()
+        registry.tracer.adopt(TraceContext("t", "remote"), namespace="s0")
+        with registry.tracer.span("outer"):
+            with registry.tracer.span("inner"):
+                pass
+        inner_start = registry.sink.events[2]
+        assert inner_start.name == "inner"
+        assert inner_start.attrs["parent_id"] == "s0:1"
+
+    def test_unnamespaced_ids_stay_raw_ints(self):
+        registry, _ = recording_registry()
+        with registry.tracer.span("solo"):
+            pass
+        assert registry.sink.events[0].attrs["span_id"] == 1
+
+    def test_context_reflects_innermost_open_span(self):
+        registry, _ = recording_registry()
+        tracer = registry.tracer
+        assert tracer.context() is None
+        tracer.adopt(TraceContext("t-1"), namespace="s1")
+        assert tracer.context() == TraceContext("t-1", None)
+        with tracer.span("outer"):
+            assert tracer.context() == TraceContext("t-1", "s1:1")
+
+
+class TestBuildTree:
+    def make_events(self):
+        registry, clock = recording_registry()
+        with registry.tracer.span("root"):
+            clock["t"] = 1.0
+            with registry.tracer.span("a"):
+                clock["t"] = 3.0
+            with registry.tracer.span("b"):
+                clock["t"] = 4.0
+        return registry.sink.events
+
+    def test_parentage_and_ordering(self):
+        tree = build_tree(self.make_events())
+        assert len(tree.roots) == 1
+        root = tree.roots[0]
+        assert root.name == "root"
+        assert [c.name for c in root.children] == ["a", "b"]
+        assert all(c.parent_id == "1" for c in root.children)
+
+    def test_durations_from_span_ends(self):
+        tree = build_tree(self.make_events())
+        root = tree.roots[0]
+        assert root.duration == pytest.approx(4.0)
+        assert root.children[0].duration == pytest.approx(2.0)
+
+    def test_unclosed_span_keeps_zero_duration(self):
+        registry, clock = recording_registry()
+        span = registry.tracer.span("open")
+        span.__enter__()
+        clock["t"] = 5.0
+        tree = build_tree(registry.sink.events)
+        assert tree.roots[0].duration == 0.0
+
+    def test_orphan_parent_becomes_root(self):
+        registry, _ = recording_registry()
+        registry.tracer.adopt(TraceContext("t", "not-in-log"), namespace="s0")
+        with registry.tracer.span("detached"):
+            pass
+        tree = build_tree(registry.sink.events)
+        assert [r.name for r in tree.roots] == ["detached"]
+
+    def test_duplicate_span_id_rejected_loudly(self):
+        first, _ = recording_registry()
+        second, _ = recording_registry()
+        for registry in (first, second):
+            with registry.tracer.span("clash"):
+                pass
+        merged = first.sink.events + second.sink.events
+        with pytest.raises(ValueError, match="namespace"):
+            build_tree(merged)
+
+    def test_namespacing_resolves_the_collision(self):
+        events = []
+        for shard in range(2):
+            registry, _ = recording_registry()
+            registry.tracer.adopt(
+                TraceContext("t"), namespace=f"shard{shard}"
+            )
+            with registry.tracer.span("clash"):
+                pass
+            events.extend(registry.sink.events)
+        tree = build_tree(events)
+        assert sorted(tree.nodes) == ["shard0:1", "shard1:1"]
+
+    def test_reserved_attrs_stripped_from_node_attrs(self):
+        registry, _ = recording_registry()
+        with registry.tracer.span("s", phone="alice"):
+            pass
+        node = build_tree(registry.sink.events).roots[0]
+        assert node.attrs == {"phone": "alice"}
+
+
+class TestCriticalPath:
+    def test_follows_latest_finishing_children(self):
+        registry, clock = recording_registry()
+        with registry.tracer.span("root"):
+            with registry.tracer.span("short"):
+                clock["t"] = 1.0
+            with registry.tracer.span("long"):
+                clock["t"] = 9.0
+        path = critical_path(build_tree(registry.sink.events))
+        assert [n.name for n in path] == ["root", "long"]
+
+    def test_tie_breaks_on_smaller_span_id(self):
+        registry, _ = recording_registry()
+        with registry.tracer.span("root"):
+            with registry.tracer.span("a"):
+                pass
+            with registry.tracer.span("b"):
+                pass
+        path = critical_path(build_tree(registry.sink.events))
+        assert [n.name for n in path] == ["root", "a"]
+
+    def test_empty_tree(self):
+        assert critical_path(build_tree([])) == []
+
+
+class TestRenderers:
+    def make_tree(self):
+        registry, clock = recording_registry()
+        with registry.tracer.span("root"):
+            with registry.tracer.span("child"):
+                clock["t"] = 10.0
+        return build_tree(registry.sink.events)
+
+    def test_render_tree_indents_children(self):
+        text = render_tree(self.make_tree())
+        lines = text.splitlines()
+        assert lines[0].startswith("root [1]")
+        assert lines[1].startswith("  child [2]")
+
+    def test_render_flame_one_row_per_span(self):
+        tree = self.make_tree()
+        lines = render_flame(tree, width=40).splitlines()
+        assert len(lines) == 2
+        assert all(line.startswith("|") and "#" in line for line in lines)
+
+    def test_render_flame_scales_to_extent_not_root_duration(self):
+        # Coordinator roots can have zero sim-time width; the child's
+        # bar must still span the full width.
+        tree = self.make_tree()
+        child_bar = render_flame(tree, width=40).splitlines()[1]
+        assert child_bar.count("#") > 30
+
+    def test_render_flame_rejects_tiny_width(self):
+        with pytest.raises(ValueError):
+            render_flame(self.make_tree(), width=4)
+
+    def test_empty_forest_renders_placeholder(self):
+        assert render_tree(build_tree([])) == "(no spans)"
+        assert render_flame(build_tree([])) == "(no spans)"
+
+
+class TestTracedRequestPropagation:
+    def test_uplink_header_parents_server_span(self):
+        # A request carrying a traceparent header lands its
+        # server.request span under the caller's current span.
+        from repro.server.rest import Request, Router
+
+        registry, _ = recording_registry()
+        registry.tracer.adopt(TraceContext("t-req"), namespace="s0")
+        router = Router()
+        router.tracer = registry.tracer
+
+        @router.route("POST", "/x")
+        def handler(request, params):
+            return {"ok": True}
+
+        with registry.tracer.span("caller"):
+            context = registry.tracer.context()
+            request = Request(
+                "POST",
+                "/x",
+                body={},
+                headers={TRACEPARENT_HEADER: context.to_header()},
+            )
+            response = router.dispatch(request)
+        assert response.ok
+        tree = build_tree(registry.sink.events)
+        caller = tree.find("caller")[0]
+        assert [c.name for c in caller.children] == ["server.request"]
+        assert caller.children[0].attrs["status"] == 200
+
+
+def fleet_events(workers):
+    registry = MetricsRegistry(sink=MemorySink())
+    generator = FleetLoadGenerator(
+        devices=4,
+        duration_s=30.0,
+        batch_size=4,
+        calibration_s=120.0,
+        seed=0,
+        registry=registry,
+        shards=2,
+        workers=workers,
+    )
+    generator.run()
+    return registry.events
+
+
+class TestFleetTraceIntegration:
+    @pytest.fixture(scope="class")
+    def events_by_workers(self):
+        return {n: fleet_events(n) for n in (1, 2)}
+
+    def test_single_tree_rooted_at_coordinator(self, events_by_workers):
+        tree = build_tree(events_by_workers[2])
+        assert len(tree.roots) == 1
+        root = tree.roots[0]
+        assert root.name == "fleet.run"
+        shard_spans = [c for c in root.children if c.name == "fleet.shard"]
+        assert len(shard_spans) == 2
+        assert {c.span_id for c in shard_spans} == {"shard0:1", "shard1:1"}
+
+    def test_trace_id_stamped_on_every_span(self, events_by_workers):
+        tree = build_tree(events_by_workers[2])
+        assert {n.trace_id for n in tree.walk()} == {"fleet-0"}
+
+    def test_jsonl_round_trip_preserves_tree(self, events_by_workers):
+        events = events_by_workers[2]
+        replayed = read_jsonl(to_jsonl(events).splitlines())
+        original = build_tree(events).to_dict()
+        recovered = build_tree(replayed).to_dict()
+        assert recovered == original
+
+    def test_workers_1_and_2_byte_identical(self, events_by_workers):
+        logs = {
+            n: to_jsonl(events_by_workers[n])
+            for n in sorted(events_by_workers)
+        }
+        assert logs[1] == logs[2]
+        trees = {
+            n: json.dumps(
+                build_tree(events_by_workers[n]).to_dict(), sort_keys=True
+            )
+            for n in sorted(events_by_workers)
+        }
+        assert trees[1] == trees[2]
+
+    def test_critical_path_descends_through_a_shard(self, events_by_workers):
+        path = critical_path(build_tree(events_by_workers[2]))
+        assert path[0].name == "fleet.run"
+        assert path[1].name == "fleet.shard"

@@ -2,7 +2,14 @@
 
 import pytest
 
-from repro.server.rest import HttpError, Request, Response, Router
+from repro.obs import MemorySink, MetricsRegistry, TraceContext
+from repro.server.rest import (
+    HttpError,
+    Request,
+    Response,
+    Router,
+    TRACEPARENT_HEADER,
+)
 
 
 class TestRequest:
@@ -122,3 +129,79 @@ class TestRouter:
         assert response.status == 500
         assert "KeyError" in response.body["error"]
         assert router.requests_handled == 1
+
+
+class TestRequestTracing:
+    def test_headers_default_empty(self):
+        assert Request("GET", "/x").headers == {}
+
+    def test_headers_do_not_change_wire_size(self):
+        """Trace headers are observability-only: identical energy/bytes."""
+        bare = Request("POST", "/x", body={"a": 1})
+        traced = Request(
+            "POST",
+            "/x",
+            body={"a": 1},
+            headers={TRACEPARENT_HEADER: "fleet-0;1"},
+        )
+        assert traced.size_bytes == bare.size_bytes
+
+    def test_trace_context_decodes_header(self):
+        request = Request(
+            "GET", "/x", headers={TRACEPARENT_HEADER: "fleet-0;shard0:3"}
+        )
+        context = request.trace_context()
+        assert context == TraceContext("fleet-0", "shard0:3")
+
+    def test_trace_context_none_without_header(self):
+        assert Request("GET", "/x").trace_context() is None
+
+    def test_malformed_header_never_raises(self):
+        request = Request(
+            "GET", "/x", headers={TRACEPARENT_HEADER: "no-separator"}
+        )
+        assert request.trace_context() is None
+
+
+class TestTracedRouter:
+    def make_traced_router(self):
+        registry = MetricsRegistry(sink=MemorySink())
+        router = Router()
+        router.tracer = registry.tracer
+
+        @router.route("GET", "/rooms/<room>")
+        def get_room(request, params):
+            return {"room": params["room"]}
+
+        return router, registry
+
+    def test_dispatch_emits_server_request_span(self):
+        router, registry = self.make_traced_router()
+        router.dispatch(Request("GET", "/rooms/lab"))
+        start, end = registry.sink.events
+        assert start.name == "server.request"
+        assert start.attrs["method"] == "GET"
+        assert start.attrs["path"] == "/rooms/lab"
+        assert end.attrs["status"] == 200
+
+    def test_span_parented_by_traceparent_header(self):
+        router, registry = self.make_traced_router()
+        router.dispatch(
+            Request(
+                "GET",
+                "/rooms/lab",
+                headers={TRACEPARENT_HEADER: "fleet-0;shard1:7"},
+            )
+        )
+        assert registry.sink.events[0].attrs["parent_id"] == "shard1:7"
+
+    def test_error_status_recorded_on_span(self):
+        router, registry = self.make_traced_router()
+        router.dispatch(Request("GET", "/missing"))
+        assert registry.sink.events[-1].attrs["status"] == 404
+
+    def test_untraced_router_emits_nothing(self):
+        registry = MetricsRegistry(sink=MemorySink())
+        router = Router()
+        router.dispatch(Request("GET", "/missing"))
+        assert registry.sink.events == []
