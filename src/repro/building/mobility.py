@@ -37,6 +37,21 @@ class MobilityModel:
         """Occupant position at simulation time ``t`` (seconds)."""
         raise NotImplementedError
 
+    def positions_at(self, times: Sequence[float]) -> np.ndarray:
+        """Positions at many times, as an ``(n, 2)`` array.
+
+        The default evaluates :meth:`position_at` per time; overrides
+        may vectorise but must return bit-identical coordinates, since
+        the columnar fleet engine relies on this to reproduce the
+        scalar pipeline exactly.
+        """
+        out = np.empty((len(times), 2), dtype=float)
+        for i, t in enumerate(times):
+            p = self.position_at(float(t))
+            out[i, 0] = p.x
+            out[i, 1] = p.y
+        return out
+
     def speed_at(self, t: float) -> float:
         """Ground speed at ``t``, from a central finite difference."""
         t0 = max(t - _SPEED_DT, 0.0)
@@ -152,6 +167,7 @@ class RandomWaypoint(MobilityModel):
         # Generated legs: parallel arrays of start time and (t0,t1,a,b).
         self._leg_starts: list[float] = []
         self._legs: list[tuple[float, float, Point, Point]] = []
+        self._leg_array: Optional[np.ndarray] = None
         self._horizon = 0.0
 
     def _pick_room(self) -> Room:
@@ -194,6 +210,36 @@ class RandomWaypoint(MobilityModel):
             return b
         frac = min(max((t - t0) / (t1 - t0), 0.0), 1.0)
         return a + (b - a).scaled(frac)
+
+    def positions_at(self, times: Sequence[float]) -> np.ndarray:
+        """Vectorised :meth:`position_at` over arbitrary query times.
+
+        Legs are extended once to the latest query, then every lookup
+        is a single ``searchsorted`` pass.  Coordinates are computed
+        with the same expressions as the scalar path, so
+        ``positions_at(ts)[i]`` equals ``position_at(ts[i])`` exactly.
+        """
+        ts = np.maximum(np.asarray(times, dtype=float), 0.0)
+        if ts.size == 0:
+            return np.empty((0, 2), dtype=float)
+        self._extend_to(float(ts.max()))
+        if self._leg_array is None or len(self._leg_array) != len(self._legs):
+            self._leg_array = np.asarray(
+                [(t0, t1, a.x, a.y, b.x, b.y) for t0, t1, a, b in self._legs],
+                dtype=float,
+            )
+        starts = np.asarray(self._leg_starts, dtype=float)
+        index = np.maximum(np.searchsorted(starts, ts, side="right") - 1, 0)
+        legs = self._leg_array
+        t0, t1 = legs[index, 0], legs[index, 1]
+        ax, ay, bx, by = (legs[index, k] for k in range(2, 6))
+        moving = t1 > t0
+        # Guard the division on degenerate legs; those rows take ``b``.
+        frac = np.clip((ts - t0) / np.where(moving, t1 - t0, 1.0), 0.0, 1.0)
+        out = np.empty(ts.shape + (2,), dtype=float)
+        out[..., 0] = np.where(moving, ax + (bx - ax) * frac, bx)
+        out[..., 1] = np.where(moving, ay + (by - ay) * frac, by)
+        return out
 
 
 class RoomSchedule(MobilityModel):

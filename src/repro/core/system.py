@@ -288,20 +288,12 @@ class OccupancyDetectionSystem:
             RuntimeError: no occupants registered, or classifier
                 untrained.
         """
-        if not self._runtimes:
-            raise RuntimeError("no occupants registered; call add_occupant()")
-        if not self.bms.trained:
-            raise RuntimeError("BMS classifier untrained; call calibrate() + train()")
+        self._require_ready()
         period = self.config.scan_period_s
         n_cycles = int(duration_s / period)
-        from repro.comms.uplink import DeliveryStats
         from repro.sim.engine import Simulator
 
-        for rt in self._runtimes.values():
-            rt.predictions.clear()
-            rt.uplink.stats = DeliveryStats()
-            rt.uplink.discard_pending()
-            rt.meter.reset()
+        self._reset_runtimes()
         # The run is driven by the discrete-event engine: one periodic
         # process per phone (scan -> filter -> uplink) plus the BMS
         # history recorder, which fires at each period boundary before
@@ -326,6 +318,38 @@ class OccupancyDetectionSystem:
                 label="bms-history",
             )
             sim.run()
+        return self._finish_run(duration_s, evaluate=evaluate)
+
+    def _require_ready(self) -> None:
+        """Validate that a detection run can start.
+
+        Raises:
+            RuntimeError: no occupants registered, or classifier
+                untrained.
+        """
+        if not self._runtimes:
+            raise RuntimeError("no occupants registered; call add_occupant()")
+        if not self.bms.trained:
+            raise RuntimeError("BMS classifier untrained; call calibrate() + train()")
+
+    def _reset_runtimes(self) -> None:
+        """Zero the per-phone run state (predictions, uplinks, meters)."""
+        from repro.comms.uplink import DeliveryStats
+
+        for rt in self._runtimes.values():
+            rt.predictions.clear()
+            rt.uplink.stats = DeliveryStats()
+            rt.uplink.discard_pending()
+            rt.meter.reset()
+
+    def _finish_run(self, duration_s: float, *, evaluate: bool) -> DetectionRun:
+        """Flush uplinks, settle energy and assemble the run summary.
+
+        Shared epilogue of the event-driven :meth:`run` and the
+        columnar fleet drive (:mod:`repro.fleet.columnar`), so both
+        paths produce byte-identical :class:`DetectionRun` objects
+        from identical runtime state.
+        """
         for rt in self._runtimes.values():
             # Deliver any reports still buffered under a batch policy,
             # then fold the uplink's accumulated radio energy into the

@@ -80,7 +80,21 @@ REPRO_LAYERS: Mapping[str, FrozenSet[str]] = _layers(
             "traces",
         ),
         "report": ("building", "core", "obs"),
-        "fleet": ("building", "comms", "core", "obs", "parallel", "server", "sim"),
+        "fleet": (
+            "ble",
+            "building",
+            "comms",
+            "core",
+            "energy",
+            "filters",
+            "ibeacon",
+            "obs",
+            "parallel",
+            "phone",
+            "radio",
+            "server",
+            "sim",
+        ),
     }
 )
 

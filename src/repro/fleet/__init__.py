@@ -13,6 +13,17 @@ Run a smoke load from the command line::
     python -m repro.fleet --devices 8 --duration 120 --batch-size 16
 """
 
+from repro.fleet.columnar import (
+    ColumnarFleetDrive,
+    ColumnarUnsupported,
+    run_columnar,
+)
 from repro.fleet.loadgen import FleetLoadGenerator, FleetReport
 
-__all__ = ["FleetLoadGenerator", "FleetReport"]
+__all__ = [
+    "ColumnarFleetDrive",
+    "ColumnarUnsupported",
+    "FleetLoadGenerator",
+    "FleetReport",
+    "run_columnar",
+]

@@ -65,6 +65,11 @@ def main(argv=None) -> int:
         help="collect a wall-clock profile of the hot paths and print "
         "the per-phase table (never affects the simulated result)",
     )
+    parser.add_argument(
+        "--columnar", action="store_true",
+        help="drive the detection phase with the struct-of-arrays fleet "
+        "engine (byte-identical reports, much faster per device)",
+    )
     args = parser.parse_args(argv)
 
     registry = MetricsRegistry(sink=MemorySink()) if args.trace else None
@@ -80,6 +85,7 @@ def main(argv=None) -> int:
         shards=args.shards,
         workers=args.workers,
         profile=args.profile,
+        columnar=args.columnar,
     )
     report = generator.run()
     if args.trace:

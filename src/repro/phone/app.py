@@ -139,6 +139,7 @@ class OccupancyApp:
         """Stop all services and forget tracked beacons."""
         self.state = AppState.OFF
         self.tracker.reset()
+        self._tx_power_by_beacon.clear()
 
     # ------------------------------------------------------------------
     # Per-cycle processing
@@ -173,6 +174,11 @@ class OccupancyApp:
         if not self.tracker.live_beacons:
             self._emit_region_event(cycle.t_end, RegionEventKind.EXIT)
             self.state = AppState.MONITORING
+            # Forget the cached TX calibration bytes along with the
+            # region: they belong to the sighting history, and keeping
+            # them across an exit leaks one entry per beacon ever seen
+            # (re-entry re-learns them from the next decoded payload).
+            self._tx_power_by_beacon.clear()
             return None
         self.reports.append(report)
         if self.on_report is not None:

@@ -195,12 +195,16 @@ class AndroidScanner(Scanner):
         self, sightings: List[Sighting], t_start: float
     ) -> Dict[str, List[float]]:
         samples: Dict[str, List[float]] = {}
-        seen_cycle: Dict[str, int] = {}
+        # Dedup on the full (beacon, hardware cycle) pair.  Remembering
+        # only the *last* cycle per beacon would re-surface duplicates
+        # whenever sightings arrive out of time order (cycle 0, 1, 0
+        # again), inflating the Android sample count.
+        seen: set = set()
         for s in sightings:
-            cycle = int((s.time - t_start) / self.HW_CYCLE_S)
-            if seen_cycle.get(s.beacon_id) == cycle:
+            key = (s.beacon_id, int((s.time - t_start) / self.HW_CYCLE_S))
+            if key in seen:
                 continue
-            seen_cycle[s.beacon_id] = cycle
+            seen.add(key)
             samples.setdefault(s.beacon_id, []).append(s.rssi)
         return samples
 

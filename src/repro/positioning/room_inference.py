@@ -87,11 +87,19 @@ class GeometricRoomClassifier:
                 f"expected {len(self.feature_names)} features, got {X.shape[1]}"
             )
         out: List[str] = []
-        for row in X:
+        # Fill-value rows that have passed through scaling or float32
+        # round-trips are not bit-equal to ``missing_value`` anymore,
+        # so match with a tolerance instead of exact equality —
+        # otherwise a perturbed fill value masquerades as a real
+        # 30 m / -100 dBm measurement and drags the trilateration.
+        missing = np.isclose(X, self.missing_value)
+        for row, row_missing in zip(X, missing):
             fingerprint = {
                 beacon_id: float(value)
-                for beacon_id, value in zip(self.feature_names, row)
-                if value != self.missing_value
+                for beacon_id, value, absent in zip(
+                    self.feature_names, row, row_missing
+                )
+                if not absent
             }
             try:
                 result = trilaterate_fingerprint(fingerprint, self._positions)

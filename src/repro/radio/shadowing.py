@@ -101,14 +101,16 @@ class ShadowingField:
         iy = np.floor(gy).astype(int)
         fx, fy = gx - ix, gy - iy
         # Distinct corner cells are few (positions cluster within a
-        # building), so fill the cache per unique cell and gather.
-        corners = np.empty((4,) + xs.shape)
-        for k, (dx, dy) in enumerate(((0, 0), (1, 0), (0, 1), (1, 1))):
-            cx, cy = ix + dx, iy + dy
-            flat = np.empty(xs.size)
-            for j, key in enumerate(zip(cx.ravel().tolist(), cy.ravel().tolist())):
-                flat[j] = self._cell_value(*key)
-            corners[k] = flat.reshape(xs.shape)
+        # building), so fill the cache once per unique cell and gather
+        # every corner lookup from the deduplicated value table.
+        cx = np.stack([ix, ix + 1, ix, ix + 1])
+        cy = np.stack([iy, iy, iy + 1, iy + 1])
+        keys = np.stack([cx.ravel(), cy.ravel()], axis=1)
+        uniq, inverse = np.unique(keys, axis=0, return_inverse=True)
+        values = np.array(
+            [self._cell_value(int(a), int(b)) for a, b in uniq], dtype=float
+        )
+        corners = values[inverse].reshape((4,) + xs.shape)
         v00, v10, v01, v11 = corners
         top = v00 * (1 - fx) + v10 * fx
         bottom = v01 * (1 - fx) + v11 * fx

@@ -294,6 +294,18 @@ class BuildingManagementServer:
         """Last estimated room of ``device_id``, or ``None``."""
         return self._device_rooms.get(device_id)
 
+    def device_room_at(self, device_id: str, now: float) -> Optional[str]:
+        """One device's estimate at ``now``, applying the silence timeout.
+
+        Exactly ``snapshot(now).devices.get(device_id)`` — including
+        the expiry side effect on devices silent past the timeout —
+        but without building the full snapshot dictionaries, so a
+        fleet-scale caller asking about M devices pays O(M) per sweep
+        instead of O(M^2).
+        """
+        self._expire_devices(float(now))
+        return self._device_rooms.get(device_id)
+
     @property
     def sighting_count(self) -> int:
         """Number of sighting reports stored."""

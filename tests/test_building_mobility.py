@@ -142,3 +142,40 @@ class TestRoomSchedule:
         plan = make_test_house()
         sched = RoomSchedule(plan, [(0.0, "living")])
         assert plan.room_at(sched.position_at(1e5)) == "living"
+
+
+class TestVectorisedPositions:
+    """positions_at must be bit-identical to per-time position_at: the
+    columnar fleet engine (repro.fleet.columnar) relies on it."""
+
+    def test_random_waypoint_matches_scalar_exactly(self):
+        plan = make_test_house()
+        walk = RandomWaypoint(plan, seed=5)
+        other = RandomWaypoint(plan, seed=5)
+        times = [0.0, 3.7, 120.0, 1.1, 59.99, 0.05, 240.0, -2.0]
+        vec = walk.positions_at(times)
+        for i, t in enumerate(times):
+            p = other.position_at(float(t))
+            assert vec[i, 0] == p.x and vec[i, 1] == p.y
+
+    def test_random_waypoint_vectorised_query_is_pure(self):
+        plan = make_test_house()
+        walk = RandomWaypoint(plan, seed=7)
+        first = walk.positions_at([10.0, 20.0])
+        # A far query extends the leg list; earlier answers must hold.
+        walk.positions_at([500.0])
+        again = walk.positions_at([10.0, 20.0])
+        assert (first == again).all()
+
+    def test_default_implementation_matches_scalar(self):
+        path = WaypointPath([Point(0.0, 0.0), Point(10.0, 0.0)], speed_mps=2.0)
+        times = [0.0, 1.25, 4.0, 10.0]
+        vec = path.positions_at(times)
+        for i, t in enumerate(times):
+            p = path.position_at(t)
+            assert vec[i, 0] == p.x and vec[i, 1] == p.y
+
+    def test_empty_query(self):
+        plan = make_test_house()
+        walk = RandomWaypoint(plan, seed=1)
+        assert walk.positions_at([]).shape == (0, 2)

@@ -251,6 +251,7 @@ class TestCommittedBaseline:
         files = {key.split("::")[0] for key in baseline["series"]}
         assert files == {
             "benchmarks/test_perf_batch.py",
+            "benchmarks/test_perf_columnar.py",
             "benchmarks/test_perf_parallel.py",
             "benchmarks/test_perf_svm_train.py",
         }

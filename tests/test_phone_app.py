@@ -55,6 +55,30 @@ class TestLifecycle:
         assert app.state is AppState.OFF
         assert app.tracker.live_beacons == []
 
+    def test_shutdown_clears_tx_power_cache(self, lab_plan):
+        """Regression: shutdown used to leak the TX-power cache, one
+        entry per beacon ever ranged."""
+        app = make_app(lab_plan)
+        app.boot()
+        app.run_cycle(at(Point(1.5, 4.0)), 0.0)
+        assert app._tx_power_by_beacon  # learned during ranging
+        app.shutdown()
+        assert app._tx_power_by_beacon == {}
+
+    def test_region_exit_clears_tx_power_cache(self, lab_plan):
+        """Regression: the cache must not survive a region exit."""
+        app = make_app(lab_plan)
+        app.boot()
+        app.run_cycle(at(Point(1.5, 4.0)), 0.0)
+        assert app._tx_power_by_beacon
+        app.run_cycle(at(Point(500.0, 500.0)), 2.0)
+        app.run_cycle(at(Point(500.0, 500.0)), 4.0)
+        assert app.state is AppState.MONITORING
+        assert app._tx_power_by_beacon == {}
+        # Re-entry re-learns the calibration byte from the payload.
+        app.run_cycle(at(Point(1.5, 4.0)), 6.0)
+        assert app._tx_power_by_beacon
+
 
 class TestMonitoringToRanging:
     def test_enter_event_on_first_sighting(self, lab_plan):

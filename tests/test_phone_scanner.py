@@ -45,6 +45,33 @@ class TestAndroidSemantics:
         cycle = scanner.scan_cycle(fixed(Point(2.0, 4.0)), 0.0)
         assert cycle.received_count > cycle.surfaced_count
 
+    def test_out_of_order_sightings_dedup_per_cycle(self):
+        """Regression: dedup keyed on the *last-seen* cycle re-surfaced
+        duplicates when sightings arrived out of time order."""
+        from repro.ble.air import Sighting
+
+        air = quiet_air(single_room())
+        scanner = AndroidScanner(air, device="ideal", rng=np.random.default_rng(0))
+
+        def sighting(time, rssi):
+            return Sighting(
+                time=time,
+                beacon_id="1-1",
+                packet=None,
+                rssi=rssi,
+                true_distance_m=1.0,
+            )
+
+        # Cycle 0, then cycle 1, then cycle 0 again (out of order): the
+        # third sighting duplicates cycle 0 and must NOT surface.
+        sightings = [
+            sighting(0.1, -50.0),
+            sighting(2.1, -51.0),
+            sighting(0.5, -52.0),
+        ]
+        samples = scanner._surface(sightings, 0.0)
+        assert samples == {"1-1": [-50.0, -51.0]}
+
     def test_surfaced_sample_is_first_reception(self):
         air = quiet_air(single_room())
         scanner = AndroidScanner(air, device="ideal", rng=np.random.default_rng(1))

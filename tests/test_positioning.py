@@ -123,6 +123,26 @@ class TestGeometricRoomClassifier:
         row = np.full((1, len(plan.beacon_ids)), 30.0)
         assert model.predict(row)[0] == "outside"
 
+    def test_perturbed_fill_values_still_treated_as_missing(self):
+        """Regression: fill values that round-tripped through scaling
+        or storage are no longer bit-equal to ``missing_value``; exact
+        ``!=`` comparison mistook them for real 30 m measurements."""
+        plan, model = self.make(missing_value=30.0)
+        perturbed = np.full(
+            (1, len(plan.beacon_ids)), np.nextafter(30.0, 31.0)
+        )
+        assert (perturbed != 30.0).all()  # genuinely not bit-equal
+        assert model.predict(perturbed)[0] == "outside"
+
+    def test_real_measurements_kept_alongside_fill(self):
+        """Only near-fill entries drop; true distances in a partially
+        missing row still reach the solver."""
+        plan, model = self.make(missing_value=30.0)
+        point = Point(3.0, 2.5)  # living room centre
+        row = self.vector_for(plan, point)
+        row[0, -1] = 30.0  # one beacon unseen, the rest genuine
+        assert model.predict(row)[0] == "living"
+
     def test_huge_residual_is_outside(self):
         plan, model = self.make(max_residual_m=0.5)
         # Wildly inconsistent distances: all beacons 0.1 m away.

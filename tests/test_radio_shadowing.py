@@ -61,3 +61,29 @@ class TestValidation:
     def test_rejects_nonpositive_correlation(self):
         with pytest.raises(ValueError):
             ShadowingField(correlation_distance_m=0.0)
+
+
+class TestSampleMany:
+    def test_matches_scalar_bitwise(self):
+        field = ShadowingField(sigma_db=3.0, link_seed=11)
+        fresh = ShadowingField(sigma_db=3.0, link_seed=11)
+        xs = np.array([0.1, 5.3, -2.7, 5.3, 100.0])
+        ys = np.array([0.2, -1.1, 3.3, -1.1, 42.0])
+        vec = field.sample_many(xs, ys)
+        for i in range(len(xs)):
+            assert vec[i] == fresh.sample(float(xs[i]), float(ys[i]))
+
+    def test_two_dimensional_input(self):
+        field = ShadowingField(sigma_db=3.0, link_seed=3)
+        fresh = ShadowingField(sigma_db=3.0, link_seed=3)
+        xs = np.arange(6.0).reshape(2, 3)
+        ys = xs + 0.5
+        vec = field.sample_many(xs, ys)
+        assert vec.shape == (2, 3)
+        for i in range(2):
+            for j in range(3):
+                assert vec[i, j] == fresh.sample(xs[i, j], ys[i, j])
+
+    def test_zero_sigma_shape(self):
+        field = ShadowingField(sigma_db=0.0)
+        assert field.sample_many(np.zeros((3, 2)), np.zeros((3, 2))).shape == (3, 2)
