@@ -18,14 +18,15 @@ simulation seconds.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from dataclasses import dataclass, field, replace
+from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracing import TRACEPARENT_HEADER
 from repro.phone.app import SightingReport
+from repro.server.client import BmsClient
 from repro.server.rest import Request, Response, Router
 
 __all__ = ["BatchPolicy", "DeliveryStats", "Uplink"]
@@ -84,10 +85,25 @@ class Uplink(abc.ABC):
             and delivers them in batches under this policy; when
             ``None`` (the default), :meth:`queue_report` degenerates to
             the per-report :meth:`send_report`.
+
+    Backpressure: a sharded BMS front door may answer **429** with a
+    ``retry_after_s`` hint when its ingress queue is full.  The uplink
+    honours the hint with up to :attr:`max_backpressure_retries`
+    retransmissions (each re-paying radio bytes/energy, advancing the
+    request's logical time by the hint), counted under
+    ``uplink.backpressure_retries``; a still-rejected request is
+    dropped and counted under ``uplink.backpressure_dropped``.  The
+    :attr:`on_backpressure` seam (``f(request, attempt)``) fires before
+    each retry — where a real radio would sleep, and where tests drain
+    the server.
     """
 
     #: Telemetry label for this channel type.
     TRANSPORT = "uplink"
+
+    #: Bounded retries of a 429-rejected request (class default;
+    #: override per instance).
+    max_backpressure_retries = 2
 
     def __init__(
         self,
@@ -106,12 +122,15 @@ class Uplink(abc.ABC):
         self._pending: List[SightingReport] = []
         self._batch_opened_at: Optional[float] = None
         self.stats = DeliveryStats()
+        self.on_backpressure: Optional[Callable[[Request, int], None]] = None
         self.obs = registry if registry is not None else MetricsRegistry()
         self._c_reports = self.obs.counter("uplink.reports")
         self._c_delivered = self.obs.counter("uplink.delivered")
         self._c_failed = self.obs.counter("uplink.failed")
         self._c_retries = self.obs.counter("uplink.retries")
         self._c_bytes = self.obs.counter("uplink.bytes")
+        self._c_bp_retries = self.obs.counter("uplink.backpressure_retries")
+        self._c_bp_dropped = self.obs.counter("uplink.backpressure_dropped")
 
     def _obs_attrs(self, report: SightingReport) -> dict:
         """Telemetry attributes for one report's events."""
@@ -147,6 +166,34 @@ class Uplink(abc.ABC):
         (e.g. keeping the Wi-Fi adapter associated)."""
 
     # -- delivery -------------------------------------------------------
+    def _dispatch_honouring_backpressure(
+        self, request: Request, attrs: dict
+    ) -> Response:
+        """Dispatch a radio-delivered request, honouring 429 hints.
+
+        Each backpressure retry is a fresh transmission: it re-pays
+        bytes and energy, and advances the request's logical time by
+        the server's ``retry_after_s`` hint.  Returns the final
+        response (still 429 when the bounded retries are exhausted).
+        """
+        response = self.router.dispatch(request)
+        attempt = 0
+        while (
+            response.status == 429 and attempt < self.max_backpressure_retries
+        ):
+            attempt += 1
+            self.stats.retries += 1
+            self._c_bp_retries.inc(**attrs)
+            hint = float((response.body or {}).get("retry_after_s", 0.0))
+            request = replace(request, time=request.time + hint)
+            if self.on_backpressure is not None:
+                self.on_backpressure(request, attempt)
+            self.stats.bytes_sent += request.size_bytes
+            self._c_bytes.inc(request.size_bytes, **attrs)
+            self.stats.energy_j += self.energy_per_message_j(request.size_bytes)
+            response = self.router.dispatch(request)
+        return response
+
     def send_report(self, report: SightingReport) -> Optional[Response]:
         """Deliver one sighting report; ``None`` when all attempts fail.
 
@@ -179,7 +226,12 @@ class Uplink(abc.ABC):
                 self.stats.failed += 1
                 self._c_failed.inc(**attrs)
                 return None
-            response = self.router.dispatch(request)
+            response = self._dispatch_honouring_backpressure(request, attrs)
+            if response.status == 429:
+                self.stats.failed += 1
+                self._c_failed.inc(**attrs)
+                self._c_bp_dropped.inc(**attrs)
+                return response
             self.stats.delivered += 1
             self._c_delivered.inc(**attrs)
             return response
@@ -187,20 +239,20 @@ class Uplink(abc.ABC):
 
     # -- batched delivery ----------------------------------------------
     def _batch_request(self, reports: Sequence[SightingReport]) -> Request:
-        """One ``POST /sightings/batch`` request carrying all reports."""
-        return Request(
-            method="POST",
-            path="/sightings/batch",
-            body={
-                "sightings": [
-                    {
-                        "device_id": r.device_id,
-                        "time": r.time,
-                        "beacons": r.distances(),
-                    }
-                    for r in reports
-                ]
-            },
+        """One ``POST /sightings/batch`` request carrying all reports.
+
+        Built through :meth:`BmsClient.batch_request` so the radio path
+        and the typed client share one wire format.
+        """
+        return BmsClient.batch_request(
+            [
+                {
+                    "device_id": r.device_id,
+                    "time": r.time,
+                    "beacons": r.distances(),
+                }
+                for r in reports
+            ],
             time=max(r.time for r in reports),
             headers=self._trace_headers(),
         )
@@ -234,7 +286,13 @@ class Uplink(abc.ABC):
                 for report in reports:
                     self._c_failed.inc(**self._obs_attrs(report))
                 return None
-            response = self.router.dispatch(request)
+            response = self._dispatch_honouring_backpressure(request, batch_attrs)
+            if response.status == 429:
+                self.stats.failed += len(reports)
+                self._c_bp_dropped.inc(float(len(reports)), **batch_attrs)
+                for report in reports:
+                    self._c_failed.inc(**self._obs_attrs(report))
+                return response
             self.stats.delivered += len(reports)
             for report in reports:
                 self._c_delivered.inc(**self._obs_attrs(report))

@@ -50,7 +50,9 @@ REPRO_LAYERS: Mapping[str, FrozenSet[str]] = _layers(
         "ble": ("building", "ibeacon", "obs", "radio", "sim"),
         # Device and data plane.
         "phone": ("ble", "building", "filters", "ibeacon", "obs", "radio", "sim"),
-        "server": ("building", "ml", "obs"),
+        # server reaches parallel for the sharded front door's
+        # worker-pool queue drain (repro.server.sharded).
+        "server": ("building", "ml", "obs", "parallel"),
         "comms": ("obs", "phone", "server"),
         "traces": ("ble", "building", "filters", "phone", "radio", "sim"),
         "beacon_node": (

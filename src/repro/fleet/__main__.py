@@ -53,7 +53,19 @@ def main(argv=None) -> int:
         "(default: one per worker; pin this when comparing worker counts)",
     )
     parser.add_argument(
+        "--service-shards", type=int, default=None,
+        help="run the BMS as a sharded front door with this many "
+        "per-shard stores (results are byte-identical across shard "
+        "counts; default: the plain single-store server)",
+    )
+    parser.add_argument(
         "--json", action="store_true", help="emit the report as JSON"
+    )
+    parser.add_argument(
+        "--occupancy", metavar="PATH", default=None,
+        help="write the final merged occupancy snapshot as JSON here "
+        "(single-system runs only; the CI shard-invariance smoke "
+        "diffs it across --service-shards values)",
     )
     parser.add_argument(
         "--trace", metavar="PATH", default=None,
@@ -86,10 +98,27 @@ def main(argv=None) -> int:
         workers=args.workers,
         profile=args.profile,
         columnar=args.columnar,
+        service_shards=args.service_shards,
     )
     report = generator.run()
     if args.trace:
         write_jsonl(registry.events, args.trace)
+    if args.occupancy:
+        if generator.last_occupancy is None:
+            print(
+                "--occupancy needs a single-system run (--shards 1)",
+                file=sys.stderr,
+            )
+            return 2
+        snap = generator.last_occupancy
+        with open(args.occupancy, "w", encoding="utf-8") as handle:
+            json.dump(
+                {"time": snap.time, "rooms": snap.rooms, "devices": snap.devices},
+                handle,
+                indent=2,
+                sort_keys=True,
+            )
+            handle.write("\n")
     if args.json:
         print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
         if args.profile:

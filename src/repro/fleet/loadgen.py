@@ -38,6 +38,8 @@ from repro.obs.profiling import WallClockProfiler, render_profile
 from repro.obs.sinks import MemorySink
 from repro.obs.tracing import TraceContext
 from repro.parallel.engine import ShardPlan, ShardResult, ShardSpec, run_shards
+from repro.server.bms import OccupancySnapshot
+from repro.server.sharded import ShardedBmsService
 from repro.sim.rng import derive_seed
 
 __all__ = ["FleetLoadGenerator", "FleetReport"]
@@ -198,6 +200,16 @@ class FleetLoadGenerator:
             telemetry aggregates at a fraction of the per-device cost;
             composes with ``shards``/``workers`` (each shard drives
             its sub-fleet columnar) and with tracing/profiling.
+        service_shards: when set, swap the system's single-store BMS
+            for a :class:`~repro.server.sharded.ShardedBmsService`
+            front door with this many per-shard stores (write-through
+            drain, so every post still answers with its room).  The
+            report and occupancy snapshot are byte-identical across
+            service shard counts — the front door's own
+            ``server.frontdoor.*`` counters feed the report's batch
+            statistics, which are shard-count invariant by
+            construction.  ``None`` (the default) keeps the plain
+            single-store server.
     """
 
     def __init__(
@@ -217,6 +229,7 @@ class FleetLoadGenerator:
         device_offset: int = 0,
         profile: bool = False,
         columnar: bool = False,
+        service_shards: Optional[int] = None,
     ) -> None:
         if devices < 1:
             raise ValueError(f"fleet needs >= 1 device, got {devices}")
@@ -226,6 +239,10 @@ class FleetLoadGenerator:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if shards is not None and shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
+        if service_shards is not None and service_shards < 1:
+            raise ValueError(
+                f"service_shards must be >= 1, got {service_shards}"
+            )
         if device_offset < 0:
             raise ValueError(f"device_offset must be >= 0, got {device_offset}")
         self.devices = int(devices)
@@ -243,6 +260,14 @@ class FleetLoadGenerator:
         self.device_offset = int(device_offset)
         self.profile = bool(profile)
         self.columnar = bool(columnar)
+        self.service_shards = (
+            int(service_shards) if service_shards is not None else None
+        )
+        #: Final merged occupancy snapshot of the last single-system
+        #: run (the CI shard-invariance smoke diffs it); ``None``
+        #: before :meth:`run` and on the sub-fleet (``shards > 1``)
+        #: path, where there is no single building-wide store.
+        self.last_occupancy: Optional[OccupancySnapshot] = None
 
     def run(self) -> FleetReport:
         """Calibrate, train, drive the fleet, and summarise the run.
@@ -265,6 +290,32 @@ class FleetLoadGenerator:
     # ------------------------------------------------------------------
     # Single-system path (one BMS, all devices)
     # ------------------------------------------------------------------
+    def _attach_sharded_service(
+        self, system: OccupancyDetectionSystem
+    ) -> ShardedBmsService:
+        """Swap the system's single-store BMS for the sharded front door.
+
+        The service inherits the system's exact server configuration —
+        beacon feature space, missing-value fill, device timeout, and
+        (via ``classifier_factory``) the seeded classifier recipe — so
+        a ``service_shards=1`` run reproduces the single store's
+        predictions bit-for-bit, and higher shard counts reproduce
+        *those*.  Write-through drain keeps every post synchronous, as
+        the uplinks expect.
+        """
+        plain = system.bms
+        service = ShardedBmsService(
+            beacon_ids=list(plain.vectorizer.beacon_ids),
+            shards=self.service_shards,
+            classifier_factory=system._make_classifier,
+            missing_value=plain.vectorizer.missing_value,
+            device_timeout_s=plain.device_timeout_s,
+            registry=self.obs,
+            drain_policy="immediate",
+        )
+        system.bms = service
+        return service
+
     def _run_single(self) -> Tuple[FleetReport, _ShardStats]:
         config = SystemConfig(
             seed=self.seed,
@@ -273,6 +324,9 @@ class FleetLoadGenerator:
             uplink_batch_delay_s=self.batch_delay_s,
         )
         system = OccupancyDetectionSystem(self.plan, config, registry=self.obs)
+        service = None
+        if self.service_shards is not None:
+            service = self._attach_sharded_service(system)
         with profiling.measure("fleet.calibrate"):
             system.calibrate(duration_s=self.calibration_s)
         with profiling.measure("fleet.train"):
@@ -291,9 +345,20 @@ class FleetLoadGenerator:
             else:
                 run = system.run(self.duration_s)
 
+        if service is not None:
+            # Fold every shard store's telemetry into the run registry,
+            # then read the *front-door* batch statistics: shard-level
+            # server.batches counts coalesced per-shard ingests (it
+            # varies with the shard count), the front door counts one
+            # per arriving request (it does not).
+            service.merge_telemetry_into(self.obs)
+            batches = int(self.obs.counter("server.frontdoor.batches").value)
+            batch_hist = self.obs.histogram("server.frontdoor.batch_size")
+        else:
+            batches = int(self.obs.counter("server.batches").value)
+            batch_hist = self.obs.histogram("server.batch_size")
         ingested = int(self.obs.counter("server.sightings").value)
-        batches = int(self.obs.counter("server.batches").value)
-        batch_hist = self.obs.histogram("server.batch_size")
+        self.last_occupancy = system.bms.snapshot()
         throughput = ingested / self.duration_s
         attempts = sum(s.attempts for s in run.delivery.values())  # repro: noqa[numeric-dict-reduction] integer counts, order-free
         delivered = sum(s.delivered for s in run.delivery.values())  # repro: noqa[numeric-dict-reduction] integer counts, order-free
@@ -355,6 +420,7 @@ class FleetLoadGenerator:
                     "record_events": isinstance(self.obs.sink, MemorySink),
                     "profile": self.profile,
                     "columnar": self.columnar,
+                    "service_shards": self.service_shards,
                 }
             )
             offset += count

@@ -11,10 +11,11 @@ from repro.server.database import Database, Table
 from repro.server.rest import HttpError, Request, Response, Router
 from repro.server.fingerprints import FingerprintStore
 from repro.server.bms import BuildingManagementServer, OccupancySnapshot
-from repro.server.client import BmsApiError, BmsClient
+from repro.server.client import BmsApiError, BmsClient, RoomHistory
 from repro.server.deployment import DeploymentManager, DeploymentReport
 from repro.server.history import OccupancyHistory
 from repro.server.persistence import load_calibration, save_calibration
+from repro.server.sharded import DrainResult, ShardedBmsService, shard_for
 
 __all__ = [
     "Database",
@@ -28,9 +29,13 @@ __all__ = [
     "OccupancySnapshot",
     "BmsApiError",
     "BmsClient",
+    "RoomHistory",
     "DeploymentManager",
     "DeploymentReport",
     "OccupancyHistory",
     "load_calibration",
     "save_calibration",
+    "DrainResult",
+    "ShardedBmsService",
+    "shard_for",
 ]

@@ -217,7 +217,12 @@ class BuildingManagementServer:
         self._now = max(self._now, float(time))
         return room
 
-    def ingest_batch(self, sightings: Sequence[Mapping[str, Any]]) -> List[str]:
+    def ingest_batch(
+        self,
+        sightings: Sequence[Mapping[str, Any]],
+        *,
+        rooms: Optional[Sequence[str]] = None,
+    ) -> List[str]:
         """Store many sighting reports and classify them in one pass.
 
         Args:
@@ -226,12 +231,19 @@ class BuildingManagementServer:
                 order, so a device appearing twice ends up where its
                 last report puts it — exactly as if each report had
                 been ingested individually.
+            rooms: pre-computed room labels, one per sighting.  The
+                sharded service's worker-pool drain classifies batches
+                in child processes and hands the labels back here so
+                the bookkeeping (storage, counters, occupancy state)
+                still happens exactly once, in the parent, in order.
+                Must match what :meth:`classify_batch` would return.
 
         Returns:
             The estimated room labels, one per sighting, in order.
 
         Raises:
-            ValueError: a sighting is missing its device id.
+            ValueError: a sighting is missing its device id, or
+                ``rooms`` has the wrong length.
             RuntimeError: the classifier has not been trained.
         """
         if not sightings:
@@ -239,7 +251,17 @@ class BuildingManagementServer:
         for sighting in sightings:
             if not sighting.get("device_id"):
                 raise ValueError("device_id must not be empty")
-        rooms = self.classify_batch([s["beacons"] for s in sightings])
+        if rooms is None:
+            rooms = self.classify_batch([s["beacons"] for s in sightings])
+        else:
+            if not self.trained:
+                raise RuntimeError("BMS classifier is not trained; call train()")
+            if len(rooms) != len(sightings):
+                raise ValueError(
+                    f"got {len(rooms)} precomputed rooms for "
+                    f"{len(sightings)} sightings"
+                )
+            rooms = [str(room) for room in rooms]
         table = self.db.table("sightings")
         for sighting, room in zip(sightings, rooms):
             device_id = sighting["device_id"]
@@ -310,6 +332,15 @@ class BuildingManagementServer:
     def sighting_count(self) -> int:
         """Number of sighting reports stored."""
         return len(self.db.table("sightings"))
+
+    @property
+    def now(self) -> float:
+        """Latest sighting time this server has seen (its local clock).
+
+        The sharded front door takes the max across shards to build a
+        globally consistent snapshot time.
+        """
+        return self._now
 
     # ------------------------------------------------------------------
     # REST interface (Section IV.B's Flask endpoints)

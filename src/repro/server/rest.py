@@ -93,12 +93,23 @@ class Response:
 
 
 class HttpError(Exception):
-    """Raised by handlers to produce a non-2xx response."""
+    """Raised by handlers to produce a non-2xx response.
 
-    def __init__(self, status: int, message: str) -> None:
+    ``extra`` fields are merged into the error body alongside
+    ``"error"`` — machine-readable hints (e.g. the sharded service's
+    ``retry_after_s`` on 429s) ride there.
+    """
+
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        extra: Optional[Dict[str, Any]] = None,
+    ) -> None:
         super().__init__(message)
         self.status = status
         self.message = message
+        self.extra = dict(extra or {})
 
 
 Handler = Callable[[Request, Dict[str, str]], Any]
@@ -139,7 +150,12 @@ class Router:
     """
 
     def __init__(self) -> None:
-        self._routes: List[Tuple[str, re.Pattern, Handler]] = []
+        # Placeholder-free routes dispatch through a dict keyed by
+        # (method, path); parameterised ones regex-scan within their
+        # method bucket only.  First registration wins, matching the
+        # old linear-scan semantics.
+        self._static: Dict[Tuple[str, str], Handler] = {}
+        self._dynamic: Dict[str, List[Tuple[re.Pattern, Handler]]] = {}
         self.requests_handled = 0
         #: When set (the BMS attaches its registry's tracer), every
         #: dispatch runs inside a ``server.request`` span, parented to
@@ -152,10 +168,23 @@ class Router:
         regex = _compile_pattern(pattern)
 
         def decorator(handler: Handler) -> Handler:
-            self._routes.append((method, regex, handler))
+            if _PARAM_RE.search(pattern):
+                self._dynamic.setdefault(method, []).append((regex, handler))
+            else:
+                self._static.setdefault((method, pattern), handler)
             return handler
 
         return decorator
+
+    def allowed_methods(self, path: str) -> List[str]:
+        """Methods with a route matching ``path``, sorted."""
+        methods = {m for (m, p) in self._static if p == path}
+        for method, routes in self._dynamic.items():
+            if method in methods:
+                continue
+            if any(regex.match(path) for regex, _ in routes):
+                methods.add(method)
+        return sorted(methods)
 
     def dispatch(self, request: Request) -> Response:
         """Route a request to its handler and wrap the result.
@@ -163,8 +192,10 @@ class Router:
         Handler return values become 200 responses; :class:`HttpError`
         maps to its status; any other exception becomes a 500 (an
         in-process server must not crash the whole simulation);
-        unmatched paths yield 404.  Every dispatched request — matched
-        or not — counts towards :attr:`requests_handled`.
+        unmatched paths yield 404, unless the path matches a route
+        under a *different* method — then 405, with the error body
+        naming the allowed methods.  Every dispatched request —
+        matched or not — counts towards :attr:`requests_handled`.
 
         With a :attr:`tracer` attached, the dispatch is bracketed by a
         ``server.request`` span carrying method, path and the response
@@ -186,22 +217,43 @@ class Router:
 
     def _dispatch(self, request: Request) -> Response:
         self.requests_handled += 1
-        for method, regex, handler in self._routes:
-            if method != request.method:
-                continue
-            match = regex.match(request.path)
-            if match is None:
-                continue
-            try:
-                result = handler(request, match.groupdict())
-            except HttpError as exc:
-                return Response(status=exc.status, body={"error": exc.message})
-            except Exception as exc:  # noqa: BLE001 - server boundary
+        handler = self._static.get((request.method, request.path))
+        params: Dict[str, str] = {}
+        if handler is None:
+            for regex, candidate in self._dynamic.get(request.method, ()):
+                match = regex.match(request.path)
+                if match is not None:
+                    handler = candidate
+                    params = match.groupdict()
+                    break
+        if handler is None:
+            allowed = self.allowed_methods(request.path)
+            if allowed:
                 return Response(
-                    status=500,
-                    body={"error": f"internal error: {type(exc).__name__}: {exc}"},
+                    status=405,
+                    body={
+                        "error": (
+                            f"method {request.method} not allowed for "
+                            f"{request.path}; allowed: {', '.join(allowed)}"
+                        ),
+                        "allowed": allowed,
+                    },
                 )
-            if isinstance(result, Response):
-                return result
-            return Response(status=200, body=result)
-        return Response(status=404, body={"error": f"no route for {request.method} {request.path}"})
+            return Response(
+                status=404,
+                body={"error": f"no route for {request.method} {request.path}"},
+            )
+        try:
+            result = handler(request, params)
+        except HttpError as exc:
+            body: Dict[str, Any] = {"error": exc.message}
+            body.update(exc.extra)
+            return Response(status=exc.status, body=body)
+        except Exception as exc:  # noqa: BLE001 - server boundary
+            return Response(
+                status=500,
+                body={"error": f"internal error: {type(exc).__name__}: {exc}"},
+            )
+        if isinstance(result, Response):
+            return result
+        return Response(status=200, body=result)

@@ -86,3 +86,38 @@ class TestFleetLoadGenerator:
         # One /sightings request per ingested report (plus none lost
         # here would still keep handled >= ingested).
         assert report.requests_handled >= report.reports_ingested
+
+
+class TestServiceShards:
+    """The sharded front door as a drop-in for the fleet's BMS."""
+
+    def run_json(self, service_shards, **kwargs):
+        import json
+
+        generator = small_fleet(service_shards=service_shards, **kwargs)
+        report = generator.run()
+        snap = generator.last_occupancy
+        return (
+            json.dumps(report.to_dict(), sort_keys=True),
+            json.dumps(
+                {"time": snap.time, "rooms": snap.rooms, "devices": snap.devices},
+                sort_keys=True,
+            ),
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            small_fleet(service_shards=0)
+
+    def test_sharded_service_matches_plain_store(self):
+        assert self.run_json(None) == self.run_json(1)
+
+    def test_report_and_occupancy_invariant_to_shard_count(self):
+        assert self.run_json(1) == self.run_json(4)
+
+    def test_last_occupancy_exposed_after_single_run(self):
+        generator = small_fleet(service_shards=2)
+        assert generator.last_occupancy is None
+        generator.run()
+        assert generator.last_occupancy is not None
+        assert generator.last_occupancy.devices

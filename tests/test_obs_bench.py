@@ -253,5 +253,6 @@ class TestCommittedBaseline:
             "benchmarks/test_perf_batch.py",
             "benchmarks/test_perf_columnar.py",
             "benchmarks/test_perf_parallel.py",
+            "benchmarks/test_perf_sharded_service.py",
             "benchmarks/test_perf_svm_train.py",
         }

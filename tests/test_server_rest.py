@@ -69,9 +69,60 @@ class TestRouter:
         response = self.make_router().dispatch(Request("GET", "/nope"))
         assert response.status == 404
 
-    def test_method_mismatch_404(self):
+    def test_method_mismatch_405_names_allowed_methods(self):
         response = self.make_router().dispatch(Request("POST", "/rooms/kitchen"))
-        assert response.status == 404
+        assert response.status == 405
+        assert "GET" in response.body["error"]
+        assert response.body["allowed"] == ["GET"]
+
+    def test_method_mismatch_405_on_static_route(self):
+        response = self.make_router().dispatch(Request("GET", "/items"))
+        assert response.status == 405
+        assert response.body["allowed"] == ["POST"]
+
+    def test_allowed_methods_merges_static_and_dynamic(self):
+        router = self.make_router()
+
+        @router.route("DELETE", "/rooms/<room>")
+        def delete_room(request, params):
+            return {}
+
+        assert router.allowed_methods("/rooms/kitchen") == ["DELETE", "GET"]
+        assert router.allowed_methods("/nope") == []
+
+    def test_static_route_beats_regex_scan(self):
+        """A placeholder-free route dispatches via the dict even when a
+        dynamic pattern would also match the path."""
+        router = Router()
+
+        @router.route("GET", "/rooms/<room>")
+        def get_room(request, params):
+            return {"room": params["room"]}
+
+        @router.route("GET", "/rooms/all")
+        def get_all(request, params):
+            return {"all": True}
+
+        assert router.dispatch(Request("GET", "/rooms/all")).body == {"all": True}
+        assert router.dispatch(Request("GET", "/rooms/lab")).body == {"room": "lab"}
+
+    def test_first_registration_wins(self):
+        router = Router()
+
+        @router.route("GET", "/dup")
+        def first(request, params):
+            return {"which": "first"}
+
+        @router.route("GET", "/dup")
+        def second(request, params):
+            return {"which": "second"}
+
+        assert router.dispatch(Request("GET", "/dup")).body == {"which": "first"}
+
+    def test_405_counts_towards_requests_handled(self):
+        router = self.make_router()
+        router.dispatch(Request("POST", "/rooms/kitchen"))
+        assert router.requests_handled == 1
 
     def test_http_error_maps_to_status(self):
         response = self.make_router().dispatch(Request("POST", "/items"))
