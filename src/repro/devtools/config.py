@@ -51,10 +51,11 @@ REPRO_LAYERS: Mapping[str, FrozenSet[str]] = _layers(
         # Device and data plane.
         "phone": ("ble", "building", "filters", "ibeacon", "obs", "radio", "sim"),
         # server reaches parallel for the sharded front door's
-        # worker-pool queue drain (repro.server.sharded).
-        "server": ("building", "ml", "obs", "parallel"),
+        # worker-pool queue drain (repro.server.sharded) and traces
+        # for the durable sighting WAL it writes through and replays.
+        "server": ("building", "ml", "obs", "parallel", "traces"),
         "comms": ("obs", "phone", "server"),
-        "traces": ("ble", "building", "filters", "phone", "radio", "sim"),
+        "traces": ("ble", "building", "filters", "obs", "phone", "radio", "sim"),
         "beacon_node": (
             "ble",
             "building",
@@ -82,6 +83,8 @@ REPRO_LAYERS: Mapping[str, FrozenSet[str]] = _layers(
             "traces",
         ),
         "report": ("building", "core", "obs"),
+        # fleet reaches ml for the Gram-cache telemetry it attaches on
+        # profiled runs, and traces for the sighting WAL it writes.
         "fleet": (
             "ble",
             "building",
@@ -90,12 +93,14 @@ REPRO_LAYERS: Mapping[str, FrozenSet[str]] = _layers(
             "energy",
             "filters",
             "ibeacon",
+            "ml",
             "obs",
             "parallel",
             "phone",
             "radio",
             "server",
             "sim",
+            "traces",
         ),
     }
 )

@@ -14,7 +14,68 @@ import sys
 from repro.fleet.loadgen import FleetLoadGenerator
 from repro.obs.export import write_jsonl
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.profiling import WallClockProfiler
 from repro.obs.sinks import MemorySink
+
+
+def _write_occupancy(snap, path: str) -> None:
+    """The canonical occupancy-snapshot JSON the CI smokes diff."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(
+            {"time": snap.time, "rooms": snap.rooms, "devices": snap.devices},
+            handle,
+            indent=2,
+            sort_keys=True,
+        )
+        handle.write("\n")
+
+
+def _write_history(history, path: str) -> None:
+    """Per-room ``(time, count)`` series as JSON (replay-smoke diffable)."""
+    payload = {
+        "rooms": {room: history.series(room) for room in history.rooms()},
+        "entries": len(history),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def _run_replay(args) -> int:
+    """Rebuild the BMS from a fleet WAL directory (no simulation)."""
+    from repro.server.replay import server_from_manifest
+
+    profiler = WallClockProfiler()
+    with profiler.measure("replay"):
+        server, report = server_from_manifest(args.replay)
+    wall_s = profiler.totals()["replay"]
+    payload = report.as_dict()
+    payload["wall_s"] = wall_s
+    payload["realtime_factor"] = (
+        report.span_s / wall_s if wall_s > 0 else float("inf")
+    )
+    if args.occupancy:
+        _write_occupancy(server.snapshot(), args.occupancy)
+    if args.history:
+        history = (
+            server.merged_history()
+            if hasattr(server, "merged_history")
+            else server.history
+        )
+        _write_history(history, args.history)
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(f"replay: {args.replay}")
+    print(f"  records applied    {report.records}")
+    print(f"  sightings          {report.sightings}")
+    print(f"  batches            {report.batches}")
+    print(f"  history marks      {report.history_marks}")
+    print(f"  refreshes          {report.refreshes}")
+    print(f"  log span           {report.span_s:.0f} sim-s")
+    print(f"  wall time          {wall_s:.3f} s")
+    print(f"  realtime factor    {payload['realtime_factor']:.0f}x")
+    return 0
 
 
 def main(argv=None) -> int:
@@ -59,6 +120,19 @@ def main(argv=None) -> int:
         "counts; default: the plain single-store server)",
     )
     parser.add_argument(
+        "--wal", metavar="DIR", default=None,
+        help="write a durable sighting WAL (plus manifest and "
+        "calibration) into this directory, making the run "
+        "recoverable with --replay (requires --shards 1; "
+        "--service-shards composes, one sub-log per store shard)",
+    )
+    parser.add_argument(
+        "--replay", metavar="DIR", default=None,
+        help="skip the simulation: rebuild the BMS from a --wal "
+        "directory and report the recovered state (combine with "
+        "--occupancy/--history to diff against the live run)",
+    )
+    parser.add_argument(
         "--json", action="store_true", help="emit the report as JSON"
     )
     parser.add_argument(
@@ -66,6 +140,12 @@ def main(argv=None) -> int:
         help="write the final merged occupancy snapshot as JSON here "
         "(single-system runs only; the CI shard-invariance smoke "
         "diffs it across --service-shards values)",
+    )
+    parser.add_argument(
+        "--history", metavar="PATH", default=None,
+        help="write the per-room occupancy-history series as JSON here "
+        "(single-system runs and --replay; the CI replay smoke "
+        "diffs recovered history against the live run's)",
     )
     parser.add_argument(
         "--trace", metavar="PATH", default=None,
@@ -84,6 +164,12 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
+    if args.replay is not None:
+        if args.wal is not None:
+            print("--replay and --wal are mutually exclusive", file=sys.stderr)
+            return 2
+        return _run_replay(args)
+
     registry = MetricsRegistry(sink=MemorySink()) if args.trace else None
     generator = FleetLoadGenerator(
         devices=args.devices,
@@ -99,6 +185,7 @@ def main(argv=None) -> int:
         profile=args.profile,
         columnar=args.columnar,
         service_shards=args.service_shards,
+        wal_dir=args.wal,
     )
     report = generator.run()
     if args.trace:
@@ -110,15 +197,15 @@ def main(argv=None) -> int:
                 file=sys.stderr,
             )
             return 2
-        snap = generator.last_occupancy
-        with open(args.occupancy, "w", encoding="utf-8") as handle:
-            json.dump(
-                {"time": snap.time, "rooms": snap.rooms, "devices": snap.devices},
-                handle,
-                indent=2,
-                sort_keys=True,
+        _write_occupancy(generator.last_occupancy, args.occupancy)
+    if args.history:
+        if generator.last_history is None:
+            print(
+                "--history needs a single-system run (--shards 1)",
+                file=sys.stderr,
             )
-            handle.write("\n")
+            return 2
+        _write_history(generator.last_history, args.history)
     if args.json:
         print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
         if args.profile:

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field, replace
+from pathlib import Path
 from typing import List, Optional, Tuple
 
 from repro.building.floorplan import FloorPlan
@@ -32,6 +33,7 @@ from repro.building.occupant import Occupant
 from repro.building.presets import test_house
 from repro.core.config import SystemConfig
 from repro.core.system import OccupancyDetectionSystem
+from repro.ml import gram_cache
 from repro.obs import profiling
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.profiling import WallClockProfiler, render_profile
@@ -39,8 +41,11 @@ from repro.obs.sinks import MemorySink
 from repro.obs.tracing import TraceContext
 from repro.parallel.engine import ShardPlan, ShardResult, ShardSpec, run_shards
 from repro.server.bms import OccupancySnapshot
+from repro.server.persistence import save_calibration
+from repro.server.replay import CALIBRATION_NAME, write_manifest
 from repro.server.sharded import ShardedBmsService
 from repro.sim.rng import derive_seed
+from repro.traces.wal import SightingWal
 
 __all__ = ["FleetLoadGenerator", "FleetReport"]
 
@@ -152,7 +157,8 @@ def _run_fleet_shard(spec: ShardSpec) -> ShardResult:
     if profiler is not None:
         with profiling.activated(profiler):
             with profiler.measure("fleet.shard_run"):
-                report, stats = drive()
+                with gram_cache.observed(registry):
+                    report, stats = drive()
     else:
         report, stats = drive()
     return ShardResult(
@@ -192,8 +198,10 @@ class FleetLoadGenerator:
         profile: collect a wall-clock profile of the run's hot paths
             (SMO fit, Gram cache, batched predict, link budgets,
             per-shard drive) into :attr:`FleetReport.profile`.
-            Purely presentational — the deterministic report fields
-            and telemetry are identical with and without it.
+            Purely presentational for the report — its deterministic
+            fields are identical with and without it.  Profiled runs
+            additionally attach the Gram-cache ``ml.gram.*`` counters
+            and hit-ratio gauge to the run registry.
         columnar: drive the detection phase with the struct-of-arrays
             engine (:mod:`repro.fleet.columnar`) instead of the
             per-device event loop.  Byte-identical reports and
@@ -210,6 +218,13 @@ class FleetLoadGenerator:
             statistics, which are shard-count invariant by
             construction.  ``None`` (the default) keeps the plain
             single-store server.
+        wal_dir: write a durable sighting WAL (plus ``manifest.json``
+            and the initial-train ``calibration.json``) into this
+            directory, making the run recoverable by ``fleet
+            --replay``.  Requires an unsharded fleet (``shards=1``;
+            sub-fleets have no single building-wide store to log) —
+            ``service_shards`` composes fine, each service shard
+            logging its own ``shard-NN`` sub-log.
     """
 
     def __init__(
@@ -230,6 +245,7 @@ class FleetLoadGenerator:
         profile: bool = False,
         columnar: bool = False,
         service_shards: Optional[int] = None,
+        wal_dir: Optional[str] = None,
     ) -> None:
         if devices < 1:
             raise ValueError(f"fleet needs >= 1 device, got {devices}")
@@ -263,11 +279,21 @@ class FleetLoadGenerator:
         self.service_shards = (
             int(service_shards) if service_shards is not None else None
         )
+        self.wal_dir = wal_dir
+        if self.wal_dir is not None and self.shards > 1:
+            raise ValueError(
+                "wal_dir requires an unsharded fleet (shards=1); use "
+                "service_shards to shard the store behind one WAL"
+            )
         #: Final merged occupancy snapshot of the last single-system
         #: run (the CI shard-invariance smoke diffs it); ``None``
         #: before :meth:`run` and on the sub-fleet (``shards > 1``)
         #: path, where there is no single building-wide store.
         self.last_occupancy: Optional[OccupancySnapshot] = None
+        #: The last single-system run's occupancy history (merged
+        #: across service shards when ``service_shards`` is set) — the
+        #: replay CI smoke diffs it against the recovered history.
+        self.last_history = None
 
     def run(self) -> FleetReport:
         """Calibrate, train, drive the fleet, and summarise the run.
@@ -284,7 +310,13 @@ class FleetLoadGenerator:
         profiler = WallClockProfiler()
         with profiling.activated(profiler):
             with profiler.measure("fleet.shard_run"):
-                report, _ = self._run_single()
+                # Profiled runs additionally observe the Gram cache:
+                # the ml.gram.* counters and hit-ratio gauge land on
+                # the run registry so the warm-start win shows up in
+                # --profile output (detached again on exit, keeping
+                # unprofiled telemetry untouched).
+                with gram_cache.observed(self.obs):
+                    report, _ = self._run_single()
         return replace(report, profile=profiler.state())
 
     # ------------------------------------------------------------------
@@ -312,6 +344,7 @@ class FleetLoadGenerator:
             device_timeout_s=plain.device_timeout_s,
             registry=self.obs,
             drain_policy="immediate",
+            wal_dir=self.wal_dir,
         )
         system.bms = service
         return service
@@ -331,6 +364,32 @@ class FleetLoadGenerator:
             system.calibrate(duration_s=self.calibration_s)
         with profiling.measure("fleet.train"):
             system.train()
+        if self.wal_dir is not None:
+            # The WAL directory is self-contained: the manifest records
+            # the server construction recipe and the calibration
+            # snapshot captures the trained model's inputs, so
+            # ``fleet --replay`` rebuilds the exact live server from
+            # the directory alone.  Sighting logs only start now —
+            # calibration never touches the ingest path.
+            wal_path = Path(self.wal_dir)
+            if service is None:
+                system.bms.attach_wal(
+                    SightingWal(wal_path / "shard-00", registry=self.obs)
+                )
+            store = (
+                system.bms._shards[0] if service is not None else system.bms
+            )
+            write_manifest(
+                wal_path,
+                beacon_ids=list(store.vectorizer.beacon_ids),
+                missing_value=store.vectorizer.missing_value,
+                device_timeout_s=store.device_timeout_s,
+                svm_c=config.svm_c,
+                svm_gamma=config.svm_gamma,
+                seed=self.seed,
+                shards=self.service_shards or 1,
+            )
+            save_calibration(system.bms, wal_path / CALIBRATION_NAME)
         for i in range(self.devices):
             index = self.device_offset + i
             mobility = RandomWaypoint(
@@ -359,6 +418,18 @@ class FleetLoadGenerator:
             batch_hist = self.obs.histogram("server.batch_size")
         ingested = int(self.obs.counter("server.sightings").value)
         self.last_occupancy = system.bms.snapshot()
+        self.last_history = (
+            service.merged_history()
+            if service is not None
+            else system.bms.history
+        )
+        if self.wal_dir is not None:
+            # Seal the active segments so the directory is complete on
+            # disk the moment the run returns.
+            if service is not None:
+                service.close_wals()
+            elif system.bms.wal is not None:
+                system.bms.wal.close()
         throughput = ingested / self.duration_s
         attempts = sum(s.attempts for s in run.delivery.values())  # repro: noqa[numeric-dict-reduction] integer counts, order-free
         delivered = sum(s.delivered for s in run.delivery.values())  # repro: noqa[numeric-dict-reduction] integer counts, order-free

@@ -37,6 +37,7 @@ __all__ = [
     "GramCache",
     "default_cache",
     "fast_path_enabled",
+    "observed",
     "shared_kernel",
     "training_fast_path_disabled",
 ]
@@ -71,16 +72,41 @@ class GramCache:
         self._slices: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.extends = 0
+        self._registry = None
 
     def __len__(self) -> int:
         return len(self._entries)
 
     def clear(self) -> None:
-        """Drop every entry and reset the hit/miss counters."""
+        """Drop every entry and reset the hit/miss/extend counters."""
         self._entries.clear()
         self._slices.clear()
         self.hits = 0
         self.misses = 0
+        self.extends = 0
+
+    def attach_registry(self, registry) -> None:
+        """Publish cache activity to a telemetry registry (or detach).
+
+        While attached, every hit/miss/extend increments the
+        ``ml.gram.hits`` / ``ml.gram.misses`` / ``ml.gram.extends``
+        counters and refreshes the ``ml.gram.hit_ratio`` gauge on
+        ``registry``.  Pass ``None`` to detach.  Attachment is opt-in
+        (the fleet wires it for profiled runs and the BMS for online
+        refreshes) so default-path telemetry stays byte-identical with
+        the cache observed or not.
+        """
+        self._registry = registry
+
+    def _observe(self, event: str) -> None:
+        registry = self._registry
+        if registry is None:
+            return
+        registry.counter(f"ml.gram.{event}").inc()
+        total = self.hits + self.misses
+        if total:
+            registry.gauge("ml.gram.hit_ratio").set(self.hits / total)
 
     def full(self, kernel: Kernel, X: np.ndarray) -> np.ndarray:
         """The full Gram ``kernel(X, X)``, computed once per key.
@@ -99,13 +125,81 @@ class GramCache:
         cached = self._entries.get(key)
         if cached is not None:
             self.hits += 1
+            self._observe("hits")
             profiling.tick("ml.gram.full_hit")
             self._entries.move_to_end(key)
             return cached
         self.misses += 1
+        self._observe("misses")
         with profiling.measure("ml.gram.full_miss"):
             gram = np.asarray(kernel(X, X), dtype=float)
         gram.flags.writeable = False
+        self._entries[key] = gram
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+        return gram
+
+    def extend(
+        self, kernel: Kernel, X_old: np.ndarray, X_new: np.ndarray
+    ) -> np.ndarray:
+        """The full Gram of ``concat(X_old, X_new)`` by block assembly.
+
+        When ``m`` new rows append to an ``n``-row dataset whose Gram
+        is already cached, only the new cross block ``kernel(X_new,
+        X)`` — ``m x (n + m)`` — is computed; the old ``n x n`` block
+        is copied from the cache and the off-diagonal block is its
+        transpose.  That is O(n*m) kernel work instead of the O(n^2)
+        a fresh ``full`` costs.
+
+        The assembled matrix is **bit-identical** to ``kernel(X, X)``
+        computed directly: every kernel here builds its Gram from
+        :func:`repro.ml.kernels.stable_dot` (row-pure, fixed reduction
+        order) plus elementwise row/column norm terms, so each entry
+        is a pure function of its two input rows — and IEEE addition
+        commutes, making the transposed block equal bit for bit.  The
+        result is registered under the concatenated dataset's key, so
+        subsequent :meth:`full`/:meth:`sliced` calls on the extended
+        dataset hit it.
+        """
+        X_old = np.asarray(X_old, dtype=float)
+        X_new = np.asarray(X_new, dtype=float)
+        if X_old.ndim != 2 or X_new.ndim != 2:
+            raise ValueError(
+                f"X_old/X_new must be 2-D, got {X_old.shape} / {X_new.shape}"
+            )
+        if X_old.shape[1] != X_new.shape[1]:
+            raise ValueError(
+                f"feature widths differ: {X_old.shape[1]} vs {X_new.shape[1]}"
+            )
+        if X_old.shape[0] == 0:
+            return self.full(kernel, X_new)
+        if X_new.shape[0] == 0:
+            return self.full(kernel, X_old)
+        X = np.concatenate([X_old, X_new], axis=0)
+        try:
+            key = (kernel, *_dataset_digest(X))
+        except TypeError:  # unhashable kernel: compute, don't cache
+            gram = np.asarray(kernel(X, X), dtype=float)
+            gram.flags.writeable = False
+            return gram
+        cached = self._entries.get(key)
+        if cached is not None:
+            self.hits += 1
+            self._observe("hits")
+            profiling.tick("ml.gram.full_hit")
+            self._entries.move_to_end(key)
+            return cached
+        n = X_old.shape[0]
+        old = self.full(kernel, X_old)
+        with profiling.measure("ml.gram.extend"):
+            new_rows = np.asarray(kernel(X_new, X), dtype=float)
+            gram = np.empty((X.shape[0], X.shape[0]))
+            gram[:n, :n] = old
+            gram[n:, :] = new_rows
+            gram[:n, n:] = new_rows[:, :n].T
+        gram.flags.writeable = False
+        self.extends += 1
+        self._observe("extends")
         self._entries[key] = gram
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
@@ -134,6 +228,7 @@ class GramCache:
         cached = self._slices.get(key)
         if cached is not None:
             self.hits += 1
+            self._observe("hits")
             profiling.tick("ml.gram.slice_hit")
             self._slices.move_to_end(key)
             return cached
@@ -146,10 +241,11 @@ class GramCache:
         return sub
 
     def stats(self) -> Dict[str, int]:
-        """Hit/miss/entry counters (for tests and benchmarks)."""
+        """Hit/miss/extend/entry counters (for tests and benchmarks)."""
         return {
             "hits": self.hits,
             "misses": self.misses,
+            "extends": self.extends,
             "entries": len(self._entries),
         }
 
@@ -191,6 +287,23 @@ def training_fast_path_disabled() -> Iterator[None]:
         yield
     finally:
         _FAST_PATH = previous
+
+
+@contextmanager
+def observed(registry) -> Iterator[GramCache]:
+    """Attach the default cache to ``registry`` for the block's span.
+
+    The previous observer (usually none) is restored on exit, so
+    nested or sequential runs never leak counters onto a stale
+    registry.  Yields the cache for convenience.
+    """
+    cache = default_cache()
+    previous = cache._registry
+    cache.attach_registry(registry)
+    try:
+        yield cache
+    finally:
+        cache.attach_registry(previous)
 
 
 def shared_kernel(estimator) -> Optional[Kernel]:

@@ -41,6 +41,9 @@ class OneVsRestClassifier:
         self.classes_: List = []
         self._machines: Dict = {}
         self._bank_kernel: Optional[Kernel] = None
+        # Training data retained for incremental refresh (see refresh()).
+        self._fit_X: Optional[np.ndarray] = None
+        self._fit_y: Optional[np.ndarray] = None
 
     def get_params(self) -> dict:
         """Constructor parameters (for grid search cloning)."""
@@ -118,7 +121,60 @@ class OneVsRestClassifier:
                 machine.fit(X, labels)
             self._machines[cls] = machine
         self._build_sv_bank(X, kernel)
+        self._fit_X = X
+        self._fit_y = y
         return self
+
+    def refresh(
+        self,
+        new_X: np.ndarray,
+        new_y: Sequence,
+        *,
+        gram: Optional[np.ndarray] = None,
+    ) -> "OneVsRestClassifier":
+        """Refit on the original data plus appended ``(new_X, new_y)``.
+
+        One-vs-rest machines each train on *every* row, so unlike the
+        one-vs-one :meth:`repro.ml.svm.SupportVectorClassifier.refresh`
+        no machine can be reused — the win here is the Gram: the
+        concatenated dataset's full Gram is assembled from the cached
+        old block via :meth:`repro.ml.gram_cache.GramCache.extend`
+        (O(n*m) new kernel work) and shared by all machines.  The
+        result is byte-identical to a cold ``fit`` on the concatenated
+        dataset.
+        """
+        if not self._machines:
+            raise RuntimeError(
+                "refresh needs a fitted classifier; call fit() first"
+            )
+        if self._fit_X is None or self._fit_y is None:
+            raise RuntimeError(
+                "this model predates refresh support; refit with fit()"
+            )
+        new_X = np.asarray(new_X, dtype=float)
+        new_y = np.asarray(new_y)
+        if new_X.ndim != 2:
+            raise ValueError(f"new_X must be 2-D, got shape {new_X.shape}")
+        if new_X.shape[0] != new_y.shape[0]:
+            raise ValueError(
+                f"new_X has {new_X.shape[0]} rows but new_y has "
+                f"{new_y.shape[0]} labels"
+            )
+        if new_X.shape[0] == 0:
+            return self
+        if new_X.shape[1] != self._fit_X.shape[1]:
+            raise ValueError(
+                f"new_X has {new_X.shape[1]} features, "
+                f"expected {self._fit_X.shape[1]}"
+            )
+        X = np.concatenate([self._fit_X, new_X], axis=0)
+        y = np.concatenate([self._fit_y, new_y], axis=0)
+        kernel = self.gram_kernel()
+        if gram is None and kernel is not None and gram_cache.fast_path_enabled():
+            gram = gram_cache.default_cache().extend(
+                kernel, self._fit_X, new_X
+            )
+        return self.fit(X, y, gram=gram)
 
     def _build_sv_bank(self, X: np.ndarray, kernel: Optional[Kernel]) -> None:
         """Deduplicate support vectors across the per-class machines.

@@ -69,6 +69,7 @@ class BinarySVM:
         y: np.ndarray,
         *,
         gram: Optional[np.ndarray] = None,
+        warm_start: Optional[Tuple[np.ndarray, float]] = None,
     ) -> "BinarySVM":
         """Train on ``X`` (n, d) with labels ``y`` in {-1, +1}.
 
@@ -83,6 +84,18 @@ class BinarySVM:
                 accepted.  Because all kernels here are slice-stable,
                 fitting with a sliced Gram is byte-identical to
                 fitting without one.
+            warm_start: optional ``(alpha, b)`` seed for SMO — a dual
+                solution of a *prefix* of ``X``'s rows (shorter alpha
+                vectors are zero-padded, matching appended rows that
+                start at zero like a cold fit's).  The seed must be
+                dual-feasible: every alpha inside ``[0, C]`` and
+                ``sum(alpha * y) == 0`` over the padded vector, which
+                holds by construction when the prefix rows keep their
+                labels.  Seeding changes the optimisation *trajectory*
+                (a warm fit is generally not byte-identical to a cold
+                one) but not the problem: SMO converges to the same
+                KKT-satisfying optimum within ``tol``, typically in
+                far fewer passes.
         """
         X = np.asarray(X, dtype=float)
         y = np.asarray(y, dtype=float).ravel()
@@ -125,6 +138,36 @@ class BinarySVM:
         self._b = 0.0
         # Error cache: E_i = f(x_i) - y_i.  With alpha = 0, f = b = 0.
         self._errors = -y.copy()
+        if warm_start is not None:
+            alpha0, b0 = warm_start
+            alpha0 = np.asarray(alpha0, dtype=float).ravel()
+            if alpha0.shape[0] > n:
+                raise ValueError(
+                    f"warm-start alpha has {alpha0.shape[0]} entries "
+                    f"for {n} rows"
+                )
+            # SMO's partner update a1 = alpha1 + s*(alpha2 - a2) is not
+            # clipped, so stored duals can overshoot the box by float
+            # epsilon; tolerate that and snap back onto [0, C].
+            slack = 1e-9 * (1.0 + self.c)
+            if np.any(alpha0 < -slack) or np.any(alpha0 > self.c + slack):
+                raise ValueError("warm-start alphas violate the box [0, C]")
+            alpha0 = np.clip(alpha0, 0.0, self.c)
+            seed_alpha = np.zeros(n)
+            seed_alpha[: alpha0.shape[0]] = alpha0
+            ay = seed_alpha * y
+            balance = float(ay.sum())
+            if abs(balance) > 1e-6 * (1.0 + self.c):
+                raise ValueError(
+                    "warm-start alphas violate sum(alpha*y) = 0 "
+                    f"(got {balance:.3e})"
+                )
+            self._alpha = seed_alpha
+            self._ay = ay
+            self._nb_mask = (seed_alpha > 0.0) & (seed_alpha < self.c)
+            self._b = float(b0)
+            # E_i = f(x_i) - y_i under the seeded coefficients.
+            self._errors = self._ay @ self._K - self._b - y
         self._rng = np.random.default_rng(self.seed)
 
         fast_scan = gram_cache.fast_path_enabled()
@@ -542,6 +585,9 @@ class SupportVectorClassifier:
         self.seed = seed
         self._machines: Dict[Tuple[int, int], BinarySVM] = {}
         self.classes_: List = []
+        # Training data retained for incremental refresh (see refresh()).
+        self._fit_X: Optional[np.ndarray] = None
+        self._fit_y: Optional[np.ndarray] = None
 
     def get_params(self) -> dict:
         """Constructor parameters (for grid search cloning)."""
@@ -635,6 +681,165 @@ class SupportVectorClassifier:
                 self._machines[(a, b)] = machine
                 sv_global[(a, b)] = pair_rows[machine.support_indices_]
         self._build_sv_bank(X, sv_global)
+        self._fit_X = X
+        self._fit_y = y
+        return self
+
+    def refresh(
+        self,
+        new_X: np.ndarray,
+        new_y: Sequence,
+        *,
+        gram: Optional[np.ndarray] = None,
+        warm_start: bool = False,
+    ) -> "SupportVectorClassifier":
+        """Incrementally absorb appended training rows.
+
+        Equivalent to ``fit`` on the concatenation of the original
+        training data and ``(new_X, new_y)``, but cheaper on two axes:
+
+        - the full Gram of the concatenated dataset is assembled by
+          :meth:`repro.ml.gram_cache.GramCache.extend` — O(n*m) new
+          kernel work instead of the O(n^2) rebuild a cold fit pays;
+        - only the *affected* one-vs-one pairs (those involving at
+          least one class present in ``new_y``) are refitted; every
+          other pair's training rows are untouched by the append, so
+          its already-fitted machine is reused verbatim.
+
+        In the default exact mode (``warm_start=False``) the refitted
+        machines run SMO from zero on Gram slices that are bit-equal
+        to a cold fit's, so the refreshed model — alphas, intercepts,
+        support indices, every machine — is **byte-identical** to
+        ``clone().fit(concat(X, new_X), concat(y, new_y))``.  With
+        ``warm_start=True`` affected pairs seed SMO from their previous
+        dual solution (zero-padded over the appended rows, which is
+        dual-feasible because prefix rows keep their labels); that
+        converges faster but follows a different trajectory, so it is
+        pinned by prediction agreement rather than byte equality.
+
+        Args:
+            new_X: appended feature rows.
+            new_y: their class labels (may introduce new classes).
+            gram: optional precomputed Gram of the *concatenated*
+                dataset; when omitted the cache's ``extend`` fast path
+                supplies it (or pairs fall back to per-fit kernels
+                under ``training_fast_path_disabled``).
+            warm_start: seed affected pairs from their previous duals.
+        """
+        if not self._machines:
+            raise RuntimeError(
+                "refresh needs a fitted classifier; call fit() first"
+            )
+        if self._fit_X is None or self._fit_y is None:
+            raise RuntimeError(
+                "this model predates refresh support; refit with fit()"
+            )
+        new_X = np.asarray(new_X, dtype=float)
+        new_y = np.asarray(new_y)
+        if new_X.ndim != 2:
+            raise ValueError(f"new_X must be 2-D, got shape {new_X.shape}")
+        if new_X.shape[0] != new_y.shape[0]:
+            raise ValueError(
+                f"new_X has {new_X.shape[0]} rows but new_y has "
+                f"{new_y.shape[0]} labels"
+            )
+        if new_X.shape[0] == 0:
+            self.refresh_stats_ = {
+                "new_rows": 0,
+                "refitted_pairs": 0,
+                "reused_pairs": len(self._machines),
+                "warm_start": bool(warm_start),
+            }
+            return self
+        if new_X.shape[1] != self._fit_X.shape[1]:
+            raise ValueError(
+                f"new_X has {new_X.shape[1]} features, "
+                f"expected {self._fit_X.shape[1]}"
+            )
+        with profiling.measure("ml.svm.refresh"):
+            old_index = {label: i for i, label in enumerate(self.classes_)}
+            X = np.concatenate([self._fit_X, new_X], axis=0)
+            y = np.concatenate([self._fit_y, new_y], axis=0)
+            classes = sorted(set(y.tolist()))
+            touched = set(np.unique(new_y).tolist())
+            n = X.shape[0]
+            if gram is not None:
+                gram = np.asarray(gram, dtype=float)
+                if gram.shape != (n, n):
+                    raise ValueError(
+                        f"gram must have shape {(n, n)}, got {gram.shape}"
+                    )
+            elif gram_cache.fast_path_enabled():
+                gram = gram_cache.default_cache().extend(
+                    self.kernel, self._fit_X, new_X
+                )
+            machines: Dict[Tuple[int, int], BinarySVM] = {}
+            sv_global: Dict[Tuple[int, int], np.ndarray] = {}
+            reused = 0
+            refitted = 0
+            for a in range(len(classes)):
+                for b in range(a + 1, len(classes)):
+                    la, lb = classes[a], classes[b]
+                    mask = (y == la) | (y == lb)
+                    pair_rows = np.flatnonzero(mask)
+                    if la not in touched and lb not in touched:
+                        # Neither class gained rows: the pair's training
+                        # set (and its global row positions — appended
+                        # rows sit strictly after the originals) is
+                        # unchanged, so the fitted machine carries over.
+                        machine = self._machines[(old_index[la], old_index[lb])]
+                        reused += 1
+                    else:
+                        y_pair = np.where(y[mask] == la, 1.0, -1.0)
+                        machine = BinarySVM(
+                            c=self.c,
+                            kernel=self.kernel,
+                            tol=self.tol,
+                            max_passes=self.max_passes,
+                            max_iter=self.max_iter,
+                            seed=self.seed,
+                        )
+                        seed = None
+                        if (
+                            warm_start
+                            and la in old_index
+                            and lb in old_index
+                        ):
+                            old = self._machines[(old_index[la], old_index[lb])]
+                            # dual_coef_ = (alpha * y)[sv] and y^2 = 1,
+                            # so alpha = dual_coef_ * y at the support
+                            # rows; everything else stayed zero.  The
+                            # old pair rows form a prefix of this
+                            # pair's rows (flatnonzero order), so the
+                            # seed aligns and stays dual-feasible.
+                            alpha_old = np.zeros(old._y.shape[0])
+                            alpha_old[old.support_indices_] = (
+                                old.dual_coef_ * old._y[old.support_indices_]
+                            )
+                            seed = (alpha_old, old.intercept_)
+                        if gram is not None:
+                            machine.fit(
+                                X[mask],
+                                y_pair,
+                                gram=gram[np.ix_(pair_rows, pair_rows)],
+                                warm_start=seed,
+                            )
+                        else:
+                            machine.fit(X[mask], y_pair, warm_start=seed)
+                        refitted += 1
+                    machines[(a, b)] = machine
+                    sv_global[(a, b)] = pair_rows[machine.support_indices_]
+            self.classes_ = classes
+            self._machines = machines
+            self._build_sv_bank(X, sv_global)
+            self._fit_X = X
+            self._fit_y = y
+            self.refresh_stats_ = {
+                "new_rows": int(new_X.shape[0]),
+                "refitted_pairs": refitted,
+                "reused_pairs": reused,
+                "warm_start": bool(warm_start),
+            }
         return self
 
     def _build_sv_bank(

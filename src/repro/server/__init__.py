@@ -15,6 +15,12 @@ from repro.server.client import BmsApiError, BmsClient, RoomHistory
 from repro.server.deployment import DeploymentManager, DeploymentReport
 from repro.server.history import OccupancyHistory
 from repro.server.persistence import load_calibration, save_calibration
+from repro.server.replay import (
+    ReplayReport,
+    replay_sharded,
+    replay_wal,
+    server_from_manifest,
+)
 from repro.server.sharded import DrainResult, ShardedBmsService, shard_for
 
 __all__ = [
@@ -35,6 +41,10 @@ __all__ = [
     "OccupancyHistory",
     "load_calibration",
     "save_calibration",
+    "ReplayReport",
+    "replay_sharded",
+    "replay_wal",
+    "server_from_manifest",
     "DrainResult",
     "ShardedBmsService",
     "shard_for",

@@ -15,6 +15,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
+from repro.ml import gram_cache
 from repro.ml.datasets import (
     FingerprintDataset,
     FingerprintVectorizer,
@@ -72,6 +73,9 @@ class BuildingManagementServer:
         svm_c: box constraint of the default SVM.
         svm_gamma: RBF gamma of the default SVM.
         registry: telemetry registry; defaults to a no-op one.
+        wal: optional :class:`repro.traces.wal.SightingWal` the server
+            writes through on every state-changing ingest operation
+            (see :meth:`attach_wal`).
     """
 
     def __init__(
@@ -84,6 +88,7 @@ class BuildingManagementServer:
         svm_c: float = 10.0,
         svm_gamma: float = 0.5,
         registry: Optional[MetricsRegistry] = None,
+        wal=None,
     ) -> None:
         if not beacon_ids:
             raise ValueError("the building needs at least one beacon")
@@ -114,6 +119,7 @@ class BuildingManagementServer:
             "server.batch_size", buckets=(1.0, 4.0, 16.0, 64.0, 256.0, 1024.0)
         )
         self._g_devices = self.obs.gauge("server.tracked_devices")
+        self.wal = wal
         self.router = Router()
         # Request-level tracing: dispatches run in server.request spans
         # on the BMS registry's tracer (silent under a NullSink).
@@ -150,6 +156,73 @@ class BuildingManagementServer:
         self.classifier.fit(X, y)
         self.trained = True
         return float(np.mean(self.classifier.predict(X) == y))
+
+    def refresh(self, fingerprints: Sequence[Mapping[str, Any]]) -> Dict[str, Any]:
+        """Absorb new calibration fingerprints without a cold refit.
+
+        The new rows are stored, vectorised, pushed through the
+        *frozen* scaler (refitting it would shift every previously
+        learned feature, forfeiting the incremental path — the scaler
+        keeps the statistics of the original calibration) and handed
+        to the classifier's ``refresh`` fast path: Gram extension plus
+        affected-pair refits, byte-identical to a cold fit on the
+        concatenated scaled dataset.  Classifiers without ``refresh``
+        (kNN, proximity, naive Bayes) fall back to a full
+        :meth:`train`, as does an untrained server.
+
+        Args:
+            fingerprints: mappings with ``room``, ``beacons`` and
+                optional ``time`` keys, one per calibration sample.
+
+        Returns:
+            A report dict: ``mode`` (``"refresh"`` or ``"retrain"``),
+            ``added`` rows, and in refresh mode the classifier's
+            refitted/reused pair counts.
+        """
+        rows = []
+        for fingerprint in fingerprints:
+            room = str(fingerprint.get("room", ""))
+            beacons = fingerprint.get("beacons") or {}
+            if not room:
+                raise ValueError("each fingerprint needs a room label")
+            rows.append(
+                {
+                    "room": room,
+                    "beacons": {str(k): float(v) for k, v in beacons.items()},
+                    "time": float(fingerprint.get("time", 0.0)),
+                }
+            )
+        if not rows:
+            raise ValueError("refresh needs at least one fingerprint")
+        with self.obs.tracer.span("server.refresh", fingerprints=len(rows)):
+            for row in rows:
+                self.add_fingerprint(row["room"], row["beacons"], row["time"])
+            fast = (
+                self.trained
+                and hasattr(self.classifier, "refresh")
+                and gram_cache.fast_path_enabled()
+            )
+            if fast:
+                X_new = self.vectorizer.transform([r["beacons"] for r in rows])
+                if self._wants_scaling:
+                    X_new = self.scaler.transform(X_new)
+                y_new = np.asarray([r["room"] for r in rows])
+                with gram_cache.observed(self.obs):
+                    self.classifier.refresh(X_new, y_new)
+                stats = getattr(self.classifier, "refresh_stats_", {})
+                report = {
+                    "mode": "refresh",
+                    "added": len(rows),
+                    "refitted_pairs": int(stats.get("refitted_pairs", 0)),
+                    "reused_pairs": int(stats.get("reused_pairs", 0)),
+                }
+            else:
+                self.train()
+                report = {"mode": "retrain", "added": len(rows)}
+            self.obs.counter("server.refreshes").inc(mode=report["mode"])
+            if self.wal is not None:
+                self.wal.append_refresh(rows, self._now)
+        return report
 
     @property
     def _wants_scaling(self) -> bool:
@@ -195,20 +268,52 @@ class BuildingManagementServer:
             X = self.scaler.transform(X)
         return [str(label) for label in self.classifier.predict(X)]
 
+    def attach_wal(self, wal) -> None:
+        """Write every future ingest through ``wal`` (``None`` detaches).
+
+        Attaching starts durability from *now*: sightings, batches,
+        history marks and refreshes are appended as they are applied,
+        so :func:`repro.server.replay.replay_wal` can rebuild this
+        server's state byte-identically after a crash.  Calibration
+        fingerprints are not logged — persist them separately with
+        :func:`repro.server.persistence.save_calibration`.
+        """
+        self.wal = wal
+
     def ingest_sighting(
-        self, device_id: str, beacons: Mapping[str, float], time: float
+        self,
+        device_id: str,
+        beacons: Mapping[str, float],
+        time: float,
+        *,
+        room: Optional[str] = None,
     ) -> str:
         """Store a sighting report and update the device's location.
+
+        Args:
+            device_id: reporting device.
+            beacons: its beacon distance estimates.
+            time: report time, seconds.
+            room: pre-computed room label (the replay path classifies
+                in vectorised batches and hands each label back here);
+                when given it must equal what :meth:`classify` would
+                return — storage, counters and occupancy bookkeeping
+                are identical either way.
 
         Returns:
             The estimated room label for the device.
         """
         if not device_id:
             raise ValueError("device_id must not be empty")
+        if room is not None and not self.trained:
+            raise RuntimeError("BMS classifier is not trained; call train()")
         self.db.table("sightings").insert(
             {"time": float(time), "device_id": device_id, "beacons": dict(beacons)}
         )
-        room = self.classify(beacons)
+        if room is None:
+            room = self.classify(beacons)
+        if self.wal is not None:
+            self.wal.append_sighting(device_id, beacons, float(time))
         self._c_sightings.inc(device=device_id)
         self._c_classifications.inc(room=room)
         self._device_rooms[device_id] = room
@@ -262,6 +367,11 @@ class BuildingManagementServer:
                     f"{len(sightings)} sightings"
                 )
             rooms = [str(room) for room in rooms]
+        if self.wal is not None:
+            # One record per batch: durability cost is amortised over
+            # the batch, and replay re-applies it through ingest_batch
+            # so the batch counters/histogram rebuild exactly.
+            self.wal.append_batch(sightings)
         table = self.db.table("sightings")
         for sighting, room in zip(sightings, rooms):
             device_id = sighting["device_id"]
@@ -310,6 +420,12 @@ class BuildingManagementServer:
         """
         snap = self.snapshot(now)
         self.history.record(snap.time, snap.rooms)
+        if self.wal is not None:
+            # Snapshots expire silent devices, so history marks are
+            # state-changing and must replay at the same instant; log
+            # the resolved time (``now=None`` resolves to the server
+            # clock, which replay re-derives from earlier records).
+            self.wal.append_history_mark(snap.time)
         return snap
 
     def device_room(self, device_id: str) -> Optional[str]:
@@ -435,3 +551,30 @@ class BuildingManagementServer:
                 "mean_occupancy": self.history.mean_occupancy(room),
                 "utilisation": self.history.utilisation(room),
             }
+
+        @self.router.route("POST", "/model/refresh")
+        def post_refresh(request: Request, params: Dict[str, str]):
+            body = request.body or {}
+            fingerprints = body.get("fingerprints")
+            if not isinstance(fingerprints, list) or not fingerprints:
+                raise HttpError(
+                    400, "refresh needs a non-empty 'fingerprints' list"
+                )
+            try:
+                return self.refresh(fingerprints)
+            except (TypeError, ValueError) as exc:
+                raise HttpError(400, str(exc))
+            except RuntimeError as exc:
+                raise HttpError(409, str(exc))
+
+        @self.router.route("GET", "/wal")
+        def get_wal(request: Request, params: Dict[str, str]):
+            if self.wal is None:
+                return {"attached": False}
+            return {"attached": True, **self.wal.describe()}
+
+        @self.router.route("POST", "/wal/compact")
+        def post_wal_compact(request: Request, params: Dict[str, str]):
+            if self.wal is None:
+                raise HttpError(409, "no WAL attached")
+            return {"compacted": self.wal.compact()}

@@ -46,6 +46,7 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.ml.datasets import MISSING_DISTANCE_M
@@ -56,6 +57,7 @@ from repro.server.bms import (
     BuildingManagementServer,
     OccupancySnapshot,
 )
+from repro.traces.wal import SightingWal
 from repro.server.history import OccupancyHistory
 from repro.server.rest import HttpError, Request, Response, Router
 
@@ -161,6 +163,10 @@ class ShardedBmsService:
         workers: default pool size for the ``pool`` backend.
         route_overrides: building -> shard index pins, consulted
             before the hash for requests that carry a ``building``.
+        wal_dir: optional directory for durable write-ahead logs; each
+            shard writes through its own ``shard-NN`` sub-log (on its
+            own registry), which :func:`repro.server.replay.replay_sharded`
+            folds back into a fresh service shard by shard.
     """
 
     def __init__(
@@ -181,6 +187,7 @@ class ShardedBmsService:
         backend: str = "inline",
         workers: int = 1,
         route_overrides: Optional[Mapping[str, int]] = None,
+        wal_dir=None,
     ) -> None:
         if shards < 1:
             raise ValueError(f"need >= 1 shard, got {shards}")
@@ -216,9 +223,17 @@ class ShardedBmsService:
                 )
         self.obs = registry if registry is not None else MetricsRegistry()
         self._shards: List[BuildingManagementServer] = []
-        for _ in range(self.shards):
+        for index in range(self.shards):
             shard_registry = MetricsRegistry(clock=self.obs.now)
             classifier = classifier_factory() if classifier_factory else None
+            wal = (
+                SightingWal(
+                    Path(wal_dir) / f"shard-{index:02d}",
+                    registry=shard_registry,
+                )
+                if wal_dir is not None
+                else None
+            )
             self._shards.append(
                 BuildingManagementServer(
                     beacon_ids=beacon_ids,
@@ -228,6 +243,7 @@ class ShardedBmsService:
                     svm_c=svm_c,
                     svm_gamma=svm_gamma,
                     registry=shard_registry,
+                    wal=wal,
                 )
             )
         #: Per-shard ingress queues of (seq, normalised sighting).
@@ -319,6 +335,27 @@ class ShardedBmsService:
     def trained(self) -> bool:
         """Whether every shard's classifier is trained."""
         return all(shard.trained for shard in self._shards)
+
+    def refresh(self, fingerprints: Sequence[Mapping[str, Any]]) -> Dict[str, Any]:
+        """Broadcast an online model refresh to every shard.
+
+        Each shard absorbs the same fingerprints through its own
+        :meth:`~repro.server.bms.BuildingManagementServer.refresh`
+        (and logs its own WAL refresh record), so the shard models
+        stay identical across shard counts — the invariant all the
+        merged reads rely on.
+
+        Returns:
+            Shard 0's refresh report plus the shard fan-out.
+        """
+        reports = [shard.refresh(fingerprints) for shard in self._shards]
+        return {**reports[0], "shards": self.shards}
+
+    def close_wals(self) -> None:
+        """Seal every shard's write-ahead log (no-op when none attached)."""
+        for shard in self._shards:
+            if shard.wal is not None:
+                shard.wal.close()
 
     def classify(self, beacons: Mapping[str, float]) -> str:
         """Predict the room for one fingerprint (any shard's model)."""
@@ -718,3 +755,38 @@ class ShardedBmsService:
         @self.router.route("GET", "/telemetry")
         def get_telemetry(request: Request, params: Dict[str, str]):
             return {"metrics": self.merged_telemetry().snapshot()}
+
+        @self.router.route("POST", "/model/refresh")
+        def post_refresh(request: Request, params: Dict[str, str]):
+            body = request.body or {}
+            fingerprints = body.get("fingerprints")
+            if not isinstance(fingerprints, list) or not fingerprints:
+                raise HttpError(
+                    400, "refresh needs a non-empty 'fingerprints' list"
+                )
+            try:
+                return self.refresh(fingerprints)
+            except (TypeError, ValueError) as exc:
+                raise HttpError(400, str(exc))
+            except RuntimeError as exc:
+                raise HttpError(409, str(exc))
+
+        @self.router.route("GET", "/wal")
+        def get_wal(request: Request, params: Dict[str, str]):
+            described = [
+                shard.wal.describe()
+                for shard in self._shards
+                if shard.wal is not None
+            ]
+            return {"attached": bool(described), "shards": described}
+
+        @self.router.route("POST", "/wal/compact")
+        def post_wal_compact(request: Request, params: Dict[str, str]):
+            if all(shard.wal is None for shard in self._shards):
+                raise HttpError(409, "no WAL attached")
+            return {
+                "compacted": [
+                    shard.wal.compact() if shard.wal is not None else 0
+                    for shard in self._shards
+                ]
+            }

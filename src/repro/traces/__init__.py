@@ -15,6 +15,13 @@ from repro.traces.synth import (
     synthesize_walk_trace,
     synthesize_calibration_trace,
 )
+from repro.traces.wal import (
+    SightingWal,
+    WalCorruptionError,
+    WalError,
+    WalRecord,
+    read_wal_records,
+)
 
 __all__ = [
     "TraceRecord",
@@ -30,4 +37,9 @@ __all__ = [
     "BeaconStats",
     "TraceSummary",
     "summarise_trace",
+    "SightingWal",
+    "WalCorruptionError",
+    "WalError",
+    "WalRecord",
+    "read_wal_records",
 ]

@@ -24,12 +24,25 @@ __all__ = [
 PathLike = Union[str, Path]
 
 
+#: JSONL record lines buffered per write syscall.  One write per line
+#: dominates large-trace dumps with filesystem overhead; materialising
+#: the whole file in one string doubles peak memory.  Chunked joins sit
+#: between: bounded buffers, few syscalls.
+_WRITE_CHUNK_LINES = 512
+
+
 def write_trace_jsonl(trace: BeaconTrace, path: PathLike) -> None:
-    """Write a trace to JSONL (header line + one line per record)."""
+    """Write a trace to JSONL (header line + one line per record).
+
+    Record lines are serialised into bounded chunks and flushed with
+    one buffered write per chunk, so large traces stream out without
+    ever holding a second full copy of the file in memory.
+    """
     path = Path(path)
     with path.open("w", encoding="utf-8") as fh:
         header = {"kind": "trace-meta", **trace.meta.__dict__}
         fh.write(json.dumps(header) + "\n")
+        buffer = []
         for r in trace.records:
             row = {
                 "time": r.time,
@@ -39,39 +52,52 @@ def write_trace_jsonl(trace: BeaconTrace, path: PathLike) -> None:
                 "true_room": r.true_room,
                 "true_position": list(r.true_position) if r.true_position else None,
             }
-            fh.write(json.dumps(row) + "\n")
+            buffer.append(json.dumps(row))
+            if len(buffer) >= _WRITE_CHUNK_LINES:
+                fh.write("\n".join(buffer) + "\n")
+                buffer.clear()
+        if buffer:
+            fh.write("\n".join(buffer) + "\n")
 
 
 def read_trace_jsonl(path: PathLike) -> BeaconTrace:
     """Read a trace written by :func:`write_trace_jsonl`.
 
+    Streams the file line by line: peak memory tracks the parsed
+    trace, not the trace plus the raw text of the whole file.
+
     Raises:
         ValueError: malformed header or records.
     """
     path = Path(path)
+    trace = None
     with path.open("r", encoding="utf-8") as fh:
-        lines = [line for line in fh if line.strip()]
-    if not lines:
-        raise ValueError(f"{path} is empty")
-    header = json.loads(lines[0])
-    if header.pop("kind", None) != "trace-meta":
-        raise ValueError(f"{path} does not start with a trace-meta header")
-    meta = TraceMeta(**header)
-    trace = BeaconTrace(meta=meta)
-    for line in lines[1:]:
-        row = json.loads(line)
-        trace.append(
-            TraceRecord(
-                time=float(row["time"]),
-                device_id=row["device_id"],
-                rssi={k: float(v) for k, v in row["rssi"].items()},
-                distance={k: float(v) for k, v in row["distance"].items()},
-                true_room=row.get("true_room"),
-                true_position=(
-                    tuple(row["true_position"]) if row.get("true_position") else None
-                ),
+        for line in fh:
+            if not line.strip():
+                continue
+            if trace is None:
+                header = json.loads(line)
+                if header.pop("kind", None) != "trace-meta":
+                    raise ValueError(
+                        f"{path} does not start with a trace-meta header"
+                    )
+                trace = BeaconTrace(meta=TraceMeta(**header))
+                continue
+            row = json.loads(line)
+            trace.append(
+                TraceRecord(
+                    time=float(row["time"]),
+                    device_id=row["device_id"],
+                    rssi={k: float(v) for k, v in row["rssi"].items()},
+                    distance={k: float(v) for k, v in row["distance"].items()},
+                    true_room=row.get("true_room"),
+                    true_position=(
+                        tuple(row["true_position"]) if row.get("true_position") else None
+                    ),
+                )
             )
-        )
+    if trace is None:
+        raise ValueError(f"{path} is empty")
     return trace
 
 

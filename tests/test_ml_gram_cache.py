@@ -93,7 +93,12 @@ class TestGramCacheMechanics:
         first = cache.full(kernel, X)
         again = cache.full(kernel, X.copy())  # equal content, new object
         assert again is first
-        assert cache.stats() == {"hits": 1, "misses": 1, "entries": 1}
+        assert cache.stats() == {
+            "hits": 1,
+            "misses": 1,
+            "entries": 1,
+            "extends": 0,
+        }
         # An equal-parameter kernel instance shares the entry too.
         assert cache.full(RbfKernel(gamma=0.2), X) is first
         # A different kernel or dataset misses.
@@ -143,7 +148,12 @@ class TestGramCacheMechanics:
         cache.full(LinearKernel(), np.eye(4))
         cache.clear()
         assert len(cache) == 0
-        assert cache.stats() == {"hits": 0, "misses": 0, "entries": 0}
+        assert cache.stats() == {
+            "hits": 0,
+            "misses": 0,
+            "entries": 0,
+            "extends": 0,
+        }
 
     def test_max_entries_validation(self):
         with pytest.raises(ValueError):

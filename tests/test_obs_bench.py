@@ -253,6 +253,8 @@ class TestCommittedBaseline:
             "benchmarks/test_perf_batch.py",
             "benchmarks/test_perf_columnar.py",
             "benchmarks/test_perf_parallel.py",
+            "benchmarks/test_perf_refresh.py",
             "benchmarks/test_perf_sharded_service.py",
             "benchmarks/test_perf_svm_train.py",
+            "benchmarks/test_perf_wal_replay.py",
         }

@@ -111,3 +111,71 @@ class TestPersistence:
         path = tmp_path / "empty.json"
         assert save_calibration(bms, path) == 0
         assert load_calibration(fresh_bms(), path) == 0
+
+
+class TestShardedPersistence:
+    """Calibration round trips through the sharded broadcast: one file
+    restores K identical shard models."""
+
+    def make_service(self, shards):
+        from repro.server.sharded import ShardedBmsService
+
+        return ShardedBmsService(
+            ["1-1", "1-2"], shards=shards, drain_policy="immediate"
+        )
+
+    def seed(self, service):
+        for i in range(8):
+            service.add_fingerprint(
+                "kitchen", {"1-1": 1.0 + 0.1 * i, "1-2": 8.0}, float(i)
+            )
+            service.add_fingerprint(
+                "living", {"1-1": 8.0, "1-2": 1.0 + 0.1 * i}, float(i)
+            )
+        service.train()
+
+    def test_single_store_save_restores_to_sharded(self, tmp_path):
+        bms, _ = seeded_client()
+        bms.train()
+        path = tmp_path / "calibration.json"
+        save_calibration(bms, path)
+
+        service = self.make_service(3)
+        assert load_calibration(service, path) == 16
+        assert service.trained
+        probes = [
+            {"1-1": 1.2, "1-2": 8.0},
+            {"1-1": 8.0, "1-2": 1.3},
+            {"1-1": 1.0, "1-2": 7.5},
+        ]
+        # Broadcast restore: every shard answers like the source store.
+        assert service.classify_batch(probes) == bms.classify_batch(probes)
+        for shard in service._shards:
+            assert shard.classify_batch(probes) == bms.classify_batch(probes)
+
+    def test_sharded_save_reads_shard_zero(self, tmp_path):
+        service = self.make_service(4)
+        self.seed(service)
+        path = tmp_path / "calibration.json"
+        assert save_calibration(service, path) == 16
+
+        restored = self.make_service(2)
+        assert load_calibration(restored, path) == 16
+        probes = [{"1-1": 1.1, "1-2": 8.0}, {"1-1": 8.0, "1-2": 1.1}]
+        assert restored.classify_batch(probes) == service.classify_batch(
+            probes
+        )
+
+    def test_round_trip_preserves_fingerprint_rows(self, tmp_path):
+        service = self.make_service(3)
+        self.seed(service)
+        path = tmp_path / "calibration.json"
+        save_calibration(service, path)
+        restored = self.make_service(3)
+        load_calibration(restored, path)
+        for original, rebuilt in zip(service._shards, restored._shards):
+            rows = lambda shard: [
+                (row["time"], row["room"], row["beacons"])
+                for row in shard.db.table("fingerprints")
+            ]
+            assert rows(rebuilt) == rows(original)

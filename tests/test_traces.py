@@ -224,3 +224,62 @@ class TestSynthSurvey:
         )
         times = [r.time for r in trace.records]
         assert times == sorted(times)
+
+
+class TestStreamingJsonl:
+    """The JSONL path streams: reading never materialises the raw
+    file text alongside the parsed trace, and writing never builds
+    one string holding the whole file."""
+
+    def big_trace(self, records=4000):
+        trace = BeaconTrace(
+            meta=TraceMeta(
+                scenario="stream", device="d", scan_period_s=1.0, seed=0
+            )
+        )
+        for i in range(records):
+            trace.append(
+                TraceRecord(
+                    time=float(i),
+                    device_id=f"dev-{i % 7}",
+                    rssi={f"1-{b}": -60.0 - 0.125 * i for b in range(4)},
+                    distance={f"1-{b}": 2.0 + 0.03125 * i for b in range(4)},
+                    true_room="lab",
+                    true_position=(1.0, 2.0),
+                )
+            )
+        return trace
+
+    def test_round_trip_and_chunked_write(self, tmp_path):
+        trace = self.big_trace(records=1200)  # spans several chunks
+        path = tmp_path / "big.jsonl"
+        write_trace_jsonl(trace, path)
+        back = read_trace_jsonl(path)
+        assert len(back.records) == len(trace.records)
+        assert back.records[0] == trace.records[0]
+        assert back.records[-1] == trace.records[-1]
+
+    def test_read_peak_memory_tracks_the_trace_not_the_file(self, tmp_path):
+        import gc
+        import tracemalloc
+
+        trace = self.big_trace(records=5000)
+        path = tmp_path / "big.jsonl"
+        write_trace_jsonl(trace, path)
+        file_size = path.stat().st_size
+        assert file_size > 1_000_000  # the regression needs a big file
+
+        del trace
+        gc.collect()
+        tracemalloc.start()
+        before, _ = tracemalloc.get_traced_memory()
+        loaded = read_trace_jsonl(path)
+        _, peak = tracemalloc.get_traced_memory()
+        retained, _ = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        # Peak transient overhead beyond the parsed trace must stay
+        # well under the raw file size: the old reader held every line
+        # of the file in a list before parsing a single record.
+        transient = (peak - before) - (retained - before)
+        assert len(loaded.records) == 5000
+        assert transient < 0.5 * file_size

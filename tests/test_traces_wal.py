@@ -1,0 +1,332 @@
+"""Tests for the durable sighting WAL.
+
+The log's contract is losslessness: every appended operation reads
+back exactly — through rotation, process restarts and columnar
+compaction — and anything that *cannot* be read back exactly (CRC
+mismatch, malformed interior line) is a loud
+:class:`~repro.traces.wal.WalCorruptionError`, never a silent skip.
+Only a torn trailing line on the final JSONL segment (a crash
+mid-append) is tolerated, because the appender never writes past it.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.traces.wal import (
+    _COLUMNAR_MIN_ROWS,
+    SightingWal,
+    WalCorruptionError,
+    WalError,
+    read_wal_records,
+    wal_segment_paths,
+)
+
+
+def seeded_wal(directory, **kwargs):
+    """A log with one of each record kind, in a fixed order."""
+    wal = SightingWal(directory, **kwargs)
+    wal.append_sighting("alice", {"b-1": -61.25, "b-2": -74.0}, 1.0)
+    wal.append_batch(
+        [
+            {"device_id": "bob", "beacons": {"b-1": -55.5}, "time": 2.0},
+            {"device_id": "carol", "beacons": {"b-2": -80.125}, "time": 2.5},
+        ]
+    )
+    wal.append_history_mark(3.0)
+    wal.append_refresh(
+        [{"room": "kitchen", "beacons": {"b-1": -58.0}, "time": 4.0}],
+        4.0,
+    )
+    return wal
+
+
+class TestRoundTrip:
+    def test_all_kinds_read_back_exactly(self, tmp_path):
+        wal = seeded_wal(tmp_path / "wal")
+        records = list(wal.records())
+        assert [r.kind for r in records] == [
+            "sighting",
+            "batch",
+            "history",
+            "refresh",
+        ]
+        assert records[0].sightings == (
+            {
+                "device_id": "alice",
+                "beacons": {"b-1": -61.25, "b-2": -74.0},
+                "time": 1.0,
+            },
+        )
+        assert records[1].sightings[1]["device_id"] == "carol"
+        assert records[2].time == 3.0
+        assert records[3].fingerprints == (
+            {"room": "kitchen", "beacons": {"b-1": -58.0}, "time": 4.0},
+        )
+
+    def test_seq_is_monotonic_from_zero(self, tmp_path):
+        wal = seeded_wal(tmp_path / "wal")
+        assert [r.seq for r in wal.records()] == [0, 1, 2, 3]
+
+    def test_empty_appends_rejected(self, tmp_path):
+        wal = SightingWal(tmp_path / "wal")
+        with pytest.raises(ValueError):
+            wal.append_batch([])
+        with pytest.raises(ValueError):
+            wal.append_refresh([], 1.0)
+
+    def test_append_after_close_errors(self, tmp_path):
+        wal = SightingWal(tmp_path / "wal")
+        wal.append_sighting("alice", {"b-1": -60.0}, 1.0)
+        wal.close()
+        with pytest.raises(WalError):
+            wal.append_sighting("alice", {"b-1": -60.0}, 2.0)
+
+    def test_context_manager_seals(self, tmp_path):
+        with SightingWal(tmp_path / "wal") as wal:
+            wal.append_sighting("alice", {"b-1": -60.0}, 1.0)
+        assert len(list(read_wal_records(tmp_path / "wal"))) == 1
+
+
+class TestRotationAndResume:
+    def test_small_threshold_rotates_segments(self, tmp_path):
+        wal = SightingWal(tmp_path / "wal", segment_bytes=256)
+        for i in range(20):
+            wal.append_sighting(f"dev-{i:02d}", {"b-1": -60.0 - i}, float(i))
+        wal.flush()
+        paths = wal.segment_paths()
+        assert len(paths) > 1
+        assert [r.seq for r in wal.records()] == list(range(20))
+
+    def test_reopen_resumes_after_last_record(self, tmp_path):
+        directory = tmp_path / "wal"
+        first = seeded_wal(directory)
+        first.close()
+        second = SightingWal(directory)
+        second.append_sighting("dave", {"b-1": -70.0}, 5.0)
+        second.flush()
+        records = list(read_wal_records(directory))
+        assert [r.seq for r in records] == [0, 1, 2, 3, 4]
+        assert records[-1].sightings[0]["device_id"] == "dave"
+        # Resume opens a fresh segment; the old one is never appended to.
+        assert len(wal_segment_paths(directory)) == 2
+
+    def test_resume_after_torn_tail_skips_the_torn_seq(self, tmp_path):
+        directory = tmp_path / "wal"
+        wal = seeded_wal(directory)
+        wal.flush()
+        path = wal.segment_paths()[-1]
+        with path.open("a", encoding="utf-8") as fh:
+            fh.write('{"seq": 4, "kind": "sighting", "tim')
+        resumed = SightingWal(directory)
+        seq = resumed.append_sighting("erin", {"b-1": -60.0}, 6.0)
+        # The torn record was never durable, so its seq is reused.
+        assert seq == 4
+
+
+class TestCorruption:
+    def test_header_crc_mismatch_raises(self, tmp_path):
+        wal = seeded_wal(tmp_path / "wal")
+        wal.flush()
+        path = wal.segment_paths()[0]
+        lines = path.read_text(encoding="utf-8").splitlines()
+        header = json.loads(lines[0])
+        header["crc"] = (header["crc"] + 1) & 0xFFFFFFFF
+        lines[0] = json.dumps(header, separators=(",", ":"))
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        with pytest.raises(WalCorruptionError, match="CRC"):
+            list(read_wal_records(tmp_path / "wal"))
+
+    def test_torn_tail_on_final_segment_is_tolerated(self, tmp_path):
+        wal = seeded_wal(tmp_path / "wal")
+        wal.flush()
+        path = wal.segment_paths()[-1]
+        with path.open("a", encoding="utf-8") as fh:
+            fh.write('{"seq": 4, "kind": "sight')
+        assert [r.seq for r in read_wal_records(tmp_path / "wal")] == [
+            0,
+            1,
+            2,
+            3,
+        ]
+
+    def test_malformed_interior_line_raises(self, tmp_path):
+        wal = seeded_wal(tmp_path / "wal")
+        wal.flush()
+        path = wal.segment_paths()[-1]
+        lines = path.read_text(encoding="utf-8").splitlines()
+        lines[2] = lines[2][:-5]
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        with pytest.raises(WalCorruptionError, match="malformed"):
+            list(read_wal_records(tmp_path / "wal"))
+
+    def test_unknown_record_kind_raises(self, tmp_path):
+        wal = seeded_wal(tmp_path / "wal")
+        wal.flush()
+        path = wal.segment_paths()[-1]
+        with path.open("a", encoding="utf-8") as fh:
+            fh.write('{"seq": 4, "kind": "mystery", "time": 9.0}\n')
+            fh.write('{"seq": 5, "kind": "history", "time": 10.0}\n')
+        with pytest.raises(WalCorruptionError, match="mystery"):
+            list(read_wal_records(tmp_path / "wal"))
+
+    def test_duplicate_segment_index_raises(self, tmp_path):
+        directory = tmp_path / "wal"
+        wal = seeded_wal(directory)
+        wal.close()
+        wal2 = SightingWal(directory)
+        wal2.compact()
+        sealed = next(
+            p for p in wal2.segment_paths() if p.suffix == ".npz"
+        )
+        # Simulate a crashed compaction: both encodings on disk.
+        sealed.with_suffix(".jsonl").write_text("", encoding="utf-8")
+        with pytest.raises(WalCorruptionError, match="both"):
+            wal_segment_paths(directory)
+
+
+class TestCompaction:
+    def test_compaction_is_lossless(self, tmp_path):
+        directory = tmp_path / "wal"
+        wal = seeded_wal(directory, segment_bytes=128)
+        # Irrational-ish floats: bit-exactness must survive the npz.
+        wal.append_sighting("frank", {"b-1": -60.1234567890123}, 7.5)
+        before = list(wal.records())
+        wal.close()
+        reopened = SightingWal(directory)
+        compacted = reopened.compact()
+        assert compacted >= 1
+        after = list(reopened.records())
+        assert after == before
+        assert any(p.suffix == ".npz" for p in reopened.segment_paths())
+
+    def test_compaction_skips_the_active_segment(self, tmp_path):
+        wal = seeded_wal(tmp_path / "wal")
+        wal.flush()
+        assert wal.compact() == 0
+        assert all(p.suffix == ".jsonl" for p in wal.segment_paths())
+
+    def test_resume_after_compaction(self, tmp_path):
+        directory = tmp_path / "wal"
+        wal = seeded_wal(directory)
+        wal.close()
+        reopened = SightingWal(directory)
+        reopened.compact()
+        third = SightingWal(directory)
+        assert third.append_history_mark(9.0) == 4
+
+
+class TestTelemetryAndDescribe:
+    def test_counters_track_appends(self, tmp_path):
+        registry = MetricsRegistry()
+        wal = seeded_wal(tmp_path / "wal", registry=registry)
+        records = registry.counter("wal.records")
+        assert records.value == 4.0
+        assert records.value_for(kind="sighting") == 1.0
+        assert records.value_for(kind="batch") == 1.0
+        assert records.value_for(kind="history") == 1.0
+        assert records.value_for(kind="refresh") == 1.0
+        assert registry.counter("wal.sightings").value == 3.0
+        wal.close()
+        assert registry.counter("wal.segments_sealed").value == 1.0
+
+    def test_describe_reports_shape(self, tmp_path):
+        wal = seeded_wal(tmp_path / "wal")
+        described = wal.describe()
+        assert described["segments"] == 1
+        assert described["compacted_segments"] == 0
+        assert described["next_seq"] == 4
+        assert described["records_appended"] == 4
+        assert described["sightings_appended"] == 3
+        assert described["active_bytes"] > 0
+
+    def test_segment_bytes_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            SightingWal(tmp_path / "wal", segment_bytes=0)
+
+
+class TestColumnarBatches:
+    """Batches at/above the columnar threshold pack the float arrays
+    as base64 of their raw bytes; the decode must be bit-exact and
+    tolerate ragged per-row beacon sets via the packed-bit mask."""
+
+    def batch(self, n, ragged=False):
+        rows = []
+        for i in range(n):
+            beacons = {"b-1": -60.0 - 0.1234567890123 * i, "b-2": -71.5 + i}
+            if ragged and i % 3 == 0:
+                del beacons["b-2"]
+                beacons["b-9"] = -90.0625
+            rows.append(
+                {"device_id": f"dev-{i}", "beacons": beacons, "time": float(i)}
+            )
+        return rows
+
+    def assert_round_trip(self, tmp_path, rows):
+        wal = SightingWal(tmp_path / "wal")
+        wal.append_batch(rows)
+        wal.close()
+        (record,) = wal.records()
+        assert record.kind == "batch"
+        assert len(record.sightings) == len(rows)
+        for got, want in zip(record.sightings, rows):
+            assert got["device_id"] == want["device_id"]
+            assert got["time"] == want["time"]
+            assert got["beacons"] == {
+                str(b): float(v) for b, v in want["beacons"].items()
+            }
+
+    def test_uniform_keys_round_trip_bit_exact(self, tmp_path):
+        rows = self.batch(_COLUMNAR_MIN_ROWS)
+        self.assert_round_trip(tmp_path, rows)
+        wal_file = next(iter(wal_segment_paths(tmp_path / "wal")))
+        line = wal_file.read_text().splitlines()[1]
+        assert '"v64"' in line and '"m64"' not in line
+
+    def test_ragged_keys_use_the_mask(self, tmp_path):
+        rows = self.batch(_COLUMNAR_MIN_ROWS + 3, ragged=True)
+        self.assert_round_trip(tmp_path, rows)
+        wal_file = next(iter(wal_segment_paths(tmp_path / "wal")))
+        assert '"m64"' in wal_file.read_text()
+
+    def test_small_batches_stay_inline(self, tmp_path):
+        rows = self.batch(_COLUMNAR_MIN_ROWS - 1)
+        self.assert_round_trip(tmp_path, rows)
+        wal_file = next(iter(wal_segment_paths(tmp_path / "wal")))
+        assert '"v64"' not in wal_file.read_text()
+
+    def test_newline_device_id_falls_back_to_inline(self, tmp_path):
+        rows = self.batch(_COLUMNAR_MIN_ROWS)
+        rows[2]["device_id"] = "dev\n2"
+        self.assert_round_trip(tmp_path, rows)
+        wal_file = next(iter(wal_segment_paths(tmp_path / "wal")))
+        assert '"v64"' not in wal_file.read_text()
+
+    def test_corrupt_columnar_payload_is_loud(self, tmp_path):
+        wal = SightingWal(tmp_path / "wal")
+        wal.append_batch(self.batch(_COLUMNAR_MIN_ROWS))
+        wal.close()
+        path = next(iter(wal_segment_paths(tmp_path / "wal")))
+        header, line = path.read_text().splitlines()
+        row = json.loads(line)
+        row["n"] = 99
+        path.write_text(header + "\n" + json.dumps(row) + "\n")
+        # A sealed read (non-final torn tolerance does not apply to
+        # well-formed-but-inconsistent columnar rows).
+        with pytest.raises(WalCorruptionError):
+            list(read_wal_records(tmp_path / "wal"))
+
+    def test_compaction_of_columnar_batches_is_lossless(self, tmp_path):
+        wal = SightingWal(tmp_path / "wal", segment_bytes=1)
+        wal.append_batch(self.batch(_COLUMNAR_MIN_ROWS, ragged=True))
+        wal.append_history_mark(99.0)
+        before = [
+            (r.kind, r.seq, r.time, r.sightings) for r in wal.records()
+        ]
+        wal.compact()
+        after = [
+            (r.kind, r.seq, r.time, r.sightings) for r in wal.records()
+        ]
+        assert after == before
+        wal.close()
