@@ -205,11 +205,26 @@ def replay_sharded(
 
     Raises:
         ValueError: the directory's shard count does not match
-            ``service.shards``.
+            ``service.shards``, a shard log directory's suffix is not
+            numeric, or the numeric suffixes are not exactly
+            ``0..shards-1`` (lexicographic order would misroute
+            ``shard-100`` before ``shard-11``, so logs pair with
+            stores by parsed index, never by sort position).
     """
     directory = Path(directory)
+
+    def shard_suffix(path: Path) -> int:
+        try:
+            return int(path.name[len("shard-") :])
+        except ValueError:
+            raise ValueError(
+                f"unrecognised shard log directory {path.name!r} "
+                f"in {directory}"
+            ) from None
+
     shard_dirs = sorted(
-        path for path in directory.glob("shard-*") if path.is_dir()
+        (path for path in directory.glob("shard-*") if path.is_dir()),
+        key=shard_suffix,
     )
     if len(shard_dirs) != service.shards:
         raise ValueError(
@@ -218,6 +233,11 @@ def replay_sharded(
         )
     reports = []
     for index, shard_dir in enumerate(shard_dirs):
+        if shard_suffix(shard_dir) != index:
+            raise ValueError(
+                f"shard log {shard_dir.name!r} does not match shard "
+                f"index {index}; expected suffixes 0..{service.shards - 1}"
+            )
         shard = service._shards[index]
         reports.append(replay_wal(shard, shard_dir, chunk=chunk))
         # Rebuild the routing table from the replayed sightings: every

@@ -17,13 +17,17 @@ flat row table for the sightings plus per-operation index arrays),
 which read back losslessly: float64 values round-trip bit-exactly in
 both encodings.  The reader tolerates a torn trailing line on the
 active segment (a crash mid-append) but treats any other corruption —
-bad header CRC, malformed interior line — as an error.
+bad header CRC, malformed interior line — as an error.  Reopening a
+directory repairs the previous active segment first — the torn bytes
+were never durable, so truncating them keeps the log readable end to
+end across any number of crash/resume cycles.
 """
 
 from __future__ import annotations
 
 import base64
 import json
+import os
 import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -80,6 +84,19 @@ _COLUMNAR_MIN_ROWS = 9
 
 def _b64(array: np.ndarray) -> str:
     return base64.b64encode(array.tobytes()).decode("ascii")
+
+
+def _str_column(values: Sequence[str]) -> np.ndarray:
+    """String column with numpy-inferred width.
+
+    A fixed ``<U64`` dtype would silently truncate device ids, rooms
+    or beacon names longer than 64 characters, breaking the lossless
+    round-trip contract; letting numpy size the dtype to the longest
+    string in the column keeps compaction exact.
+    """
+    if not values:
+        return np.empty(0, dtype="<U1")
+    return np.asarray(values, dtype=str)
 
 
 def _columnar_batch_row(
@@ -428,6 +445,12 @@ class SightingWal:
             past).
         segment_bytes: rotate the active segment once it exceeds this
             many bytes.
+        fsync: when true, ``os.fsync`` after every append so
+            acknowledged records survive an OS/power failure too.
+            When false (the default) every append is still flushed to
+            the OS — the durability window is a *kernel* crash, not a
+            process crash: an acknowledged record can only be lost if
+            the whole machine dies before the page cache hits disk.
         registry: optional telemetry registry; the log maintains
             ``wal.records`` / ``wal.sightings`` / ``wal.segments_sealed``
             / ``wal.compacted_segments`` counters on it.  All counts
@@ -440,6 +463,7 @@ class SightingWal:
         directory: PathLike,
         *,
         segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+        fsync: bool = False,
         registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if segment_bytes < 1:
@@ -449,6 +473,7 @@ class SightingWal:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.segment_bytes = int(segment_bytes)
+        self.fsync = bool(fsync)
         self._fh = None
         self._active_index: Optional[int] = None
         self._active_bytes = 0
@@ -456,6 +481,9 @@ class SightingWal:
         self.records_appended = 0
         self.sightings_appended = 0
         existing = wal_segment_paths(self.directory)
+        if existing and existing[-1].suffix == _ACTIVE_SUFFIX:
+            self._repair_torn_tail(existing[-1])
+            existing = wal_segment_paths(self.directory)
         if existing:
             self._segment_counter = _segment_index(existing[-1]) + 1
             self._next_seq = self._scan_next_seq(existing[-1])
@@ -480,6 +508,39 @@ class SightingWal:
         )
 
     @staticmethod
+    def _repair_torn_tail(last_segment: Path) -> None:
+        """Truncate a torn trailing line left by a crash mid-append.
+
+        Resuming opens a *new* segment, which turns the old active one
+        into an interior segment — where a torn line reads as real
+        corruption.  The torn bytes were never durable (the appender
+        crashed before completing the line), so dropping them restores
+        the durable prefix and keeps the whole log readable end to end.
+        A segment whose *header* line is torn holds nothing durable at
+        all and is removed outright.
+        """
+        data = last_segment.read_bytes()
+        if not data.strip():
+            last_segment.unlink()
+            return
+        offset = 0
+        last_start = 0
+        last_line = b""
+        for line in data.splitlines(keepends=True):
+            if line.strip():
+                last_start = offset
+                last_line = line
+            offset += len(line)
+        try:
+            json.loads(last_line.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            if last_start == 0:
+                last_segment.unlink()
+            else:
+                with last_segment.open("r+b") as fh:
+                    fh.truncate(last_start)
+
+    @staticmethod
     def _scan_next_seq(last_segment: Path) -> int:
         last = -1
         if last_segment.suffix == _SEALED_SUFFIX:
@@ -489,7 +550,13 @@ class SightingWal:
         for record in records:
             last = record.seq
         if last < 0:
-            # A fresh header-only segment: fall back to its base_seq.
+            # A record-less segment: fall back to its header's base_seq.
+            if last_segment.suffix == _SEALED_SUFFIX:
+                with np.load(last_segment, allow_pickle=False) as data:
+                    header = _validate_header(
+                        json.loads(str(data["header"])), str(last_segment)
+                    )
+                return int(header["base_seq"])
             with last_segment.open("r", encoding="utf-8") as fh:
                 for line in fh:
                     if line.strip():
@@ -537,6 +604,13 @@ class SightingWal:
         self._next_seq += 1
         line = json.dumps({"seq": seq, **row}, separators=(",", ":"))
         self._fh.write(line + "\n")
+        # Every acknowledged append reaches the OS before the caller
+        # proceeds; otherwise acknowledged operations could sit in the
+        # userspace buffer and vanish on a process crash — the exact
+        # scenario the WAL exists to survive.
+        self._fh.flush()
+        if self.fsync:
+            os.fsync(self._fh.fileno())
         self._active_bytes += len(line.encode("utf-8")) + 1
         self.records_appended += 1
         self.sightings_appended += sightings
@@ -628,9 +702,11 @@ class SightingWal:
         )
 
     def flush(self) -> None:
-        """Flush the active segment to the OS."""
+        """Flush the active segment to the OS (and disk when ``fsync``)."""
         if self._fh is not None:
             self._fh.flush()
+            if self.fsync:
+                os.fsync(self._fh.fileno())
 
     def close(self) -> None:
         """Seal the active segment and stop accepting appends."""
@@ -733,14 +809,14 @@ class SightingWal:
         np.savez(
             sealed,
             header=np.asarray(json.dumps(header, separators=(",", ":"))),
-            beacon_names=np.asarray(beacon_names, dtype="<U64"),
+            beacon_names=_str_column(beacon_names),
             op_kind=np.asarray(op_kind, dtype=np.int8),
             op_seq=np.asarray(op_seq, dtype=np.int64),
             op_time=np.asarray(op_time, dtype=np.float64),
             op_row_start=np.asarray(op_row_start, dtype=np.int64),
             op_row_count=np.asarray(op_row_count, dtype=np.int64),
-            row_device=np.asarray(row_device, dtype="<U64"),
-            row_room=np.asarray(row_room, dtype="<U64"),
+            row_device=_str_column(row_device),
+            row_room=_str_column(row_room),
             row_time=np.asarray(row_time, dtype=np.float64),
             row_values=(
                 np.vstack(row_values)

@@ -262,6 +262,32 @@ class TestReplaySharded:
         with pytest.raises(ValueError, match="shard"):
             replay_sharded(wrong, tmp_path / "wal")
 
+    def test_misnumbered_shard_log_rejected(self, tmp_path, shards):
+        # Logs pair with stores by parsed numeric suffix, never by
+        # lexicographic sort position (shard-100 sorts before
+        # shard-11): a suffix that is not its shard index is an error.
+        live = self.make_service(
+            MetricsRegistry(), shards, wal_dir=tmp_path / "wal"
+        )
+        self.drive(live)
+        live.close_wals()
+        last = tmp_path / "wal" / f"shard-{shards - 1:02d}"
+        last.rename(tmp_path / "wal" / f"shard-{shards + 5:02d}")
+        restored = self.make_service(MetricsRegistry(), shards)
+        with pytest.raises(ValueError, match="does not match shard"):
+            replay_sharded(restored, tmp_path / "wal")
+
+    def test_unrecognised_shard_log_rejected(self, tmp_path, shards):
+        live = self.make_service(
+            MetricsRegistry(), shards, wal_dir=tmp_path / "wal"
+        )
+        self.drive(live)
+        live.close_wals()
+        (tmp_path / "wal" / "shard-extra").mkdir()
+        restored = self.make_service(MetricsRegistry(), shards)
+        with pytest.raises(ValueError, match="unrecognised"):
+            replay_sharded(restored, tmp_path / "wal")
+
 
 class TestManifest:
     def test_round_trip(self, tmp_path):

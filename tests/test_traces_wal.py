@@ -19,6 +19,8 @@ from repro.traces.wal import (
     SightingWal,
     WalCorruptionError,
     WalError,
+    _header_crc,
+    _header_payload,
     read_wal_records,
     wal_segment_paths,
 )
@@ -124,6 +126,87 @@ class TestRotationAndResume:
         # The torn record was never durable, so its seq is reused.
         assert seq == 4
 
+    def test_log_stays_readable_after_torn_tail_resume(self, tmp_path):
+        # Crash mid-append, resume (which makes the torn segment an
+        # interior one), append more: the whole log — including the
+        # repaired segment — must read back and compact cleanly.
+        directory = tmp_path / "wal"
+        wal = seeded_wal(directory)
+        wal.flush()
+        path = wal.segment_paths()[-1]
+        with path.open("a", encoding="utf-8") as fh:
+            fh.write('{"seq": 4, "kind": "sighting", "tim')
+        resumed = SightingWal(directory)
+        resumed.append_sighting("erin", {"b-1": -60.0}, 6.0)
+        assert [r.seq for r in resumed.records()] == [0, 1, 2, 3, 4]
+        assert resumed.compact() == 1
+        assert [r.seq for r in resumed.records()] == [0, 1, 2, 3, 4]
+        resumed.close()
+        assert [r.seq for r in read_wal_records(directory)] == [0, 1, 2, 3, 4]
+
+    def test_repeated_crash_resume_cycles_stay_readable(self, tmp_path):
+        directory = tmp_path / "wal"
+        for cycle in range(3):
+            wal = SightingWal(directory)
+            wal.append_sighting(f"dev-{cycle}", {"b-1": -60.0}, float(cycle))
+            wal.flush()
+            path = wal.segment_paths()[-1]
+            # Simulate a crash mid-append: torn line, no close().
+            with path.open("a", encoding="utf-8") as fh:
+                fh.write('{"seq": 99, "kind": "b')
+        assert [r.seq for r in read_wal_records(directory)] == [0, 1, 2]
+
+    def test_fully_torn_segment_is_removed_on_resume(self, tmp_path):
+        # A crash mid-header leaves a segment with nothing durable in
+        # it; resume drops the file instead of tripping over it later.
+        directory = tmp_path / "wal"
+        wal = seeded_wal(directory)
+        wal.close()
+        torn = directory / "segment-000001.jsonl"
+        torn.write_text('{"kind": "wal-head', encoding="utf-8")
+        resumed = SightingWal(directory)
+        assert resumed.append_history_mark(9.0) == 4
+        assert [r.seq for r in resumed.records()] == [0, 1, 2, 3, 4]
+
+    def test_resume_after_record_less_sealed_segment(self, tmp_path):
+        # A header-only JSONL segment (a torn-tail repair can leave
+        # one) still compacts; resuming on the resulting record-less
+        # .npz must read base_seq from the embedded header, not reopen
+        # the binary file as JSONL.
+        directory = tmp_path / "wal"
+        wal = seeded_wal(directory)
+        wal.close()
+        payload = _header_payload(1, 4)
+        line = json.dumps(
+            {**payload, "crc": _header_crc(payload)}, separators=(",", ":")
+        )
+        (directory / "segment-000001.jsonl").write_text(
+            line + "\n", encoding="utf-8"
+        )
+        maintenance = SightingWal(directory)
+        assert maintenance.compact() == 2
+        maintenance.close()
+        resumed = SightingWal(directory)
+        assert resumed.append_history_mark(9.0) == 4
+
+    def test_appends_are_durable_without_explicit_flush(self, tmp_path):
+        # Acknowledged appends must reach the OS before the caller
+        # proceeds — a process crash (no flush/close) loses nothing.
+        directory = tmp_path / "wal"
+        wal = SightingWal(directory)
+        wal.append_sighting("alice", {"b-1": -60.0}, 1.0)
+        wal.append_batch(
+            [{"device_id": "bob", "beacons": {"b-1": -55.0}, "time": 2.0}]
+        )
+        # Read through a fresh handle, never flushing or closing.
+        assert [r.seq for r in read_wal_records(directory)] == [0, 1]
+
+    def test_fsync_mode_appends_and_reads_back(self, tmp_path):
+        wal = SightingWal(tmp_path / "wal", fsync=True)
+        wal.append_sighting("alice", {"b-1": -60.0}, 1.0)
+        wal.flush()
+        assert [r.seq for r in wal.records()] == [0]
+
 
 class TestCorruption:
     def test_header_crc_mismatch_raises(self, tmp_path):
@@ -206,6 +289,28 @@ class TestCompaction:
         wal.flush()
         assert wal.compact() == 0
         assert all(p.suffix == ".jsonl" for p in wal.segment_paths())
+
+    def test_long_identifiers_survive_compaction(self, tmp_path):
+        # Device ids, rooms and beacon names longer than any fixed
+        # string dtype must round-trip uncut through the .npz columns.
+        directory = tmp_path / "wal"
+        device = "device-" + "x" * 90
+        beacon = "beacon-" + "y" * 90
+        room = "room-" + "z" * 90
+        wal = SightingWal(directory)
+        wal.append_sighting(device, {beacon: -61.5}, 1.0)
+        wal.append_refresh(
+            [{"room": room, "beacons": {beacon: -58.0}, "time": 2.0}], 2.0
+        )
+        before = list(wal.records())
+        wal.close()
+        reopened = SightingWal(directory)
+        assert reopened.compact() == 1
+        after = list(reopened.records())
+        assert after == before
+        assert after[0].sightings[0]["device_id"] == device
+        assert after[0].sightings[0]["beacons"] == {beacon: -61.5}
+        assert after[1].fingerprints[0]["room"] == room
 
     def test_resume_after_compaction(self, tmp_path):
         directory = tmp_path / "wal"
